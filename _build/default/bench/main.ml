@@ -1,0 +1,503 @@
+(* The benchmark and reproduction harness.
+
+   The paper (Arora & Kulkarni, ICDCS'98) contains no numeric tables; its
+   evaluation is the memory-access figures (1-3), the TMR and Byzantine
+   constructions of Section 6, and the theory itself.  This harness
+   regenerates each of those artifacts as a claims table (experiments
+   E1-E9 of DESIGN.md/EXPERIMENTS.md), then times the toolkit with
+   Bechamel (E10).
+
+   Run with:  dune exec bench/main.exe *)
+
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+open Detcor_systems
+
+let section title = Fmt.pr "@.=== %s ===@.@." title
+
+let verdict_str b = if b then "yes" else "no"
+
+let expect label expected actual =
+  let ok = expected = actual in
+  Fmt.pr "%-44s paper: %-4s measured: %-4s %s@." label (verdict_str expected)
+    (verdict_str actual)
+    (if ok then "[match]" else "[MISMATCH]");
+  ok
+
+let mismatches = ref 0
+
+let check label expected actual =
+  if not (expect label expected actual) then incr mismatches
+
+(* ------------------------------------------------------------------ *)
+(* E1-E3: the memory-access figures.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let table_memory () =
+  section "Table 1 (E1-E3): memory access, Figures 1-3";
+  let verdict p tol =
+    Tolerance.verdict
+      (Tolerance.check p ~spec:Memory.spec ~invariant:Memory.s
+         ~faults:Memory.page_fault ~tol)
+  in
+  let row name p f n m =
+    check (name ^ " fail-safe") f (verdict p Spec.Failsafe);
+    check (name ^ " nonmasking") n (verdict p Spec.Nonmasking);
+    check (name ^ " masking") m (verdict p Spec.Masking)
+  in
+  row "p  (intolerant)" Memory.intolerant false false false;
+  row "pf (Figure 1)" Memory.failsafe true false false;
+  row "pn (Figure 2)" Memory.nonmasking false true false;
+  row "pm (Figure 3)" Memory.masking true true true;
+  check "pf is a fail-safe tolerant detector" true
+    (Detector.verdict
+       (Detector.tolerant Memory.failsafe Memory.pf_detector
+          ~faults:Memory.page_fault ~tol:Spec.Failsafe ~from:Memory.t));
+  check "pn is a nonmasking tolerant corrector" true
+    (Corrector.verdict
+       (Corrector.tolerant Memory.nonmasking Memory.pn_corrector
+          ~faults:Memory.page_fault ~tol:Spec.Nonmasking ~from:Memory.s));
+  check "pm is a masking tolerant detector" true
+    (Detector.verdict
+       (Detector.tolerant Memory.masking Memory.pm_detector
+          ~faults:Memory.page_fault ~tol:Spec.Masking ~from:Memory.t))
+
+(* ------------------------------------------------------------------ *)
+(* Theorems: every schema of Sections 3-5 on its paper instance.       *)
+(* ------------------------------------------------------------------ *)
+
+let table_theorems () =
+  section "Table 2: theorem schemas machine-checked on the paper's systems";
+  let sspec = Spec.safety (Spec.smallest_safety_containing Memory.spec) in
+  let schemas =
+    [
+      ( "Theorem 3.4 (pf over p)",
+        Theorems.theorem_3_4 ~base:Memory.intolerant ~refined:Memory.failsafe
+          ~sspec ~invariant:Memory.s () );
+      ( "Lemma 3.5 (pf over p)",
+        Theorems.lemma_3_5 ~base:Memory.intolerant ~refined:Memory.failsafe
+          ~sspec ~invariant:Memory.s () );
+      ( "Theorem 3.6 (pf over p)",
+        Theorems.theorem_3_6 ~base:Memory.intolerant ~refined:Memory.failsafe
+          ~spec:Memory.spec ~faults:Memory.page_fault ~invariant_s:Memory.s
+          ~invariant_r:Memory.s () );
+      ( "Theorem 4.1 (pn over p)",
+        Theorems.theorem_4_1 ~base:Memory.intolerant ~refined:Memory.nonmasking
+          ~spec:Memory.spec ~invariant_s:Memory.s ~from_t:Memory.t () );
+      ( "Lemma 4.2 (pn over p)",
+        Theorems.lemma_4_2 ~base:Memory.intolerant ~refined:Memory.nonmasking
+          ~spec:Memory.spec ~invariant_s:Memory.s ~invariant_r:Memory.s
+          ~from_t:Memory.t () );
+      ( "Theorem 4.3 (pn over p)",
+        Theorems.theorem_4_3 ~base:Memory.intolerant ~refined:Memory.nonmasking
+          ~spec:Memory.spec ~faults:Memory.page_fault ~invariant_s:Memory.s
+          ~invariant_r:Memory.s () );
+      ( "Theorem 5.2 (pm)",
+        Theorems.theorem_5_2 ~program:Memory.masking ~spec:Memory.spec
+          ~invariant_s:Memory.s ~from_t:Memory.t () );
+      ( "Theorem 5.5 (pm over pn)",
+        Theorems.theorem_5_5 ~base:Memory.nonmasking ~refined:Memory.masking
+          ~spec:Memory.spec ~faults:Memory.page_fault ~invariant_s:Memory.s
+          ~invariant_r:Memory.s () );
+      ( "Theorem 3.6 (DR;IR over IR)",
+        Theorems.theorem_3_6 ~base:Tmr.intolerant ~refined:Tmr.failsafe
+          ~spec:Tmr.spec ~faults:Tmr.one_corruption ~invariant_s:Tmr.invariant
+          ~invariant_r:Tmr.invariant () );
+      ( "Theorem 4.3 (token ring, n=4)",
+        let cfg = Token_ring.default in
+        Theorems.theorem_4_3 ~base:(Token_ring.program cfg)
+          ~refined:(Token_ring.program cfg) ~spec:(Token_ring.spec cfg)
+          ~faults:(Token_ring.corruption cfg)
+          ~invariant_s:(Token_ring.legitimate cfg)
+          ~invariant_r:(Token_ring.legitimate cfg) () );
+    ]
+  in
+  List.iter (fun (name, s) -> check name true (Theorems.holds s)) schemas
+
+(* ------------------------------------------------------------------ *)
+(* E4: TMR (Section 6.1).                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table_tmr () =
+  section "Table 3 (E4): triple modular redundancy, Section 6.1";
+  let verdict p tol =
+    Tolerance.verdict
+      (Tolerance.check p ~spec:Tmr.spec ~invariant:Tmr.invariant
+         ~faults:Tmr.one_corruption ~tol)
+  in
+  check "IR intolerant (fail-safe fails)" false (verdict Tmr.intolerant Spec.Failsafe);
+  check "DR;IR fail-safe" true (verdict Tmr.failsafe Spec.Failsafe);
+  check "DR;IR not masking (deadlocks on x)" false (verdict Tmr.failsafe Spec.Masking);
+  check "DR;IR[]CR masking" true (verdict Tmr.masking Spec.Masking)
+
+(* ------------------------------------------------------------------ *)
+(* E5: Byzantine agreement (Section 6.2).                              *)
+(* ------------------------------------------------------------------ *)
+
+let table_byzantine () =
+  section "Table 4 (E5): Byzantine agreement, Section 6.2 (n=4, f=1)";
+  let cfg = Byzantine.default in
+  let verdict ?invariant p tol =
+    let invariant =
+      match invariant with Some i -> i | None -> Byzantine.invariant cfg
+    in
+    Tolerance.verdict
+      (Tolerance.check p ~spec:(Byzantine.spec cfg) ~invariant
+         ~faults:(Byzantine.byzantine_faults cfg) ~tol)
+  in
+  check "IB intolerant (fail-safe fails)" false
+    (verdict ~invariant:(Byzantine.invariant_weak cfg) (Byzantine.intolerant cfg)
+       Spec.Failsafe);
+  check "IB[]DB fail-safe" true (verdict (Byzantine.failsafe cfg) Spec.Failsafe);
+  check "IB[]DB not masking (blocked process)" false
+    (verdict (Byzantine.failsafe cfg) Spec.Masking);
+  check "IB[]DB[]CB masking" true (verdict (Byzantine.masking cfg) Spec.Masking)
+
+(* ------------------------------------------------------------------ *)
+(* E6: negative controls.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table_negative () =
+  section "Table 5 (E6): negative controls (components removed)";
+  let broken_pf =
+    Program.make ~name:"pf-broken" ~vars:(Program.var_decls Memory.failsafe)
+      ~actions:
+        [
+          Action.deterministic "pf1"
+            (Pred.and_ Memory.x1 (Pred.not_ Memory.z1))
+            (fun st -> State.set st "z1" (Value.bool true));
+          (Option.get (Program.find_action Memory.intolerant "p_read")
+          |> Action.rename "pf2");
+        ]
+  in
+  check "pf without its detector: fail-safe" false
+    (Tolerance.verdict
+       (Tolerance.is_failsafe broken_pf ~spec:Memory.spec ~invariant:Memory.s
+          ~faults:Memory.page_fault));
+  let broken_pn =
+    Program.make ~name:"pn-broken" ~vars:(Program.var_decls Memory.nonmasking)
+      ~actions:[ Option.get (Program.find_action Memory.nonmasking "pn2") ]
+  in
+  check "pn without its corrector: nonmasking" false
+    (Tolerance.verdict
+       (Tolerance.is_nonmasking broken_pn ~spec:Memory.spec ~invariant:Memory.s
+          ~faults:Memory.page_fault));
+  let mcfg = Ring_mutex.make_config 3 in
+  check "mutex whose exit keeps the CS: nonmasking" false
+    (Tolerance.verdict
+       (Tolerance.is_nonmasking (Ring_mutex.broken mcfg)
+          ~spec:(Ring_mutex.spec mcfg)
+          ~invariant:(Ring_mutex.invariant mcfg)
+          ~faults:(Ring_mutex.corruption mcfg)))
+
+(* ------------------------------------------------------------------ *)
+(* E6b: the intro's further case studies — barrier and leader           *)
+(* election — plus multitolerance and component composition.            *)
+(* ------------------------------------------------------------------ *)
+
+let table_substrates () =
+  section "Table 5b: barrier, leader election, multitolerance, composition";
+  let bcfg = Barrier.default in
+  check "barrier with cached witness: fail-safe" false
+    (Tolerance.verdict
+       (Tolerance.is_failsafe (Barrier.intolerant bcfg) ~spec:(Barrier.spec bcfg)
+          ~invariant:(Barrier.intolerant_invariant bcfg)
+          ~faults:(Barrier.phase_loss bcfg)));
+  check "barrier with fresh detector: masking" true
+    (Tolerance.verdict
+       (Tolerance.is_masking (Barrier.tolerant bcfg) ~spec:(Barrier.spec bcfg)
+          ~invariant:(Barrier.invariant bcfg)
+          ~faults:(Barrier.phase_loss bcfg)));
+  let lcfg = Leader_election.default in
+  check "leader election: nonmasking (self-corrector)" true
+    (Tolerance.verdict
+       (Tolerance.is_nonmasking (Leader_election.program lcfg)
+          ~spec:(Leader_election.spec lcfg)
+          ~invariant:(Leader_election.invariant lcfg)
+          ~faults:(Leader_election.corruption lcfg)));
+  check "pm multitolerant (masking+page, nonmasking+corruption)" true
+    (Multitolerance.verdict
+       (Multitolerance.check Memory.masking ~spec:Memory.spec
+          ~invariant:Memory.s
+          ~requirements:
+            [
+              { Multitolerance.fault = Memory.page_fault; tol = Spec.Masking };
+              {
+                Multitolerance.fault = Memory.data_corruption;
+                tol = Spec.Nonmasking;
+              };
+            ]));
+  let ts = Detcor_semantics.Ts.of_pred Memory.masking ~from:Memory.t in
+  let populated =
+    Pred.make "data#bot" (fun st ->
+        not (Value.equal (State.get st "data") Value.bot))
+  in
+  let d2 =
+    Detector.make ~name:"populated" ~witness:populated ~detection:populated ()
+  in
+  check "detector conjunction lemma (framework level)" true
+    (Compose.holds (Compose.conjunction_schema ts Memory.pm_detector d2));
+  let tcfg = Termination.default in
+  let tp = Termination.program tcfg in
+  check "DFG probe detects quiescence" true
+    (Detcor_semantics.Check.holds
+       (Detector.satisfies tp (Termination.detector tcfg)
+          ~from:(Termination.fresh tcfg)));
+  check "DFG detector masks blackening faults" true
+    (Detector.verdict
+       (Detector.tolerant tp (Termination.detector tcfg)
+          ~faults:(Termination.blackening tcfg) ~tol:Spec.Masking
+          ~from:(Termination.fresh tcfg)));
+  check "DFG detector survives whitening faults" false
+    (Detector.verdict
+       (Detector.tolerant tp (Termination.detector tcfg)
+          ~faults:Termination.whitening ~tol:Spec.Failsafe
+          ~from:(Termination.fresh tcfg)));
+  let dcfg = Distributed_reset.default in
+  check "distributed reset: nonmasking (detector + wave corrector)" true
+    (Tolerance.verdict
+       (Tolerance.is_nonmasking (Distributed_reset.program dcfg)
+          ~spec:(Distributed_reset.spec dcfg)
+          ~invariant:(Distributed_reset.invariant dcfg)
+          ~faults:(Distributed_reset.corruption dcfg)));
+  check "distributed reset with overlapping waves: livelock found" false
+    (Tolerance.verdict
+       (Tolerance.is_nonmasking (Distributed_reset.buggy dcfg)
+          ~spec:(Distributed_reset.spec dcfg)
+          ~invariant:(Distributed_reset.invariant dcfg)
+          ~faults:(Distributed_reset.corruption dcfg)))
+
+(* ------------------------------------------------------------------ *)
+(* E7: synthesis.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let table_synthesis () =
+  section "Table 6 (E7): automated addition of tolerance (ref. [4])";
+  let open Detcor_synthesis in
+  let ok = function
+    | Ok (r : Synthesize.result) -> Tolerance.verdict r.report
+    | Error _ -> false
+  in
+  check "memory + fail-safe" true
+    (ok
+       (Synthesize.add_failsafe Memory.intolerant ~spec:Memory.spec
+          ~invariant:Memory.s ~faults:Memory.page_fault));
+  check "memory + nonmasking" true
+    (ok
+       (Synthesize.add_nonmasking Memory.intolerant ~spec:Memory.spec
+          ~invariant:Memory.s ~faults:Memory.page_fault));
+  check "memory + masking" true
+    (ok
+       (Synthesize.add_masking Memory.intolerant ~spec:Memory.spec
+          ~invariant:Memory.s ~faults:Memory.page_fault));
+  check "TMR + fail-safe (rediscovers DR)" true
+    (ok
+       (Synthesize.add_failsafe Tmr.intolerant ~spec:Tmr.spec
+          ~invariant:Tmr.invariant ~faults:Tmr.one_corruption));
+  check "TMR + masking" true
+    (ok
+       (Synthesize.add_masking ~target:Tmr.out_is_uncor Tmr.intolerant
+          ~spec:Tmr.spec ~invariant:Tmr.invariant ~faults:Tmr.one_corruption))
+
+(* ------------------------------------------------------------------ *)
+(* E8: simulation (the SIEFAST role).                                  *)
+(* ------------------------------------------------------------------ *)
+
+let table_simulation () =
+  section "Table 7 (E8): fault-injection simulation, 500 runs per row";
+  let open Detcor_sim in
+  let mem_init =
+    State.of_list
+      [
+        ("present", Value.bool true);
+        ("data", Value.bot);
+        ("z1", Value.bool false);
+      ]
+  in
+  let sspec = Spec.safety (Spec.smallest_safety_containing Memory.spec) in
+  let row name p ~detector ~corrector ~init =
+    let runs =
+      Runner.sample 500 p ~faults:Memory.page_fault
+        ~policy:(Injector.Random { probability = 0.1; max_faults = 1 })
+        ~init
+    in
+    let r = Monitor.report runs ~detector ~corrector ~sspec in
+    Fmt.pr "%-14s violations %3d/500  detection %-36s correction %s@." name
+      r.Monitor.safety_violations
+      (Fmt.str "%a" Stats.pp_option r.Monitor.detection)
+      (Fmt.str "%a" Stats.pp_option r.Monitor.correction)
+  in
+  row "p" Memory.intolerant ~detector:Memory.pf_detector
+    ~corrector:Memory.pn_corrector
+    ~init:(State.of_list [ ("present", Value.bool true); ("data", Value.bot) ]);
+  row "pf" Memory.failsafe ~detector:Memory.pf_detector
+    ~corrector:Memory.pn_corrector ~init:mem_init;
+  row "pn" Memory.nonmasking ~detector:Memory.pf_detector
+    ~corrector:Memory.pn_corrector
+    ~init:(State.of_list [ ("present", Value.bool true); ("data", Value.bot) ]);
+  row "pm" Memory.masking ~detector:Memory.pm_detector
+    ~corrector:Memory.pm_corrector ~init:mem_init;
+  Fmt.pr
+    "@.(Expected shape, per Sections 3.3-5.1: p and pn may transiently \
+     write incorrect data after a fault — pn then always corrects it — \
+     while pf and pm never violate safety; pm also always corrects.)@."
+
+(* ------------------------------------------------------------------ *)
+(* E9: token-ring convergence.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let table_ring () =
+  section "Table 8 (E9): token-ring stabilization vs ring size";
+  let open Detcor_sim in
+  List.iter
+    (fun n ->
+      let cfg = Token_ring.make_config n in
+      let p = Token_ring.program cfg in
+      let verified =
+        Detcor_semantics.Check.holds
+          (Corrector.satisfies p (Token_ring.corrector cfg) ~from:Pred.true_)
+      in
+      let steps =
+        List.filter_map
+          (fun seed ->
+            let rng = Random.State.make [| seed |] in
+            let init =
+              State.of_list
+                (List.init n (fun i ->
+                     ( Token_ring.xvar i,
+                       Value.int
+                         (Random.State.int rng cfg.Token_ring.counter_values) )))
+            in
+            let run =
+              Runner.run
+                ~config:{ Runner.default with seed; max_steps = 1000 }
+                p
+                ~injector:
+                  (Injector.make Injector.None_ (Token_ring.corruption cfg))
+                ~init
+            in
+            Detcor_semantics.Trace.first_index run.Runner.trace
+              (Token_ring.legitimate cfg))
+          (List.init 200 (fun i -> i + 1))
+      in
+      Fmt.pr "n=%d  verified corrector: %-5b  stabilization steps: %a@." n
+        verified Stats.pp_option (Stats.summarize steps))
+    [ 3; 4; 5; 6; 7 ]
+
+(* ------------------------------------------------------------------ *)
+(* E10: Bechamel timings.                                              *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let timing_tests () =
+  let mem_verify tol () =
+    ignore
+      (Tolerance.check Memory.masking ~spec:Memory.spec ~invariant:Memory.s
+         ~faults:Memory.page_fault ~tol)
+  in
+  let tmr_masking () =
+    ignore
+      (Tolerance.check Tmr.masking ~spec:Tmr.spec ~invariant:Tmr.invariant
+         ~faults:Tmr.one_corruption ~tol:Spec.Masking)
+  in
+  let byz_masking () =
+    let cfg = Byzantine.default in
+    ignore
+      (Tolerance.check (Byzantine.masking cfg) ~spec:(Byzantine.spec cfg)
+         ~invariant:(Byzantine.invariant cfg)
+         ~faults:(Byzantine.byzantine_faults cfg) ~tol:Spec.Masking)
+  in
+  let ring_corrector n () =
+    let cfg = Token_ring.make_config n in
+    ignore
+      (Corrector.satisfies (Token_ring.program cfg) (Token_ring.corrector cfg)
+         ~from:Pred.true_)
+  in
+  let synth_memory () =
+    ignore
+      (Detcor_synthesis.Synthesize.add_masking Memory.intolerant
+         ~spec:Memory.spec ~invariant:Memory.s ~faults:Memory.page_fault)
+  in
+  let synth_tmr () =
+    ignore
+      (Detcor_synthesis.Synthesize.add_masking ~target:Tmr.out_is_uncor
+         Tmr.intolerant ~spec:Tmr.spec ~invariant:Tmr.invariant
+         ~faults:Tmr.one_corruption)
+  in
+  let simulate () =
+    let open Detcor_sim in
+    ignore
+      (Runner.sample 10 Memory.masking ~faults:Memory.page_fault
+         ~policy:(Injector.Random { probability = 0.1; max_faults = 1 })
+         ~init:
+           (State.of_list
+              [
+                ("present", Value.bool true);
+                ("data", Value.bot);
+                ("z1", Value.bool false);
+              ]))
+  in
+  let theorem_5_5 () =
+    ignore
+      (Theorems.theorem_5_5 ~base:Memory.nonmasking ~refined:Memory.masking
+         ~spec:Memory.spec ~faults:Memory.page_fault ~invariant_s:Memory.s
+         ~invariant_r:Memory.s ())
+  in
+  Test.make_grouped ~name:"detcor"
+    [
+      Test.make ~name:"verify/memory-masking" (Staged.stage (mem_verify Spec.Masking));
+      Test.make ~name:"verify/memory-failsafe" (Staged.stage (mem_verify Spec.Failsafe));
+      Test.make ~name:"verify/tmr-masking" (Staged.stage tmr_masking);
+      Test.make ~name:"verify/byzantine-masking" (Staged.stage byz_masking);
+      Test.make ~name:"verify/ring-n3" (Staged.stage (ring_corrector 3));
+      Test.make ~name:"verify/ring-n4" (Staged.stage (ring_corrector 4));
+      Test.make ~name:"verify/ring-n5" (Staged.stage (ring_corrector 5));
+      Test.make ~name:"synthesize/memory-masking" (Staged.stage synth_memory);
+      Test.make ~name:"synthesize/tmr-masking" (Staged.stage synth_tmr);
+      Test.make ~name:"simulate/memory-10runs" (Staged.stage simulate);
+      Test.make ~name:"theorem/5.5-memory" (Staged.stage theorem_5_5);
+    ]
+
+let run_timings () =
+  section "Table 9 (E10): toolkit cost (Bechamel, monotonic clock)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances (timing_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some [ ns ] -> Fmt.pr "%-40s %12.1f us/run@." name (ns /. 1_000.)
+      | Some _ | None -> Fmt.pr "%-40s (no estimate)@." name)
+    rows
+
+let () =
+  Fmt.pr
+    "detcor reproduction harness — Arora & Kulkarni, 'Detectors and \
+     Correctors' (ICDCS 1998)@.";
+  table_memory ();
+  table_theorems ();
+  table_tmr ();
+  table_byzantine ();
+  table_negative ();
+  table_substrates ();
+  table_synthesis ();
+  table_simulation ();
+  table_ring ();
+  run_timings ();
+  Fmt.pr "@.=== Summary ===@.";
+  if !mismatches = 0 then Fmt.pr "All claims match the paper.@."
+  else begin
+    Fmt.pr "%d claim(s) MISMATCHED the paper.@." !mismatches;
+    exit 1
+  end

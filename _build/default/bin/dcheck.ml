@@ -1,0 +1,381 @@
+(* dcheck — command-line front end to the detectors-and-correctors
+   toolkit.
+
+     dcheck info FILE.dc         program summary and state-space size
+     dcheck verify FILE.dc       tolerance checks against the declared spec
+     dcheck components FILE.dc   extract detector/corrector components
+     dcheck synthesize FILE.dc   add fail-safe/nonmasking/masking tolerance
+     dcheck simulate FILE.dc     fault-injection simulation with monitors
+
+   Programs are written in the guarded-command language of Detcor_lang;
+   see examples/dc/. *)
+
+open Cmdliner
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+open Detcor_lang
+
+let load path =
+  try Ok (Elaborate.load_file path) with
+  | Sys_error m -> Error m
+  | Lexer.Error { line; column; message } ->
+    Error (Fmt.str "%s:%d:%d: %s" path line column message)
+  | Parser.Error { line; column; message } ->
+    Error (Fmt.str "%s:%d:%d: %s" path line column message)
+  | Elaborate.Error m -> Error (Fmt.str "%s: %s" path m)
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+    Fmt.epr "dcheck: %s@." m;
+    exit 2
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Guarded-command program (.dc).")
+
+let limit_arg =
+  Arg.(
+    value
+    & opt int Detcor_semantics.Ts.default_limit
+    & info [ "limit" ] ~docv:"N" ~doc:"State-exploration limit.")
+
+(* ------------------------------------------------------------------ *)
+(* info                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let info_cmd =
+  let run path =
+    let e = or_die (load path) in
+    Fmt.pr "program %s@." (Program.name e.program);
+    Fmt.pr "  variables:     %d@." (List.length (Program.variables e.program));
+    List.iter
+      (fun (x, d) -> Fmt.pr "    %-12s %a@." x Domain.pp d)
+      (Program.var_decls e.program);
+    Fmt.pr "  actions:       %d@." (List.length (Program.actions e.program));
+    List.iter
+      (fun ac -> Fmt.pr "    %s@." (Action.name ac))
+      (Program.actions e.program);
+    Fmt.pr "  fault actions: %d@." (List.length (Fault.actions e.faults));
+    List.iter
+      (fun ac -> Fmt.pr "    %s@." (Action.name ac))
+      (Fault.actions e.faults);
+    Fmt.pr "  state space:   %d states@." (Program.space_size e.program);
+    Fmt.pr "  invariant:     %s@." (Pred.name e.invariant);
+    Fmt.pr "  specification: %s@." (Spec.name e.spec);
+    let issues = Program.well_formed e.program in
+    if issues <> [] then begin
+      Fmt.pr "  WARNING: ill-formed actions:@.";
+      List.iter (fun m -> Fmt.pr "    %s@." m) issues
+    end;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Summarize a guarded-command program.")
+    Term.(ret (const run $ file_arg))
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let tolerance_conv =
+  let parse s =
+    match Spec.tolerance_of_string s with
+    | Some t -> Ok (Some t)
+    | None when s = "all" -> Ok None
+    | None -> Error (`Msg (Fmt.str "unknown tolerance %S" s))
+  in
+  let print ppf = function
+    | Some t -> Spec.pp_tolerance ppf t
+    | None -> Fmt.string ppf "all"
+  in
+  Arg.conv (parse, print)
+
+let tolerance_arg =
+  Arg.(
+    value
+    & opt tolerance_conv None
+    & info [ "t"; "tolerance" ] ~docv:"CLASS"
+        ~doc:"Tolerance class: masking, failsafe, nonmasking, or all.")
+
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:"On failure, print a witness trace for each failing obligation.")
+
+let verify_cmd =
+  let run path tol limit explain =
+    let e = or_die (load path) in
+    let classes =
+      match tol with
+      | Some t -> [ t ]
+      | None -> [ Spec.Failsafe; Spec.Nonmasking; Spec.Masking ]
+    in
+    let explain_failures report =
+      if explain then begin
+        (* Witnesses are found on the composed p [] F system over the
+           fault span: it contains every state either checker explored. *)
+        let span =
+          Tolerance.fault_span ~limit e.program ~faults:e.faults
+            ~from:e.invariant
+        in
+        List.iter
+          (fun (item : Tolerance.item) ->
+            match item.outcome with
+            | Detcor_semantics.Check.Holds -> ()
+            | Detcor_semantics.Check.Fails v -> (
+              match Detcor_semantics.Explain.violation span.ts_pf v with
+              | Some w ->
+                Fmt.pr "witness for %S:@.%a@.@." item.label
+                  Detcor_semantics.Explain.pp w
+              | None ->
+                Fmt.pr "witness for %S: (violation site not reachable in \
+                        p[]F from the invariant)@.@."
+                  item.label))
+          (Tolerance.failures report)
+      end
+    in
+    let ok = ref true in
+    List.iter
+      (fun tol ->
+        let report =
+          Tolerance.check ~limit e.program ~spec:e.spec ~invariant:e.invariant
+            ~faults:e.faults ~tol
+        in
+        Fmt.pr "%a@.@." Tolerance.pp_report report;
+        if not (Tolerance.verdict report) then begin
+          ok := false;
+          explain_failures report
+        end)
+      classes;
+    if !ok then `Ok () else `Error (false, "verification failed")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Check F-tolerance of the program against its specification.")
+    Term.(ret (const run $ file_arg $ tolerance_arg $ limit_arg $ explain_arg))
+
+(* ------------------------------------------------------------------ *)
+(* components                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let components_cmd =
+  let run path limit =
+    let e = or_die (load path) in
+    let sspec = Spec.safety (Spec.smallest_safety_containing e.spec) in
+    let span =
+      Tolerance.fault_span ~limit e.program ~faults:e.faults ~from:e.invariant
+    in
+    let ts_p =
+      Detcor_semantics.Ts.build ~limit e.program ~from:span.states
+    in
+    Fmt.pr "fault span: %d states@.@." (List.length span.states);
+    Fmt.pr "Detectors (weakest detection predicate per action):@.";
+    List.iter
+      (fun ac ->
+        let wdp = Detection_predicate.weakest ~sspec ac in
+        let holding =
+          List.length (List.filter (Pred.holds wdp) span.states)
+        in
+        Fmt.pr "  %-16s safe in %d/%d span states@." (Action.name ac) holding
+          (List.length span.states))
+      (Program.actions e.program);
+    Fmt.pr "@.Corrector (invariant as correction predicate):@.";
+    let extracted =
+      Extraction.corrector_for_invariant ts_p ~invariant:e.invariant
+    in
+    Fmt.pr "  '%s corrects %s': %a@."
+      (Pred.name (Corrector.witness extracted.corrector))
+      (Pred.name (Corrector.correction extracted.corrector))
+      Detcor_semantics.Check.pp_outcome extracted.outcome;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "components"
+       ~doc:"Extract detector and corrector components from the program.")
+    Term.(ret (const run $ file_arg $ limit_arg))
+
+(* ------------------------------------------------------------------ *)
+(* synthesize                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let synthesize_cmd =
+  let run path tol limit =
+    let e = or_die (load path) in
+    let tol = match tol with Some t -> t | None -> Spec.Masking in
+    let result =
+      match tol with
+      | Spec.Failsafe ->
+        Detcor_synthesis.Synthesize.add_failsafe ~limit e.program ~spec:e.spec
+          ~invariant:e.invariant ~faults:e.faults
+      | Spec.Nonmasking ->
+        Detcor_synthesis.Synthesize.add_nonmasking ~limit e.program
+          ~spec:e.spec ~invariant:e.invariant ~faults:e.faults
+      | Spec.Masking ->
+        Detcor_synthesis.Synthesize.add_masking ~limit e.program ~spec:e.spec
+          ~invariant:e.invariant ~faults:e.faults
+    in
+    match result with
+    | Error f ->
+      Fmt.epr "synthesis failed: %a@." Detcor_synthesis.Synthesize.pp_failure f;
+      `Error (false, "synthesis failed")
+    | Ok r ->
+      Fmt.pr "synthesized %s@." (Program.name r.program);
+      List.iter
+        (fun (ac, g) ->
+          Fmt.pr "  detector added to %-12s (%s)@." ac (Pred.name g))
+        r.added_detectors;
+      if r.recovery_states > 0 then
+        Fmt.pr "  corrector added: recovery from %d states@." r.recovery_states;
+      Fmt.pr "@.%a@." Tolerance.pp_report r.report;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "synthesize"
+       ~doc:
+         "Add fail-safe, nonmasking or masking tolerance to the program \
+          (default: masking).")
+    Term.(ret (const run $ file_arg $ tolerance_arg $ limit_arg))
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let runs_arg =
+    Arg.(value & opt int 100 & info [ "runs" ] ~docv:"N" ~doc:"Number of runs.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 200 & info [ "steps" ] ~docv:"N" ~doc:"Steps per run.")
+  in
+  let prob_arg =
+    Arg.(
+      value
+      & opt float 0.1
+      & info [ "fault-prob" ] ~docv:"P" ~doc:"Per-step fault probability.")
+  in
+  let max_faults_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "max-faults" ] ~docv:"K" ~doc:"Fault budget per run.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
+  in
+  let run path runs steps prob max_faults seed =
+    let e = or_die (load path) in
+    let inits =
+      List.filter (Pred.holds e.invariant) (Program.states e.program)
+    in
+    match inits with
+    | [] -> `Error (false, "no state satisfies the invariant")
+    | init :: _ ->
+      let sspec = Spec.safety (Spec.smallest_safety_containing e.spec) in
+      let open Detcor_sim in
+      let samples =
+        Runner.sample
+          ~config:{ Runner.default with seed; max_steps = steps }
+          runs e.program ~faults:e.faults
+          ~policy:(Injector.Random { probability = prob; max_faults })
+          ~init
+      in
+      let violations =
+        List.filter
+          (fun r -> Monitor.first_safety_violation r sspec <> None)
+          samples
+      in
+      let settled =
+        List.filter_map
+          (fun (r : Runner.run) ->
+            let states = Detcor_semantics.Trace.states r.trace in
+            let rec last_false i best = function
+              | [] -> best
+              | st :: rest ->
+                last_false (i + 1)
+                  (if Pred.holds e.invariant st then best else Some i)
+                  rest
+            in
+            match last_false 0 None states with
+            | None -> Some 0
+            | Some i ->
+              if i < List.length states - 1 then Some (i + 1) else None)
+          samples
+      in
+      Fmt.pr "runs: %d (%d steps each, fault prob %.2f, budget %d)@." runs
+        steps prob max_faults;
+      Fmt.pr "safety violations: %d/%d@." (List.length violations) runs;
+      Fmt.pr "runs ending inside the invariant: %d/%d@."
+        (List.length settled) runs;
+      Fmt.pr "steps to re-enter the invariant: %a@." Stats.pp_option
+        (Stats.summarize settled);
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Fault-injection simulation with online safety monitoring.")
+    Term.(
+      ret
+        (const run $ file_arg $ runs_arg $ steps_arg $ prob_arg
+       $ max_faults_arg $ seed_arg))
+
+(* ------------------------------------------------------------------ *)
+(* graph                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let graph_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write DOT to FILE (default stdout).")
+  in
+  let faults_arg =
+    Arg.(
+      value & flag
+      & info [ "with-faults" ] ~doc:"Include fault transitions (dashed).")
+  in
+  let run path out with_faults limit =
+    let e = or_die (load path) in
+    let program =
+      if with_faults then Fault.compose e.program e.faults else e.program
+    in
+    let ts =
+      Detcor_semantics.Ts.of_pred ~limit program ~from:e.invariant
+    in
+    let style =
+      {
+        Detcor_semantics.Dot.highlight = [ (e.invariant, "palegreen") ];
+        dashed_actions =
+          (if with_faults then Fault.action_names e.faults else []);
+        show_action_labels = true;
+      }
+    in
+    (match out with
+    | Some file ->
+      Detcor_semantics.Dot.to_file ~style ts file;
+      Fmt.pr "wrote %s (%d states)@." file (Detcor_semantics.Ts.num_states ts)
+    | None -> print_string (Detcor_semantics.Dot.to_string ~style ts));
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:
+         "Export the reachable transition system (from the invariant) as \
+          Graphviz DOT; invariant states are highlighted.")
+    Term.(ret (const run $ file_arg $ out_arg $ faults_arg $ limit_arg))
+
+let main =
+  Cmd.group
+    (Cmd.info "dcheck" ~version:"1.0.0"
+       ~doc:
+         "Detectors and correctors: verification, extraction, synthesis and \
+          simulation of fault-tolerance components.")
+    [ info_cmd; verify_cmd; components_cmd; synthesize_cmd; simulate_cmd;
+      graph_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/byzantine_demo.ml: Byzantine Corrector Detcor_core Detcor_kernel Detcor_spec Detcor_systems Detector Fmt Spec Tolerance

@@ -1,0 +1,1 @@
+examples/composition_demo.ml: Compose Detcor_core Detcor_kernel Detcor_semantics Detcor_spec Detcor_systems Detector Fmt List Memory Multitolerance Pred Spec State Tolerance Value

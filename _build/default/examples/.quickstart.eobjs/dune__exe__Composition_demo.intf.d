@@ -1,0 +1,1 @@
+examples/composition_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Corrector Detcor_core Detcor_kernel Detcor_semantics Detcor_spec Detcor_systems Detector Fmt List Memory Spec Theorems Tolerance

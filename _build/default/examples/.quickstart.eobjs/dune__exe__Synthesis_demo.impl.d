@@ -1,0 +1,1 @@
+examples/synthesis_demo.ml: Action Detcor_core Detcor_kernel Detcor_spec Detcor_synthesis Detcor_systems Fault Fmt List Memory Pred Program State Synthesize Tmr Tolerance Value

@@ -1,0 +1,1 @@
+examples/tmr_demo.ml: Detcor_core Detcor_kernel Detcor_sim Detcor_spec Detcor_systems Fmt Injector List Monitor Program Runner Spec State Theorems Tmr Tolerance Value

@@ -1,0 +1,1 @@
+examples/tmr_demo.mli:

@@ -1,0 +1,1 @@
+examples/token_ring_demo.ml: Corrector Detcor_core Detcor_kernel Detcor_semantics Detcor_sim Detcor_systems Fmt Injector List Pred Random Ring_mutex Runner State Stats Token_ring Tolerance Value

@@ -1,0 +1,1 @@
+lib/core/compose.ml: Check Corrector Detcor_kernel Detcor_semantics Detector Fmt List Pred

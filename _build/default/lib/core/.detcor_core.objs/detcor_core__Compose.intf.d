@@ -1,0 +1,1 @@
+lib/core/compose.mli: Check Corrector Detcor_semantics Detector Fmt Ts

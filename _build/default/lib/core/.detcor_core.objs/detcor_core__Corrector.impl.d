@@ -1,0 +1,1 @@
+lib/core/corrector.ml: Check Detcor_kernel Detcor_semantics Detcor_spec Detector Fault Fmt List Pred Spec Ts

@@ -1,0 +1,1 @@
+lib/core/corrector.mli: Check Detcor_kernel Detcor_semantics Detcor_spec Detector Fault Fmt Pred Program Spec Ts

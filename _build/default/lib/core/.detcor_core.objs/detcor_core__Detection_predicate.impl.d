@@ -1,0 +1,1 @@
+lib/core/detection_predicate.ml: Action Detcor_kernel Detcor_spec Fmt List Pred Safety

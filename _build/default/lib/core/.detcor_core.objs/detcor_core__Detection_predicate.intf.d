@@ -1,0 +1,1 @@
+lib/core/detection_predicate.mli: Action Detcor_kernel Detcor_spec Pred Safety State

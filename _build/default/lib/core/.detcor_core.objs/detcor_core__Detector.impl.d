@@ -1,0 +1,1 @@
+lib/core/detector.ml: Check Detcor_kernel Detcor_semantics Detcor_spec Fault Fmt List Pred Spec Ts

@@ -1,0 +1,1 @@
+lib/core/detector.mli: Check Detcor_kernel Detcor_semantics Detcor_spec Fault Fmt Pred Program Spec Ts

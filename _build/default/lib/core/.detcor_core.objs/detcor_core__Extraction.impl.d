@@ -1,0 +1,1 @@
+lib/core/extraction.ml: Action Array Check Corrector Detcor_kernel Detcor_semantics Detcor_spec Detection_predicate Detector Fairness Fault Fmt Fun Graph Hashtbl List Pred Program Spec State Ts

@@ -1,0 +1,1 @@
+lib/core/extraction.mli: Action Check Corrector Detcor_kernel Detcor_semantics Detcor_spec Detector Fault Pred Program Safety State Ts

@@ -1,0 +1,1 @@
+lib/core/fault.ml: Action Detcor_kernel Domain Fmt List Pred Program

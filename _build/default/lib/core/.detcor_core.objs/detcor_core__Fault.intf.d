@@ -1,0 +1,1 @@
+lib/core/fault.mli: Action Detcor_kernel Domain Fmt Pred Program

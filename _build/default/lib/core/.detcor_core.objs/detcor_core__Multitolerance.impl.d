@@ -1,0 +1,1 @@
+lib/core/multitolerance.ml: Detcor_kernel Detcor_spec Fault Fmt List Program Spec Tolerance

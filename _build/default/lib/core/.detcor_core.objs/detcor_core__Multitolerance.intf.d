@@ -1,0 +1,1 @@
+lib/core/multitolerance.mli: Detcor_kernel Detcor_spec Fault Fmt Pred Program Spec Tolerance

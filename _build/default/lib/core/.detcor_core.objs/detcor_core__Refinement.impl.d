@@ -1,0 +1,1 @@
+lib/core/refinement.ml: Action Check Detcor_kernel Detcor_semantics Fairness Fmt Graph List Program State Ts

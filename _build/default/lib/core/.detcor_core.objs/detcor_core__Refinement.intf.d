@@ -1,0 +1,1 @@
+lib/core/refinement.mli: Check Detcor_kernel Detcor_semantics Fmt Pred Program State Ts

@@ -1,0 +1,1 @@
+lib/core/theorems.ml: Check Corrector Detcor_kernel Detcor_semantics Detcor_spec Detector Extraction Fmt List Pred Program Refinement Safety Spec State Tolerance Ts

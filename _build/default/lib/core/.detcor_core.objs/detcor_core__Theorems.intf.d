@@ -1,0 +1,1 @@
+lib/core/theorems.mli: Detcor_kernel Detcor_semantics Detcor_spec Fault Fmt Pred Program Safety Spec

@@ -1,0 +1,1 @@
+lib/core/tolerance.ml: Array Check Detcor_kernel Detcor_semantics Detcor_spec Fairness Fault Fmt Fun Graph List Liveness Pred Program Spec State Ts

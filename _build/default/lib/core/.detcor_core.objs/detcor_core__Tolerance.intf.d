@@ -1,0 +1,1 @@
+lib/core/tolerance.mli: Check Detcor_kernel Detcor_semantics Detcor_spec Fault Fmt Liveness Pred Program Spec State Ts

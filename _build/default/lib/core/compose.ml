@@ -1,0 +1,136 @@
+(* Composition of tolerance components.
+
+   The concluding remarks of the paper announce "a framework of such
+   components", with proofs of interference-freedom discharged at the
+   framework level.  This module provides the composition combinators and
+   the framework-level lemmas as checkable schemas:
+
+   - Conjunction of detectors (the hierarchical AND-construction of the
+     companion design paper): if 'Z1 detects X1' and 'Z2 detects X2' hold
+     in the same program, then 'Z1 ∧ Z2 detects X1 ∧ X2' holds.  This is
+     a theorem — Safeness and Stability compose pointwise, and Progress
+     composes because each witness is stable while its detection
+     predicate stays true — and [conjunction_schema] machine-checks it on
+     instances.
+
+   - Disjunction of detectors is *not* unconditionally sound (one witness
+     may fall while the other detection predicate keeps the disjunction
+     true); [disjunction_schema] decides each instance.
+
+   - Conjunction of correctors: sound when the correction predicates are
+     closed in each other's presence — again decided per instance.
+
+   - Sequencing (Z1 then Z2): a detector hierarchy where the second
+     detector's component only runs under the first witness, the paper's
+     ';' composition for components. *)
+
+open Detcor_kernel
+open Detcor_semantics
+
+let detector_and d1 d2 =
+  Detector.make
+    ~name:(Fmt.str "(%s && %s)" (Detector.name d1) (Detector.name d2))
+    ~witness:(Pred.and_ (Detector.witness d1) (Detector.witness d2))
+    ~detection:(Pred.and_ (Detector.detection d1) (Detector.detection d2))
+    ()
+
+let detector_or d1 d2 =
+  Detector.make
+    ~name:(Fmt.str "(%s || %s)" (Detector.name d1) (Detector.name d2))
+    ~witness:(Pred.or_ (Detector.witness d1) (Detector.witness d2))
+    ~detection:(Pred.or_ (Detector.detection d1) (Detector.detection d2))
+    ()
+
+let detector_list_and = function
+  | [] -> invalid_arg "Compose.detector_list_and: empty list"
+  | d :: ds -> List.fold_left detector_and d ds
+
+let corrector_and c1 c2 =
+  Corrector.make
+    ~name:(Fmt.str "(%s && %s)" (Corrector.name c1) (Corrector.name c2))
+    ~witness:(Pred.and_ (Corrector.witness c1) (Corrector.witness c2))
+    ~correction:(Pred.and_ (Corrector.correction c1) (Corrector.correction c2))
+    ()
+
+(* Sequenced detectors: the hierarchical construction where the second
+   stage observes the first stage's witness — its detection predicate is
+   strengthened by Z1, matching 'd1 ; d2' component layering. *)
+let detector_seq d1 d2 =
+  Detector.make
+    ~name:(Fmt.str "(%s ; %s)" (Detector.name d1) (Detector.name d2))
+    ~witness:(Pred.and_ (Detector.witness d1) (Detector.witness d2))
+    ~detection:(Pred.and_ (Detector.detection d1)
+                  (Pred.implies (Detector.witness d1) (Detector.detection d2)))
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Framework-level lemmas as checkable schemas.                        *)
+(* ------------------------------------------------------------------ *)
+
+type schema = {
+  name : string;
+  premises : (string * Check.outcome) list;
+  conclusion : string * Check.outcome;
+}
+
+let holds s =
+  List.for_all (fun (_, o) -> Check.holds o) s.premises
+  && Check.holds (snd s.conclusion)
+
+let validates s =
+  (not (List.for_all (fun (_, o) -> Check.holds o) s.premises))
+  || Check.holds (snd s.conclusion)
+
+let pp_schema ppf s =
+  Fmt.pf ppf "@[<v>%s@,%a@,  %-48s %a@]" s.name
+    Fmt.(
+      list ~sep:cut (fun ppf (l, o) ->
+          pf ppf "  %-48s %a" l Check.pp_outcome o))
+    s.premises (fst s.conclusion) Check.pp_outcome (snd s.conclusion)
+
+(* Conjunction of detectors — sound unconditionally; checking an instance
+   therefore both demonstrates the combinator and regression-tests the
+   semantics. *)
+let conjunction_schema ts d1 d2 =
+  {
+    name = "detector conjunction (hierarchical AND)";
+    premises =
+      [
+        (Fmt.str "'%s' holds" (Detector.name d1), Detector.satisfies_ts ts d1);
+        (Fmt.str "'%s' holds" (Detector.name d2), Detector.satisfies_ts ts d2);
+      ];
+    conclusion =
+      (let d = detector_and d1 d2 in
+       (Fmt.str "'%s' holds" (Detector.name d), Detector.satisfies_ts ts d));
+  }
+
+(* Disjunction — sound only with a stability side condition; the schema
+   records the instance-level verdict. *)
+let disjunction_schema ts d1 d2 =
+  {
+    name = "detector disjunction (instance-checked)";
+    premises =
+      [
+        (Fmt.str "'%s' holds" (Detector.name d1), Detector.satisfies_ts ts d1);
+        (Fmt.str "'%s' holds" (Detector.name d2), Detector.satisfies_ts ts d2);
+      ];
+    conclusion =
+      (let d = detector_or d1 d2 in
+       (Fmt.str "'%s' holds" (Detector.name d), Detector.satisfies_ts ts d));
+  }
+
+(* Conjunction of correctors: Convergence needs the two correction
+   predicates to be reachable *together*; interference-freedom is decided
+   on the instance. *)
+let corrector_conjunction_schema ts c1 c2 =
+  {
+    name = "corrector conjunction (interference-freedom instance-checked)";
+    premises =
+      [
+        (Fmt.str "'%s' holds" (Corrector.name c1), Corrector.satisfies_ts ts c1);
+        (Fmt.str "'%s' holds" (Corrector.name c2), Corrector.satisfies_ts ts c2);
+      ];
+    conclusion =
+      (let c = corrector_and c1 c2 in
+       (Fmt.str "'%s' holds" (Corrector.name c), Corrector.satisfies_ts ts c));
+  }

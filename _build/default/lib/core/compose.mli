@@ -1,0 +1,43 @@
+(** Composition of tolerance components — the "framework of components"
+    announced in the paper's concluding remarks.  Conjunction of detectors
+    is unconditionally sound (the hierarchical AND-construction);
+    disjunction and corrector conjunction carry interference-freedom side
+    conditions decided per instance by the schemas. *)
+
+open Detcor_semantics
+
+(** [Z1 ∧ Z2 detects X1 ∧ X2]. *)
+val detector_and : Detector.t -> Detector.t -> Detector.t
+
+(** [Z1 ∨ Z2 detects X1 ∨ X2] — not unconditionally sound. *)
+val detector_or : Detector.t -> Detector.t -> Detector.t
+
+val detector_list_and : Detector.t list -> Detector.t
+
+(** Sequenced detectors: the second stage observes the first witness. *)
+val detector_seq : Detector.t -> Detector.t -> Detector.t
+
+val corrector_and : Corrector.t -> Corrector.t -> Corrector.t
+
+type schema = {
+  name : string;
+  premises : (string * Check.outcome) list;
+  conclusion : string * Check.outcome;
+}
+
+val holds : schema -> bool
+
+(** Premises hold ⇒ conclusion holds. *)
+val validates : schema -> bool
+
+val pp_schema : schema Fmt.t
+
+(** Sound unconditionally: if both detectors hold on the system, so does
+    their conjunction. *)
+val conjunction_schema : Ts.t -> Detector.t -> Detector.t -> schema
+
+(** Instance-checked. *)
+val disjunction_schema : Ts.t -> Detector.t -> Detector.t -> schema
+
+(** Instance-checked interference freedom. *)
+val corrector_conjunction_schema : Ts.t -> Corrector.t -> Corrector.t -> schema

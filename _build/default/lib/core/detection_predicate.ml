@@ -1,0 +1,44 @@
+(* Detection predicates (Section 3.2).
+
+   X is a detection predicate of action [ac] for SPEC iff executing [ac] in
+   any state where X holds maintains SPEC.  With safety represented as bad
+   states + bad transitions, the weakest detection predicate of [ac] is
+   computable by direct evaluation: the set of states from which every
+   successor under [ac] avoids bad transitions and bad states.
+
+   Theorem 3.3 guarantees such predicates exist; the remarks after it note
+   that detection predicates are closed under disjunction and weakening, so
+   a unique weakest one exists — [weakest] computes it. *)
+
+open Detcor_kernel
+open Detcor_spec
+
+(* [safe_to_execute sspec ac st]: executing [ac] at [st] (if enabled)
+   maintains the safety specification. *)
+let safe_to_execute sspec ac st =
+  (not (Safety.bad_state sspec st))
+  && List.for_all
+       (fun st' ->
+         (not (Safety.bad_transition sspec st st'))
+         && not (Safety.bad_state sspec st'))
+       (Action.execute ac st)
+
+(* The weakest detection predicate of [ac] for [sspec], as a semantic
+   predicate.  It is evaluated lazily, so no universe is needed; use
+   [weakest_tabulated] to precompute over a universe when the predicate is
+   consulted many times. *)
+let weakest ~sspec ac =
+  Pred.make
+    (Fmt.str "wdp(%s, %s)" (Action.name ac) (Safety.name sspec))
+    (fun st -> safe_to_execute sspec ac st)
+
+let weakest_tabulated ~sspec ac ~universe =
+  let good = List.filter (safe_to_execute sspec ac) universe in
+  Pred.of_states
+    ~name:(Fmt.str "wdp(%s, %s)" (Action.name ac) (Safety.name sspec))
+    good
+
+(* [is_detection_predicate ~sspec ac x ~universe]: X ⇒ weakest, over the
+   universe — the characterization after Theorem 3.3. *)
+let is_detection_predicate ~sspec ac x ~universe =
+  Pred.implies_on ~universe x (weakest ~sspec ac)

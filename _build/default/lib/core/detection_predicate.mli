@@ -1,0 +1,22 @@
+(** Detection predicates (Section 3.2): X is a detection predicate of
+    action [ac] for SPEC iff executing [ac] anywhere X holds maintains
+    SPEC.  Theorem 3.3 guarantees existence; a unique weakest one exists. *)
+
+open Detcor_kernel
+open Detcor_spec
+
+(** Executing [ac] at the state (when enabled) maintains the safety
+    specification. *)
+val safe_to_execute : Safety.t -> Action.t -> State.t -> bool
+
+(** The weakest detection predicate of [ac], evaluated lazily. *)
+val weakest : sspec:Safety.t -> Action.t -> Pred.t
+
+(** As {!weakest}, but precomputed over a universe for repeated queries. *)
+val weakest_tabulated :
+  sspec:Safety.t -> Action.t -> universe:State.t list -> Pred.t
+
+(** [is_detection_predicate ~sspec ac x ~universe]: [x] implies the weakest
+    detection predicate everywhere in the universe. *)
+val is_detection_predicate :
+  sspec:Safety.t -> Action.t -> Pred.t -> universe:State.t list -> bool

@@ -1,0 +1,79 @@
+(** Extraction of detector and corrector components from fault-tolerant
+    programs — the constructive content of Theorems 3.4 and 4.1.
+
+    Given the refined program's explored system, the extractor computes
+    the witness predicate Z (the refined action's guard) and the largest
+    detection predicate X ⊆ (g ∧ weakest-detection-predicate) for which
+    ['Z detects X'] holds, following the proof of Theorem 3.4. *)
+
+open Detcor_kernel
+open Detcor_semantics
+open Detcor_spec
+
+type extracted_detector = {
+  for_action : string;
+  refined_action : string;
+  detector : Detector.t;
+  outcome : Check.outcome;
+}
+
+type extracted_corrector = {
+  corrector : Corrector.t;
+  outcome : Check.outcome;
+}
+
+(** The action of the refined program encapsulating [ac] (by [based_on]
+    tag, or by name). *)
+val refined_action_for : refined:Program.t -> Action.t -> Action.t option
+
+(** The Stability/Progress shrinking fixpoint on an explored system:
+    returns the states of the largest X ⊆ x0 making ['Z detects X'] stable
+    and progressive.  [extra_transitions] (e.g. fault steps) participate in
+    the Stability side only. *)
+val shrink_to_detects :
+  ?extra_transitions:(State.t * State.t) list ->
+  Ts.t ->
+  witness:Pred.t ->
+  x0:Pred.t ->
+  State.t list
+
+(** Extract p''s detector for one action of the base program
+    (Theorem 3.4). *)
+val detector_for_action :
+  ?extra_transitions:(State.t * State.t) list ->
+  base:Program.t ->
+  sspec:Safety.t ->
+  Ts.t ->
+  Action.t ->
+  extracted_detector
+
+(** Extract detectors for every action of the base program. *)
+val detectors :
+  ?extra_transitions:(State.t * State.t) list ->
+  base:Program.t ->
+  sspec:Safety.t ->
+  Ts.t ->
+  extracted_detector list
+
+(** The fault transitions of an explored [p [] F] system, for tolerant
+    extraction. *)
+val fault_transitions :
+  Ts.t -> faults:Fault.t -> (State.t * State.t) list
+
+(** Lemma 3.5: only Safeness and Stability required. *)
+val failsafe_detectors :
+  base:Program.t -> sspec:Safety.t -> Ts.t -> extracted_detector list
+
+(** Theorem 4.1: X = S, Z = S ∧ reachable. *)
+val corrector_for_invariant :
+  Ts.t -> invariant:Pred.t -> extracted_corrector
+
+(** Lemma 4.2: X = S, Z = R; convergence to R then ['Z corrects X'] from
+    R. *)
+val nonmasking_corrector :
+  Ts.t -> invariant:Pred.t -> recovery:Pred.t -> extracted_corrector
+
+(** S_p of Lemma 5.4: states whose base-variable projection agrees with
+    some S-state. *)
+val project_invariant :
+  base:Program.t -> Ts.t -> invariant:Pred.t -> Pred.t

@@ -1,0 +1,81 @@
+(* Multitolerance: different tolerance levels to different fault classes
+   in one program — the design goal of the paper's companion work
+   ("Component based design of multitolerance", its reference [4]) and
+   the headline property of the case studies listed in the introduction.
+
+   A multitolerance requirement assigns a tolerance class to each fault
+   class; the program must provide each class's tolerance when faults of
+   (only) that class occur, all from the same invariant.  The checker
+   runs the single-class checker per requirement and additionally reports
+   the combined fault class at the weakest requested level, which is the
+   guarantee that holds when fault classes mix. *)
+
+open Detcor_kernel
+open Detcor_spec
+
+type requirement = {
+  fault : Fault.t;
+  tol : Spec.tolerance;
+}
+
+type report = {
+  subject : string;
+  per_class : (string * Spec.tolerance * Tolerance.report) list;
+  combined : Tolerance.report option;
+      (* union of the fault classes at the weakest requested tolerance *)
+}
+
+(* Nonmasking < Failsafe and Nonmasking < Masking; Failsafe and Masking
+   are incomparable except Masking is strongest.  For the combined class
+   we use: Masking if all masking, otherwise Nonmasking if any
+   nonmasking requested, otherwise Failsafe. *)
+let weakest tols =
+  if List.for_all (fun t -> t = Spec.Masking) tols then Spec.Masking
+  else if List.mem Spec.Nonmasking tols then Spec.Nonmasking
+  else Spec.Failsafe
+
+let verdict r =
+  List.for_all (fun (_, _, rep) -> Tolerance.verdict rep) r.per_class
+  && match r.combined with
+     | None -> true
+     | Some rep -> Tolerance.verdict rep
+
+let check ?limit ?(combined = true) p ~spec ~invariant ~requirements =
+  let per_class =
+    List.map
+      (fun { fault; tol } ->
+        ( Fault.name fault,
+          tol,
+          Tolerance.check ?limit p ~spec ~invariant ~faults:fault ~tol ))
+      requirements
+  in
+  let combined =
+    if (not combined) || List.length requirements < 2 then None
+    else begin
+      let union =
+        List.fold_left
+          (fun acc { fault; _ } -> Fault.union acc fault)
+          Fault.none requirements
+      in
+      let tol = weakest (List.map (fun r -> r.tol) requirements) in
+      Some (Tolerance.check ?limit p ~spec ~invariant ~faults:union ~tol)
+    end
+  in
+  { subject = Program.name p; per_class; combined }
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>%s: multitolerance@,%a@,%a=> %s@]" r.subject
+    Fmt.(
+      list ~sep:cut (fun ppf (name, tol, rep) ->
+          pf ppf "  vs %-24s %-10s %s"
+            name
+            (Fmt.str "%a" Spec.pp_tolerance tol)
+            (if Tolerance.verdict rep then "holds" else "FAILS")))
+    r.per_class
+    Fmt.(
+      option (fun ppf rep ->
+          pf ppf "  combined fault classes      %-10s %s@,"
+            (Fmt.str "%a" Spec.pp_tolerance rep.Tolerance.tol)
+            (if Tolerance.verdict rep then "holds" else "FAILS")))
+    r.combined
+    (if verdict r then "VERDICT: holds" else "VERDICT: FAILS")

@@ -1,0 +1,37 @@
+(** Multitolerance: different tolerance levels to different fault classes
+    in one program — the design goal of the paper's companion method
+    (its reference [4]). *)
+
+open Detcor_kernel
+open Detcor_spec
+
+type requirement = {
+  fault : Fault.t;
+  tol : Spec.tolerance;
+}
+
+type report = {
+  subject : string;
+  per_class : (string * Spec.tolerance * Tolerance.report) list;
+  combined : Tolerance.report option;
+      (** union of the classes, at the weakest requested tolerance *)
+}
+
+(** Masking if all masking; nonmasking if any nonmasking; else
+    fail-safe. *)
+val weakest : Spec.tolerance list -> Spec.tolerance
+
+val verdict : report -> bool
+
+(** Check each requirement separately, plus (by default) the combined
+    fault class at the weakest requested tolerance. *)
+val check :
+  ?limit:int ->
+  ?combined:bool ->
+  Program.t ->
+  spec:Spec.t ->
+  invariant:Pred.t ->
+  requirements:requirement list ->
+  report
+
+val pp_report : report Fmt.t

@@ -1,0 +1,39 @@
+(** The refines relation between programs (Section 2.2.1): [p'] refines
+    [p] from [S] iff [S] is closed in [p'] and every computation of [p']
+    from [S] projects on the variables of [p] to a computation of [p]
+    (stuttering steps of the added machinery admitted). *)
+
+open Detcor_kernel
+open Detcor_semantics
+
+type step_violation = {
+  source : State.t;
+  action : string;
+  target : State.t;
+}
+
+type result = {
+  closure : Check.outcome;
+  bad_steps : step_violation list;
+  divergence : Check.outcome;
+      (** a fair infinite run stuttering on the base variables forever *)
+}
+
+val ok : result -> bool
+
+(** Classify one transition of the refined program with respect to the
+    base. *)
+val project_step :
+  Program.t -> State.t -> State.t -> [ `Stutter | `Step | `Bad ]
+
+(** Check over an already-explored system of the refined program. *)
+val check_ts : base:Program.t -> Ts.t -> from:Pred.t -> result
+
+(** [check ~base super ~from] explores [super] from the [from]-states and
+    checks the relation. *)
+val check : ?limit:int -> base:Program.t -> Program.t -> from:Pred.t -> result
+
+(** First failing obligation as a checker outcome. *)
+val outcome : result -> Check.outcome
+
+val pp : result Fmt.t

@@ -1,0 +1,444 @@
+(* The paper's theorems as machine-checkable schemas.
+
+   Each function takes the ingredients of a theorem's premises, decides
+   every premise on the finite system, builds the witness components the
+   proof constructs, and decides the conclusions.  A schema instance
+   therefore both *validates the theory* on a concrete system (premises
+   hold ⇒ conclusions hold) and *extracts* the detector/corrector
+   components whose existence the theorem asserts.
+
+   Premises marked "(premise)" must hold for the theorem to apply;
+   conclusions marked "(conclusion)" are what the theorem promises.  On
+   any instance where all premises hold but a conclusion fails, the
+   implementation (or the theory) would be refuted — the test suite checks
+   this never happens on the paper's systems and on randomized ones. *)
+
+open Detcor_kernel
+open Detcor_semantics
+open Detcor_spec
+
+type schema = {
+  theorem : string;
+  premises : (string * Check.outcome) list;
+  conclusions : (string * Check.outcome) list;
+}
+
+let premises_hold s = List.for_all (fun (_, o) -> Check.holds o) s.premises
+let conclusions_hold s = List.for_all (fun (_, o) -> Check.holds o) s.conclusions
+let holds s = premises_hold s && conclusions_hold s
+
+(* The soundness contract: premises hold ⇒ conclusions hold. *)
+let validates s = (not (premises_hold s)) || conclusions_hold s
+
+let pp_schema ppf s =
+  let pp_items ppf items =
+    Fmt.(
+      list ~sep:cut (fun ppf (l, o) ->
+          Fmt.pf ppf "  %-56s %a" l Check.pp_outcome o))
+      ppf items
+  in
+  Fmt.pf ppf "@[<v>%s@,premises:@,%a@,conclusions:@,%a@,=> %s@]" s.theorem
+    pp_items s.premises pp_items s.conclusions
+    (if holds s then "holds"
+     else if not (premises_hold s) then "not applicable (premise fails)"
+     else "REFUTED")
+
+let outcome_of_bool b witness_state =
+  if b then Check.Holds else Check.Fails (Check.Not_implied witness_state)
+
+let some_state ts =
+  match Ts.states ts with s :: _ -> s | [] -> State.empty
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 3.4: programs that refine a safety specification contain     *)
+(* detectors.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let theorem_3_4 ?limit ~base ~refined ~sspec ~invariant () =
+  let ts = Ts.of_pred ?limit refined ~from:invariant in
+  let refinement = Refinement.check_ts ~base ts ~from:invariant in
+  let universe = Ts.states ts in
+  let encapsulation =
+    outcome_of_bool
+      (Program.encapsulates ~base refined ~universe)
+      (some_state ts)
+  in
+  let safety =
+    Spec.refines ts (Spec.make ~name:(Safety.name sspec) ~safety:sspec ())
+  in
+  let extracted = Extraction.detectors ~base ~sspec ts in
+  {
+    theorem = "Theorem 3.4 (safety refinement contains detectors)";
+    premises =
+      [
+        ("p' refines p from S (premise)", Refinement.outcome refinement);
+        ("p' encapsulates p (premise)", encapsulation);
+        ("p' refines SSPEC from S (premise)", safety);
+      ];
+    conclusions =
+      List.map
+        (fun (e : Extraction.extracted_detector) ->
+          ( Fmt.str "p' is a detector for %s (conclusion)" e.for_action,
+            e.outcome ))
+        extracted;
+  }
+
+(* Lemma 3.5: encapsulation + safety refinement give fail-safe tolerant
+   detectors (Safeness and Stability only). *)
+let lemma_3_5 ?limit ~base ~refined ~sspec ~invariant () =
+  let ts = Ts.of_pred ?limit refined ~from:invariant in
+  let universe = Ts.states ts in
+  let encapsulation =
+    outcome_of_bool
+      (Program.encapsulates ~base refined ~universe)
+      (some_state ts)
+  in
+  let safety =
+    Spec.refines ts (Spec.make ~name:(Safety.name sspec) ~safety:sspec ())
+  in
+  let extracted = Extraction.failsafe_detectors ~base ~sspec ts in
+  {
+    theorem = "Lemma 3.5 (fail-safe tolerant detectors)";
+    premises =
+      [
+        ("p' encapsulates p (premise)", encapsulation);
+        ("p' refines SSPEC from S (premise)", safety);
+      ];
+    conclusions =
+      List.map
+        (fun (e : Extraction.extracted_detector) ->
+          ( Fmt.str "p' is a fail-safe tolerant detector for %s (conclusion)"
+              e.for_action,
+            e.outcome ))
+        extracted;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 3.6: fail-safe F-tolerant programs contain fail-safe         *)
+(* F-tolerant detectors.                                                *)
+(* ------------------------------------------------------------------ *)
+
+let theorem_3_6 ?limit ~base ~refined ~spec ~faults ~invariant_s ~invariant_r
+    () =
+  let sspec = Spec.safety (Spec.smallest_safety_containing spec) in
+  (* Premise: p refines SPEC from S. *)
+  let _, base_refines =
+    Tolerance.refines_from ?limit base ~spec ~invariant:invariant_s
+  in
+  (* Premise: p' refines p from R with R ⇒ S. *)
+  let ts_r = Ts.of_pred ?limit refined ~from:invariant_r in
+  let r_implies_s = Check.implies ts_r invariant_r invariant_s in
+  let refinement = Refinement.check_ts ~base ts_r ~from:invariant_r in
+  let universe = Ts.states ts_r in
+  let encapsulation =
+    outcome_of_bool
+      (Program.encapsulates ~base refined ~universe)
+      (some_state ts_r)
+  in
+  (* Premise: p' [] F refines SSPEC from T (the span of R). *)
+  let span =
+    Tolerance.fault_span_from_states ?limit refined ~faults ~init:universe
+  in
+  let span_safety =
+    Spec.refines span.ts_pf (Spec.make ~name:"SSPEC" ~safety:sspec ())
+  in
+  (* Conclusion 1: p' is fail-safe F-tolerant for SPEC from R. *)
+  let failsafe =
+    Tolerance.check_with ?limit refined ~spec ~invariant:invariant_r
+      ~init:universe ~faults ~tol:Spec.Failsafe
+  in
+  let failsafe_outcome =
+    match Tolerance.failures failsafe with
+    | [] -> Check.Holds
+    | i :: _ -> i.outcome
+  in
+  (* Conclusion 2: for each base action, a fail-safe F-tolerant detector.
+     The detection predicate is extracted over the whole span (where the
+     component must keep operating), with fault steps on the Stability
+     side; Safeness/Stability must then hold over the span under
+     p' [] F. *)
+  let ts_p_span = Ts.build ?limit refined ~from:(Ts.states span.ts_pf) in
+  let extra_transitions = Extraction.fault_transitions span.ts_pf ~faults in
+  let detector_conclusions =
+    List.map
+      (fun ac ->
+        let e =
+          Extraction.detector_for_action ~extra_transitions ~base ~sspec
+            ts_p_span ac
+        in
+        let tolerant_safety =
+          Spec.refines span.ts_pf (Detector.safety_spec e.detector)
+        in
+        ( Fmt.str
+            "p' is a fail-safe F-tolerant detector for %s (conclusion)"
+            e.for_action,
+          Check.all [ e.outcome; tolerant_safety ] ))
+      (Program.actions base)
+  in
+  {
+    theorem = "Theorem 3.6 (fail-safe tolerance contains tolerant detectors)";
+    premises =
+      [
+        ("p refines SPEC from S (premise)", base_refines);
+        ("R => S (premise)", r_implies_s);
+        ("p' refines p from R (premise)", Refinement.outcome refinement);
+        ("p' encapsulates p (premise)", encapsulation);
+        ("p'[]F refines SSPEC from T (premise)", span_safety);
+      ];
+    conclusions =
+      ("p' is fail-safe F-tolerant for SPEC from R (conclusion)",
+       failsafe_outcome)
+      :: detector_conclusions;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 4.1: programs that eventually refine a specification         *)
+(* contain correctors.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let theorem_4_1 ?limit ~base ~refined ~spec ~invariant_s ~from_t () =
+  let _, base_refines =
+    Tolerance.refines_from ?limit base ~spec ~invariant:invariant_s
+  in
+  let ts_t = Ts.of_pred ?limit refined ~from:from_t in
+  let ts_s = Ts.of_pred ?limit refined ~from:invariant_s in
+  let refinement = Refinement.check_ts ~base ts_s ~from:invariant_s in
+  (* Premise: p' refines (true)*(p'|S) from T — every computation from T
+     reaches S. *)
+  let eventually_s = Check.eventually ts_t invariant_s in
+  let extracted = Extraction.corrector_for_invariant ts_t ~invariant:invariant_s in
+  {
+    theorem = "Theorem 4.1 (eventual refinement contains correctors)";
+    premises =
+      [
+        ("p refines SPEC from S (premise)", base_refines);
+        ("p' refines p from S (premise)", Refinement.outcome refinement);
+        ("p' refines (true)*(p'|S) from T (premise)", eventually_s);
+      ];
+    conclusions =
+      [
+        ( "p' is a corrector of an invariant predicate of p (conclusion)",
+          extracted.outcome );
+      ];
+  }
+
+(* Lemma 4.2: p' behaves like p only from R ⊆ S: nonmasking corrector. *)
+let lemma_4_2 ?limit ~base ~refined ~spec ~invariant_s ~invariant_r ~from_t ()
+    =
+  let _, base_refines =
+    Tolerance.refines_from ?limit base ~spec ~invariant:invariant_s
+  in
+  let ts_r = Ts.of_pred ?limit refined ~from:invariant_r in
+  let r_implies_s = Check.implies ts_r invariant_r invariant_s in
+  let refinement = Refinement.check_ts ~base ts_r ~from:invariant_r in
+  let ts_t = Ts.of_pred ?limit refined ~from:from_t in
+  let eventually_r = Check.eventually ts_t invariant_r in
+  let extracted =
+    Extraction.nonmasking_corrector ts_t ~invariant:invariant_s
+      ~recovery:invariant_r
+  in
+  {
+    theorem = "Lemma 4.2 (nonmasking corrector)";
+    premises =
+      [
+        ("p refines SPEC from S (premise)", base_refines);
+        ("R => S (premise)", r_implies_s);
+        ("p' refines p from R (premise)", Refinement.outcome refinement);
+        ("p' refines (true)*(p'|R) from T (premise)", eventually_r);
+      ];
+    conclusions =
+      [
+        ( "p' is a nonmasking corrector of an invariant of p (conclusion)",
+          extracted.outcome );
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 4.3: nonmasking F-tolerant programs contain nonmasking       *)
+(* tolerant correctors.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let theorem_4_3 ?limit ~base ~refined ~spec ~faults ~invariant_s ~invariant_r
+    () =
+  let _, base_refines =
+    Tolerance.refines_from ?limit base ~spec ~invariant:invariant_s
+  in
+  let ts_r = Ts.of_pred ?limit refined ~from:invariant_r in
+  let r_implies_s = Check.implies ts_r invariant_r invariant_s in
+  let refinement = Refinement.check_ts ~base ts_r ~from:invariant_r in
+  let universe = Ts.states ts_r in
+  let span =
+    Tolerance.fault_span_from_states ?limit refined ~faults ~init:universe
+  in
+  (* Premise: p' [] F refines (true)*(p'|R) from T — with finitely many
+     faults, p' alone converges from the span to R. *)
+  let ts_p_span = Ts.build ?limit refined ~from:span.states in
+  let converges_to_r = Check.eventually ts_p_span invariant_r in
+  (* Conclusion 1: p' is nonmasking F-tolerant for SPEC from R. *)
+  let nonmasking =
+    Tolerance.check_with ?limit refined ~spec ~invariant:invariant_r
+      ~init:universe ~faults ~tol:Spec.Nonmasking
+  in
+  let nonmasking_outcome =
+    match Tolerance.failures nonmasking with
+    | [] -> Check.Holds
+    | i :: _ -> i.outcome
+  in
+  (* Conclusion 2: nonmasking F-tolerant corrector (Z = R, X = S). *)
+  let extracted =
+    Extraction.nonmasking_corrector ts_p_span ~invariant:invariant_s
+      ~recovery:invariant_r
+  in
+  {
+    theorem =
+      "Theorem 4.3 (nonmasking tolerance contains tolerant correctors)";
+    premises =
+      [
+        ("p refines SPEC from S (premise)", base_refines);
+        ("R => S (premise)", r_implies_s);
+        ("p' refines p from R (premise)", Refinement.outcome refinement);
+        ("p'[]F refines (true)*(p'|R) from T (premise)", converges_to_r);
+      ];
+    conclusions =
+      [
+        ( "p' is nonmasking F-tolerant for SPEC from R (conclusion)",
+          nonmasking_outcome );
+        ( "p' is a nonmasking F-tolerant corrector (conclusion)",
+          extracted.outcome );
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 5.2: safety from T + convergence to S + correctness from S   *)
+(* = masking from T.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let theorem_5_2 ?limit ~program ~spec ~invariant_s ~from_t () =
+  let sspec = Spec.smallest_safety_containing spec in
+  let _, refines_s =
+    Tolerance.refines_from ?limit program ~spec ~invariant:invariant_s
+  in
+  let ts_t = Ts.of_pred ?limit program ~from:from_t in
+  let t_safety = Spec.refines ts_t sspec in
+  let eventually_s = Check.eventually ts_t invariant_s in
+  (* Conclusion, checked directly: p refines SPEC (the masking tolerance
+     specification of SPEC) from T. *)
+  let masking = Spec.refines ts_t spec in
+  {
+    theorem = "Theorem 5.2 (fail-safe + nonmasking = masking)";
+    premises =
+      [
+        ("p refines SPEC from S (premise)", refines_s);
+        ("p refines SSPEC from T (premise)", t_safety);
+        ("p refines (true)*(p|S) from T (premise)", eventually_s);
+      ];
+    conclusions =
+      [ ("p refines masking spec of SPEC from T (conclusion)", masking) ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 5.5: masking F-tolerant programs contain masking tolerant    *)
+(* detectors and correctors.                                            *)
+(* ------------------------------------------------------------------ *)
+
+let theorem_5_5 ?limit ~base ~refined ~spec ~faults ~invariant_s ~invariant_r
+    () =
+  let sspec = Spec.safety (Spec.smallest_safety_containing spec) in
+  let _, base_refines =
+    Tolerance.refines_from ?limit base ~spec ~invariant:invariant_s
+  in
+  let ts_r = Ts.of_pred ?limit refined ~from:invariant_r in
+  let r_implies_s = Check.implies ts_r invariant_r invariant_s in
+  let refinement = Refinement.check_ts ~base ts_r ~from:invariant_r in
+  let universe = Ts.states ts_r in
+  let encapsulation =
+    outcome_of_bool
+      (Program.encapsulates ~base refined ~universe)
+      (some_state ts_r)
+  in
+  let span =
+    Tolerance.fault_span_from_states ?limit refined ~faults ~init:universe
+  in
+  let ts_p_span = Ts.build ?limit refined ~from:span.states in
+  let converges_to_r = Check.eventually ts_p_span invariant_r in
+  let span_safety =
+    Spec.refines span.ts_pf (Spec.make ~name:"SSPEC" ~safety:sspec ())
+  in
+  (* Conclusion 1: masking F-tolerance from T. *)
+  let masking =
+    Tolerance.check_with ?limit refined ~spec ~invariant:invariant_r
+      ~init:universe ~faults ~tol:Spec.Masking
+  in
+  let masking_outcome =
+    match Tolerance.failures masking with
+    | [] -> Check.Holds
+    | i :: _ -> i.outcome
+  in
+  (* Conclusion 2: masking F-tolerant detectors — safety obligations over
+     the span under p' [] F, progress on p' alone from the span. *)
+  let extra_transitions = Extraction.fault_transitions span.ts_pf ~faults in
+  let detector_conclusions =
+    List.map
+      (fun ac ->
+        let e =
+          Extraction.detector_for_action ~extra_transitions ~base ~sspec
+            ts_p_span ac
+        in
+        let tolerant_safety =
+          Spec.refines span.ts_pf (Detector.safety_spec e.detector)
+        in
+        let tolerant_progress =
+          Detector.progress ts_p_span e.detector
+        in
+        ( Fmt.str "p' is a masking F-tolerant detector for %s (conclusion)"
+            e.for_action,
+          Check.all [ e.outcome; tolerant_safety; tolerant_progress ] ))
+      (Program.actions base)
+  in
+  (* Conclusion 3: masking tolerant corrector with X = S_p, Z = R
+     (Lemma 5.4, Part 2). *)
+  let s_p =
+    Extraction.project_invariant ~base ts_p_span ~invariant:invariant_s
+  in
+  let corrector =
+    Corrector.make ~name:"masking corrector (Lemma 5.4)" ~witness:invariant_r
+      ~correction:s_p ()
+  in
+  let corrector_outcome = Corrector.satisfies_ts ts_p_span corrector in
+  (* Conclusion 4: the corrector is nonmasking F-tolerant — after faults
+     stop, a suffix satisfies 'Z corrects X' (checked as convergence of p'
+     alone from the span plus the corrector specification from R). *)
+  let ts_from_r =
+    Ts.build ?limit refined
+      ~from:(List.filter (Pred.holds invariant_r) span.states)
+  in
+  let nonmasking_corrector_outcome =
+    Check.all
+      [ converges_to_r; Corrector.satisfies_ts ts_from_r corrector ]
+  in
+  {
+    theorem =
+      "Theorem 5.5 (masking tolerance contains tolerant detectors and \
+       correctors)";
+    premises =
+      [
+        ("p refines SPEC from S (premise)", base_refines);
+        ("R => S (premise)", r_implies_s);
+        ("p' refines p from R (premise)", Refinement.outcome refinement);
+        ("p' encapsulates p (premise)", encapsulation);
+        ("p'[]F refines (true)*(p'|R) from T (premise)", converges_to_r);
+        ("p'[]F refines SSPEC from T (premise)", span_safety);
+      ];
+    conclusions =
+      [
+        ("p' is masking F-tolerant for SPEC from T (conclusion)",
+         masking_outcome);
+      ]
+      @ detector_conclusions
+      @ [
+          ("p' is a masking tolerant corrector (conclusion)",
+           corrector_outcome);
+          ("the corrector is nonmasking F-tolerant (conclusion)",
+           nonmasking_corrector_outcome);
+        ];
+  }

@@ -1,0 +1,236 @@
+(* F-tolerance of a program to a specification (Section 2.4).
+
+   p is masking (resp. fail-safe, nonmasking) F-tolerant to SPEC from S iff
+   (i) p refines SPEC from S, and (ii) there is a T ⊇ S such that p [] F
+   refines the masking (resp. fail-safe, nonmasking) tolerance
+   specification of SPEC from T.
+
+   The checkers compute T as the F-span of S — the forward closure of S
+   under p [] F, which is the smallest candidate and therefore complete:
+   if any T works, the span works, because every set satisfying the
+   closure conditions contains it.
+
+   The proof obligations in the presence of faults follow the paper's own
+   use of Assumption 2 (finitely many faults):
+   - safety obligations are decided on the full p [] F graph (any safety
+     violation occurs on a finite prefix, which some finite-fault
+     computation realizes);
+   - liveness obligations are decided on p alone from the span (after the
+     finitely many faults stop, the remaining computation is a computation
+     of p);
+   - masking combines both via Theorem 5.2: safety of SSPEC over the span,
+     convergence of p from the span to S, and refinement of SPEC from S
+     imply refinement of SPEC from the span. *)
+
+open Detcor_kernel
+open Detcor_semantics
+open Detcor_spec
+
+type item = {
+  label : string;
+  outcome : Check.outcome;
+}
+
+type report = {
+  subject : string;
+  tol : Spec.tolerance;
+  span_size : int;
+  invariant_size : int;
+  items : item list;
+}
+
+let verdict r = List.for_all (fun i -> Check.holds i.outcome) r.items
+
+let failures r = List.filter (fun i -> not (Check.holds i.outcome)) r.items
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>%s: %a tolerance (invariant %d states, span %d states)@,%a@,=> %s@]"
+    r.subject Spec.pp_tolerance r.tol r.invariant_size r.span_size
+    Fmt.(
+      list ~sep:cut (fun ppf i ->
+          Fmt.pf ppf "  %-52s %a" i.label Check.pp_outcome i.outcome))
+    r.items
+    (if verdict r then "VERDICT: holds" else "VERDICT: FAILS")
+
+(* ------------------------------------------------------------------ *)
+(* Fault spans (Section 2.3).                                          *)
+(* ------------------------------------------------------------------ *)
+
+type span = {
+  pred : Pred.t;
+  states : State.t list;
+  ts_pf : Ts.t; (* the explored p [] F system over the span *)
+}
+
+(* The F-span of p from S: smallest T with S ⇒ T, T closed in p, and T
+   closed in F — i.e. the forward closure of the S-states under p [] F. *)
+let fault_span ?limit p ~faults ~from =
+  let composed = Fault.compose p faults in
+  let ts_pf = Ts.of_pred ?limit composed ~from in
+  let states = Ts.states ts_pf in
+  let pred =
+    Pred.of_states ~name:(Fmt.str "span(%s)" (Pred.name from)) states
+  in
+  { pred; states; ts_pf }
+
+(* [fault_span_from_states] avoids re-enumerating the product space when the
+   initial states are already known. *)
+let fault_span_from_states ?limit p ~faults ~init =
+  let composed = Fault.compose p faults in
+  let ts_pf = Ts.build ?limit composed ~from:init in
+  let states = Ts.states ts_pf in
+  let pred = Pred.of_states ~name:"span" states in
+  { pred; states; ts_pf }
+
+(* ------------------------------------------------------------------ *)
+(* "p refines SPEC from S" — correctness in the absence of faults.     *)
+(* ------------------------------------------------------------------ *)
+
+(* S must be closed in p, and every computation from S must be in SPEC
+   (Section 2.2.1, Refines + Invariant). *)
+let refines_from ?limit p ~spec ~invariant =
+  let ts = Ts.of_pred ?limit p ~from:invariant in
+  (ts, Check.all [ Check.closed ts invariant; Spec.refines ts spec ])
+
+let refines_from_states ?limit p ~spec ~init ~invariant =
+  let ts = Ts.build ?limit p ~from:init in
+  (ts, Check.all [ Check.closed ts invariant; Spec.refines ts spec ])
+
+(* ------------------------------------------------------------------ *)
+(* Liveness in the presence of finitely many faults.                   *)
+(* ------------------------------------------------------------------ *)
+
+(* [leads_to_under_faults ~ts_pf ~ts_p obligation]: does "P leads to Q"
+   hold on every computation of p [] F (p-fair, p-maximal, finitely many
+   fault steps)?
+
+   A violating computation has a P∧¬Q state, stays in ¬Q forever, and —
+   because fault steps are finite — decomposes into a finite p[]F path
+   within ¬Q followed by either a p-deadlock in ¬Q or an infinite fair
+   p-only run within ¬Q.  So: reach forward within ¬Q using all edges of
+   p [] F, then look for a p-deadlock or a p-fair SCC inside the reached
+   region (p-only edges). *)
+let leads_to_under_faults ~ts_pf ~ts_p (o : Liveness.obligation) =
+  let n = Ts.num_states ts_pf in
+  let not_q i = not (Ts.holds_at ts_pf o.Liveness.to_ i) in
+  let starts =
+    List.filter
+      (fun i -> Ts.holds_at ts_pf o.Liveness.from_ i && not_q i)
+      (List.init n Fun.id)
+  in
+  if starts = [] then Check.Holds
+  else begin
+    let reach = Graph.reachable ~mask:not_q ts_pf ~from:starts in
+    (* The reached ¬Q region, transported to the p-only system. *)
+    let region_p k =
+      match Ts.index_of ts_pf (Ts.state ts_p k) with
+      | Some i -> reach.(i) && not_q i
+      | None -> false
+    in
+    let np = Ts.num_states ts_p in
+    let region_states = List.filter region_p (List.init np Fun.id) in
+    let deadlock =
+      List.find_opt (fun k -> Ts.deadlocked ts_p k) region_states
+    in
+    match deadlock with
+    | Some k -> Check.Fails (Check.Deadlock (Ts.state ts_p k))
+    | None -> (
+      match Fairness.fair_sccs ~mask:region_p ts_p with
+      | scc :: _ ->
+        Check.Fails (Check.Fair_cycle (List.map (Ts.state ts_p) scc.members))
+      | [] -> Check.Holds)
+  end
+
+let liveness_under_faults ~ts_pf ~ts_p liveness =
+  Check.all
+    (List.map (leads_to_under_faults ~ts_pf ~ts_p) (Liveness.obligations liveness))
+
+(* ------------------------------------------------------------------ *)
+(* The three tolerance checkers.                                       *)
+(* ------------------------------------------------------------------ *)
+
+let check_with ?limit ?recover p ~spec ~invariant ~init ~faults ~tol =
+  let ts_p, base_outcome =
+    refines_from_states ?limit p ~spec ~init ~invariant
+  in
+  let span = fault_span_from_states ?limit p ~faults ~init in
+  (* p alone, over the whole span: used for liveness after faults stop. *)
+  let ts_p_span = Ts.build ?limit p ~from:span.states in
+  let base_item =
+    { label = "p refines SPEC from S"; outcome = base_outcome }
+  in
+  let sspec = Spec.smallest_safety_containing spec in
+  let safety_item =
+    {
+      label = "p[]F refines SSPEC from span";
+      outcome = Spec.refines span.ts_pf sspec;
+    }
+  in
+  (* Nonmasking: a suffix of every computation is in SPEC.  The paper's
+     route (Theorem 4.3): converge to a recovery predicate R (default: the
+     invariant S) from which SPEC is refined. *)
+  let recover = match recover with Some r -> r | None -> invariant in
+  let convergence_item =
+    {
+      label = Fmt.str "p converges from span to %s" (Pred.name recover);
+      outcome = Check.eventually ts_p_span recover;
+    }
+  in
+  let recover_item () =
+    let ts_rec =
+      Ts.build ?limit p ~from:(List.filter (Pred.holds recover) span.states)
+    in
+    {
+      label = Fmt.str "p refines SPEC from %s" (Pred.name recover);
+      outcome =
+        Check.all [ Check.closed ts_rec recover; Spec.refines ts_rec spec ];
+    }
+  in
+  (* Masking: computations of p [] F from the span are in SPEC — safety on
+     the full p [] F graph, liveness under the finitely-many-faults
+     semantics (Assumption 2). *)
+  let liveness_item =
+    {
+      label = "liveness of SPEC on p[]F from span";
+      outcome =
+        liveness_under_faults ~ts_pf:span.ts_pf ~ts_p:ts_p_span
+          (Spec.liveness spec);
+    }
+  in
+  let items =
+    match tol with
+    | Spec.Failsafe -> [ base_item; safety_item ]
+    | Spec.Nonmasking -> [ base_item; convergence_item; recover_item () ]
+    | Spec.Masking -> [ base_item; safety_item; liveness_item ]
+  in
+  {
+    subject = Program.name p;
+    tol;
+    span_size = List.length span.states;
+    invariant_size = List.length (Ts.states ts_p);
+    items;
+  }
+
+let init_states ?limit p ~invariant =
+  ignore limit;
+  List.filter (Pred.holds invariant) (Program.states p)
+
+let check ?limit ?recover p ~spec ~invariant ~faults ~tol =
+  let init = init_states ?limit p ~invariant in
+  check_with ?limit ?recover p ~spec ~invariant ~init ~faults ~tol
+
+let is_failsafe ?limit p ~spec ~invariant ~faults =
+  check ?limit p ~spec ~invariant ~faults ~tol:Spec.Failsafe
+
+let is_nonmasking ?limit ?recover p ~spec ~invariant ~faults =
+  check ?limit ?recover p ~spec ~invariant ~faults ~tol:Spec.Nonmasking
+
+let is_masking ?limit p ~spec ~invariant ~faults =
+  check ?limit p ~spec ~invariant ~faults ~tol:Spec.Masking
+
+(* Classify: the reports for all three classes, masking first. *)
+let classify ?limit ?recover p ~spec ~invariant ~faults =
+  List.map
+    (fun tol -> (tol, check ?limit ?recover p ~spec ~invariant ~faults ~tol))
+    [ Spec.Masking; Spec.Failsafe; Spec.Nonmasking ]

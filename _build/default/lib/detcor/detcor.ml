@@ -1,0 +1,80 @@
+(* Umbrella module: the whole toolkit under one namespace.
+
+     open Detcor
+     let report =
+       Tolerance.is_masking Systems.Memory.masking
+         ~spec:Systems.Memory.spec ~invariant:Systems.Memory.s
+         ~faults:Systems.Memory.page_fault
+
+   The sub-libraries remain directly usable for finer-grained
+   dependencies. *)
+
+(* Kernel *)
+module Value = Detcor_kernel.Value
+module Domain = Detcor_kernel.Domain
+module State = Detcor_kernel.State
+module Expr = Detcor_kernel.Expr
+module Pred = Detcor_kernel.Pred
+module Action = Detcor_kernel.Action
+module Program = Detcor_kernel.Program
+
+(* Semantics *)
+module Ts = Detcor_semantics.Ts
+module Graph = Detcor_semantics.Graph
+module Fairness = Detcor_semantics.Fairness
+module Check = Detcor_semantics.Check
+module Trace = Detcor_semantics.Trace
+module Explain = Detcor_semantics.Explain
+module Dot = Detcor_semantics.Dot
+
+(* Specifications *)
+module Safety = Detcor_spec.Safety
+module Liveness = Detcor_spec.Liveness
+module Spec = Detcor_spec.Spec
+
+(* The paper's contribution *)
+module Fault = Detcor_core.Fault
+module Detector = Detcor_core.Detector
+module Corrector = Detcor_core.Corrector
+module Detection_predicate = Detcor_core.Detection_predicate
+module Refinement = Detcor_core.Refinement
+module Tolerance = Detcor_core.Tolerance
+module Extraction = Detcor_core.Extraction
+module Theorems = Detcor_core.Theorems
+module Compose = Detcor_core.Compose
+module Multitolerance = Detcor_core.Multitolerance
+
+(* Synthesis *)
+module Synthesize = Detcor_synthesis.Synthesize
+
+(* Surface language *)
+module Lang = struct
+  module Token = Detcor_lang.Token
+  module Lexer = Detcor_lang.Lexer
+  module Ast = Detcor_lang.Ast
+  module Parser = Detcor_lang.Parser
+  module Typecheck = Detcor_lang.Typecheck
+  module Elaborate = Detcor_lang.Elaborate
+end
+
+(* Example systems *)
+module Systems = struct
+  module Memory = Detcor_systems.Memory
+  module Tmr = Detcor_systems.Tmr
+  module Byzantine = Detcor_systems.Byzantine
+  module Token_ring = Detcor_systems.Token_ring
+  module Ring_mutex = Detcor_systems.Ring_mutex
+  module Barrier = Detcor_systems.Barrier
+  module Leader_election = Detcor_systems.Leader_election
+  module Termination = Detcor_systems.Termination
+  module Distributed_reset = Detcor_systems.Distributed_reset
+end
+
+(* Simulation *)
+module Sim = struct
+  module Scheduler = Detcor_sim.Scheduler
+  module Injector = Detcor_sim.Injector
+  module Runner = Detcor_sim.Runner
+  module Monitor = Detcor_sim.Monitor
+  module Stats = Detcor_sim.Stats
+end

@@ -1,0 +1,1 @@
+lib/kernel/action.ml: Domain Expr Fmt List Pred State

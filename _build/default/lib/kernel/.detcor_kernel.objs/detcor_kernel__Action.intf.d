@@ -1,0 +1,1 @@
+lib/kernel/action.mli: Domain Expr Fmt Pred State Value

@@ -1,0 +1,1 @@
+lib/kernel/domain.ml: Fmt List Value

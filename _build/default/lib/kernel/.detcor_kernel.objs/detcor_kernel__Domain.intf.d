@@ -1,0 +1,1 @@
+lib/kernel/domain.mli: Fmt Value

@@ -1,0 +1,1 @@
+lib/kernel/expr.ml: Fmt List State String Value

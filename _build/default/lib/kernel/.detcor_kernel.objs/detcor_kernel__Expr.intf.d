@@ -1,0 +1,1 @@
+lib/kernel/expr.mli: Fmt State Value

@@ -1,0 +1,1 @@
+lib/kernel/pred.ml: Expr Fmt Hashtbl List State

@@ -1,0 +1,1 @@
+lib/kernel/pred.mli: Expr Fmt State

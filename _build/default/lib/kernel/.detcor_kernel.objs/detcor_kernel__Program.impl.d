@@ -1,0 +1,1 @@
+lib/kernel/program.ml: Action Domain Fmt List Pred State String

@@ -1,0 +1,1 @@
+lib/kernel/program.mli: Action Domain Fmt Pred State

@@ -1,0 +1,1 @@
+lib/kernel/state.ml: Fmt Hashtbl List Map String Value

@@ -1,0 +1,73 @@
+(* Guarded actions (Section 2.1).
+
+   An action is [name :: guard -> statement]; executing the statement
+   atomically updates zero or more variables.  Statements are
+   nondeterministic ([State.t -> State.t list]) so that Byzantine behavior
+   and corruption faults are expressible as ordinary actions (Section 2.3).
+
+   [based_on] records provenance when an action of a refined program [p'] is
+   of the form [g ∧ g' -> st || st'] for an action [g -> st] of the base
+   program [p]; the encapsulation checks in [Program] use it. *)
+
+type t = {
+  name : string;
+  guard : Pred.t;
+  stmt : State.t -> State.t list;
+  based_on : string option;
+}
+
+let make ?based_on name guard stmt = { name; guard; stmt; based_on }
+
+let deterministic ?based_on name guard f =
+  make ?based_on name guard (fun st -> [ f st ])
+
+let assign ?based_on name guard updates =
+  deterministic ?based_on name guard (fun st ->
+      let bindings = List.map (fun (x, e) -> (x, Expr.eval st e)) updates in
+      State.update_many st bindings)
+
+let assign_pred ?based_on name guard updates =
+  deterministic ?based_on name guard (fun st ->
+      let bindings = List.map (fun (x, f) -> (x, f st)) updates in
+      State.update_many st bindings)
+
+let choose ?based_on name guard alternatives =
+  make ?based_on name guard (fun st ->
+      List.map (fun f -> f st) alternatives)
+
+(* [corrupt name guard x domain] nondeterministically sets [x] to any value
+   of [domain]; the archetypal fault action. *)
+let corrupt ?based_on name guard x domain =
+  make ?based_on name guard (fun st ->
+      List.map (fun v -> State.set st x v) (Domain.values domain))
+
+let skip name = deterministic name Pred.true_ (fun st -> st)
+
+let name ac = ac.name
+let guard ac = ac.guard
+let based_on ac = ac.based_on
+
+let enabled ac st = Pred.holds ac.guard st
+
+(* Successors of [st] under [ac]; empty when the guard is false. *)
+let execute ac st = if enabled ac st then ac.stmt st else []
+
+(* Restriction of an action by a state predicate:  Z ∧ (g -> st)  is
+   (Z ∧ g -> st)  (Section 2.1.1, ∧-composition). *)
+let restrict z ac = { ac with guard = Pred.and_ z ac.guard }
+
+let rename name ac = { ac with name }
+
+(* [preserves ac t ~universe]: execution of [ac] in any state where [t] is
+   true results in a state where [t] is true (Section 2.3, Preserves). *)
+let preserves ac t ~universe =
+  List.for_all
+    (fun st ->
+      (not (Pred.holds t st))
+      || List.for_all (Pred.holds t) (execute ac st))
+    universe
+
+let pp ppf ac =
+  Fmt.pf ppf "%s :: %a -> <stmt>%a" ac.name Pred.pp ac.guard
+    Fmt.(option (fun ppf b -> Fmt.pf ppf " (based on %s)" b))
+    ac.based_on

@@ -1,0 +1,61 @@
+(** Guarded actions (Section 2.1).
+
+    An action is [name :: guard -> statement], executed atomically.
+    Statements are nondeterministic so Byzantine behavior and corruption
+    faults are ordinary actions. *)
+
+type t
+
+(** [make name guard stmt] builds an action with a nondeterministic
+    statement.  [based_on] records, for an action of a refined program of the
+    form [g ∧ g' -> st || st'], the name of the underlying base-program
+    action [g -> st]; encapsulation checks use it. *)
+val make :
+  ?based_on:string -> string -> Pred.t -> (State.t -> State.t list) -> t
+
+val deterministic :
+  ?based_on:string -> string -> Pred.t -> (State.t -> State.t) -> t
+
+(** [assign name guard [(x, e); ...]] is the simultaneous assignment
+    [x, ... := e, ...]. *)
+val assign :
+  ?based_on:string -> string -> Pred.t -> (string * Expr.t) list -> t
+
+(** Like {!assign} but with semantic right-hand sides. *)
+val assign_pred :
+  ?based_on:string ->
+  string ->
+  Pred.t ->
+  (string * (State.t -> Value.t)) list ->
+  t
+
+(** [choose name guard fs] nondeterministically applies one of [fs]. *)
+val choose :
+  ?based_on:string -> string -> Pred.t -> (State.t -> State.t) list -> t
+
+(** [corrupt name guard x d] nondeterministically sets [x] to any value of
+    [d] — the archetypal fault action (Section 2.3). *)
+val corrupt : ?based_on:string -> string -> Pred.t -> string -> Domain.t -> t
+
+val skip : string -> t
+
+val name : t -> string
+val guard : t -> Pred.t
+val based_on : t -> string option
+
+(** [enabled ac st]: the guard of [ac] is true in [st]. *)
+val enabled : t -> State.t -> bool
+
+(** [execute ac st] is the list of successor states, empty if disabled. *)
+val execute : t -> State.t -> State.t list
+
+(** [restrict z ac] is the ∧-composition [z ∧ ac] (Section 2.1.1). *)
+val restrict : Pred.t -> t -> t
+
+val rename : string -> t -> t
+
+(** [preserves ac t ~universe]: executing [ac] anywhere [t] holds yields a
+    state where [t] holds (Section 2.3). *)
+val preserves : t -> Pred.t -> universe:State.t list -> bool
+
+val pp : t Fmt.t

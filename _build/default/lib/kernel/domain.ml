@@ -1,0 +1,26 @@
+(* Finite domains for program variables. *)
+
+type t = Value.t list
+
+let of_values vs =
+  if vs = [] then invalid_arg "Domain.of_values: empty domain";
+  let sorted = List.sort_uniq Value.compare vs in
+  sorted
+
+let range lo hi =
+  if lo > hi then invalid_arg "Domain.range: empty range";
+  List.init (hi - lo + 1) (fun i -> Value.Int (lo + i))
+
+let boolean = [ Value.Bool false; Value.Bool true ]
+
+let symbols names = of_values (List.map Value.sym names)
+
+let with_bot d = of_values (Value.bot :: d)
+
+let mem v d = List.exists (Value.equal v) d
+
+let size = List.length
+
+let values d = d
+
+let pp ppf d = Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") Value.pp) d

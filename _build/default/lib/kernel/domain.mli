@@ -1,0 +1,27 @@
+(** Finite domains of values.
+
+    Every program variable is declared with a finite domain so that the full
+    state space can be enumerated and every notion of the theory becomes
+    decidable. *)
+
+type t
+
+(** [of_values vs] builds a domain from a nonempty list of values (duplicates
+    removed).  @raise Invalid_argument on an empty list. *)
+val of_values : Value.t list -> t
+
+(** [range lo hi] is the integer domain [{lo, ..., hi}] (inclusive). *)
+val range : int -> int -> t
+
+val boolean : t
+
+(** [symbols names] is a domain of symbolic constants. *)
+val symbols : string list -> t
+
+(** [with_bot d] adds the distinguished {!Value.bot} to [d]. *)
+val with_bot : t -> t
+
+val mem : Value.t -> t -> bool
+val size : t -> int
+val values : t -> Value.t list
+val pp : t Fmt.t

@@ -1,0 +1,119 @@
+(* Syntactic expressions over program variables.
+
+   Guards and state predicates in the paper are boolean expressions over the
+   program variables (Section 2.1).  We provide a small expression AST with
+   an evaluator; the DSL front end elaborates to this AST, and [Pred.of_expr]
+   converts boolean expressions into semantic predicates. *)
+
+type t =
+  | Var of string
+  | Const of Value.t
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Implies of t * t
+  | Iff of t * t
+  | Eq of t * t
+  | Neq of t * t
+  | Lt of t * t
+  | Le of t * t
+  | Gt of t * t
+  | Ge of t * t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Mod of t * t
+  | Ite of t * t * t
+
+let var x = Var x
+let const v = Const v
+let int n = Const (Value.Int n)
+let bool b = Const (Value.Bool b)
+let sym s = Const (Value.Sym s)
+let true_ = bool true
+let false_ = bool false
+
+let not_ e = Not e
+let and_ es = And es
+let or_ es = Or es
+let implies a b = Implies (a, b)
+let iff a b = Iff (a, b)
+let eq a b = Eq (a, b)
+let neq a b = Neq (a, b)
+let lt a b = Lt (a, b)
+let le a b = Le (a, b)
+let gt a b = Gt (a, b)
+let ge a b = Ge (a, b)
+let add a b = Add (a, b)
+let sub a b = Sub (a, b)
+let mul a b = Mul (a, b)
+let mod_ a b = Mod (a, b)
+let ite c a b = Ite (c, a, b)
+
+let rec eval st e =
+  match e with
+  | Var x -> State.get st x
+  | Const v -> v
+  | Not e -> Value.Bool (not (Value.as_bool (eval st e)))
+  | And es -> Value.Bool (List.for_all (fun e -> Value.as_bool (eval st e)) es)
+  | Or es -> Value.Bool (List.exists (fun e -> Value.as_bool (eval st e)) es)
+  | Implies (a, b) ->
+    Value.Bool ((not (Value.as_bool (eval st a))) || Value.as_bool (eval st b))
+  | Iff (a, b) ->
+    Value.Bool (Value.as_bool (eval st a) = Value.as_bool (eval st b))
+  | Eq (a, b) -> Value.Bool (Value.equal (eval st a) (eval st b))
+  | Neq (a, b) -> Value.Bool (not (Value.equal (eval st a) (eval st b)))
+  | Lt (a, b) -> Value.Bool (Value.compare (eval st a) (eval st b) < 0)
+  | Le (a, b) -> Value.Bool (Value.compare (eval st a) (eval st b) <= 0)
+  | Gt (a, b) -> Value.Bool (Value.compare (eval st a) (eval st b) > 0)
+  | Ge (a, b) -> Value.Bool (Value.compare (eval st a) (eval st b) >= 0)
+  | Add (a, b) -> Value.Int (Value.as_int (eval st a) + Value.as_int (eval st b))
+  | Sub (a, b) -> Value.Int (Value.as_int (eval st a) - Value.as_int (eval st b))
+  | Mul (a, b) -> Value.Int (Value.as_int (eval st a) * Value.as_int (eval st b))
+  | Mod (a, b) ->
+    let m = Value.as_int (eval st b) in
+    if m = 0 then Value.type_error "modulo by zero"
+    else Value.Int (((Value.as_int (eval st a) mod m) + m) mod m)
+  | Ite (c, a, b) -> if Value.as_bool (eval st c) then eval st a else eval st b
+
+let eval_bool st e = Value.as_bool (eval st e)
+let eval_int st e = Value.as_int (eval st e)
+
+let rec free_vars = function
+  | Var x -> [ x ]
+  | Const _ -> []
+  | Not e -> free_vars e
+  | And es | Or es -> List.concat_map free_vars es
+  | Implies (a, b) | Iff (a, b) | Eq (a, b) | Neq (a, b)
+  | Lt (a, b) | Le (a, b) | Gt (a, b) | Ge (a, b)
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Mod (a, b) ->
+    free_vars a @ free_vars b
+  | Ite (c, a, b) -> free_vars c @ free_vars a @ free_vars b
+
+let variables e = List.sort_uniq String.compare (free_vars e)
+
+let rec pp ppf e =
+  let binop ppf op a b = Fmt.pf ppf "(%a %s %a)" pp a op pp b in
+  match e with
+  | Var x -> Fmt.string ppf x
+  | Const v -> Value.pp ppf v
+  | Not e -> Fmt.pf ppf "!%a" pp e
+  | And [] -> Fmt.string ppf "true"
+  | And es -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " && ") pp) es
+  | Or [] -> Fmt.string ppf "false"
+  | Or es -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " || ") pp) es
+  | Implies (a, b) -> binop ppf "=>" a b
+  | Iff (a, b) -> binop ppf "<=>" a b
+  | Eq (a, b) -> binop ppf "=" a b
+  | Neq (a, b) -> binop ppf "!=" a b
+  | Lt (a, b) -> binop ppf "<" a b
+  | Le (a, b) -> binop ppf "<=" a b
+  | Gt (a, b) -> binop ppf ">" a b
+  | Ge (a, b) -> binop ppf ">=" a b
+  | Add (a, b) -> binop ppf "+" a b
+  | Sub (a, b) -> binop ppf "-" a b
+  | Mul (a, b) -> binop ppf "*" a b
+  | Mod (a, b) -> binop ppf "%" a b
+  | Ite (c, a, b) -> Fmt.pf ppf "(if %a then %a else %a)" pp c pp a pp b
+
+let to_string e = Fmt.str "%a" pp e

@@ -1,0 +1,68 @@
+(** Syntactic expressions over program variables.
+
+    Guards and state predicates are boolean expressions over the program
+    variables (Section 2.1).  The DSL front end elaborates to this AST. *)
+
+type t =
+  | Var of string
+  | Const of Value.t
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Implies of t * t
+  | Iff of t * t
+  | Eq of t * t
+  | Neq of t * t
+  | Lt of t * t
+  | Le of t * t
+  | Gt of t * t
+  | Ge of t * t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Mod of t * t
+  | Ite of t * t * t
+
+(** {1 Constructors} *)
+
+val var : string -> t
+val const : Value.t -> t
+val int : int -> t
+val bool : bool -> t
+val sym : string -> t
+val true_ : t
+val false_ : t
+val not_ : t -> t
+val and_ : t list -> t
+val or_ : t list -> t
+val implies : t -> t -> t
+val iff : t -> t -> t
+val eq : t -> t -> t
+val neq : t -> t -> t
+val lt : t -> t -> t
+val le : t -> t -> t
+val gt : t -> t -> t
+val ge : t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** [mod_ a b] is the mathematical (always nonnegative) modulus. *)
+val mod_ : t -> t -> t
+
+val ite : t -> t -> t -> t
+
+(** {1 Evaluation} *)
+
+(** [eval st e] evaluates [e] in state [st].
+    @raise Value.Type_error on kind mismatches or unbound variables. *)
+val eval : State.t -> t -> Value.t
+
+val eval_bool : State.t -> t -> bool
+val eval_int : State.t -> t -> int
+
+(** [variables e] is the sorted list of variables occurring in [e]. *)
+val variables : t -> string list
+
+val pp : t Fmt.t
+val to_string : t -> string

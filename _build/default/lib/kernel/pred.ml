@@ -1,0 +1,62 @@
+(* State predicates (Section 2.1).
+
+   A state predicate is characterized by the set of states in which it is
+   true; the paper uses predicates and state sets interchangeably, and so do
+   we: the working representation is a semantic function [State.t -> bool]
+   carrying a name for diagnostics.  Boolean connectives on predicates are
+   exactly set operations. *)
+
+type t = {
+  name : string;
+  eval : State.t -> bool;
+}
+
+let make name eval = { name; eval }
+
+let holds p st = p.eval st
+
+let name p = p.name
+
+let of_expr ?name:n e =
+  let name = match n with Some s -> s | None -> Expr.to_string e in
+  make name (fun st -> Expr.eval_bool st e)
+
+let true_ = make "true" (fun _ -> true)
+let false_ = make "false" (fun _ -> false)
+
+let not_ p = make (Fmt.str "!(%s)" p.name) (fun st -> not (p.eval st))
+
+let and_ a b =
+  make (Fmt.str "(%s && %s)" a.name b.name) (fun st -> a.eval st && b.eval st)
+
+let or_ a b =
+  make (Fmt.str "(%s || %s)" a.name b.name) (fun st -> a.eval st || b.eval st)
+
+let implies a b =
+  make
+    (Fmt.str "(%s => %s)" a.name b.name)
+    (fun st -> (not (a.eval st)) || b.eval st)
+
+let conj ps = List.fold_left and_ true_ ps
+let disj ps = List.fold_left or_ false_ ps
+
+let of_states ?(name = "<state-set>") states =
+  let tbl = Hashtbl.create (max 16 (List.length states)) in
+  List.iter (fun st -> Hashtbl.replace tbl (State.to_string st) ()) states;
+  make name (fun st -> Hashtbl.mem tbl (State.to_string st))
+
+(* Semantic comparisons are relative to an explicit universe of states. *)
+
+let holds_everywhere p universe = List.for_all p.eval universe
+
+let implies_on ~universe a b =
+  List.for_all (fun st -> (not (a.eval st)) || b.eval st) universe
+
+let equal_on ~universe a b =
+  List.for_all (fun st -> a.eval st = b.eval st) universe
+
+let satisfying ~universe p = List.filter p.eval universe
+
+let count ~universe p = List.length (satisfying ~universe p)
+
+let pp ppf p = Fmt.string ppf p.name

@@ -1,0 +1,39 @@
+(** State predicates (Section 2.1).
+
+    A state predicate is characterized by the set of states where it holds;
+    the paper uses predicates and state sets interchangeably.  The working
+    representation is a semantic function with a display name.  Semantic
+    comparisons ([implies_on], [equal_on]) are relative to an explicit finite
+    universe of states, typically produced by state-space exploration. *)
+
+type t
+
+val make : string -> (State.t -> bool) -> t
+val holds : t -> State.t -> bool
+val name : t -> string
+
+(** [of_expr e] interprets a boolean expression as a predicate. *)
+val of_expr : ?name:string -> Expr.t -> t
+
+val true_ : t
+val false_ : t
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val implies : t -> t -> t
+val conj : t list -> t
+val disj : t list -> t
+
+(** [of_states states] is the predicate "member of [states]". *)
+val of_states : ?name:string -> State.t list -> t
+
+val holds_everywhere : t -> State.t list -> bool
+
+(** [implies_on ~universe a b] checks [a ⇒ b] over every state of the
+    universe. *)
+val implies_on : universe:State.t list -> t -> t -> bool
+
+val equal_on : universe:State.t list -> t -> t -> bool
+val satisfying : universe:State.t list -> t -> State.t list
+val count : universe:State.t list -> t -> int
+val pp : t Fmt.t

@@ -1,0 +1,55 @@
+(* Program states: total maps from variable names to values.
+
+   A state of program [p] assigns each variable of [p] a value from its
+   domain (Section 2.1 of the paper).  States are persistent maps so that
+   actions build successor states cheaply and states can be used as keys in
+   hash tables during state-space exploration. *)
+
+module Var_map = Map.Make (String)
+
+type t = Value.t Var_map.t
+
+let empty = Var_map.empty
+
+let of_list bindings =
+  List.fold_left (fun st (x, v) -> Var_map.add x v st) empty bindings
+
+let get st x =
+  match Var_map.find_opt x st with
+  | Some v -> v
+  | None -> Value.type_error "unbound variable %s" x
+
+let find_opt st x = Var_map.find_opt x st
+
+let set st x v = Var_map.add x v st
+
+let mem st x = Var_map.mem x st
+
+let bindings st = Var_map.bindings st
+
+let variables st = List.map fst (Var_map.bindings st)
+
+let compare = Var_map.compare Value.compare
+
+let equal = Var_map.equal Value.equal
+
+let hash st =
+  Var_map.fold (fun x v acc -> (acc * 31) + Hashtbl.hash x + Value.hash v) st 0
+
+(* Projection of a state on a set of variables (Section 2.2.1). *)
+let project st vars =
+  let keep = List.sort_uniq String.compare vars in
+  Var_map.filter (fun x _ -> List.mem x keep) st
+
+let update_many st bindings =
+  List.fold_left (fun acc (x, v) -> Var_map.add x v acc) st bindings
+
+(* [agree_on st st' vars]: do the two states coincide on [vars]? *)
+let agree_on st st' vars =
+  List.for_all (fun x -> Value.equal (get st x) (get st' x)) vars
+
+let pp ppf st =
+  let pp_binding ppf (x, v) = Fmt.pf ppf "%s=%a" x Value.pp v in
+  Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any " ") pp_binding) (bindings st)
+
+let to_string st = Fmt.str "%a" pp st

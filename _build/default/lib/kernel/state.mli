@@ -1,0 +1,34 @@
+(** Program states.
+
+    A state assigns a value to each variable of the program (Section 2.1).
+    States are persistent string-keyed maps. *)
+
+type t
+
+val empty : t
+val of_list : (string * Value.t) list -> t
+
+(** [get st x] returns the value of [x].
+    @raise Value.Type_error if [x] is unbound. *)
+val get : t -> string -> Value.t
+
+val find_opt : t -> string -> Value.t option
+val set : t -> string -> Value.t -> t
+val mem : t -> string -> bool
+val bindings : t -> (string * Value.t) list
+val variables : t -> string list
+val update_many : t -> (string * Value.t) list -> t
+
+(** [project st vars] is the projection of [st] on [vars]
+    (Section 2.2.1 of the paper). *)
+val project : t -> string list -> t
+
+(** [agree_on st st' vars] holds iff [st] and [st'] assign equal values to
+    every variable in [vars]. *)
+val agree_on : t -> t -> string list -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,65 @@
+(* Values taken by program variables.
+
+   The paper's programs range over arbitrary nonempty domains; for decidable
+   checking we restrict attention to finite domains of scalar values.  [Sym]
+   covers symbolic constants such as the paper's [bot] (the unassigned output
+   in TMR and Byzantine agreement). *)
+
+type t =
+  | Int of int
+  | Bool of bool
+  | Sym of string
+
+let int n = Int n
+let bool b = Bool b
+let sym s = Sym s
+
+let bot = Sym "bot"
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Stdlib.compare x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Bool _, _ -> -1
+  | _, Bool _ -> 1
+  | Sym x, Sym y -> String.compare x y
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int n -> n * 7919
+  | Bool b -> if b then 3 else 5
+  | Sym s -> Hashtbl.hash s
+
+let pp ppf = function
+  | Int n -> Fmt.int ppf n
+  | Bool b -> Fmt.bool ppf b
+  | Sym s -> Fmt.string ppf s
+
+let to_string v = Fmt.str "%a" pp v
+
+let to_int = function
+  | Int n -> Some n
+  | Bool _ | Sym _ -> None
+
+let to_bool = function
+  | Bool b -> Some b
+  | Int _ | Sym _ -> None
+
+exception Type_error of string
+
+let type_error fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+
+let as_int = function
+  | Int n -> n
+  | v -> type_error "expected int, got %a" pp v
+
+let as_bool = function
+  | Bool b -> b
+  | v -> type_error "expected bool, got %a" pp v
+
+let as_sym = function
+  | Sym s -> s
+  | v -> type_error "expected symbol, got %a" pp v

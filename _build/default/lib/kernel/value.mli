@@ -1,0 +1,39 @@
+(** Values of program variables.
+
+    The theory allows arbitrary nonempty domains; for decidable checking we
+    restrict to finite domains of scalars: integers, booleans, and symbolic
+    constants (e.g. the paper's [⊥] for "not yet assigned"). *)
+
+type t =
+  | Int of int
+  | Bool of bool
+  | Sym of string
+
+val int : int -> t
+val bool : bool -> t
+val sym : string -> t
+
+(** [bot] is the distinguished "unassigned" symbol [Sym "bot"], the paper's
+    [⊥]. *)
+val bot : t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : t Fmt.t
+val to_string : t -> string
+
+val to_int : t -> int option
+val to_bool : t -> bool option
+
+exception Type_error of string
+
+(** [type_error fmt ...] raises {!Type_error} with a formatted message. *)
+val type_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** [as_int], [as_bool], [as_sym] project a value, raising {!Type_error} on
+    a kind mismatch.  Used by expression evaluation. *)
+
+val as_int : t -> int
+val as_bool : t -> bool
+val as_sym : t -> string

@@ -1,0 +1,1 @@
+lib/lang/elaborate.ml: Action Ast Detcor_core Detcor_kernel Detcor_spec Domain Expr Fault Fmt List Liveness Parser Pred Program Safety Spec State String Typecheck

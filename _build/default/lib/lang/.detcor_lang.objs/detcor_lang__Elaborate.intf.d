@@ -1,0 +1,1 @@
+lib/lang/elaborate.mli: Ast Detcor_core Detcor_kernel Detcor_spec Fault Pred Program Spec

@@ -1,0 +1,143 @@
+(* Abstract syntax of the guarded-command language.
+
+   Example source:
+
+     program memory
+     var present : bool
+     var data : {bot, good, bad}
+
+     invariant present
+
+     action read:
+       true -> data := if present then good else bad
+
+     fault page:
+       present -> present := false
+
+     spec safety pair data != bad -> data != bad
+     spec liveness eventually data = good
+*)
+
+type expr =
+  | Ident of string (* variable, predicate reference, or symbol *)
+  | Int of int
+  | Bool of bool
+  | Not of expr
+  | Binop of binop * expr * expr
+  | If of expr * expr * expr
+
+and binop =
+  | Band
+  | Bor
+  | Bimplies
+  | Biff
+  | Beq
+  | Bneq
+  | Blt
+  | Ble
+  | Bgt
+  | Bge
+  | Badd
+  | Bsub
+  | Bmul
+  | Bmod
+
+type domain_decl =
+  | Dbool
+  | Drange of int * int
+  | Dsymbols of string list (* {bot, good, bad}: symbolic constants *)
+
+type assignment = {
+  target : string;
+  value : expr option; (* None is the '?' wildcard: any domain value *)
+}
+
+type action_decl = {
+  aname : string;
+  based_on : string option;
+  guard : expr;
+  assignments : assignment list;
+  is_fault : bool;
+}
+
+type spec_decl =
+  | Safety_never of expr
+  | Safety_always of expr
+  | Safety_pair of expr * expr (* generalized pair ({P},{Q}) *)
+  | Liveness_leadsto of expr * expr
+  | Liveness_eventually of expr
+
+type decl =
+  | Var of string * domain_decl
+  | Invariant of expr
+  | Pred_def of string * expr
+  | Action of action_decl
+  | Spec of spec_decl
+
+type program = {
+  pname : string;
+  decls : decl list;
+}
+
+let rec pp_expr ppf = function
+  | Ident s -> Fmt.string ppf s
+  | Int n -> Fmt.int ppf n
+  | Bool b -> Fmt.bool ppf b
+  | Not e -> Fmt.pf ppf "!%a" pp_expr e
+  | Binop (op, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_to_string op) pp_expr b
+  | If (c, a, b) ->
+    Fmt.pf ppf "(if %a then %a else %a)" pp_expr c pp_expr a pp_expr b
+
+and binop_to_string = function
+  | Band -> "&&"
+  | Bor -> "||"
+  | Bimplies -> "=>"
+  | Biff -> "<=>"
+  | Beq -> "="
+  | Bneq -> "!="
+  | Blt -> "<"
+  | Ble -> "<="
+  | Bgt -> ">"
+  | Bge -> ">="
+  | Badd -> "+"
+  | Bsub -> "-"
+  | Bmul -> "*"
+  | Bmod -> "%"
+
+let pp_domain ppf = function
+  | Dbool -> Fmt.string ppf "bool"
+  | Drange (lo, hi) -> Fmt.pf ppf "%d..%d" lo hi
+  | Dsymbols names ->
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") string) names
+
+let pp_assignment ppf a =
+  match a.value with
+  | None -> Fmt.pf ppf "%s := ?" a.target
+  | Some e -> Fmt.pf ppf "%s := %a" a.target pp_expr e
+
+let pp_decl ppf = function
+  | Var (x, d) -> Fmt.pf ppf "var %s : %a" x pp_domain d
+  | Invariant e -> Fmt.pf ppf "invariant %a" pp_expr e
+  | Pred_def (x, e) -> Fmt.pf ppf "pred %s = %a" x pp_expr e
+  | Action a ->
+    Fmt.pf ppf "%s %s%a:@,  %a -> %a"
+      (if a.is_fault then "fault" else "action")
+      a.aname
+      Fmt.(option (fun ppf b -> pf ppf " based on %s" b))
+      a.based_on pp_expr a.guard
+      Fmt.(list ~sep:(any ", ") pp_assignment)
+      a.assignments
+  | Spec (Safety_never e) -> Fmt.pf ppf "spec safety never %a" pp_expr e
+  | Spec (Safety_always e) -> Fmt.pf ppf "spec safety always %a" pp_expr e
+  | Spec (Safety_pair (p, q)) ->
+    Fmt.pf ppf "spec safety pair %a -> %a" pp_expr p pp_expr q
+  | Spec (Liveness_leadsto (p, q)) ->
+    Fmt.pf ppf "spec liveness %a ~> %a" pp_expr p pp_expr q
+  | Spec (Liveness_eventually e) ->
+    Fmt.pf ppf "spec liveness eventually %a" pp_expr e
+
+let pp ppf p =
+  Fmt.pf ppf "@[<v>program %s@,%a@]" p.pname
+    Fmt.(list ~sep:cut pp_decl)
+    p.decls

@@ -1,0 +1,20 @@
+(** Elaboration of the surface guarded-command language into kernel
+    programs, fault classes, invariants and specifications. *)
+
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+
+exception Error of string
+
+type elaborated = {
+  program : Program.t;  (** the non-fault actions *)
+  faults : Fault.t;  (** the [fault] declarations *)
+  invariant : Pred.t;  (** conjunction of [invariant] declarations *)
+  spec : Spec.t;  (** conjunction of [spec] declarations *)
+  source : Ast.program;
+}
+
+val elaborate : Ast.program -> elaborated
+val load_file : string -> elaborated
+val load_string : string -> elaborated

@@ -1,0 +1,115 @@
+(* Hand-rolled lexer for the guarded-command language.
+   Comments run from '#' or '//' to end of line. *)
+
+exception Error of {
+  line : int;
+  column : int;
+  message : string;
+}
+
+type located = {
+  token : Token.t;
+  line : int;
+  column : int;
+}
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let col = ref 1 in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let advance () =
+    (match src.[!pos] with
+    | '\n' ->
+      incr line;
+      col := 1
+    | _ -> incr col);
+    incr pos
+  in
+  let error message = raise (Error { line = !line; column = !col; message }) in
+  let emit token l c = tokens := { token; line = l; column = c } :: !tokens in
+  while !pos < n do
+    let l = !line and c = !col in
+    let ch = src.[!pos] in
+    if ch = ' ' || ch = '\t' || ch = '\r' || ch = '\n' then advance ()
+    else if ch = '#' || (ch = '/' && peek 1 = Some '/') then
+      while !pos < n && src.[!pos] <> '\n' do
+        advance ()
+      done
+    else if is_ident_start ch then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        advance ()
+      done;
+      let word = String.sub src start (!pos - start) in
+      match Token.keyword word with
+      | Some kw -> emit kw l c
+      | None -> emit (Token.IDENT word) l c
+    end
+    else if is_digit ch then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do
+        advance ()
+      done;
+      emit (Token.INT (int_of_string (String.sub src start (!pos - start)))) l c
+    end
+    else begin
+      let two = if !pos + 1 < n then String.sub src !pos 2 else "" in
+      let take2 tok =
+        advance ();
+        advance ();
+        emit tok l c
+      in
+      let take1 tok =
+        advance ();
+        emit tok l c
+      in
+      match two with
+      | ":=" -> take2 Token.ASSIGN
+      | "->" -> take2 Token.ARROW
+      | "~>" -> take2 Token.LEADSTO
+      | "&&" -> take2 Token.AND
+      | "||" -> take2 Token.OR
+      | "=>" -> take2 Token.IMPLIES
+      | "!=" -> take2 Token.NEQ
+      | "<=" ->
+        if peek 2 = Some '>' then begin
+          advance ();
+          advance ();
+          advance ();
+          emit Token.IFF l c
+        end
+        else take2 Token.LE
+      | ">=" -> take2 Token.GE
+      | ".." -> take2 Token.DOTDOT
+      | _ -> (
+        match ch with
+        | '=' -> take1 Token.EQ
+        | '<' -> take1 Token.LT
+        | '>' -> take1 Token.GT
+        | '!' -> take1 Token.NOT
+        | '+' -> take1 Token.PLUS
+        | '-' -> take1 Token.MINUS
+        | '*' -> take1 Token.STAR
+        | '%' -> take1 Token.PERCENT
+        | '(' -> take1 Token.LPAREN
+        | ')' -> take1 Token.RPAREN
+        | '{' -> take1 Token.LBRACE
+        | '}' -> take1 Token.RBRACE
+        | ':' -> take1 Token.COLON
+        | ',' -> take1 Token.COMMA
+        | '?' -> take1 Token.QUESTION
+        | _ -> error (Fmt.str "unexpected character %C" ch))
+    end
+  done;
+  emit Token.EOF !line !col;
+  List.rev !tokens

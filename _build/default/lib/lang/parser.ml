@@ -1,0 +1,284 @@
+(* Recursive-descent parser for the guarded-command language. *)
+
+exception Error of {
+  line : int;
+  column : int;
+  message : string;
+}
+
+type stream = {
+  mutable tokens : Lexer.located list;
+}
+
+let peek s =
+  match s.tokens with
+  | t :: _ -> t
+  | [] -> assert false (* the lexer always appends EOF *)
+
+let error_at (t : Lexer.located) message =
+  raise (Error { line = t.line; column = t.column; message })
+
+let next s =
+  let t = peek s in
+  (match s.tokens with _ :: rest when t.token <> Token.EOF -> s.tokens <- rest | _ -> ());
+  t
+
+let expect s token =
+  let t = next s in
+  if t.token <> token then
+    error_at t
+      (Fmt.str "expected %s but found %s" (Token.to_string token)
+         (Token.to_string t.token))
+
+let accept s token =
+  let t = peek s in
+  if t.token = token then begin
+    ignore (next s);
+    true
+  end
+  else false
+
+let ident s =
+  let t = next s in
+  match t.token with
+  | Token.IDENT x -> x
+  | other -> error_at t (Fmt.str "expected identifier, found %s" (Token.to_string other))
+
+let integer s =
+  let t = next s in
+  match t.token with
+  | Token.INT n -> n
+  | Token.MINUS -> (
+    let t2 = next s in
+    match t2.token with
+    | Token.INT n -> -n
+    | other ->
+      error_at t2 (Fmt.str "expected integer, found %s" (Token.to_string other)))
+  | other -> error_at t (Fmt.str "expected integer, found %s" (Token.to_string other))
+
+(* ------------------------------------------------------------------ *)
+(* Expressions, by precedence climbing.                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr s = parse_iff s
+
+and parse_iff s =
+  let lhs = parse_implies s in
+  if accept s Token.IFF then Ast.Binop (Ast.Biff, lhs, parse_iff s) else lhs
+
+and parse_implies s =
+  let lhs = parse_or s in
+  if accept s Token.IMPLIES then Ast.Binop (Ast.Bimplies, lhs, parse_implies s)
+  else lhs
+
+and parse_or s =
+  let lhs = parse_and s in
+  if accept s Token.OR then Ast.Binop (Ast.Bor, lhs, parse_or s) else lhs
+
+and parse_and s =
+  let lhs = parse_cmp s in
+  if accept s Token.AND then Ast.Binop (Ast.Band, lhs, parse_and s) else lhs
+
+and parse_cmp s =
+  let lhs = parse_add s in
+  let op =
+    match (peek s).token with
+    | Token.EQ -> Some Ast.Beq
+    | Token.NEQ -> Some Ast.Bneq
+    | Token.LT -> Some Ast.Blt
+    | Token.LE -> Some Ast.Ble
+    | Token.GT -> Some Ast.Bgt
+    | Token.GE -> Some Ast.Bge
+    | _ -> None
+  in
+  match op with
+  | Some op ->
+    ignore (next s);
+    Ast.Binop (op, lhs, parse_add s)
+  | None -> lhs
+
+and parse_add s =
+  let rec loop lhs =
+    match (peek s).token with
+    | Token.PLUS ->
+      ignore (next s);
+      loop (Ast.Binop (Ast.Badd, lhs, parse_mul s))
+    | Token.MINUS ->
+      ignore (next s);
+      loop (Ast.Binop (Ast.Bsub, lhs, parse_mul s))
+    | _ -> lhs
+  in
+  loop (parse_mul s)
+
+and parse_mul s =
+  let rec loop lhs =
+    match (peek s).token with
+    | Token.STAR ->
+      ignore (next s);
+      loop (Ast.Binop (Ast.Bmul, lhs, parse_unary s))
+    | Token.PERCENT ->
+      ignore (next s);
+      loop (Ast.Binop (Ast.Bmod, lhs, parse_unary s))
+    | _ -> lhs
+  in
+  loop (parse_unary s)
+
+and parse_unary s =
+  if accept s Token.NOT then Ast.Not (parse_unary s) else parse_atom s
+
+and parse_atom s =
+  let t = next s in
+  match t.token with
+  | Token.INT n -> Ast.Int n
+  | Token.MINUS -> (
+    let t2 = next s in
+    match t2.token with
+    | Token.INT n -> Ast.Int (-n)
+    | other ->
+      error_at t2 (Fmt.str "expected integer after '-', found %s" (Token.to_string other)))
+  | Token.KW_TRUE -> Ast.Bool true
+  | Token.KW_FALSE -> Ast.Bool false
+  | Token.IDENT x -> Ast.Ident x
+  | Token.LPAREN ->
+    let e = parse_expr s in
+    expect s Token.RPAREN;
+    e
+  | Token.KW_IF ->
+    let c = parse_expr s in
+    expect s Token.KW_THEN;
+    let a = parse_expr s in
+    expect s Token.KW_ELSE;
+    let b = parse_expr s in
+    Ast.If (c, a, b)
+  | other ->
+    error_at t (Fmt.str "expected an expression, found %s" (Token.to_string other))
+
+(* ------------------------------------------------------------------ *)
+(* Declarations.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let parse_domain s =
+  let t = peek s in
+  match t.token with
+  | Token.KW_BOOL ->
+    ignore (next s);
+    Ast.Dbool
+  | Token.LBRACE ->
+    ignore (next s);
+    let rec symbols acc =
+      let x = ident s in
+      if accept s Token.COMMA then symbols (x :: acc)
+      else begin
+        expect s Token.RBRACE;
+        List.rev (x :: acc)
+      end
+    in
+    Ast.Dsymbols (symbols [])
+  | Token.INT _ | Token.MINUS ->
+    let lo = integer s in
+    expect s Token.DOTDOT;
+    let hi = integer s in
+    Ast.Drange (lo, hi)
+  | other ->
+    error_at t
+      (Fmt.str "expected a domain (bool, lo..hi, or {symbols}), found %s"
+         (Token.to_string other))
+
+let parse_assignment s =
+  let target = ident s in
+  expect s Token.ASSIGN;
+  if accept s Token.QUESTION then { Ast.target; value = None }
+  else { Ast.target; value = Some (parse_expr s) }
+
+let parse_assignments s =
+  let rec loop acc =
+    let a = parse_assignment s in
+    if accept s Token.COMMA then loop (a :: acc) else List.rev (a :: acc)
+  in
+  loop []
+
+let parse_action s ~is_fault =
+  let aname = ident s in
+  let based_on =
+    if accept s Token.KW_BASED then begin
+      expect s Token.KW_ON;
+      Some (ident s)
+    end
+    else None
+  in
+  expect s Token.COLON;
+  let guard = parse_expr s in
+  expect s Token.ARROW;
+  let assignments = parse_assignments s in
+  { Ast.aname; based_on; guard; assignments; is_fault }
+
+let parse_spec s =
+  let t = next s in
+  match t.token with
+  | Token.KW_SAFETY -> (
+    let t2 = next s in
+    match t2.token with
+    | Token.KW_NEVER -> Ast.Safety_never (parse_expr s)
+    | Token.KW_ALWAYS -> Ast.Safety_always (parse_expr s)
+    | Token.KW_PAIR ->
+      let p = parse_expr s in
+      expect s Token.ARROW;
+      let q = parse_expr s in
+      Ast.Safety_pair (p, q)
+    | other ->
+      error_at t2
+        (Fmt.str "expected 'never', 'always' or 'pair', found %s"
+           (Token.to_string other)))
+  | Token.KW_LIVENESS ->
+    if accept s Token.KW_EVENTUALLY then Ast.Liveness_eventually (parse_expr s)
+    else begin
+      let p = parse_expr s in
+      expect s Token.LEADSTO;
+      let q = parse_expr s in
+      Ast.Liveness_leadsto (p, q)
+    end
+  | other ->
+    error_at t
+      (Fmt.str "expected 'safety' or 'liveness', found %s" (Token.to_string other))
+
+let parse_decl s =
+  let t = next s in
+  match t.token with
+  | Token.KW_VAR ->
+    let x = ident s in
+    expect s Token.COLON;
+    let d = parse_domain s in
+    Ast.Var (x, d)
+  | Token.KW_INVARIANT -> Ast.Invariant (parse_expr s)
+  | Token.KW_PRED ->
+    let x = ident s in
+    expect s Token.EQ;
+    Ast.Pred_def (x, parse_expr s)
+  | Token.KW_ACTION -> Ast.Action (parse_action s ~is_fault:false)
+  | Token.KW_FAULT -> Ast.Action (parse_action s ~is_fault:true)
+  | Token.KW_SPEC -> Ast.Spec (parse_spec s)
+  | other ->
+    error_at t
+      (Fmt.str
+         "expected a declaration (var, invariant, pred, action, fault, spec), \
+          found %s"
+         (Token.to_string other))
+
+let parse_program tokens =
+  let s = { tokens } in
+  expect s Token.KW_PROGRAM;
+  let pname = ident s in
+  let rec decls acc =
+    if (peek s).token = Token.EOF then List.rev acc
+    else decls (parse_decl s :: acc)
+  in
+  { Ast.pname; decls = decls [] }
+
+let parse_string src = parse_program (Lexer.tokenize src)
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse_string src

@@ -1,0 +1,129 @@
+(* Tokens of the guarded-command language. *)
+
+type t =
+  | IDENT of string
+  | INT of int
+  | KW_PROGRAM
+  | KW_VAR
+  | KW_BOOL
+  | KW_TRUE
+  | KW_FALSE
+  | KW_INVARIANT
+  | KW_PRED
+  | KW_ACTION
+  | KW_FAULT
+  | KW_BASED
+  | KW_ON
+  | KW_SPEC
+  | KW_SAFETY
+  | KW_LIVENESS
+  | KW_NEVER
+  | KW_ALWAYS
+  | KW_PAIR
+  | KW_EVENTUALLY
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | ASSIGN (* := *)
+  | ARROW (* -> *)
+  | LEADSTO (* ~> *)
+  | AND (* && *)
+  | OR (* || *)
+  | NOT (* ! *)
+  | IMPLIES (* => *)
+  | IFF (* <=> *)
+  | EQ (* = *)
+  | NEQ (* != *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | PERCENT
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COLON
+  | COMMA
+  | DOTDOT (* .. *)
+  | QUESTION (* ? *)
+  | EOF
+
+let keyword = function
+  | "program" -> Some KW_PROGRAM
+  | "var" -> Some KW_VAR
+  | "bool" -> Some KW_BOOL
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | "invariant" -> Some KW_INVARIANT
+  | "pred" -> Some KW_PRED
+  | "action" -> Some KW_ACTION
+  | "fault" -> Some KW_FAULT
+  | "based" -> Some KW_BASED
+  | "on" -> Some KW_ON
+  | "spec" -> Some KW_SPEC
+  | "safety" -> Some KW_SAFETY
+  | "liveness" -> Some KW_LIVENESS
+  | "never" -> Some KW_NEVER
+  | "always" -> Some KW_ALWAYS
+  | "pair" -> Some KW_PAIR
+  | "eventually" -> Some KW_EVENTUALLY
+  | "if" -> Some KW_IF
+  | "then" -> Some KW_THEN
+  | "else" -> Some KW_ELSE
+  | _ -> None
+
+let to_string = function
+  | IDENT s -> Fmt.str "identifier %S" s
+  | INT n -> Fmt.str "integer %d" n
+  | KW_PROGRAM -> "'program'"
+  | KW_VAR -> "'var'"
+  | KW_BOOL -> "'bool'"
+  | KW_TRUE -> "'true'"
+  | KW_FALSE -> "'false'"
+  | KW_INVARIANT -> "'invariant'"
+  | KW_PRED -> "'pred'"
+  | KW_ACTION -> "'action'"
+  | KW_FAULT -> "'fault'"
+  | KW_BASED -> "'based'"
+  | KW_ON -> "'on'"
+  | KW_SPEC -> "'spec'"
+  | KW_SAFETY -> "'safety'"
+  | KW_LIVENESS -> "'liveness'"
+  | KW_NEVER -> "'never'"
+  | KW_ALWAYS -> "'always'"
+  | KW_PAIR -> "'pair'"
+  | KW_EVENTUALLY -> "'eventually'"
+  | KW_IF -> "'if'"
+  | KW_THEN -> "'then'"
+  | KW_ELSE -> "'else'"
+  | ASSIGN -> "':='"
+  | ARROW -> "'->'"
+  | LEADSTO -> "'~>'"
+  | AND -> "'&&'"
+  | OR -> "'||'"
+  | NOT -> "'!'"
+  | IMPLIES -> "'=>'"
+  | IFF -> "'<=>'"
+  | EQ -> "'='"
+  | NEQ -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | PERCENT -> "'%'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | COLON -> "':'"
+  | COMMA -> "','"
+  | DOTDOT -> "'..'"
+  | QUESTION -> "'?'"
+  | EOF -> "end of input"

@@ -1,0 +1,17 @@
+(** Static checking of surface programs: unknown identifiers, kind
+    mismatches (bool / int / symbol), non-boolean guards and
+    specifications, out-of-domain symbol assignments, duplicate
+    declarations, dangling [based on] references.  Run by
+    {!Elaborate.elaborate} before building the kernel program. *)
+
+type kind =
+  | Kbool
+  | Kint
+  | Ksym
+
+val kind_to_string : kind -> string
+
+type error = string
+
+(** All problems found, in source order; empty means well-typed. *)
+val check : Ast.program -> error list

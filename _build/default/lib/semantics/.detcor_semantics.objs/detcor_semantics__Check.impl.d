@@ -1,0 +1,1 @@
+lib/semantics/check.ml: Action Array Detcor_kernel Fairness Fmt Fun Graph List Pred State Ts

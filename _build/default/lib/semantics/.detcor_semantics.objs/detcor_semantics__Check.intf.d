@@ -1,0 +1,1 @@
+lib/semantics/check.mli: Action Detcor_kernel Fmt Pred State Ts

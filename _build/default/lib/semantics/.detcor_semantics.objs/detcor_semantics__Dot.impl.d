@@ -1,0 +1,1 @@
+lib/semantics/dot.ml: Action Buffer Detcor_kernel Fmt List Pred State String Ts

@@ -1,0 +1,1 @@
+lib/semantics/dot.mli: Detcor_kernel Pred Ts

@@ -1,0 +1,1 @@
+lib/semantics/explain.ml: Action Check Detcor_kernel Fmt Graph List Option State Trace Ts

@@ -1,0 +1,1 @@
+lib/semantics/explain.mli: Check Detcor_kernel Fmt State Trace Ts

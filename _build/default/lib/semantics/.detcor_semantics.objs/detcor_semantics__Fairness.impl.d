@@ -1,0 +1,1 @@
+lib/semantics/fairness.ml: Array Graph Hashtbl List Ts

@@ -1,0 +1,1 @@
+lib/semantics/fairness.mli: Graph Ts

@@ -1,0 +1,1 @@
+lib/semantics/graph.ml: Array List Queue Ts

@@ -1,0 +1,1 @@
+lib/semantics/graph.mli: Ts

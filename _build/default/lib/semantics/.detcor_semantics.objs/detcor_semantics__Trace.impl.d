@@ -1,0 +1,1 @@
+lib/semantics/trace.ml: Action Detcor_kernel Fmt List Pred State Ts

@@ -1,0 +1,1 @@
+lib/semantics/trace.mli: Detcor_kernel Fmt Pred State Ts

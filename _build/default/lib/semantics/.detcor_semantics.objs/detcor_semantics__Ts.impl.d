@@ -1,0 +1,1 @@
+lib/semantics/ts.ml: Action Array Detcor_kernel Fmt Hashtbl List Pred Program Queue Set State String

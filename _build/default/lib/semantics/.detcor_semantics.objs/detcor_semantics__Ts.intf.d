@@ -1,0 +1,1 @@
+lib/semantics/ts.mli: Action Detcor_kernel Fmt Pred Program State

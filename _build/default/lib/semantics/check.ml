@@ -1,0 +1,214 @@
+(* Decision procedures for the temporal notions of Section 2, over explicit
+   transition systems.  Every check returns [Holds] or a counterexample. *)
+
+open Detcor_kernel
+
+type violation =
+  | Bad_state of State.t
+  | Bad_transition of State.t * string * State.t
+      (* source, action name, target *)
+  | Deadlock of State.t
+  | Fair_cycle of State.t list
+  | Not_implied of State.t
+      (* a state where an expected implication between predicates fails *)
+
+type outcome =
+  | Holds
+  | Fails of violation
+
+let holds = function Holds -> true | Fails _ -> false
+
+let pp_violation ppf = function
+  | Bad_state st -> Fmt.pf ppf "bad state %a" State.pp st
+  | Bad_transition (s, ac, s') ->
+    Fmt.pf ppf "bad transition %a -[%s]-> %a" State.pp s ac State.pp s'
+  | Deadlock st -> Fmt.pf ppf "deadlock at %a" State.pp st
+  | Fair_cycle sts ->
+    Fmt.pf ppf "fair cycle through {%a}"
+      Fmt.(list ~sep:(any "; ") State.pp)
+      sts
+  | Not_implied st -> Fmt.pf ppf "implication fails at %a" State.pp st
+
+let pp_outcome ppf = function
+  | Holds -> Fmt.string ppf "holds"
+  | Fails v -> Fmt.pf ppf "fails: %a" pp_violation v
+
+(* First violation among a lazy sequence of candidates. *)
+let first_fail checks =
+  let rec go = function
+    | [] -> Holds
+    | check :: rest -> ( match check () with Holds -> go rest | f -> f)
+  in
+  go checks
+
+(* ------------------------------------------------------------------ *)
+(* Closure (Section 2.2, cl(S)): once S holds it continues to hold.    *)
+(* ------------------------------------------------------------------ *)
+
+(* [closed ts s]: no reachable transition leaves [s].  This is "p refines
+   cl(S) from true" restricted to the explored (reachable) graph. *)
+let closed ts s =
+  let result = ref Holds in
+  (try
+     Ts.iter_edges ts (fun i aid j ->
+         if Ts.holds_at ts s i && not (Ts.holds_at ts s j) then begin
+           result :=
+             Fails
+               (Bad_transition
+                  (Ts.state ts i, Action.name (Ts.action ts aid), Ts.state ts j));
+           raise Exit
+         end)
+   with Exit -> ());
+  !result
+
+(* [closed_under_actions ~universe actions s]: every action preserves [s]
+   over the whole universe — used for "T is closed in F" (Section 2.3),
+   where F's actions must preserve T from anywhere, not only from reachable
+   states. *)
+let closed_under_actions ~universe actions s =
+  let check_action ac () =
+    let rec go = function
+      | [] -> Holds
+      | st :: rest ->
+        if Pred.holds s st then
+          let bad =
+            List.find_opt (fun st' -> not (Pred.holds s st')) (Action.execute ac st)
+          in
+          match bad with
+          | Some st' ->
+            Fails (Bad_transition (st, Action.name ac, st'))
+          | None -> go rest
+        else go rest
+    in
+    go universe
+  in
+  first_fail (List.map check_action actions)
+
+(* ------------------------------------------------------------------ *)
+(* Generalized Hoare triples  {S} p {R}  (Section 2.2.1).              *)
+(* ------------------------------------------------------------------ *)
+
+(* Every reachable transition from an S-state lands in an R-state. *)
+let hoare_triple ts ~pre ~post =
+  let result = ref Holds in
+  (try
+     Ts.iter_edges ts (fun i aid j ->
+         if Ts.holds_at ts pre i && not (Ts.holds_at ts post j) then begin
+           result :=
+             Fails
+               (Bad_transition
+                  (Ts.state ts i, Action.name (Ts.action ts aid), Ts.state ts j));
+           raise Exit
+         end)
+   with Exit -> ());
+  !result
+
+(* ------------------------------------------------------------------ *)
+(* Safety specifications as bad states + bad transitions.              *)
+(* ------------------------------------------------------------------ *)
+
+let safety ts ~bad_state ~bad_transition =
+  let result = ref Holds in
+  (try
+     for i = 0 to Ts.num_states ts - 1 do
+       if bad_state (Ts.state ts i) then begin
+         result := Fails (Bad_state (Ts.state ts i));
+         raise Exit
+       end
+     done;
+     Ts.iter_edges ts (fun i aid j ->
+         if bad_transition (Ts.state ts i) (Ts.state ts j) then begin
+           result :=
+             Fails
+               (Bad_transition
+                  (Ts.state ts i, Action.name (Ts.action ts aid), Ts.state ts j));
+           raise Exit
+         end)
+   with Exit -> ());
+  !result
+
+(* ------------------------------------------------------------------ *)
+(* Leads-to under weak fairness.                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* [leads_to ts p q]: along every fair maximal computation, each state
+   satisfying [p] is eventually followed by a state satisfying [q] (the
+   state itself counts when it satisfies [q]).
+
+   Violated iff from some reachable [p ∧ ¬q] state there is a fair maximal
+   computation confined to [¬q]: either it reaches a deadlock inside [¬q],
+   or it is an infinite fair run inside [¬q]. *)
+let leads_to ts p q =
+  let not_q i = not (Ts.holds_at ts q i) in
+  let starts =
+    List.filter
+      (fun i -> Ts.holds_at ts p i && not_q i)
+      (List.init (Ts.num_states ts) Fun.id)
+  in
+  if starts = [] then Holds
+  else begin
+    let reach = Graph.reachable ~mask:not_q ts ~from:starts in
+    let deadlock = ref None in
+    (try
+       for i = 0 to Ts.num_states ts - 1 do
+         if reach.(i) && Ts.deadlocked ts i then begin
+           deadlock := Some i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    match !deadlock with
+    | Some i -> Fails (Deadlock (Ts.state ts i))
+    | None -> (
+      match
+        Fairness.fair_run_exists ts
+          ~region:(fun i -> not_q i && reach.(i))
+          ~from:starts
+      with
+      | Some scc -> Fails (Fair_cycle (List.map (Ts.state ts) scc.members))
+      | None -> Holds)
+  end
+
+(* [eventually ts q]: every fair maximal computation of the system (from its
+   initial states — and hence from every reachable state, by suffix closure)
+   reaches [q].  Equivalent to [leads_to true q]. *)
+let eventually ts q = leads_to ts Pred.true_ q
+
+(* ------------------------------------------------------------------ *)
+(* Converges-to (Section 2.2).                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* [converges ts s r]: "S converges to R in p" — cl(S), cl(R), and along
+   computations, S implies eventually R. *)
+let converges ts s r =
+  first_fail
+    [
+      (fun () -> closed ts s);
+      (fun () -> closed ts r);
+      (fun () -> leads_to ts s r);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Predicate implication over the system's states.                     *)
+(* ------------------------------------------------------------------ *)
+
+let implies ts a b =
+  let rec go i =
+    if i >= Ts.num_states ts then Holds
+    else if Ts.holds_at ts a i && not (Ts.holds_at ts b i) then
+      Fails (Not_implied (Ts.state ts i))
+    else go (i + 1)
+  in
+  go 0
+
+(* No reachable deadlock inside the region. *)
+let deadlock_free ts ~inside =
+  let rec go i =
+    if i >= Ts.num_states ts then Holds
+    else if Ts.holds_at ts inside i && Ts.deadlocked ts i then
+      Fails (Deadlock (Ts.state ts i))
+    else go (i + 1)
+  in
+  go 0
+
+let all outcomes = first_fail (List.map (fun o () -> o) outcomes)

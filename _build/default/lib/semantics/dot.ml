@@ -1,0 +1,67 @@
+(* Graphviz export of transition systems, for inspecting small examples
+   and illustrating counterexamples. *)
+
+open Detcor_kernel
+
+type style = {
+  (* Nodes satisfying the predicate get the fill color. *)
+  highlight : (Pred.t * string) list;
+  (* Edges of these actions are drawn dashed (e.g. fault actions). *)
+  dashed_actions : string list;
+  show_action_labels : bool;
+}
+
+let default_style =
+  { highlight = []; dashed_actions = []; show_action_labels = true }
+
+let escape s =
+  String.concat "\\\""
+    (String.split_on_char '"' s)
+
+let node_label st = escape (State.to_string st)
+
+let to_buffer ?(style = default_style) ts buf =
+  let add fmt = Fmt.kstr (Buffer.add_string buf) fmt in
+  add "digraph ts {\n";
+  add "  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n";
+  for i = 0 to Ts.num_states ts - 1 do
+    let st = Ts.state ts i in
+    let fill =
+      List.find_map
+        (fun (p, color) -> if Pred.holds p st then Some color else None)
+        style.highlight
+    in
+    let attrs =
+      match fill with
+      | Some color -> Fmt.str " style=filled fillcolor=\"%s\"" color
+      | None -> ""
+    in
+    add "  s%d [label=\"%s\"%s];\n" i (node_label st) attrs
+  done;
+  List.iter
+    (fun i -> add "  init%d [shape=point]; init%d -> s%d;\n" i i i)
+    (Ts.initials ts);
+  Ts.iter_edges ts (fun i aid j ->
+      let name = Action.name (Ts.action ts aid) in
+      let label =
+        if style.show_action_labels then Fmt.str " label=\"%s\"" (escape name)
+        else ""
+      in
+      let dash =
+        if List.mem name style.dashed_actions then " style=dashed" else ""
+      in
+      add "  s%d -> s%d [%s%s];\n" i j label dash);
+  add "}\n"
+
+let to_string ?style ts =
+  let buf = Buffer.create 4096 in
+  to_buffer ?style ts buf;
+  Buffer.contents buf
+
+let to_file ?style ts path =
+  let oc = open_out path in
+  (try output_string oc (to_string ?style ts)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc

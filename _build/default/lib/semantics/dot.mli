@@ -1,0 +1,14 @@
+(** Graphviz export of transition systems. *)
+
+open Detcor_kernel
+
+type style = {
+  highlight : (Pred.t * string) list;
+      (** first matching predicate colors the node *)
+  dashed_actions : string list;  (** e.g. fault actions *)
+  show_action_labels : bool;
+}
+
+val default_style : style
+val to_string : ?style:style -> Ts.t -> string
+val to_file : ?style:style -> Ts.t -> string -> unit

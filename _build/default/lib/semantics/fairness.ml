@@ -1,0 +1,72 @@
+(* Weak fairness (Section 2.1: each action continuously enabled along a
+   computation is eventually executed).
+
+   The key decision procedure: does a region of states admit an infinite
+   weakly-fair computation that stays in the region forever?
+
+   Characterization used (exact for finite systems): such a computation
+   exists iff some non-trivial SCC [C] of the subgraph induced by the region
+   satisfies: for every action [a] whose guard holds at EVERY state of [C],
+   some edge of [a] connects two states of [C].
+
+   - If the condition holds, a run cycling through all states and all
+     internal edges of [C] is fair: any action enabled at all states visited
+     infinitely often (i.e. at all of [C]) fires infinitely often via its
+     internal edge, and any other action is disabled infinitely often, hence
+     not continuously enabled.
+   - Conversely, a run staying forever inside a set [L] of states must stay
+     inside one SCC [C ⊇ L]; an action enabled on all of [C] is enabled on
+     all of [L], and firing it from [L] would follow one of its edges — if
+     none of its edges is internal to [C], none is internal to [L], so the
+     run never fires a continuously enabled action: unfair. *)
+
+(* [fair_scc ts scc]: can this SCC host an infinite weakly-fair run? *)
+let fair_scc ts (scc : Graph.scc) =
+  if scc.trivial then None
+  else begin
+    let in_scc = Hashtbl.create (List.length scc.members) in
+    List.iter (fun v -> Hashtbl.replace in_scc v ()) scc.members;
+    let num_actions = Ts.num_actions ts in
+    let enabled_everywhere = Array.make num_actions true in
+    List.iter
+      (fun v ->
+        for aid = 0 to num_actions - 1 do
+          if enabled_everywhere.(aid) && not (Ts.enabled ts v aid) then
+            enabled_everywhere.(aid) <- false
+        done)
+      scc.members;
+    let has_internal_edge = Array.make num_actions false in
+    List.iter
+      (fun v ->
+        List.iter
+          (fun (aid, j) ->
+            if Hashtbl.mem in_scc j then has_internal_edge.(aid) <- true)
+          (Ts.edges_of ts v))
+      scc.members;
+    let ok = ref true in
+    for aid = 0 to num_actions - 1 do
+      if enabled_everywhere.(aid) && not has_internal_edge.(aid) then ok := false
+    done;
+    if !ok then Some scc else None
+  end
+
+(* All SCCs of the masked subgraph that can host a fair infinite run. *)
+let fair_sccs ?mask ts =
+  let components = Graph.sccs ?mask ts in
+  List.filter_map (fair_scc ts) components
+
+(* [fair_run_exists ts ~region ~from]: is there a weakly-fair infinite
+   computation that starts at some state of [from], stays inside [region]
+   forever?  (Deadlocks are handled separately by callers: a finite maximal
+   computation is not an infinite run.) *)
+let fair_run_exists ts ~region ~from =
+  let mask = region in
+  let starts = List.filter region from in
+  if starts = [] then None
+  else begin
+    let reach = Graph.reachable ~mask ts ~from:starts in
+    let fair = fair_sccs ~mask:(fun i -> mask i && reach.(i)) ts in
+    match fair with
+    | [] -> None
+    | scc :: _ -> Some scc
+  end

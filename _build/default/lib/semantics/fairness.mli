@@ -1,0 +1,20 @@
+(** Weak fairness (Section 2.1): each action continuously enabled along a
+    computation is eventually executed.
+
+    The central decision procedure asks whether a region admits an infinite
+    weakly-fair computation confined to it — exact for finite systems via
+    SCC analysis: a non-trivial SCC hosts a fair run iff every action
+    enabled at all of its states has an edge internal to it. *)
+
+(** [fair_scc ts scc] returns [Some scc] iff the SCC can host an infinite
+    weakly-fair run. *)
+val fair_scc : Ts.t -> Graph.scc -> Graph.scc option
+
+(** All fair SCCs of the masked subgraph. *)
+val fair_sccs : ?mask:(int -> bool) -> Ts.t -> Graph.scc list
+
+(** [fair_run_exists ts ~region ~from] returns a witness SCC if some
+    weakly-fair infinite computation starts in [from] and remains in
+    [region] forever. *)
+val fair_run_exists :
+  Ts.t -> region:(int -> bool) -> from:int list -> Graph.scc option

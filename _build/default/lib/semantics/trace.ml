@@ -1,0 +1,107 @@
+(* Finite computation prefixes (traces).
+
+   Used by the simulator, the online monitors, and the tests that
+   cross-validate the graph-based checkers against direct trace semantics.
+   A trace records the start state and each executed action with its
+   resulting state; [Truncated] distinguishes a bounded-exploration cut from
+   a genuinely maximal (deadlocked) computation. *)
+
+open Detcor_kernel
+
+type step = {
+  action : string;
+  target : State.t;
+}
+
+type ending =
+  | Maximal (* no action enabled in the final state *)
+  | Truncated (* exploration bound reached *)
+
+type t = {
+  start : State.t;
+  steps : step list; (* in execution order *)
+  ending : ending;
+}
+
+let make ?(ending = Truncated) start steps = { start; steps; ending }
+
+let start tr = tr.start
+let steps tr = tr.steps
+let ending tr = tr.ending
+
+let states tr = tr.start :: List.map (fun s -> s.target) tr.steps
+
+let length tr = List.length tr.steps
+
+let final tr =
+  match List.rev tr.steps with
+  | [] -> tr.start
+  | last :: _ -> last.target
+
+let append tr ~action ~target =
+  { tr with steps = tr.steps @ [ { action; target } ] }
+
+(* Index of the first state satisfying [p], if any. *)
+let first_index tr p =
+  let rec go i = function
+    | [] -> None
+    | st :: rest -> if Pred.holds p st then Some i else go (i + 1) rest
+  in
+  go 0 (states tr)
+
+let exists tr p = first_index tr p <> None
+let for_all tr p = List.for_all (Pred.holds p) (states tr)
+
+(* Check a transition invariant over consecutive state pairs. *)
+let pairs tr =
+  let sts = states tr in
+  let rec go = function
+    | a :: (b :: _ as rest) -> (a, b) :: go rest
+    | [ _ ] | [] -> []
+  in
+  go sts
+
+(* [suffix_from tr i] drops the first [i] states. *)
+let suffix_from tr i =
+  let rec drop_steps n start = function
+    | steps when n = 0 -> { start; steps; ending = tr.ending }
+    | [] -> { start; steps = []; ending = tr.ending }
+    | s :: rest -> drop_steps (n - 1) s.target rest
+  in
+  drop_steps i tr.start tr.steps
+
+(* ------------------------------------------------------------------ *)
+(* Bounded enumeration of computations of a transition system.         *)
+(* ------------------------------------------------------------------ *)
+
+(* All computations from the initial states of [ts], each followed until it
+   deadlocks or reaches [depth] steps.  Exponential; intended for small
+   systems in tests. *)
+let enumerate ts ~depth =
+  let rec extend i acc_rev n =
+    if n = 0 then [ (List.rev acc_rev, Truncated) ]
+    else
+      match Ts.edges_of ts i with
+      | [] -> [ (List.rev acc_rev, Maximal) ]
+      | edges ->
+        List.concat_map
+          (fun (aid, j) ->
+            let step =
+              { action = Action.name (Ts.action ts aid); target = Ts.state ts j }
+            in
+            extend j (step :: acc_rev) (n - 1))
+          edges
+  in
+  List.concat_map
+    (fun i ->
+      List.map
+        (fun (steps, ending) -> { start = Ts.state ts i; steps; ending })
+        (extend i [] depth))
+    (Ts.initials ts)
+
+let pp ppf tr =
+  let pp_step ppf s = Fmt.pf ppf "-[%s]-> %a" s.action State.pp s.target in
+  Fmt.pf ppf "@[<v>%a@,%a%s@]" State.pp tr.start
+    Fmt.(list ~sep:cut pp_step)
+    tr.steps
+    (match tr.ending with Maximal -> " (maximal)" | Truncated -> " ...")

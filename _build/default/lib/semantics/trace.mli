@@ -1,0 +1,47 @@
+(** Finite computation prefixes (traces), for the simulator, the online
+    monitors, and trace-semantics cross-validation in tests. *)
+
+open Detcor_kernel
+
+type step = {
+  action : string;
+  target : State.t;
+}
+
+type ending =
+  | Maximal (** no action enabled in the final state *)
+  | Truncated (** exploration or simulation bound reached *)
+
+type t
+
+val make : ?ending:ending -> State.t -> step list -> t
+val start : t -> State.t
+val steps : t -> step list
+val ending : t -> ending
+
+(** All states in order, starting state first. *)
+val states : t -> State.t list
+
+(** Number of steps (states - 1). *)
+val length : t -> int
+
+val final : t -> State.t
+val append : t -> action:string -> target:State.t -> t
+
+(** Index (into {!states}) of the first state satisfying the predicate. *)
+val first_index : t -> Pred.t -> int option
+
+val exists : t -> Pred.t -> bool
+val for_all : t -> Pred.t -> bool
+
+(** Consecutive state pairs, for transition invariants. *)
+val pairs : t -> (State.t * State.t) list
+
+(** [suffix_from tr i] drops the first [i] states. *)
+val suffix_from : t -> int -> t
+
+(** All computations from the initial states, each followed until deadlock
+    or [depth] steps.  Exponential; for small systems in tests. *)
+val enumerate : Ts.t -> depth:int -> t list
+
+val pp : t Fmt.t

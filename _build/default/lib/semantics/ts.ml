@@ -1,0 +1,164 @@
+(* Explicit-state transition systems.
+
+   A transition system is the semantic graph of a program: nodes are states,
+   edges are (action, successor) pairs.  It is built either from a set of
+   initial states (forward reachability) or over the full product space.
+   All decision procedures of the library (closure, convergence, leads-to,
+   fairness, safety) run on this structure. *)
+
+open Detcor_kernel
+
+module State_table = Hashtbl.Make (struct
+  type t = State.t
+
+  let equal = State.equal
+  let hash = State.hash
+end)
+
+type t = {
+  program : Program.t;
+  states : State.t array;
+  index : int State_table.t;
+  actions : Action.t array;
+  edges : (int * int) list array;
+      (* per source state: (action id, target state id) *)
+  initials : int list;
+}
+
+exception Too_large of int
+
+let default_limit = 2_000_000
+
+(* Forward exploration from [from].  All recorded states are reachable. *)
+let build ?(limit = default_limit) program ~from =
+  let actions = Array.of_list (Program.actions program) in
+  let index = State_table.create 1024 in
+  let dyn_states = ref (Array.make 1024 State.empty) in
+  let dyn_edges = ref (Array.make 1024 []) in
+  let count = ref 0 in
+  let ensure_capacity n =
+    let cap = Array.length !dyn_states in
+    if n >= cap then begin
+      let cap' = max (2 * cap) (n + 1) in
+      let states' = Array.make cap' State.empty in
+      Array.blit !dyn_states 0 states' 0 cap;
+      dyn_states := states';
+      let edges' = Array.make cap' [] in
+      Array.blit !dyn_edges 0 edges' 0 cap;
+      dyn_edges := edges'
+    end
+  in
+  let intern st =
+    match State_table.find_opt index st with
+    | Some i -> i
+    | None ->
+      let i = !count in
+      if i >= limit then raise (Too_large limit);
+      ensure_capacity i;
+      State_table.add index st i;
+      !dyn_states.(i) <- st;
+      incr count;
+      i
+  in
+  let initials = List.map intern (List.sort_uniq State.compare from) in
+  let queue = Queue.create () in
+  List.iter (fun i -> Queue.add i queue) initials;
+  let expanded = Hashtbl.create 1024 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    if not (Hashtbl.mem expanded i) then begin
+      Hashtbl.add expanded i ();
+      let st = !dyn_states.(i) in
+      let out = ref [] in
+      Array.iteri
+        (fun aid ac ->
+          List.iter
+            (fun st' ->
+              let j = intern st' in
+              out := (aid, j) :: !out;
+              if not (Hashtbl.mem expanded j) then Queue.add j queue)
+            (Action.execute ac st))
+        actions;
+      !dyn_edges.(i) <- List.rev !out
+    end
+  done;
+  let states = Array.sub !dyn_states 0 !count in
+  let edges = Array.sub !dyn_edges 0 !count in
+  { program; states; index; actions; edges; initials }
+
+(* Build over the full product space of the program's variables. *)
+let full ?(limit = default_limit) program =
+  if Program.space_size program > limit then
+    raise (Too_large limit);
+  build ~limit program ~from:(Program.states program)
+
+let of_pred ?(limit = default_limit) program ~from =
+  let initials =
+    List.filter (Pred.holds from) (Program.states program)
+  in
+  build ~limit program ~from:initials
+
+let program ts = ts.program
+let num_states ts = Array.length ts.states
+let state ts i = ts.states.(i)
+let states ts = Array.to_list ts.states
+let initials ts = ts.initials
+let actions ts = ts.actions
+let num_actions ts = Array.length ts.actions
+let action ts i = ts.actions.(i)
+let edges_of ts i = ts.edges.(i)
+
+let index_of ts st = State_table.find_opt ts.index st
+
+let action_id ts name =
+  let found = ref None in
+  Array.iteri
+    (fun i ac -> if String.equal (Action.name ac) name then found := Some i)
+    ts.actions;
+  !found
+
+(* Ids of actions whose names are in [names]; used to separate fault actions
+   from program actions in a composed system. *)
+let action_ids_of_names ts names =
+  let module S = Set.Make (String) in
+  let set = S.of_list names in
+  let ids = ref [] in
+  Array.iteri
+    (fun i ac -> if S.mem (Action.name ac) set then ids := i :: !ids)
+    ts.actions;
+  List.rev !ids
+
+let iter_edges ts f =
+  Array.iteri
+    (fun i out -> List.iter (fun (aid, j) -> f i aid j) out)
+    ts.edges
+
+let fold_edges ts f init =
+  let acc = ref init in
+  iter_edges ts (fun i aid j -> acc := f !acc i aid j);
+  !acc
+
+(* [enabled ts i aid]: is action [aid] enabled at state [i]?  Computed from
+   the guard, not from edges: an enabled action always yields at least one
+   successor in this framework, but checking the guard is cheaper than
+   scanning edges and also correct for actions with empty statements. *)
+let enabled ts i aid = Action.enabled ts.actions.(aid) ts.states.(i)
+
+let deadlocked ts i =
+  let n = Array.length ts.actions in
+  let rec go aid = if aid >= n then true else (not (enabled ts i aid)) && go (aid + 1) in
+  go 0
+
+let satisfying ts pred =
+  let result = ref [] in
+  Array.iteri
+    (fun i st -> if Pred.holds pred st then result := i :: !result)
+    ts.states;
+  List.rev !result
+
+let holds_at ts pred i = Pred.holds pred ts.states.(i)
+
+let pp_stats ppf ts =
+  let num_edges = fold_edges ts (fun n _ _ _ -> n + 1) 0 in
+  Fmt.pf ppf "%d states, %d transitions, %d actions" (num_states ts) num_edges
+    (num_actions ts)

@@ -1,0 +1,60 @@
+(** Explicit-state transition systems.
+
+    The semantic graph of a program: nodes are states (indexed by dense
+    integers), edges are (action id, successor id) pairs.  All decision
+    procedures (closure, convergence, leads-to, fairness, safety) run on
+    this structure. *)
+
+open Detcor_kernel
+
+type t
+
+exception Too_large of int
+
+val default_limit : int
+
+(** [build program ~from] explores forward from the given initial states.
+    Every recorded state is reachable from [from].
+    @raise Too_large if more than [limit] states are encountered. *)
+val build : ?limit:int -> Program.t -> from:State.t list -> t
+
+(** [full program] builds the system over the whole product state space. *)
+val full : ?limit:int -> Program.t -> t
+
+(** [of_pred program ~from] explores from all product-space states
+    satisfying [from]. *)
+val of_pred : ?limit:int -> Program.t -> from:Pred.t -> t
+
+val program : t -> Program.t
+val num_states : t -> int
+val state : t -> int -> State.t
+val states : t -> State.t list
+val initials : t -> int list
+val actions : t -> Action.t array
+val num_actions : t -> int
+val action : t -> int -> Action.t
+
+(** Outgoing edges of a state: [(action id, target id)] list. *)
+val edges_of : t -> int -> (int * int) list
+
+val index_of : t -> State.t -> int option
+val action_id : t -> string -> int option
+
+(** Ids of the actions named in the list — used to separate fault actions
+    from program actions in a composed [p [] F] system. *)
+val action_ids_of_names : t -> string list -> int list
+
+val iter_edges : t -> (int -> int -> int -> unit) -> unit
+val fold_edges : t -> ('a -> int -> int -> int -> 'a) -> 'a -> 'a
+
+(** [enabled ts i aid]: guard of action [aid] true at state [i]. *)
+val enabled : t -> int -> int -> bool
+
+(** No action enabled at state [i]. *)
+val deadlocked : t -> int -> bool
+
+(** Indices of states satisfying the predicate. *)
+val satisfying : t -> Pred.t -> int list
+
+val holds_at : t -> Pred.t -> int -> bool
+val pp_stats : t Fmt.t

@@ -1,0 +1,1 @@
+lib/sim/injector.ml: Action Detcor_core Detcor_kernel Fault List Random

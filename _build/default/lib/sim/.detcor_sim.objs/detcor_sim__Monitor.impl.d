@@ -1,0 +1,1 @@
+lib/sim/monitor.ml: Corrector Detcor_core Detcor_kernel Detcor_semantics Detcor_spec Detector Fmt List Pred Runner Safety Stats Trace

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Action Detcor_kernel Detcor_semantics Injector List Random Scheduler Trace

@@ -1,0 +1,1 @@
+lib/sim/scheduler.ml: Action Detcor_kernel Fmt Int List Program Random

@@ -1,0 +1,53 @@
+(* Fault-injection policies.
+
+   Faults occur finitely often (the paper's Assumption 2); every policy
+   bounds the number of injected fault actions. *)
+
+open Detcor_kernel
+open Detcor_core
+
+type policy =
+  | At_steps of int list (* inject at these step numbers (one fault each) *)
+  | Random of {
+      probability : float; (* per-step injection probability *)
+      max_faults : int;
+    }
+  | None_
+
+type t = {
+  policy : policy;
+  faults : Fault.t;
+  mutable injected : int;
+}
+
+let make policy faults = { policy; faults; injected = 0 }
+
+let injected t = t.injected
+
+(* [try_inject t ~rng ~step st]: if the policy fires at this step and some
+   fault action is enabled, execute one (uniformly chosen) and return the
+   successor. *)
+let try_inject t ~rng ~step st =
+  let should_fire =
+    match t.policy with
+    | None_ -> false
+    | At_steps steps -> List.mem step steps
+    | Random { probability; max_faults } ->
+      t.injected < max_faults && Random.State.float rng 1.0 < probability
+  in
+  if not should_fire then None
+  else begin
+    let enabled =
+      List.filter (fun ac -> Action.enabled ac st) (Fault.actions t.faults)
+    in
+    match enabled with
+    | [] -> None
+    | _ :: _ -> (
+      let ac = List.nth enabled (Random.State.int rng (List.length enabled)) in
+      match Action.execute ac st with
+      | [] -> None
+      | succs ->
+        let st' = List.nth succs (Random.State.int rng (List.length succs)) in
+        t.injected <- t.injected + 1;
+        Some (Action.name ac, st'))
+  end

@@ -1,0 +1,89 @@
+(* Online monitors over simulation traces.
+
+   The monitors observe the component-level behavior the theory predicts:
+   - detection latency: steps between the detection predicate X becoming
+     (and remaining) true and the witness Z being truthified (the Progress
+     obligation of 'Z detects X');
+   - correction latency: steps between the last injected fault and the
+     correction predicate being re-established (the Convergence obligation
+     of 'Z corrects X');
+   - safety monitoring: the index of the first specification violation,
+     if any (fail-safe tolerance in the observed run). *)
+
+open Detcor_kernel
+open Detcor_semantics
+open Detcor_spec
+open Detcor_core
+
+(* [detection_latency run d]: for each maximal interval where X holds
+   continuously, the number of steps from the start of the interval to the
+   first state where Z holds (intervals that end before Z is witnessed are
+   skipped: Progress permits escape through ¬X). *)
+let detection_latency (run : Runner.run) d =
+  let x = Detector.detection d and z = Detector.witness d in
+  let states = Trace.states run.trace in
+  let rec go latencies current = function
+    | [] -> List.rev latencies
+    | st :: rest -> (
+      match current with
+      | None ->
+        if Pred.holds x st then
+          if Pred.holds z st then go (0 :: latencies) None rest
+          else go latencies (Some 1) rest
+        else go latencies None rest
+      | Some elapsed ->
+        if Pred.holds z st then go (elapsed :: latencies) None rest
+        else if Pred.holds x st then go latencies (Some (elapsed + 1)) rest
+        else go latencies None rest)
+  in
+  go [] None states
+
+(* [correction_latency run c]: steps from the last fault step until the
+   correction predicate holds; [None] if it never does within the trace. *)
+let correction_latency (run : Runner.run) c =
+  let x = Corrector.correction c in
+  let start = match List.rev run.fault_steps with [] -> 0 | s :: _ -> s + 1 in
+  let states = Trace.states run.trace in
+  let rec go i = function
+    | [] -> None
+    | st :: rest ->
+      if i >= start && Pred.holds x st then Some (i - start) else go (i + 1) rest
+  in
+  go 0 states
+
+(* First index at which the run violates the safety specification. *)
+let first_safety_violation (run : Runner.run) sspec =
+  Safety.first_violation_in_trace run.trace sspec
+
+(* Aggregate over a batch of runs. *)
+type report = {
+  runs : int;
+  detection : Stats.summary option;
+  correction : Stats.summary option;
+  safety_violations : int;
+  corrected_runs : int;
+}
+
+let report runs ~detector ~corrector ~sspec =
+  let detections =
+    List.concat_map (fun r -> detection_latency r detector) runs
+  in
+  let corrections = List.filter_map (fun r -> correction_latency r corrector) runs in
+  let violations =
+    List.length
+      (List.filter (fun r -> first_safety_violation r sspec <> None) runs)
+  in
+  {
+    runs = List.length runs;
+    detection = Stats.summarize detections;
+    correction = Stats.summarize corrections;
+    safety_violations = violations;
+    corrected_runs = List.length corrections;
+  }
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>runs: %d@,detection latency:  %a@,correction latency: %a@,\
+     corrected runs: %d/%d@,safety violations: %d@]"
+    r.runs Stats.pp_option r.detection Stats.pp_option r.correction
+    r.corrected_runs r.runs r.safety_violations

@@ -1,0 +1,57 @@
+(* The simulation loop: interleave scheduled program actions with injected
+   faults, recording the executed trace. *)
+
+open Detcor_kernel
+open Detcor_semantics
+
+type config = {
+  scheduler : Scheduler.t;
+  seed : int;
+  max_steps : int;
+}
+
+let default = { scheduler = Scheduler.Uniform_random; seed = 1; max_steps = 200 }
+
+type run = {
+  trace : Trace.t;
+  fault_steps : int list; (* indices (into the trace) of fault steps *)
+  faults_injected : int;
+}
+
+let run ?(config = default) program ~injector ~init =
+  let rng = Random.State.make [| config.seed |] in
+  let rec loop st steps_rev fault_steps step =
+    if step >= config.max_steps then
+      (List.rev steps_rev, List.rev fault_steps, Trace.Truncated)
+    else begin
+      match Injector.try_inject injector ~rng ~step st with
+      | Some (fname, st') ->
+        loop st'
+          ({ Trace.action = fname; target = st' } :: steps_rev)
+          (step :: fault_steps) (step + 1)
+      | None -> (
+        let enabled = Scheduler.enabled_with_index program st in
+        match Scheduler.pick config.scheduler ~rng ~step enabled with
+        | None -> (List.rev steps_rev, List.rev fault_steps, Trace.Maximal)
+        | Some (_, ac) -> (
+          match Scheduler.choose_successor ~rng (Action.execute ac st) with
+          | None -> (List.rev steps_rev, List.rev fault_steps, Trace.Maximal)
+          | Some st' ->
+            loop st'
+              ({ Trace.action = Action.name ac; target = st' } :: steps_rev)
+              fault_steps (step + 1)))
+    end
+  in
+  let steps, fault_steps, ending = loop init [] [] 0 in
+  {
+    trace = Trace.make ~ending init steps;
+    fault_steps;
+    faults_injected = Injector.injected injector;
+  }
+
+(* [sample ?config n program ~faults ~policy ~init]: n independent runs
+   with fresh injectors and distinct seeds. *)
+let sample ?(config = default) n program ~faults ~policy ~init =
+  List.init n (fun i ->
+      let injector = Injector.make policy faults in
+      run ~config:{ config with seed = config.seed + i } program ~injector ~init)

@@ -1,0 +1,42 @@
+(* Small descriptive statistics for simulation results. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  min : int;
+  max : int;
+  p50 : int;
+  p95 : int;
+}
+
+let percentile sorted p =
+  match sorted with
+  | [] -> 0
+  | _ ->
+    let n = List.length sorted in
+    let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    List.nth sorted (Stdlib.max 0 (Stdlib.min (n - 1) idx))
+
+let summarize = function
+  | [] -> None
+  | samples ->
+    let sorted = List.sort Int.compare samples in
+    let n = List.length sorted in
+    let total = List.fold_left ( + ) 0 sorted in
+    Some
+      {
+        count = n;
+        mean = float_of_int total /. float_of_int n;
+        min = List.hd sorted;
+        max = List.nth sorted (n - 1);
+        p50 = percentile sorted 0.50;
+        p95 = percentile sorted 0.95;
+      }
+
+let pp ppf s =
+  Fmt.pf ppf "n=%d mean=%.2f min=%d p50=%d p95=%d max=%d" s.count s.mean s.min
+    s.p50 s.p95 s.max
+
+let pp_option ppf = function
+  | None -> Fmt.string ppf "n=0"
+  | Some s -> pp ppf s

@@ -1,0 +1,1 @@
+lib/spec/liveness.ml: Check Detcor_kernel Detcor_semantics Fmt List Option Pred Trace

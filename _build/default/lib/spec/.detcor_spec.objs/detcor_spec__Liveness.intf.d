@@ -1,0 +1,1 @@
+lib/spec/liveness.mli: Check Detcor_kernel Detcor_semantics Fmt Pred Trace Ts

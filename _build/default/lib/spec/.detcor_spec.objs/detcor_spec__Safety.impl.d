@@ -1,0 +1,1 @@
+lib/spec/safety.ml: Check Detcor_kernel Detcor_semantics Fmt List Pred State Trace

@@ -1,0 +1,1 @@
+lib/spec/safety.mli: Check Detcor_kernel Detcor_semantics Fmt Pred State Trace Ts

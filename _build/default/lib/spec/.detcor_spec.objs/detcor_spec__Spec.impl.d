@@ -1,0 +1,1 @@
+lib/spec/spec.ml: Check Detcor_kernel Detcor_semantics Fmt Liveness Pred Safety

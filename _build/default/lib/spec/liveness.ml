@@ -1,0 +1,76 @@
+(* Liveness specifications, as conjunctions of leads-to properties.
+
+   Alpern–Schneider decompose any specification into a safety and a
+   liveness part; for the fusion-closed class the paper works with, the
+   liveness obligations that arise (Progress of detectors, Convergence of
+   correctors, "converges to") are all of leads-to shape, so a list of
+   leads-to pairs suffices as the liveness language of this library. *)
+
+open Detcor_kernel
+open Detcor_semantics
+
+type obligation = {
+  oname : string;
+  from_ : Pred.t;
+  to_ : Pred.t;
+}
+
+type t = obligation list
+
+let leads_to ?name from_ to_ =
+  let oname =
+    match name with
+    | Some s -> s
+    | None -> Fmt.str "%s ~> %s" (Pred.name from_) (Pred.name to_)
+  in
+  [ { oname; from_; to_ } ]
+
+(* [eventually p]: every computation reaches [p]. *)
+let eventually ?name p =
+  leads_to ?name Pred.true_ p
+
+let top : t = []
+
+let conj a b = a @ b
+
+let conj_list specs = List.concat specs
+
+let obligations l = l
+
+(* Every obligation holds on the system under weak fairness. *)
+let check ts l =
+  Check.all (List.map (fun o -> Check.leads_to ts o.from_ o.to_) l)
+
+(* Trace satisfaction (for monitors): every [from_]-position is followed by
+   a [to_]-position.  Meaningful only for maximal traces; truncated traces
+   report [None] (unknown) when an obligation is still pending. *)
+let check_trace tr l =
+  let states = Trace.states tr in
+  let satisfied o =
+    let rec pending i = function
+      | [] -> None
+      | st :: rest ->
+        if Pred.holds o.from_ st then
+          let rec search j = function
+            | [] -> Some i
+            | st' :: rest' ->
+              if Pred.holds o.to_ st' then pending j rest'
+              else search (j + 1) rest'
+          in
+          search i (st :: rest)
+        else pending (i + 1) rest
+    in
+    pending 0 states
+  in
+  let pending_obligations =
+    List.filter_map
+      (fun o -> Option.map (fun i -> (o.oname, i)) (satisfied o))
+      l
+  in
+  match (pending_obligations, Trace.ending tr) with
+  | [], _ -> Some true
+  | _ :: _, Trace.Maximal -> Some false
+  | _ :: _, Trace.Truncated -> None
+
+let pp ppf l =
+  Fmt.pf ppf "%a" Fmt.(list ~sep:(any " & ") (fun ppf o -> string ppf o.oname)) l

@@ -1,0 +1,36 @@
+(** Liveness specifications as conjunctions of leads-to obligations —
+    sufficient for every liveness shape the paper's theory uses (Progress,
+    Convergence, converges-to). *)
+
+open Detcor_kernel
+open Detcor_semantics
+
+type obligation = {
+  oname : string;
+  from_ : Pred.t;
+  to_ : Pred.t;
+}
+
+type t
+
+(** [leads_to p q]: every [p]-state is eventually followed by a [q]-state. *)
+val leads_to : ?name:string -> Pred.t -> Pred.t -> t
+
+(** [eventually p] = [leads_to true p]. *)
+val eventually : ?name:string -> Pred.t -> t
+
+(** No obligation. *)
+val top : t
+
+val conj : t -> t -> t
+val conj_list : t list -> t
+val obligations : t -> obligation list
+
+(** Every obligation holds under weak fairness. *)
+val check : Ts.t -> t -> Check.outcome
+
+(** Trace satisfaction: [Some true]/[Some false] for decided maximal traces,
+    [None] when a truncated trace leaves an obligation pending. *)
+val check_trace : Trace.t -> t -> bool option
+
+val pp : t Fmt.t

@@ -1,0 +1,108 @@
+(* Safety specifications.
+
+   The paper's problem specifications are suffix closed and fusion closed
+   (Assumption 1).  For that class, a safety specification is completely
+   characterized by a set of "bad" states and a set of "bad" transitions: a
+   sequence is in the specification iff it contains no bad state and no bad
+   transition.  (Suffix closure rules out prefix-dependence; fusion closure
+   rules out dependence on anything but the current state, so the
+   irremediable prefixes of the Alpern–Schneider characterization are
+   exactly those ending in a bad state or crossing a bad transition.)
+
+   This is also the representation under which the paper's companion
+   synthesis method computes: the [ms]/[mt] fixpoints of
+   [Detcor_synthesis] consume it directly. *)
+
+open Detcor_kernel
+open Detcor_semantics
+
+type t = {
+  name : string;
+  bad_state : State.t -> bool;
+  bad_transition : State.t -> State.t -> bool;
+}
+
+let make ?(name = "safety") ?bad_state ?bad_transition () =
+  {
+    name;
+    bad_state = (match bad_state with Some f -> f | None -> fun _ -> false);
+    bad_transition =
+      (match bad_transition with Some f -> f | None -> fun _ _ -> false);
+  }
+
+let name s = s.name
+let bad_state s = s.bad_state
+let bad_transition s = s.bad_transition
+
+(* The trivial safety specification: all sequences. *)
+let top = make ~name:"true" ()
+
+(* [never p]: states satisfying [p] are bad. *)
+let never p =
+  make
+    ~name:(Fmt.str "never %s" (Pred.name p))
+    ~bad_state:(Pred.holds p) ()
+
+(* [always p]: the invariant "[]p". *)
+let always p = never (Pred.not_ p)
+
+(* cl(S) as a safety specification (Section 2.2): bad transitions are those
+   falsifying S. *)
+let closure_of s =
+  make
+    ~name:(Fmt.str "cl(%s)" (Pred.name s))
+    ~bad_transition:(fun st st' -> Pred.holds s st && not (Pred.holds s st'))
+    ()
+
+(* The generalized pair ({S},{R}) (Section 2.2): if S at s_j then R at
+   s_{j+1}; bad transitions violate that. *)
+let generalized_pair s r =
+  make
+    ~name:(Fmt.str "({%s},{%s})" (Pred.name s) (Pred.name r))
+    ~bad_transition:(fun st st' -> Pred.holds s st && not (Pred.holds r st'))
+    ()
+
+let conj a b =
+  make
+    ~name:(Fmt.str "(%s & %s)" a.name b.name)
+    ~bad_state:(fun st -> a.bad_state st || b.bad_state st)
+    ~bad_transition:(fun st st' ->
+      a.bad_transition st st' || b.bad_transition st st')
+    ()
+
+let conj_list specs = List.fold_left conj top specs
+
+(* ------------------------------------------------------------------ *)
+(* Checking.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* [check ts s]: no reachable bad state, no reachable bad transition. *)
+let check ts s =
+  Check.safety ts ~bad_state:s.bad_state ~bad_transition:s.bad_transition
+
+(* [first_violation_in_trace tr s]: index (into [Trace.states]) of the first
+   state at which the trace stops maintaining the specification: either a
+   bad state at that index, or the target of a bad transition. *)
+let first_violation_in_trace tr s =
+  let states = Trace.states tr in
+  let rec go i prev = function
+    | [] -> None
+    | st :: rest ->
+      if s.bad_state st then Some i
+      else begin
+        match prev with
+        | Some p when s.bad_transition p st -> Some i
+        | _ -> go (i + 1) (Some st) rest
+      end
+  in
+  go 0 None states
+
+let trace_satisfies tr s = first_violation_in_trace tr s = None
+
+(* [maintains_up_to tr s]: every prefix of the trace maintains the
+   specification (Section 2.2.1, Maintains) — with the bad-state/transition
+   representation, a prefix maintains the spec iff it contains no
+   violation. *)
+let maintains tr s = trace_satisfies tr s
+
+let pp ppf s = Fmt.string ppf s.name

@@ -1,0 +1,55 @@
+(** Safety specifications as bad states + bad transitions.
+
+    Exact for the paper's class of suffix-closed, fusion-closed
+    specifications (Assumption 1): a sequence satisfies the specification
+    iff it contains no bad state and crosses no bad transition. *)
+
+open Detcor_kernel
+open Detcor_semantics
+
+type t
+
+val make :
+  ?name:string ->
+  ?bad_state:(State.t -> bool) ->
+  ?bad_transition:(State.t -> State.t -> bool) ->
+  unit ->
+  t
+
+val name : t -> string
+val bad_state : t -> State.t -> bool
+val bad_transition : t -> State.t -> State.t -> bool
+
+(** All sequences. *)
+val top : t
+
+(** [never p]: no reachable state may satisfy [p]. *)
+val never : Pred.t -> t
+
+(** [always p]: invariant [p]. *)
+val always : Pred.t -> t
+
+(** [closure_of s] is [cl(s)] (Section 2.2): transitions falsifying [s] are
+    bad. *)
+val closure_of : Pred.t -> t
+
+(** [generalized_pair s r] is the pair [({s},{r})] (Section 2.2). *)
+val generalized_pair : Pred.t -> Pred.t -> t
+
+val conj : t -> t -> t
+val conj_list : t list -> t
+
+(** No reachable bad state or bad transition in the system. *)
+val check : Ts.t -> t -> Check.outcome
+
+(** Index of the first state of the trace at which the specification is
+    violated (bad state there, or bad transition into it). *)
+val first_violation_in_trace : Trace.t -> t -> int option
+
+val trace_satisfies : Trace.t -> t -> bool
+
+(** Every prefix maintains the specification (Section 2.2.1) — with this
+    representation, equivalent to {!trace_satisfies}. *)
+val maintains : Trace.t -> t -> bool
+
+val pp : t Fmt.t

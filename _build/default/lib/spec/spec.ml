@@ -1,0 +1,136 @@
+(* Problem specifications (Section 2.2) and tolerance specifications
+   (Section 2.4).
+
+   A problem specification is the intersection of a safety part (bad
+   states + bad transitions; exact for the suffix- and fusion-closed class
+   of Assumption 1) and a liveness part (leads-to obligations).
+
+   The three tolerance specifications of Section 2.4 act on this
+   representation as:
+   - masking: the specification itself;
+   - fail-safe: the smallest safety specification containing it — exactly
+     the safety part;
+   - nonmasking: (true)* SPEC — "some suffix is in SPEC"; decided by the
+     tolerance checkers in [Detcor_core] via convergence to the invariant,
+     the way the paper's proofs use it. *)
+
+type t = {
+  name : string;
+  safety : Safety.t;
+  liveness : Liveness.t;
+}
+
+let make ?(name = "spec") ?(safety = Safety.top) ?(liveness = Liveness.top) () =
+  { name; safety; liveness }
+
+let name s = s.name
+let safety s = s.safety
+let liveness s = s.liveness
+
+let conj a b =
+  {
+    name = Fmt.str "(%s & %s)" a.name b.name;
+    safety = Safety.conj a.safety b.safety;
+    liveness = Liveness.conj a.liveness b.liveness;
+  }
+
+(* The smallest safety specification containing SPEC: its safety part. *)
+let smallest_safety_containing s =
+  { s with name = Fmt.str "SS(%s)" s.name; liveness = Liveness.top }
+
+type tolerance =
+  | Masking
+  | Failsafe
+  | Nonmasking
+
+let pp_tolerance ppf = function
+  | Masking -> Fmt.string ppf "masking"
+  | Failsafe -> Fmt.string ppf "fail-safe"
+  | Nonmasking -> Fmt.string ppf "nonmasking"
+
+let tolerance_of_string = function
+  | "masking" -> Some Masking
+  | "failsafe" | "fail-safe" -> Some Failsafe
+  | "nonmasking" -> Some Nonmasking
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Named specifications from the paper.                                *)
+(* ------------------------------------------------------------------ *)
+
+open Detcor_kernel
+
+(* cl(S) (Section 2.2). *)
+let closure s =
+  make
+    ~name:(Fmt.str "cl(%s)" (Pred.name s))
+    ~safety:(Safety.closure_of s) ()
+
+(* Generalized pair ({S},{R}) (Section 2.2). *)
+let generalized_pair s r =
+  make
+    ~name:(Fmt.str "({%s},{%s})" (Pred.name s) (Pred.name r))
+    ~safety:(Safety.generalized_pair s r)
+    ()
+
+(* S converges to R (Section 2.2): cl(S) ∩ cl(R) ∩ (S implies eventually
+   R). *)
+let converges_to s r =
+  make
+    ~name:(Fmt.str "%s converges to %s" (Pred.name s) (Pred.name r))
+    ~safety:(Safety.conj (Safety.closure_of s) (Safety.closure_of r))
+    ~liveness:(Liveness.leads_to s r)
+    ()
+
+(* 'Z detects X' (Section 3.1):
+   Safeness:  Z ⇒ X at every state            — bad state  Z ∧ ¬X;
+   Stability: ({Z},{Z ∨ ¬X})                  — bad transition Z ∧ ¬(Z'∨¬X');
+   Progress:  X at s_i implies ∃ k≥i. Z∨¬X    — leads-to X ~> (Z ∨ ¬X). *)
+let detects ~witness:z ~detection:x =
+  let zx = Fmt.str "%s detects %s" (Pred.name z) (Pred.name x) in
+  make ~name:zx
+    ~safety:
+      (Safety.conj
+         (Safety.never (Pred.and_ z (Pred.not_ x)))
+         (Safety.generalized_pair z (Pred.or_ z (Pred.not_ x))))
+    ~liveness:
+      (Liveness.leads_to
+         ~name:(Fmt.str "progress of %s" zx)
+         x
+         (Pred.or_ z (Pred.not_ x)))
+    ()
+
+(* 'Z corrects X' (Section 4.1): the detects conditions plus Convergence —
+   X is eventually reached, and X is preserved once true. *)
+let corrects ~witness:z ~detection:x =
+  let d = detects ~witness:z ~detection:x in
+  let conv =
+    make
+      ~name:(Fmt.str "convergence to %s" (Pred.name x))
+      ~safety:(Safety.closure_of x)
+      ~liveness:(Liveness.eventually ~name:(Fmt.str "eventually %s" (Pred.name x)) x)
+      ()
+  in
+  { (conj d conv) with name = Fmt.str "%s corrects %s" (Pred.name z) (Pred.name x) }
+
+(* ------------------------------------------------------------------ *)
+(* Checking.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+open Detcor_semantics
+
+(* [refines ts spec]: every computation of the system is in the
+   specification — its safety part has no reachable violation and its
+   liveness obligations hold under weak fairness.  (This is "p refines SPEC
+   from S" when [ts] was built from the S-states; closure of S is checked
+   separately by the tolerance layer.) *)
+let refines ts spec =
+  Check.all [ Safety.check ts spec.safety; Liveness.check ts spec.liveness ]
+
+(* Trace-level satisfaction for the monitors: safety decided on any trace,
+   liveness only on maximal ones. *)
+let check_trace tr spec =
+  if not (Safety.trace_satisfies tr spec.safety) then Some false
+  else Liveness.check_trace tr spec.liveness
+
+let pp ppf s = Fmt.string ppf s.name

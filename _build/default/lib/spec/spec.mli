@@ -1,0 +1,58 @@
+(** Problem specifications (Section 2.2) and tolerance specifications
+    (Section 2.4): a safety part (bad states + bad transitions) intersected
+    with a liveness part (leads-to obligations). *)
+
+open Detcor_kernel
+open Detcor_semantics
+
+type t
+
+val make : ?name:string -> ?safety:Safety.t -> ?liveness:Liveness.t -> unit -> t
+val name : t -> string
+val safety : t -> Safety.t
+val liveness : t -> Liveness.t
+val conj : t -> t -> t
+
+(** The fail-safe tolerance specification: the smallest safety
+    specification containing SPEC — its safety part (Section 2.4). *)
+val smallest_safety_containing : t -> t
+
+type tolerance =
+  | Masking
+  | Failsafe
+  | Nonmasking
+
+val pp_tolerance : tolerance Fmt.t
+val tolerance_of_string : string -> tolerance option
+
+(** {1 Named specifications from the paper} *)
+
+(** [closure s] is [cl(s)] (Section 2.2). *)
+val closure : Pred.t -> t
+
+(** [generalized_pair s r] is [({s},{r})]. *)
+val generalized_pair : Pred.t -> Pred.t -> t
+
+(** [converges_to s r] is "[s] converges to [r]" (Section 2.2). *)
+val converges_to : Pred.t -> Pred.t -> t
+
+(** ['Z detects X'] (Section 3.1): Safeness, Stability (safety part) and
+    Progress (liveness part). *)
+val detects : witness:Pred.t -> detection:Pred.t -> t
+
+(** ['Z corrects X'] (Section 4.1): detects plus Convergence. *)
+val corrects : witness:Pred.t -> detection:Pred.t -> t
+
+(** {1 Checking} *)
+
+(** [refines ts spec]: every computation of the system satisfies the
+    specification (safety over the reachable graph, liveness under weak
+    fairness). *)
+val refines : Ts.t -> t -> Check.outcome
+
+(** Trace-level satisfaction for monitors: [Some false] on a safety
+    violation or a decided-failed maximal trace, [None] when truncation
+    leaves liveness pending. *)
+val check_trace : Trace.t -> t -> bool option
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/synthesis/synthesize.ml: Action Array Detcor_core Detcor_kernel Detcor_semantics Detcor_spec Domain Fault Fmt Hashtbl List Map Pred Program Queue Safety Set Spec State Tolerance Ts Value

@@ -1,0 +1,1 @@
+lib/synthesis/synthesize.mli: Detcor_core Detcor_kernel Detcor_spec Fault Fmt Pred Program Spec State Tolerance

@@ -1,0 +1,385 @@
+(* Automated addition of fault-tolerance components.
+
+   The paper's companion method (its reference [4], later mechanized by
+   Kulkarni & Arora as "automating the addition of fault-tolerance")
+   transforms a fault-intolerant program into a tolerant one by adding
+   detectors and correctors.  On finite-state programs the transformation
+   is computable, and this module implements it:
+
+   - [add_failsafe] strengthens each action's guard with (a subset of) its
+     weakest detection predicate: the program may execute an action only
+     from states where doing so maintains safety and cannot be pushed by
+     faults alone into violating it.  The added components are exactly the
+     detectors of Section 3.
+
+   - [add_nonmasking] adds a corrector: recovery actions that converge
+     from the fault span back to the invariant (Section 4), synthesized by
+     backward layering so convergence is by construction cycle-free.
+
+   - [add_masking] composes both: fail-safe restriction first, then
+     recovery that itself avoids unsafe transitions (Section 5's thesis
+     that masking = detectors + correctors).
+
+   The [ms]/[mt] fixpoints follow the Kulkarni-Arora formulation: [ms] is
+   the set of states from which fault actions alone can violate safety;
+   [mt] the transitions a safe program must never take. *)
+
+open Detcor_kernel
+open Detcor_semantics
+open Detcor_spec
+open Detcor_core
+
+type failure =
+  | Empty_invariant
+  | Unrecoverable_state of State.t
+  | Verification_failed of Tolerance.report
+
+type 'a outcome = ('a, failure) result
+
+let pp_failure ppf = function
+  | Empty_invariant ->
+    Fmt.string ppf "no invariant state survives the fail-safe restriction"
+  | Unrecoverable_state st ->
+    Fmt.pf ppf "no safe recovery path from %a" State.pp st
+  | Verification_failed r ->
+    Fmt.pf ppf "synthesized program failed verification:@,%a"
+      Tolerance.pp_report r
+
+type result = {
+  program : Program.t;
+  invariant : Pred.t;
+  report : Tolerance.report; (* verification of the synthesized program *)
+  added_detectors : (string * Pred.t) list;
+      (* per restricted action: the added detection guard *)
+  recovery_states : int; (* states given a recovery transition *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* ms / mt                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* [ms ts_pf ~fault_ids ~sspec]: the states from which the fault actions
+   alone can reach a safety violation — the backward fixpoint over fault
+   edges seeded with the bad states and the sources of bad fault
+   transitions. *)
+let compute_ms ts_pf ~fault_ids ~sspec =
+  let n = Ts.num_states ts_pf in
+  let is_fault = Array.make (Ts.num_actions ts_pf) false in
+  List.iter (fun i -> is_fault.(i) <- true) fault_ids;
+  let in_ms = Array.make n false in
+  let fault_preds = Array.make n [] in
+  let queue = Queue.create () in
+  let add i =
+    if not in_ms.(i) then begin
+      in_ms.(i) <- true;
+      Queue.add i queue
+    end
+  in
+  Ts.iter_edges ts_pf (fun i aid j ->
+      if is_fault.(aid) then begin
+        fault_preds.(j) <- i :: fault_preds.(j);
+        if Safety.bad_transition sspec (Ts.state ts_pf i) (Ts.state ts_pf j)
+        then add i
+      end);
+  for i = 0 to n - 1 do
+    if Safety.bad_state sspec (Ts.state ts_pf i) then add i
+  done;
+  while not (Queue.is_empty queue) do
+    let j = Queue.pop queue in
+    List.iter add fault_preds.(j)
+  done;
+  in_ms
+
+(* [mt]: a transition a safe program must never take — already a bad
+   transition, or into a bad state, or into [ms]. *)
+let make_mt ts_pf ~in_ms ~sspec s s' =
+  Safety.bad_transition sspec s s'
+  || Safety.bad_state sspec s'
+  ||
+  match Ts.index_of ts_pf s' with
+  | Some j -> in_ms.(j)
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Fail-safe                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The detection guard added to action [ac]: executing [ac] here neither
+   violates safety nor lands in [ms].  This is the weakest detection
+   predicate of [ac] for the [mt]-extended safety specification. *)
+let detection_guard ts_pf ~in_ms ~sspec ac =
+  Pred.make
+    (Fmt.str "wdp(%s)" (Action.name ac))
+    (fun st ->
+      (not (Safety.bad_state sspec st))
+      && (match Ts.index_of ts_pf st with
+         | Some i -> not in_ms.(i)
+         | None -> true)
+      && List.for_all
+           (fun st' -> not (make_mt ts_pf ~in_ms ~sspec st st'))
+           (Action.execute ac st))
+
+let restrict_program ts_pf ~in_ms ~sspec p =
+  let restrict ac =
+    let guard = detection_guard ts_pf ~in_ms ~sspec ac in
+    (Action.name ac, guard, Action.restrict guard ac)
+  in
+  let restricted = List.map restrict (Program.actions p) in
+  let program =
+    Program.make
+      ~name:(Fmt.str "failsafe(%s)" (Program.name p))
+      ~vars:(Program.var_decls p)
+      ~actions:(List.map (fun (_, _, ac) -> ac) restricted)
+  in
+  let added = List.map (fun (name, g, _) -> (name, g)) restricted in
+  (program, added)
+
+(* Recompute the invariant: drop ms-states, then iteratively drop states
+   that the restriction newly deadlocked (states that could move in [p]
+   but cannot in the restricted program within the shrinking set). *)
+let recompute_invariant ts_pf ~in_ms p restricted ~invariant =
+  let module SS = Set.Make (State) in
+  let initial =
+    List.filter
+      (fun st ->
+        Pred.holds invariant st
+        &&
+        match Ts.index_of ts_pf st with
+        | Some i -> not in_ms.(i)
+        | None -> true)
+      (Program.states p)
+  in
+  let rec fix set =
+    let keep st =
+      let originally_live = not (Program.deadlocked p st) in
+      if not originally_live then true
+      else
+        List.exists
+          (fun (_, st') -> SS.mem st' set)
+          (Program.successors restricted st)
+    in
+    let set' = SS.filter keep set in
+    if SS.cardinal set' = SS.cardinal set then set else fix set'
+  in
+  let final = fix (SS.of_list initial) in
+  SS.elements final
+
+let add_failsafe ?limit p ~spec ~invariant ~faults =
+  let sspec = Spec.safety (Spec.smallest_safety_containing spec) in
+  let composed = Fault.compose p faults in
+  let ts_pf = Ts.full ?limit composed in
+  let fault_ids = Ts.action_ids_of_names ts_pf (Fault.action_names faults) in
+  let in_ms = compute_ms ts_pf ~fault_ids ~sspec in
+  let restricted, added = restrict_program ts_pf ~in_ms ~sspec p in
+  let inv_states = recompute_invariant ts_pf ~in_ms p restricted ~invariant in
+  if inv_states = [] then Error Empty_invariant
+  else begin
+    let invariant' = Pred.of_states ~name:"S_failsafe" inv_states in
+    let report =
+      Tolerance.check_with ?limit restricted ~spec ~invariant:invariant'
+        ~init:inv_states ~faults ~tol:Spec.Failsafe
+    in
+    if Tolerance.verdict report then
+      Ok
+        {
+          program = restricted;
+          invariant = invariant';
+          report;
+          added_detectors = added;
+          recovery_states = 0;
+        }
+    else Error (Verification_failed report)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Recovery synthesis (the corrector).                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Candidate recovery steps change at most [step_vars] variables — local
+   corrections rather than global resets.  Backward layering from the
+   target assigns each state a rank; the synthesized recovery action moves
+   to a strictly smaller rank, so convergence is cycle-free by
+   construction. *)
+let neighbors ~step_vars p st =
+  let decls = Program.var_decls p in
+  let single =
+    List.concat_map
+      (fun (x, d) ->
+        List.filter_map
+          (fun value ->
+            if Value.equal (State.get st x) value then None
+            else Some (State.set st x value))
+          (Domain.values d))
+      decls
+  in
+  if step_vars <= 1 then single
+  else
+    (* two-variable steps: compose one-variable steps *)
+    single
+    @ List.concat_map
+        (fun st1 ->
+          List.concat_map
+            (fun (x, d) ->
+              List.filter_map
+                (fun value ->
+                  if Value.equal (State.get st1 x) value then None
+                  else Some (State.set st1 x value))
+                (Domain.values d))
+            decls)
+        single
+
+type recovery = {
+  table : (string, State.t) Hashtbl.t;
+  action : Action.t;
+}
+
+(* [synthesize_recovery ~allowed ~target states]: rank the given states by
+   backward BFS from the target set over allowed candidate steps, then
+   build the recovery action "move one layer closer".  Returns the states
+   that cannot reach the target. *)
+let synthesize_recovery ?(step_vars = 1) ~allowed ~target p states =
+  let module SM = Map.Make (State) in
+  let rank = Hashtbl.create 256 in
+  let key st = State.to_string st in
+  let target_states = List.filter (Pred.holds target) states in
+  List.iter (fun st -> Hashtbl.replace rank (key st) 0) target_states;
+  let state_set = Hashtbl.create 256 in
+  List.iter (fun st -> Hashtbl.replace state_set (key st) st) states;
+  (* Backward BFS: repeatedly find unranked states with a one-step move to
+     a ranked state. *)
+  let table = Hashtbl.create 64 in
+  let changed = ref true in
+  let level = ref 0 in
+  while !changed do
+    changed := false;
+    incr level;
+    let additions = ref [] in
+    Hashtbl.iter
+      (fun k st ->
+        if not (Hashtbl.mem rank k) then begin
+          let candidate =
+            List.find_opt
+              (fun st' ->
+                Hashtbl.mem state_set (key st')
+                && (match Hashtbl.find_opt rank (key st') with
+                   | Some r -> r < !level
+                   | None -> false)
+                && allowed st st')
+              (neighbors ~step_vars p st)
+          in
+          match candidate with
+          | Some st' -> additions := (k, st, st') :: !additions
+          | None -> ()
+        end)
+      state_set;
+    List.iter
+      (fun (k, st, st') ->
+        Hashtbl.replace rank k !level;
+        Hashtbl.replace table k st';
+        ignore st;
+        changed := true)
+      !additions
+  done;
+  let unrecoverable =
+    Hashtbl.fold
+      (fun k st acc -> if Hashtbl.mem rank k then acc else st :: acc)
+      state_set []
+  in
+  let guard =
+    Pred.make "needs-recovery" (fun st -> Hashtbl.mem table (key st))
+  in
+  let action =
+    Action.deterministic "recovery" guard (fun st ->
+        match Hashtbl.find_opt table (key st) with
+        | Some st' -> st'
+        | None -> st)
+  in
+  ({ table; action }, unrecoverable)
+
+(* ------------------------------------------------------------------ *)
+(* Nonmasking                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let add_nonmasking ?limit ?(step_vars = 1) p ~spec ~invariant ~faults =
+  let init = Tolerance.init_states ?limit p ~invariant in
+  if init = [] then Error Empty_invariant
+  else begin
+    let span = Tolerance.fault_span_from_states ?limit p ~faults ~init in
+    let recovery, unrecoverable =
+      synthesize_recovery ~step_vars
+        ~allowed:(fun _ _ -> true)
+        ~target:invariant p span.states
+    in
+    match unrecoverable with
+    | st :: _ -> Error (Unrecoverable_state st)
+    | [] ->
+      let program =
+        Program.add_actions p [ recovery.action ]
+        |> Program.with_name (Fmt.str "nonmasking(%s)" (Program.name p))
+      in
+      let report =
+        Tolerance.check_with ?limit program ~spec ~invariant ~init ~faults
+          ~tol:Spec.Nonmasking
+      in
+      if Tolerance.verdict report then
+        Ok
+          {
+            program;
+            invariant;
+            report;
+            added_detectors = [];
+            recovery_states = Hashtbl.length recovery.table;
+          }
+      else Error (Verification_failed report)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Masking                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Fail-safe restriction first; then recovery from the restricted span
+   back to a target predicate (default: the recomputed invariant), where
+   every recovery step must itself avoid [mt] — the corrector must not
+   break the detector's guarantee (Section 5). *)
+let add_masking ?limit ?(step_vars = 1) ?target p ~spec ~invariant ~faults =
+  let sspec = Spec.safety (Spec.smallest_safety_containing spec) in
+  let composed = Fault.compose p faults in
+  let ts_pf = Ts.full ?limit composed in
+  let fault_ids = Ts.action_ids_of_names ts_pf (Fault.action_names faults) in
+  let in_ms = compute_ms ts_pf ~fault_ids ~sspec in
+  let restricted, added = restrict_program ts_pf ~in_ms ~sspec p in
+  let inv_states = recompute_invariant ts_pf ~in_ms p restricted ~invariant in
+  if inv_states = [] then Error Empty_invariant
+  else begin
+    let invariant' = Pred.of_states ~name:"S_masking" inv_states in
+    let target = match target with Some t -> t | None -> invariant' in
+    let span =
+      Tolerance.fault_span_from_states ?limit restricted ~faults
+        ~init:inv_states
+    in
+    let allowed s s' = not (make_mt ts_pf ~in_ms ~sspec s s') in
+    let recovery, unrecoverable =
+      synthesize_recovery ~step_vars ~allowed ~target restricted span.states
+    in
+    match unrecoverable with
+    | st :: _ -> Error (Unrecoverable_state st)
+    | [] ->
+      let program =
+        Program.add_actions restricted [ recovery.action ]
+        |> Program.with_name (Fmt.str "masking(%s)" (Program.name p))
+      in
+      let report =
+        Tolerance.check_with ?limit program ~spec ~invariant:invariant'
+          ~init:inv_states ~faults ~tol:Spec.Masking
+      in
+      if Tolerance.verdict report then
+        Ok
+          {
+            program;
+            invariant = invariant';
+            report;
+            added_detectors = added;
+            recovery_states = Hashtbl.length recovery.table;
+          }
+      else Error (Verification_failed report)
+  end

@@ -1,0 +1,62 @@
+(** Automated addition of fault tolerance — the companion transformation
+    method the paper builds on (its ref. [4]): add detectors (guard
+    strengthening to weakest detection predicates) for fail-safe, add a
+    corrector (ranked recovery) for nonmasking, and both for masking.
+    Every synthesized program is re-verified with {!Detcor_core.Tolerance}
+    before being returned. *)
+
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+
+type failure =
+  | Empty_invariant
+  | Unrecoverable_state of State.t
+  | Verification_failed of Tolerance.report
+
+type 'a outcome = ('a, failure) result
+
+val pp_failure : failure Fmt.t
+
+type result = {
+  program : Program.t;
+  invariant : Pred.t;  (** the recomputed invariant *)
+  report : Tolerance.report;  (** verification of the synthesized program *)
+  added_detectors : (string * Pred.t) list;
+      (** per action: the detection guard that was conjoined *)
+  recovery_states : int;  (** states given a recovery transition *)
+}
+
+(** Strengthen every action with its weakest detection predicate for the
+    [ms/mt]-extended safety specification; recompute the invariant. *)
+val add_failsafe :
+  ?limit:int ->
+  Program.t ->
+  spec:Spec.t ->
+  invariant:Pred.t ->
+  faults:Fault.t ->
+  result outcome
+
+(** Add a ranked recovery corrector converging from the fault span back to
+    the invariant.  [step_vars] bounds how many variables one recovery
+    step may write (default 1 — local corrections). *)
+val add_nonmasking :
+  ?limit:int ->
+  ?step_vars:int ->
+  Program.t ->
+  spec:Spec.t ->
+  invariant:Pred.t ->
+  faults:Fault.t ->
+  result outcome
+
+(** Fail-safe restriction followed by safety-respecting recovery to
+    [target] (default: the recomputed invariant). *)
+val add_masking :
+  ?limit:int ->
+  ?step_vars:int ->
+  ?target:Pred.t ->
+  Program.t ->
+  spec:Spec.t ->
+  invariant:Pred.t ->
+  faults:Fault.t ->
+  result outcome

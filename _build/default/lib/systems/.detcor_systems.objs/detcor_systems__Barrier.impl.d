@@ -1,0 +1,1 @@
+lib/systems/barrier.ml: Action Detcor_core Detcor_kernel Detcor_spec Domain Fault Fmt Fun List Liveness Pred Program Safety Spec State Value

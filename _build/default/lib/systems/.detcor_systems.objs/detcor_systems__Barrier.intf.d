@@ -1,0 +1,1 @@
+lib/systems/barrier.mli: Detcor_core Detcor_kernel Detcor_spec Domain Fault Pred Program Spec State

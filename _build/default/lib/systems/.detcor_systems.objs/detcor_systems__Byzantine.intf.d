@@ -1,0 +1,1 @@
+lib/systems/byzantine.mli: Corrector Detcor_core Detcor_kernel Detcor_spec Detector Domain Fault Pred Program Spec State Value

@@ -1,0 +1,1 @@
+lib/systems/distributed_reset.mli: Corrector Detcor_core Detcor_kernel Detcor_spec Domain Fault Pred Program Spec

@@ -1,0 +1,1 @@
+lib/systems/memory.ml: Action Corrector Detcor_core Detcor_kernel Detcor_spec Detector Domain Fault Fmt Liveness Pred Program Safety Spec State Value

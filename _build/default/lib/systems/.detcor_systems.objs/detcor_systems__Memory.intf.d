@@ -1,0 +1,1 @@
+lib/systems/memory.mli: Corrector Detcor_core Detcor_kernel Detcor_spec Detector Domain Fault Pred Program Spec Value

@@ -1,0 +1,1 @@
+lib/systems/ring_mutex.ml: Action Corrector Detcor_core Detcor_kernel Detcor_spec Domain Fault Fmt Fun List Liveness Pred Program Safety Spec State String Token_ring Value

@@ -1,0 +1,1 @@
+lib/systems/termination.ml: Action Detcor_core Detcor_kernel Detcor_spec Detector Domain Fault Fmt Fun List Pred Program Spec State Value

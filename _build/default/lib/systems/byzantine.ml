@@ -1,0 +1,292 @@
+(* Byzantine agreement (Section 6.2).
+
+   A general g outputs a binary decision d.g; every non-general process j
+   copies it into d.j and then outputs o.j.  Byzantine faults corrupt at
+   most one process (possibly the general), permanently and undetectably:
+   the corrupted process may change its decision or output arbitrarily.
+
+   Following the paper we restrict to n = 4 (general + 3 non-generals),
+   the smallest masking-tolerant configuration for f = 1, but the module
+   is parameterized by the number of non-generals for the benches.
+
+   Construction, as in the paper:
+   - IB: intolerant — copy then output;
+   - DB.j: a detector restricting the output to states where the decision
+     matches the majority of the non-general decisions (fail-safe);
+   - CB.j: a corrector rewriting d.j to the majority (masking). *)
+
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+
+type config = { non_generals : int }
+
+let default = { non_generals = 3 }
+
+let dec_domain = Domain.range 0 1
+let opt_dec_domain = Domain.with_bot (Domain.range 0 1)
+
+let dvar j = Fmt.str "d%d" j
+let ovar j = Fmt.str "o%d" j
+let bvar j = Fmt.str "b%d" j (* j = 0 is the general *)
+
+let procs cfg = List.init cfg.non_generals (fun i -> i + 1)
+
+let vars cfg =
+  [ (dvar 0, dec_domain); (bvar 0, Domain.boolean) ]
+  @ List.concat_map
+      (fun j ->
+        [
+          (dvar j, opt_dec_domain);
+          (ovar j, opt_dec_domain);
+          (bvar j, Domain.boolean);
+        ])
+      (procs cfg)
+
+let v st x = State.get st x
+let byz st j = Value.equal (v st (bvar j)) (Value.bool true)
+let is_bot value = Value.equal value Value.bot
+
+(* Majority of the non-general decisions; [None] until defined (some still
+   ⊥ with no strict majority among the assigned ones). *)
+let majority cfg st =
+  let decs = List.map (fun j -> v st (dvar j)) (procs cfg) in
+  let count value = List.length (List.filter (Value.equal value) decs) in
+  let half = List.length decs / 2 in
+  let candidates = [ Value.int 0; Value.int 1 ] in
+  List.find_opt (fun value -> count value > half) candidates
+
+let all_decided cfg =
+  Pred.make "all d.k # bot" (fun st ->
+      List.for_all (fun j -> not (is_bot (v st (dvar j)))) (procs cfg))
+
+(* corrdecn (Section 6.2): d.g if the general is non-Byzantine, otherwise
+   the majority of the non-general decisions. *)
+let corrdecn cfg st =
+  if not (byz st 0) then Some (v st (dvar 0)) else majority cfg st
+
+(* ------------------------------------------------------------------ *)
+(* Specification: agreement + validity (safety), termination (liveness)*)
+(* ------------------------------------------------------------------ *)
+
+let agreement_violated cfg st =
+  let outputs =
+    List.filter_map
+      (fun j ->
+        if byz st j then None
+        else
+          let o = v st (ovar j) in
+          if is_bot o then None else Some o)
+      (procs cfg)
+  in
+  match outputs with
+  | [] -> false
+  | o :: rest -> List.exists (fun o' -> not (Value.equal o o')) rest
+
+let validity_violated cfg st =
+  (not (byz st 0))
+  && List.exists
+       (fun j ->
+         (not (byz st j))
+         && (not (is_bot (v st (ovar j))))
+         && not (Value.equal (v st (ovar j)) (v st (dvar 0))))
+       (procs cfg)
+
+let all_output cfg =
+  Pred.make "all non-Byz output" (fun st ->
+      List.for_all
+        (fun j -> byz st j || not (is_bot (v st (ovar j))))
+        (procs cfg))
+
+let spec cfg =
+  Spec.make ~name:"SPEC_byz"
+    ~safety:
+      (Safety.make ~name:"agreement & validity"
+         ~bad_state:(fun st ->
+           agreement_violated cfg st || validity_violated cfg st)
+         ())
+    ~liveness:(Liveness.eventually ~name:"termination" (all_output cfg))
+    ()
+
+(* S: no process Byzantine; decisions are ⊥ or d.g; outputs are ⊥ or the
+   (already copied) decision.  For the detector/corrector-equipped
+   programs the invariant additionally records that an output only exists
+   once every decision is in — the states actually reachable in fault-free
+   runs, where outputs pass the DB witness.  Without this strengthening
+   the span would contain "half-output" states unreachable without faults,
+   from which no 1-Byzantine-tolerant protocol can maintain agreement. *)
+let invariant_weak cfg =
+  Pred.make "S_byz" (fun st ->
+      (not (byz st 0))
+      && List.for_all
+           (fun j ->
+             (not (byz st j))
+             && (is_bot (v st (dvar j)) || Value.equal (v st (dvar j)) (v st (dvar 0)))
+             && (is_bot (v st (ovar j))
+                || ((not (is_bot (v st (dvar j))))
+                   && Value.equal (v st (ovar j)) (v st (dvar j)))))
+           (procs cfg))
+
+let invariant cfg =
+  Pred.make "S_byz_strong" (fun st ->
+      Pred.holds (invariant_weak cfg) st
+      && List.for_all
+           (fun j ->
+             is_bot (v st (ovar j)) || Pred.holds (all_decided cfg) st)
+           (procs cfg))
+
+(* ------------------------------------------------------------------ *)
+(* The fault class: at most one process becomes Byzantine; a Byzantine  *)
+(* process changes its decision or output arbitrarily (finitely often,  *)
+(* per Assumption 2).                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let none_byz cfg =
+  Pred.make "no process Byzantine" (fun st ->
+      (not (byz st 0)) && List.for_all (fun j -> not (byz st j)) (procs cfg))
+
+let corrupt_var name guard =
+  Action.make (Fmt.str "F:byz-%s" name) guard (fun st ->
+      [ State.set st name (Value.int 0); State.set st name (Value.int 1) ])
+
+let byzantine_faults cfg =
+  (* Becoming Byzantine also gives the process an arbitrary (non-⊥)
+     decision: a corrupted process has *some* state, and modeling it as ⊥
+     forever would let a silent Byzantine process block the honest ones on
+     the paper's witness predicate, a liveness hole the paper's prose
+     glosses over (its Byzantine process "is allowed to change its
+     decision arbitrarily").  See DESIGN.md. *)
+  let become j =
+    Action.make
+      (Fmt.str "F:become-byz-%d" j)
+      (none_byz cfg)
+      (fun st ->
+        let st = State.set st (bvar j) (Value.bool true) in
+        if j = 0 then [ st ]
+        else
+          [
+            State.set st (dvar j) (Value.int 0);
+            State.set st (dvar j) (Value.int 1);
+          ])
+  in
+  let arbitrary j =
+    let guard = Pred.make (Fmt.str "b%d" j) (fun st -> byz st j) in
+    if j = 0 then [ corrupt_var (dvar 0) guard ]
+    else [ corrupt_var (dvar j) guard; corrupt_var (ovar j) guard ]
+  in
+  Fault.make "one-byzantine"
+    (List.map become (0 :: procs cfg)
+    @ List.concat_map arbitrary (0 :: procs cfg))
+
+(* ------------------------------------------------------------------ *)
+(* IB: the fault-intolerant program.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let copy_action _cfg j =
+  Action.deterministic
+    (Fmt.str "IB1_%d" j)
+    (Pred.make
+       (Fmt.str "!b%d /\\ d%d=bot" j j)
+       (fun st -> (not (byz st j)) && is_bot (v st (dvar j))))
+    (fun st -> State.set st (dvar j) (v st (dvar 0)))
+
+let output_guard j =
+  Pred.make
+    (Fmt.str "!b%d /\\ d%d#bot /\\ o%d=bot" j j j)
+    (fun st ->
+      (not (byz st j)) && (not (is_bot (v st (dvar j)))) && is_bot (v st (ovar j)))
+
+let output_action ?based_on ?extra_guard name j =
+  let guard =
+    match extra_guard with
+    | None -> output_guard j
+    | Some g -> Pred.and_ (output_guard j) g
+  in
+  Action.deterministic ?based_on name guard (fun st ->
+      State.set st (ovar j) (v st (dvar j)))
+
+let intolerant cfg =
+  Program.make ~name:"IB" ~vars:(vars cfg)
+    ~actions:
+      (List.concat_map
+         (fun j -> [ copy_action cfg j; output_action (Fmt.str "IB2_%d" j) j ])
+         (procs cfg))
+
+(* ------------------------------------------------------------------ *)
+(* DB.j: the detector.  Witness: all non-general decisions assigned and *)
+(* d.j equals their majority.  Detection predicate: d.j = corrdecn.     *)
+(* ------------------------------------------------------------------ *)
+
+let db_witness cfg j =
+  Pred.make
+    (Fmt.str "DB-witness_%d" j)
+    (fun st ->
+      Pred.holds (all_decided cfg) st
+      &&
+      match majority cfg st with
+      | Some m -> Value.equal (v st (dvar j)) m
+      | None -> false)
+
+let db_detection cfg j =
+  Pred.make
+    (Fmt.str "d%d=corrdecn" j)
+    (fun st ->
+      match corrdecn cfg st with
+      | Some c -> Value.equal (v st (dvar j)) c
+      | None -> false)
+
+let detector cfg j =
+  Detector.make
+    ~name:(Fmt.str "DB_%d" j)
+    ~witness:(db_witness cfg j)
+    ~detection:(db_detection cfg j)
+    ()
+
+(* The fail-safe program: outputs restricted by the detector witness. *)
+let failsafe cfg =
+  Program.make ~name:"IB[]DB" ~vars:(vars cfg)
+    ~actions:
+      (List.concat_map
+         (fun j ->
+           [
+             copy_action cfg j;
+             output_action
+               ~based_on:(Fmt.str "IB2_%d" j)
+               ~extra_guard:(db_witness cfg j)
+               (Fmt.str "DBIB2_%d" j)
+               j;
+           ])
+         (procs cfg))
+
+(* ------------------------------------------------------------------ *)
+(* CB.j: the corrector — rewrite d.j to the majority when it disagrees. *)
+(* ------------------------------------------------------------------ *)
+
+let cb_action cfg j =
+  Action.deterministic
+    (Fmt.str "CB1_%d" j)
+    (Pred.make
+       (Fmt.str "CB-guard_%d" j)
+       (fun st ->
+         (not (byz st j))
+         && Pred.holds (all_decided cfg) st
+         &&
+         match majority cfg st with
+         | Some m -> not (Value.equal (v st (dvar j)) m)
+         | None -> false))
+    (fun st ->
+      match majority cfg st with
+      | Some m -> State.set st (dvar j) m
+      | None -> st)
+
+let corrector cfg j =
+  Corrector.make
+    ~name:(Fmt.str "CB_%d" j)
+    ~witness:(db_witness cfg j)
+    ~correction:(db_detection cfg j)
+    ()
+
+(* The masking program: IB [] DB;IB2 [] CB. *)
+let masking cfg =
+  Program.add_actions (failsafe cfg) (List.map (cb_action cfg) (procs cfg))
+  |> Program.with_name "IB[]DB[]CB"

@@ -1,0 +1,71 @@
+(** Byzantine agreement (Section 6.2): the intolerant program [IB], the
+    detector-restricted [IB [] DB] (fail-safe), and the full
+    [IB [] DB [] CB] (masking), under at-most-one Byzantine process.
+    Parameterized by the number of non-general processes (the paper's
+    configuration is 3, i.e. n = 4). *)
+
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+
+type config = { non_generals : int }
+
+(** The paper's configuration: 3 non-generals (n = 4, f = 1). *)
+val default : config
+
+val vars : config -> (string * Domain.t) list
+val procs : config -> int list
+
+(** Variable names: [dvar 0] is the general's decision, [bvar j] the
+    Byzantine mode bit, [ovar j] the output of non-general [j]. *)
+val dvar : int -> string
+
+val ovar : int -> string
+val bvar : int -> string
+
+(** Majority of the non-general decisions, when defined. *)
+val majority : config -> State.t -> Value.t option
+
+(** corrdecn (Section 6.2): d.g if the general is honest, else the
+    majority of the non-general decisions. *)
+val corrdecn : config -> State.t -> Value.t option
+
+(** Every non-Byzantine non-general has produced an output. *)
+val all_output : config -> Pred.t
+
+(** Agreement + validity (safety), termination (liveness). *)
+val spec : config -> Spec.t
+
+(** S (weak): no Byzantine process; decisions/outputs consistent with
+    d.g.  Closed in the intolerant IB. *)
+val invariant_weak : config -> Pred.t
+
+(** S (strong): additionally, outputs exist only once every decision is in
+    — the fault-free reachable states of the DB/CB-equipped programs. *)
+val invariant : config -> Pred.t
+
+val none_byz : config -> Pred.t
+
+(** The fault class: at most one process becomes Byzantine and then
+    changes its decision/output arbitrarily (finitely often). *)
+val byzantine_faults : config -> Fault.t
+
+(** IB — fault-intolerant. *)
+val intolerant : config -> Program.t
+
+(** Witness of DB.j: all non-general decisions assigned and d.j equals
+    their majority. *)
+val db_witness : config -> int -> Pred.t
+
+(** Detection predicate of DB.j: d.j = corrdecn. *)
+val db_detection : config -> int -> Pred.t
+
+val detector : config -> int -> Detector.t
+
+(** IB [] DB — fail-safe tolerant. *)
+val failsafe : config -> Program.t
+
+val corrector : config -> int -> Corrector.t
+
+(** IB [] DB [] CB — masking tolerant. *)
+val masking : config -> Program.t

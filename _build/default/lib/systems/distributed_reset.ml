@@ -1,0 +1,172 @@
+(* Distributed reset — the last of the introduction's case studies: a
+   diffusing reset wave over a line of processes, packaged as a corrector.
+
+   Each process i holds application state x.i (corrupted by transient
+   faults) and wave state w.i ∈ {idle, prop, comp}.  The component
+   structure is textbook detectors-and-correctors:
+
+   - detector:  a process that observes local corruption raises the
+     global request flag (raise.i);
+   - corrector: the root answers a request by flooding a reset wave down
+     the line (start, prop.i) — each process zeroes its application state
+     as the wave passes — after which a completion wave folds back up
+     (comp.i) and an idling wave releases the machinery (finish, idle.i).
+
+   The composed system is nonmasking tolerant to corruption of the
+   application state: from any span state it converges back to
+   "application zeroed, machinery idle, no pending request". *)
+
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+
+type config = { processes : int }
+
+let make_config n =
+  if n < 2 then invalid_arg "Distributed_reset.make_config: need >= 2 processes";
+  { processes = n }
+
+let default = make_config 3
+
+let xvar i = Fmt.str "x%d" i
+let wvar i = Fmt.str "w%d" i
+
+let idle = Value.sym "idle"
+let prop = Value.sym "prop"
+let comp = Value.sym "comp"
+
+let wave_domain = Domain.of_values [ idle; prop; comp ]
+
+let vars cfg =
+  (("req", Domain.boolean)
+  :: List.init cfg.processes (fun i -> (xvar i, Domain.range 0 1)))
+  @ List.init cfg.processes (fun i -> (wvar i, wave_domain))
+
+let procs cfg = List.init cfg.processes Fun.id
+
+let x st i = Value.as_int (State.get st (xvar i))
+let w st i = State.get st (wvar i)
+let req st = Value.as_bool (State.get st "req")
+
+(* The global target: application zeroed, machinery idle, no request. *)
+let settled cfg =
+  Pred.make "reset settled" (fun st ->
+      (not (req st))
+      && List.for_all
+           (fun i -> x st i = 0 && Value.equal (w st i) idle)
+           (procs cfg))
+
+let corrupted cfg =
+  Pred.make "some x corrupted" (fun st ->
+      List.exists (fun i -> x st i <> 0) (procs cfg))
+
+let all_idle cfg =
+  Pred.make "machinery idle" (fun st ->
+      List.for_all (fun i -> Value.equal (w st i) idle) (procs cfg))
+
+(* [lazy_start = true] reproduces the first design of this module, whose
+   root starts a new wave as soon as it is itself idle.  The fair-cycle
+   checker refutes it: a fresh wave overtakes the draining release wave
+   and folds its completion against the *previous* wave's stale [comp]
+   marks, so the wave never actually reaches the corrupted tail — the
+   classic overlapping-diffusing-computations bug.  The correct root
+   waits for the whole line to drain. *)
+let actions ?(lazy_start = false) cfg =
+  let n = cfg.processes in
+  (* Detector: local corruption raises the request. *)
+  let raise_ i =
+    Action.deterministic
+      (Fmt.str "raise_%d" i)
+      (Pred.make
+         (Fmt.str "x%d corrupt, no request" i)
+         (fun st -> x st i <> 0 && not (req st)))
+      (fun st -> State.set st "req" (Value.bool true))
+  in
+  (* Root answers a request: start the propagation wave, zeroing itself. *)
+  let start =
+    let ready =
+      if lazy_start then
+        Pred.make "root idle" (fun st -> Value.equal (w st 0) idle)
+      else all_idle cfg
+    in
+    Action.deterministic "start"
+      (Pred.make "request at drained line" (fun st ->
+           req st && Pred.holds ready st))
+      (fun st ->
+        State.update_many st [ (wvar 0, prop); (xvar 0, Value.int 0) ])
+  in
+  (* The wave flows down, zeroing as it goes. *)
+  let prop_ i =
+    Action.deterministic
+      (Fmt.str "prop_%d" i)
+      (Pred.make
+         (Fmt.str "wave reaches %d" i)
+         (fun st ->
+           Value.equal (w st (i - 1)) prop && Value.equal (w st i) idle))
+      (fun st ->
+        State.update_many st [ (wvar i, prop); (xvar i, Value.int 0) ])
+  in
+  (* Completion folds back up from the leaf. *)
+  let comp_ i =
+    Action.deterministic
+      (Fmt.str "comp_%d" i)
+      (Pred.make
+         (Fmt.str "completion reaches %d" i)
+         (fun st ->
+           Value.equal (w st i) prop
+           && (i = n - 1 || Value.equal (w st (i + 1)) comp)))
+      (fun st -> State.set st (wvar i) comp)
+  in
+  (* The root releases the machinery and clears the request... *)
+  let finish =
+    Action.deterministic "finish"
+      (Pred.make "all complete at root" (fun st ->
+           List.for_all (fun i -> Value.equal (w st i) comp) (procs cfg)))
+      (fun st ->
+        State.update_many st [ (wvar 0, idle); ("req", Value.bool false) ])
+  in
+  (* ...and idleness flows down behind it. *)
+  let idle_ i =
+    Action.deterministic
+      (Fmt.str "idle_%d" i)
+      (Pred.make
+         (Fmt.str "release reaches %d" i)
+         (fun st ->
+           Value.equal (w st (i - 1)) idle && Value.equal (w st i) comp))
+      (fun st -> State.set st (wvar i) idle)
+  in
+  List.map raise_ (procs cfg)
+  @ [ start; finish ]
+  @ List.concat_map
+      (fun i -> [ prop_ i; idle_ i ])
+      (List.filter (fun i -> i > 0) (procs cfg))
+  @ List.map comp_ (procs cfg)
+
+let program cfg =
+  Program.make ~name:"distributed-reset" ~vars:(vars cfg) ~actions:(actions cfg)
+
+(* The refuted first design, kept as a negative control: the fair-cycle
+   checker exhibits the overlapping-waves livelock. *)
+let buggy cfg =
+  Program.make ~name:"distributed-reset-overlapping" ~vars:(vars cfg)
+    ~actions:(actions ~lazy_start:true cfg)
+
+(* Transient corruption of any application cell (the wave variables are
+   the protocol's own and are not corrupted in this fault class). *)
+let corruption cfg =
+  List.fold_left
+    (fun acc i -> Fault.union acc (Fault.corrupt_variable (xvar i) (Domain.range 0 1)))
+    Fault.none (procs cfg)
+
+(* SPEC_reset: the settled predicate is stable, and it is eventually
+   re-established. *)
+let spec cfg =
+  Spec.make ~name:"SPEC_reset"
+    ~safety:(Safety.closure_of (settled cfg))
+    ~liveness:(Liveness.eventually ~name:"eventually settled" (settled cfg))
+    ()
+
+let invariant = settled
+
+(* The whole protocol as a corrector of the settled predicate. *)
+let corrector cfg = Corrector.of_invariant (settled cfg)

@@ -1,0 +1,39 @@
+(** Distributed reset — a diffusing reset wave over a line of processes,
+    structured exactly as the paper prescribes: a detector raises the
+    request on local corruption, a corrector (the wave) re-establishes
+    the global predicate.  Nonmasking tolerant to application-state
+    corruption. *)
+
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+
+type config = { processes : int }
+
+val make_config : int -> config
+val default : config
+val xvar : int -> string
+val wvar : int -> string
+val vars : config -> (string * Domain.t) list
+
+(** Application zeroed, machinery idle, no pending request. *)
+val settled : config -> Pred.t
+
+(** Some application cell is corrupted. *)
+val corrupted : config -> Pred.t
+
+val program : config -> Program.t
+
+(** The refuted first design (the root restarts over a draining release
+    wave): the fair-cycle checker exhibits an overlapping-waves livelock
+    in which a corrupted tail cell is never reset. *)
+val buggy : config -> Program.t
+
+(** Transient corruption of any application cell. *)
+val corruption : config -> Fault.t
+
+(** [settled] stable and eventually re-established. *)
+val spec : config -> Spec.t
+
+val invariant : config -> Pred.t
+val corrector : config -> Corrector.t

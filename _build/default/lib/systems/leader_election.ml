@@ -1,0 +1,80 @@
+(* Self-stabilizing leader election on a ring — another case study from
+   the paper's introduction.
+
+   Each process i has a fixed identifier (its index) and a candidate
+   variable ldr.i.  The protocol floods the maximum identifier:
+
+     elect.i :: ldr.i <> max(ldr.(i-1), id.i) -> ldr.i := max(ldr.(i-1), id.i)
+
+   The legitimate states are "every candidate equals the maximum
+   identifier"; from any state — in particular after arbitrary corruption
+   of the candidates — the ring converges back to it in at most two
+   rounds, so the protocol is its own corrector of the leadership
+   predicate (witness = correction predicate, like the token ring). *)
+
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+
+type config = { processes : int }
+
+let make_config n =
+  if n < 2 then invalid_arg "Leader_election.make_config: need >= 2 processes";
+  { processes = n }
+
+let default = make_config 4
+
+let ldrvar i = Fmt.str "ldr%d" i
+
+let id_of i = i (* fixed identifiers: process index *)
+
+let max_id cfg = cfg.processes - 1
+
+let vars cfg =
+  List.init cfg.processes (fun i -> (ldrvar i, Domain.range 0 (max_id cfg)))
+
+let candidate st i = Value.as_int (State.get st (ldrvar i))
+
+let procs cfg = List.init cfg.processes Fun.id
+
+(* The intended value at process i given its predecessor's candidate. *)
+let intended cfg st i =
+  let pred_ix = (i - 1 + cfg.processes) mod cfg.processes in
+  max (candidate st pred_ix) (id_of i)
+
+let elected cfg =
+  Pred.make "all elect the maximum id" (fun st ->
+      List.for_all (fun i -> candidate st i = max_id cfg) (procs cfg))
+
+let actions cfg =
+  List.map
+    (fun i ->
+      Action.deterministic
+        (Fmt.str "elect%d" i)
+        (Pred.make
+           (Fmt.str "ldr%d stale" i)
+           (fun st -> candidate st i <> intended cfg st i))
+        (fun st -> State.set st (ldrvar i) (Value.int (intended cfg st i))))
+    (procs cfg)
+
+let program cfg =
+  Program.make ~name:"leader-election" ~vars:(vars cfg) ~actions:(actions cfg)
+
+(* Transient corruption of any candidate variable. *)
+let corruption cfg =
+  List.fold_left
+    (fun acc (x, d) -> Fault.union acc (Fault.corrupt_variable x d))
+    Fault.none (vars cfg)
+
+(* SPEC_leader: leadership, once established, is stable; and it is
+   eventually established. *)
+let spec cfg =
+  Spec.make ~name:"SPEC_leader"
+    ~safety:(Safety.closure_of (elected cfg))
+    ~liveness:(Liveness.eventually ~name:"a leader emerges" (elected cfg))
+    ()
+
+let invariant = elected
+
+(* The protocol as a corrector of its own leadership predicate. *)
+let corrector cfg = Corrector.of_invariant (elected cfg)

@@ -1,0 +1,31 @@
+(** Self-stabilizing leader election on a ring (maximum-identifier
+    flooding) — a case study from the paper's introduction; like the
+    token ring, the protocol is its own corrector of the leadership
+    predicate. *)
+
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+
+type config = { processes : int }
+
+val make_config : int -> config
+val default : config
+val ldrvar : int -> string
+val max_id : config -> int
+val vars : config -> (string * Domain.t) list
+val candidate : State.t -> int -> int
+
+(** Every candidate equals the maximum identifier. *)
+val elected : config -> Pred.t
+
+val program : config -> Program.t
+
+(** Transient corruption of any candidate variable. *)
+val corruption : config -> Fault.t
+
+(** Leadership stable once established; eventually established. *)
+val spec : config -> Spec.t
+
+val invariant : config -> Pred.t
+val corrector : config -> Corrector.t

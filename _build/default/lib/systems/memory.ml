@@ -1,0 +1,183 @@
+(* The memory-access example of Sections 3.3, 4.3 and 5.1 (Figures 1-3).
+
+   A program obtains the value stored at address [addr] in memory.  We
+   model the single-address memory by:
+   - [present]: whether <addr, val> is in MEM;
+   - [data]: the output — [bot] (unassigned), [good] (the correct value
+     val), or [bad] (any incorrect value, the arbitrary result of reading
+     an absent address);
+   - [z1]: the witness variable of the detector (programs pf, pm).
+
+   The fault class is a page fault that removes <addr, val> from memory
+   "initially" — before the detector has witnessed the address (guard
+   ¬Z1), as in the paper's scenario where the fault precedes the access.
+
+   SPEC_mem: the data is never set to an incorrect value (safety), and it
+   is eventually set to the correct value (liveness). *)
+
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+
+let good = Value.sym "good"
+let bad = Value.sym "bad"
+
+let data_domain = Domain.of_values [ Value.bot; good; bad ]
+
+(* X1: <addr, val> is currently in the memory. *)
+let x1 =
+  Pred.make "X1" (fun st ->
+      match State.find_opt st "present" with
+      | Some (Value.Bool b) -> b
+      | Some _ | None -> false)
+
+(* Z1: the detector's witness variable (false when the program has no such
+   variable, as in p and pn). *)
+let z1 =
+  Pred.make "Z1" (fun st ->
+      match State.find_opt st "z1" with
+      | Some (Value.Bool b) -> b
+      | Some _ | None -> false)
+
+(* U1: Z1 is truthified only when X1 holds — the fault span T. *)
+let u1 = Pred.make "U1" (fun st -> (not (Pred.holds z1 st)) || Pred.holds x1 st)
+
+(* S = U1 ∧ X1, the invariant (Sections 3.3, 4.3, 5.1). *)
+let s = Pred.make "S" (fun st -> Pred.holds u1 st && Pred.holds x1 st)
+
+let t = u1
+
+let data_is v = Pred.make (Fmt.str "data=%s" (Value.to_string v))
+    (fun st -> Value.equal (State.get st "data") v)
+
+(* Reading MEM at addr: the stored value when present, an arbitrary value
+   otherwise (the paper's "(val | <addr,val> in MEM)" returning an
+   arbitrary value when no tuple exists). *)
+let read_mem st =
+  if Pred.holds x1 st then [ State.set st "data" good ]
+  else [ State.set st "data" good; State.set st "data" bad ]
+
+(* SPEC_mem: never set data to an incorrect value; eventually set it to the
+   correct one. *)
+let spec =
+  Spec.make ~name:"SPEC_mem"
+    ~safety:
+      (Safety.make ~name:"never write incorrect data"
+         ~bad_transition:(fun st st' ->
+           (not (Value.equal (State.get st "data") bad))
+           && Value.equal (State.get st' "data") bad)
+         ())
+    ~liveness:(Liveness.eventually ~name:"eventually data=good" (data_is good))
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* The fault-intolerant program p (Section 3.3).                       *)
+(* ------------------------------------------------------------------ *)
+
+let base_vars = [ ("present", Domain.boolean); ("data", data_domain) ]
+
+let read_action ?based_on ~guard name =
+  Action.make ?based_on name guard read_mem
+
+let intolerant =
+  Program.make ~name:"p"
+    ~vars:base_vars
+    ~actions:[ read_action ~guard:Pred.true_ "p_read" ]
+
+(* ------------------------------------------------------------------ *)
+(* The page fault (Section 3.3): <addr, val> is initially removed.     *)
+(* ------------------------------------------------------------------ *)
+
+let page_fault =
+  Fault.make "page-fault"
+    [
+      Action.deterministic "F:page-fault"
+        (Pred.and_ x1 (Pred.not_ z1))
+        (fun st -> State.set st "present" (Value.bool false));
+    ]
+
+(* A second fault class, for the multitolerance showcase: transient
+   corruption of the output cell itself.  No program can mask it (the
+   corrupting write is the safety violation), but pn and pm recover from
+   it — they are nonmasking tolerant to data corruption while being
+   (respectively) nonmasking and masking tolerant to page faults. *)
+let data_corruption =
+  Fault.make "data-corruption"
+    [
+      Action.deterministic "F:corrupt-data"
+        (Pred.make "data#bot" (fun st ->
+             not (Value.equal (State.get st "data") Value.bot)))
+        (fun st -> State.set st "data" bad);
+    ]
+
+(* SPEC_mem weakened for corrupting faults: the *program* never writes
+   incorrect data (fault writes are exempt), and the data is eventually
+   correct.  With bad transitions attributed to any step, the corrupting
+   fault itself violates SSPEC, so for the data-corruption class only the
+   nonmasking obligations are satisfiable; this is the specification used
+   for that class. *)
+let spec_recovery =
+  Spec.make ~name:"SPEC_mem_recovery"
+    ~liveness:(Liveness.eventually ~name:"eventually data=good" (data_is good))
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* pf: fail-safe page-fault tolerance (Figure 1).                      *)
+(* pf1 detects X1 and truthifies Z1; the access runs only under Z1.    *)
+(* ------------------------------------------------------------------ *)
+
+let with_z1 = base_vars @ [ ("z1", Domain.boolean) ]
+
+let failsafe =
+  Program.make ~name:"pf"
+    ~vars:with_z1
+    ~actions:
+      [
+        Action.deterministic "pf1"
+          (Pred.and_ x1 (Pred.not_ z1))
+          (fun st -> State.set st "z1" (Value.bool true));
+        read_action ~based_on:"p_read" ~guard:z1 "pf2";
+      ]
+
+(* The detector of pf: Z1 detects X1, implemented by action pf1. *)
+let pf_detector = Detector.make ~name:"Z1 detects X1" ~witness:z1 ~detection:x1 ()
+
+(* ------------------------------------------------------------------ *)
+(* pn: nonmasking page-fault tolerance (Figure 2).                     *)
+(* pn1 restores the missing tuple; pn2 is the intolerant access.       *)
+(* ------------------------------------------------------------------ *)
+
+let nonmasking =
+  Program.make ~name:"pn"
+    ~vars:base_vars
+    ~actions:
+      [
+        Action.deterministic "pn1" (Pred.not_ x1) (fun st ->
+            State.set st "present" (Value.bool true));
+        read_action ~based_on:"p_read" ~guard:Pred.true_ "pn2";
+      ]
+
+(* The corrector of pn: X1 corrects X1 (witness = correction predicate),
+   implemented by action pn1. *)
+let pn_corrector = Corrector.of_invariant x1
+
+(* ------------------------------------------------------------------ *)
+(* pm: masking page-fault tolerance (Section 5.1, Figure 3).           *)
+(* pm1 restores the tuple, pm2 detects it, pm3 accesses under Z1.      *)
+(* ------------------------------------------------------------------ *)
+
+let masking =
+  Program.make ~name:"pm"
+    ~vars:with_z1
+    ~actions:
+      [
+        Action.deterministic "pm1" ~based_on:"pn1" (Pred.not_ x1) (fun st ->
+            State.set st "present" (Value.bool true));
+        Action.deterministic "pm2"
+          (Pred.and_ x1 (Pred.not_ z1))
+          (fun st -> State.set st "z1" (Value.bool true));
+        read_action ~based_on:"pn2" ~guard:z1 "pm3";
+      ]
+
+let pm_detector = pf_detector
+let pm_corrector = pn_corrector

@@ -1,0 +1,66 @@
+(** The memory-access example of Sections 3.3, 4.3 and 5.1 (Figures 1-3):
+    the fault-intolerant program [p], the fail-safe [pf], the nonmasking
+    [pn] and the masking [pm] page-fault-tolerant programs, together with
+    the page-fault class, SPEC_mem, and the paper's predicates X1, Z1, U1,
+    S, T. *)
+
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+
+(** The correct and incorrect data values; [Value.bot] means unassigned. *)
+val good : Value.t
+
+val bad : Value.t
+val data_domain : Domain.t
+
+(** X1: <addr, val> is currently in the memory. *)
+val x1 : Pred.t
+
+(** Z1: the detector's witness. *)
+val z1 : Pred.t
+
+(** U1 = (Z1 ⇒ X1): the fault span T. *)
+val u1 : Pred.t
+
+(** S = U1 ∧ X1: the invariant. *)
+val s : Pred.t
+
+val t : Pred.t
+val data_is : Value.t -> Pred.t
+
+(** SPEC_mem: never write incorrect data; eventually write the correct
+    data. *)
+val spec : Spec.t
+
+(** The fault-intolerant program [p]. *)
+val intolerant : Program.t
+
+(** The page fault: <addr, val> is removed before the access begins. *)
+val page_fault : Fault.t
+
+(** Transient corruption of the output cell — the second fault class of
+    the multitolerance showcase. *)
+val data_corruption : Fault.t
+
+(** SPEC_mem without the never-write-bad safety part: the specification
+    against which data corruption can (only) be tolerated nonmasking. *)
+val spec_recovery : Spec.t
+
+(** [pf] — fail-safe tolerant (Figure 1). *)
+val failsafe : Program.t
+
+(** [Z1 detects X1], implemented by action pf1. *)
+val pf_detector : Detector.t
+
+(** [pn] — nonmasking tolerant (Figure 2). *)
+val nonmasking : Program.t
+
+(** [X1 corrects X1], implemented by action pn1. *)
+val pn_corrector : Corrector.t
+
+(** [pm] — masking tolerant (Figure 3). *)
+val masking : Program.t
+
+val pm_detector : Detector.t
+val pm_corrector : Corrector.t

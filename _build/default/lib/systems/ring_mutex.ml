@@ -1,0 +1,148 @@
+(* Token-based mutual exclusion on a ring — one of the classic problems the
+   paper's introduction lists among its design-method applications.
+
+   Built as a layered system on the Dijkstra ring of [Token_ring]: process
+   i may be in its critical section only while it holds the ring
+   privilege; it enters, then exits by making its ring move (passing the
+   privilege).  The fault class corrupts both the counters and the
+   critical-section flags; the local corrector "leave the critical section
+   when not privileged" together with the ring's own stabilization makes
+   the system nonmasking tolerant.
+
+   SPEC_mutex: at most one process in its critical section (safety);
+   every process enters its critical section infinitely often
+   (liveness). *)
+
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+
+type config = Token_ring.config
+
+let make_config = Token_ring.make_config
+let default = Token_ring.default
+
+let csvar i = Fmt.str "cs%d" i
+
+let vars cfg =
+  Token_ring.vars cfg
+  @ List.init cfg.Token_ring.processes (fun i -> (csvar i, Domain.boolean))
+
+let in_cs i =
+  Pred.make (Fmt.str "cs%d" i) (fun st ->
+      Value.equal (State.get st (csvar i)) (Value.bool true))
+
+let cs_count cfg st =
+  List.length
+    (List.filter
+       (fun i -> Pred.holds (in_cs i) st)
+       (List.init cfg.Token_ring.processes Fun.id))
+
+(* The mutual-exclusion invariant: the ring is legitimate and only a
+   privileged process is in its critical section. *)
+let invariant cfg =
+  Pred.make "S_mutex" (fun st ->
+      Pred.holds (Token_ring.legitimate cfg) st
+      && List.for_all
+           (fun i ->
+             (not (Pred.holds (in_cs i) st)) || Token_ring.privileged cfg i st)
+           (List.init cfg.Token_ring.processes Fun.id))
+
+let actions cfg =
+  let n = cfg.Token_ring.processes in
+  let priv = Token_ring.has_privilege cfg in
+  let enter i =
+    Action.deterministic (Fmt.str "enter_%d" i)
+      (Pred.and_ (priv i) (Pred.not_ (in_cs i)))
+      (fun st -> State.set st (csvar i) (Value.bool true))
+  in
+  (* Exit performs the ring move, passing the privilege on. *)
+  let exit_ i =
+    let ring_move st =
+      if i = 0 then
+        State.set st (Token_ring.xvar 0)
+          (Value.int
+             ((Value.as_int (State.get st (Token_ring.xvar 0)) + 1)
+             mod cfg.Token_ring.counter_values))
+      else
+        State.set st (Token_ring.xvar i)
+          (State.get st (Token_ring.xvar (i - 1)))
+    in
+    Action.deterministic (Fmt.str "exit_%d" i)
+      (Pred.and_ (priv i) (in_cs i))
+      (fun st -> ring_move (State.set st (csvar i) (Value.bool false)))
+  in
+  (* The local corrector: a process outside the privilege must not claim
+     the critical section. *)
+  let correct i =
+    Action.deterministic (Fmt.str "correct_%d" i)
+      (Pred.and_ (Pred.not_ (priv i)) (in_cs i))
+      (fun st -> State.set st (csvar i) (Value.bool false))
+  in
+  List.concat_map
+    (fun i -> [ enter i; exit_ i; correct i ])
+    (List.init n Fun.id)
+
+let program cfg = Program.make ~name:"ring-mutex" ~vars:(vars cfg) ~actions:(actions cfg)
+
+(* The intolerant variant: no local corrector. *)
+let intolerant cfg =
+  Program.make ~name:"ring-mutex-intolerant" ~vars:(vars cfg)
+    ~actions:
+      (List.filter
+         (fun ac ->
+           not
+             (String.length (Action.name ac) >= 7
+             && String.equal (String.sub (Action.name ac) 0 7) "correct"))
+         (actions cfg))
+
+(* A negative-control variant whose exit action forgets to leave the
+   critical section: the invariant is not even closed under the program,
+   so no tolerance class holds. *)
+let broken cfg =
+  let n = cfg.Token_ring.processes in
+  let priv = Token_ring.has_privilege cfg in
+  let enter i =
+    Action.deterministic (Fmt.str "enter_%d" i)
+      (Pred.and_ (priv i) (Pred.not_ (in_cs i)))
+      (fun st -> State.set st (csvar i) (Value.bool true))
+  in
+  let exit_ i =
+    Action.deterministic (Fmt.str "exit_%d" i)
+      (Pred.and_ (priv i) (in_cs i))
+      (fun st ->
+        (* forgets [cs.i := false] *)
+        if i = 0 then
+          State.set st (Token_ring.xvar 0)
+            (Value.int
+               ((Value.as_int (State.get st (Token_ring.xvar 0)) + 1)
+               mod cfg.Token_ring.counter_values))
+        else State.set st (Token_ring.xvar i) (State.get st (Token_ring.xvar (i - 1))))
+  in
+  Program.make ~name:"ring-mutex-broken" ~vars:(vars cfg)
+    ~actions:
+      (List.concat_map (fun i -> [ enter i; exit_ i ]) (List.init n Fun.id))
+
+(* Faults: corrupt any counter or any critical-section flag. *)
+let corruption cfg =
+  List.fold_left
+    (fun acc (x, d) -> Fault.union acc (Fault.corrupt_variable x d))
+    (Token_ring.corruption cfg)
+    (List.init cfg.Token_ring.processes (fun i -> (csvar i, Domain.boolean)))
+
+let spec cfg =
+  Spec.make ~name:"SPEC_mutex"
+    ~safety:
+      (Safety.conj
+         (Safety.never
+            (Pred.make "two-in-cs" (fun st -> cs_count cfg st > 1)))
+         (Safety.closure_of (invariant cfg)))
+    ~liveness:
+      (Liveness.conj_list
+         (List.init cfg.Token_ring.processes (fun i ->
+              Liveness.leads_to
+                ~name:(Fmt.str "process %d eventually enters" i)
+                Pred.true_ (in_cs i))))
+    ()
+
+let corrector cfg = Corrector.of_invariant (invariant cfg)

@@ -1,0 +1,42 @@
+(** Token-based mutual exclusion layered on the Dijkstra ring: a
+    privileged process may enter its critical section and passes the
+    privilege on exit; a local corrector forces non-privileged processes
+    out.  Nonmasking tolerant to corruption of counters and flags. *)
+
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+
+type config = Token_ring.config
+
+val make_config : ?k:int -> int -> config
+val default : config
+val csvar : int -> string
+val vars : config -> (string * Domain.t) list
+val in_cs : int -> Pred.t
+
+(** Number of processes currently in their critical section. *)
+val cs_count : config -> State.t -> int
+
+(** Ring legitimate and critical sections only under privilege. *)
+val invariant : config -> Pred.t
+
+(** The tolerant program (with the local corrector). *)
+val program : config -> Program.t
+
+(** Without the local corrector: recovery of corrupted flags then relies
+    on the circulating privilege alone. *)
+val intolerant : config -> Program.t
+
+(** Negative control: exit forgets to leave the critical section, so the
+    invariant is not closed and no tolerance class holds. *)
+val broken : config -> Program.t
+
+(** Corrupt any counter or critical-section flag. *)
+val corruption : config -> Fault.t
+
+(** At most one process in its critical section; everyone enters
+    infinitely often. *)
+val spec : config -> Spec.t
+
+val corrector : config -> Corrector.t

@@ -1,0 +1,188 @@
+(* Termination detection — the Dijkstra–Feijen–van Gasteren probe
+   algorithm, the paper's introduction's "termination detection" case
+   study, and the purest example of the paper's notion of a detector: the
+   probe machinery refines
+
+       'probe succeeded' detects 'all processes are passive'.
+
+   n processes on a ring.  Each process is active or passive; an active
+   process may activate a peer (the shared-memory analogue of sending a
+   message), marking itself black, or spontaneously become passive.  A
+   token circulates from the initiator (process 0) downward; a black
+   process blackens the token and whitens itself as the token passes.
+   When the token returns to a passive, white initiator and the token is
+   white, the initiator declares termination; otherwise it launches a
+   fresh white probe.
+
+   Machine-checked claims (tests and bench):
+   - Safeness:   declared ⇒ all passive (the classic DFG safety theorem);
+   - Progress:   once all passive, the probe eventually declares;
+   - Stability:  a declaration is never retracted while quiescence holds
+     (quiescence is closed: only active processes activate peers);
+   - the whole 'Z detects X' specification from the fresh-probe states;
+   - a *conservative* fault (spuriously blackening processes or the
+     token) is masked: it can only delay detection, never falsify it —
+     the detector is masking tolerant to blackening.  A fault that
+     whitens is NOT tolerated fail-safe: the checker exhibits a false
+     detection, reproducing why DFG's colors must err toward black. *)
+
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+
+type config = { processes : int }
+
+let make_config n =
+  if n < 2 then invalid_arg "Termination.make_config: need >= 2 processes";
+  { processes = n }
+
+let default = make_config 3
+
+let activevar i = Fmt.str "act%d" i
+let colorvar i = Fmt.str "col%d" i (* true = black *)
+
+let vars cfg =
+  [
+    ("tok", Domain.range 0 (cfg.processes - 1)); (* token position *)
+    ("tokblack", Domain.boolean);
+    ("declared", Domain.boolean);
+  ]
+  @ List.concat_map
+      (fun i -> [ (activevar i, Domain.boolean); (colorvar i, Domain.boolean) ])
+      (List.init cfg.processes Fun.id)
+
+let procs cfg = List.init cfg.processes Fun.id
+
+let active st i = Value.as_bool (State.get st (activevar i))
+let black st i = Value.as_bool (State.get st (colorvar i))
+let token_at st = Value.as_int (State.get st "tok")
+let token_black st = Value.as_bool (State.get st "tokblack")
+let declared_in st = Value.as_bool (State.get st "declared")
+
+(* X: global quiescence. *)
+let quiescent cfg =
+  Pred.make "all passive" (fun st ->
+      List.for_all (fun i -> not (active st i)) (procs cfg))
+
+(* Z: the initiator has declared termination. *)
+let declared = Pred.make "declared" declared_in
+
+let actions cfg =
+  let n = cfg.processes in
+  (* An active process hands work to a peer and blackens itself. *)
+  let activate i j =
+    Action.deterministic
+      (Fmt.str "activate_%d_%d" i j)
+      (Pred.make
+         (Fmt.str "act%d /\\ !act%d" i j)
+         (fun st -> active st i && not (active st j)))
+      (fun st ->
+        State.update_many st
+          [ (activevar j, Value.bool true); (colorvar i, Value.bool true) ])
+  in
+  (* Spontaneous passivation. *)
+  let passivate i =
+    Action.deterministic
+      (Fmt.str "passivate_%d" i)
+      (Pred.make (Fmt.str "act%d" i) (fun st -> active st i))
+      (fun st -> State.set st (activevar i) (Value.bool false))
+  in
+  (* A passive non-initiator forwards the token toward the initiator,
+     blackening it if the process is black, and whitening itself. *)
+  let forward i =
+    Action.deterministic
+      (Fmt.str "forward_%d" i)
+      (Pred.make
+         (Fmt.str "token at passive %d" i)
+         (fun st -> token_at st = i && (not (active st i)) && not (declared_in st)))
+      (fun st ->
+        State.update_many st
+          [
+            ("tok", Value.int (i - 1));
+            ("tokblack", Value.bool (token_black st || black st i));
+            (colorvar i, Value.bool false);
+          ])
+  in
+  (* The initiator concludes a probe: declare on a clean probe, or launch
+     a fresh white one. *)
+  let conclude_clean =
+    Action.deterministic "declare"
+      (Pred.make "clean probe at initiator" (fun st ->
+           token_at st = 0
+           && (not (active st 0))
+           && (not (token_black st))
+           && (not (black st 0))
+           && not (declared_in st)))
+      (fun st -> State.set st "declared" (Value.bool true))
+  in
+  let relaunch =
+    Action.deterministic "relaunch"
+      (Pred.make "dirty probe at initiator" (fun st ->
+           token_at st = 0
+           && (not (active st 0))
+           && (token_black st || black st 0)
+           && not (declared_in st)))
+      (fun st ->
+        State.update_many st
+          [
+            ("tok", Value.int (n - 1));
+            ("tokblack", Value.bool false);
+            (colorvar 0, Value.bool false);
+          ])
+  in
+  List.concat_map
+    (fun i ->
+      [ passivate i ]
+      @ List.filter_map
+          (fun j -> if i = j then None else Some (activate i j))
+          (procs cfg))
+    (procs cfg)
+  @ List.filter_map (fun i -> if i = 0 then None else Some (forward i)) (procs cfg)
+  @ [ conclude_clean; relaunch ]
+
+let program cfg =
+  Program.make ~name:"termination-detection" ~vars:(vars cfg)
+    ~actions:(actions cfg)
+
+(* U: fresh-probe states — the token was just (re)launched black-free at
+   the tail... we take the canonical initial condition of DFG: the token
+   is anywhere, everything may be active, but the bookkeeping is
+   conservative: every process is black and so is the token, and nothing
+   is declared.  From these states no probe can lie. *)
+let fresh cfg =
+  Pred.make "conservative start" (fun st ->
+      (not (declared_in st))
+      && token_black st
+      && List.for_all (fun i -> black st i) (procs cfg))
+
+let detector cfg =
+  Detector.make ~name:"probe detects quiescence" ~witness:declared
+    ~detection:(quiescent cfg) ()
+
+(* SPEC: never a false declaration (Safeness as a state property), a
+   declaration once quiescent (Progress), declarations irrevocable. *)
+let spec cfg =
+  Spec.detects ~witness:declared ~detection:(quiescent cfg)
+
+(* Conservative corruption: processes and token may be spuriously
+   blackened — finitely often.  Blackening can only delay detection. *)
+let blackening cfg =
+  Fault.make "blackening"
+    (Action.deterministic "F:blacken-token" Pred.true_ (fun st ->
+         State.set st "tokblack" (Value.bool true))
+    :: List.map
+         (fun i ->
+           Action.deterministic
+             (Fmt.str "F:blacken-%d" i)
+             Pred.true_
+             (fun st -> State.set st (colorvar i) (Value.bool true)))
+         (procs cfg))
+
+(* The unsound counterpart: spuriously *whitening* the token — the fault
+   the algorithm cannot tolerate. *)
+let whitening =
+  Fault.make "whitening"
+    [
+      Action.deterministic "F:whiten-token" Pred.true_ (fun st ->
+          State.set st "tokblack" (Value.bool false));
+    ]

@@ -1,0 +1,41 @@
+(** Termination detection — the Dijkstra–Feijen–van Gasteren probe
+    algorithm as the purest instance of the paper's detectors: the probe
+    machinery refines ['declared' detects 'all passive'].  Conservative
+    blackening faults are masked; whitening faults are exhibited as
+    unsound by the checker. *)
+
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+
+type config = { processes : int }
+
+val make_config : int -> config
+val default : config
+val activevar : int -> string
+val colorvar : int -> string
+val vars : config -> (string * Domain.t) list
+
+(** X: every process is passive (closed: only active processes activate
+    peers). *)
+val quiescent : config -> Pred.t
+
+(** Z: the initiator has declared termination. *)
+val declared : Pred.t
+
+val program : config -> Program.t
+
+(** U: conservative start — everything black, nothing declared. *)
+val fresh : config -> Pred.t
+
+val detector : config -> Detector.t
+
+(** The full ['declared' detects 'quiescent'] specification. *)
+val spec : config -> Spec.t
+
+(** Spurious blackening of processes or the token (conservative — only
+    delays detection). *)
+val blackening : config -> Fault.t
+
+(** Spurious whitening of the token — the fault DFG cannot tolerate. *)
+val whitening : Fault.t

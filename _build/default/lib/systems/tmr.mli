@@ -1,0 +1,52 @@
+(** Triple modular redundancy (Section 6.1): the intolerant program [IR],
+    the detector-restricted [DR;IR] (fail-safe), and the full TMR program
+    [DR;IR [] CR] (masking), under corruption of at most one input. *)
+
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+
+val input_domain : Domain.t
+val out_domain : Domain.t
+val vars : (string * Domain.t) list
+
+(** The majority value of the three inputs, when at least two agree. *)
+val majority : State.t -> Value.t option
+
+val out_bot : Pred.t
+
+(** out = uncor: the output equals the uncorrupted (majority) input. *)
+val out_is_uncor : Pred.t
+
+(** SPEC_io: the output is only assigned the value of an uncorrupted
+    input, and is eventually assigned. *)
+val spec : Spec.t
+
+(** S: all inputs agree; output unassigned or correct. *)
+val invariant : Pred.t
+
+(** T: at most one input corrupted; output unassigned or correct. *)
+val span_pred : Pred.t
+
+(** IR: out := x. *)
+val intolerant : Program.t
+
+(** The fault class: corrupts at most one of the three inputs. *)
+val one_corruption : Fault.t
+
+(** The witness predicate of DR: (x=y ∨ x=z). *)
+val dr_witness : Pred.t
+
+(** The detection predicate of DR: x = uncor. *)
+val dr_detection : Pred.t
+
+val detector : Detector.t
+
+(** DR;IR — fail-safe tolerant. *)
+val failsafe : Program.t
+
+(** CR with witness and correction predicate out = uncor. *)
+val corrector : Corrector.t
+
+(** DR;IR [] CR — the TMR program, masking tolerant. *)
+val masking : Program.t

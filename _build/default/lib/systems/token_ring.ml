@@ -1,0 +1,99 @@
+(* Dijkstra's K-state token ring [9], the paper's canonical corrector.
+
+   The concluding remarks report a compositional PVS proof of this program
+   with the detector/corrector theory; here it serves as the showcase
+   nonmasking system: a self-stabilizing program IS a corrector of its own
+   legitimacy predicate (the Arora-Gouda special case where the witness
+   equals the correction predicate).
+
+   n processes in a ring, each with a counter x.i in {0..K-1}:
+   - process 0 is privileged when x.0 = x.(n-1); its move increments
+     x.0 mod K;
+   - process i > 0 is privileged when x.i <> x.(i-1); its move copies
+     x.(i-1).
+
+   Legitimate states: exactly one process privileged.  For K >= n the
+   program converges from arbitrary states to the legitimate set and the
+   privilege then circulates forever — nonmasking tolerance to arbitrary
+   corruption of the counters. *)
+
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+
+type config = {
+  processes : int;
+  counter_values : int; (* K *)
+}
+
+let make_config ?k n =
+  let counter_values = match k with Some k -> k | None -> n in
+  if n < 2 then invalid_arg "Token_ring.make_config: need at least 2 processes";
+  if counter_values < n then
+    invalid_arg "Token_ring.make_config: need K >= n for convergence";
+  { processes = n; counter_values }
+
+let default = make_config 4
+
+let xvar i = Fmt.str "x%d" i
+
+let vars cfg =
+  List.init cfg.processes (fun i -> (xvar i, Domain.range 0 (cfg.counter_values - 1)))
+
+let counter st i = Value.as_int (State.get st (xvar i))
+
+(* Privilege predicates. *)
+let privileged cfg i st =
+  if i = 0 then counter st 0 = counter st (cfg.processes - 1)
+  else counter st i <> counter st (i - 1)
+
+let privilege_count cfg st =
+  List.length
+    (List.filter (fun i -> privileged cfg i st) (List.init cfg.processes Fun.id))
+
+(* The legitimacy predicate: exactly one privilege in the ring. *)
+let legitimate cfg =
+  Pred.make "exactly-one-privilege" (fun st -> privilege_count cfg st = 1)
+
+let has_privilege cfg i =
+  Pred.make (Fmt.str "privileged_%d" i) (fun st -> privileged cfg i st)
+
+let actions cfg =
+  let move_0 =
+    Action.deterministic "move_0"
+      (has_privilege cfg 0)
+      (fun st ->
+        State.set st (xvar 0)
+          (Value.int ((counter st 0 + 1) mod cfg.counter_values)))
+  in
+  let move i =
+    Action.deterministic (Fmt.str "move_%d" i)
+      (has_privilege cfg i)
+      (fun st -> State.set st (xvar i) (Value.int (counter st (i - 1))))
+  in
+  move_0 :: List.init (cfg.processes - 1) (fun i -> move (i + 1))
+
+let program cfg = Program.make ~name:"token-ring" ~vars:(vars cfg) ~actions:(actions cfg)
+
+(* Transient faults: arbitrary corruption of any counter. *)
+let corruption cfg =
+  List.fold_left
+    (fun acc (x, d) -> Fault.union acc (Fault.corrupt_variable x d))
+    Fault.none (vars cfg)
+
+(* SPEC_ring: legitimacy is closed, and every process is privileged
+   infinitely often (token circulation). *)
+let spec cfg =
+  Spec.make ~name:"SPEC_token-ring"
+    ~safety:(Safety.closure_of (legitimate cfg))
+    ~liveness:
+      (Liveness.conj_list
+         (List.init cfg.processes (fun i ->
+              Liveness.leads_to
+                ~name:(Fmt.str "process %d eventually privileged" i)
+                Pred.true_ (has_privilege cfg i))))
+    ()
+
+(* The ring as a corrector: legitimate corrects legitimate (witness =
+   correction predicate, the Arora-Gouda form). *)
+let corrector cfg = Corrector.of_invariant (legitimate cfg)

@@ -1,0 +1,41 @@
+(** Dijkstra's K-state token ring [9] — the paper's canonical corrector: a
+    self-stabilizing program is a corrector of its own legitimacy predicate
+    (witness = correction predicate).  Nonmasking tolerant to arbitrary
+    counter corruption for K ≥ n. *)
+
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+
+type config = {
+  processes : int;
+  counter_values : int;  (** K *)
+}
+
+(** [make_config ?k n]: [n] processes with counters in [{0..k-1}]
+    (default [k = n]).  @raise Invalid_argument if [n < 2] or [k < n]. *)
+val make_config : ?k:int -> int -> config
+
+val default : config
+val xvar : int -> string
+val vars : config -> (string * Domain.t) list
+
+(** Process [i] holds the privilege. *)
+val privileged : config -> int -> State.t -> bool
+
+val privilege_count : config -> State.t -> int
+
+(** Exactly one privilege in the ring. *)
+val legitimate : config -> Pred.t
+
+val has_privilege : config -> int -> Pred.t
+val program : config -> Program.t
+
+(** Arbitrary transient corruption of any counter. *)
+val corruption : config -> Fault.t
+
+(** Legitimacy closed; every process privileged infinitely often. *)
+val spec : config -> Spec.t
+
+(** The ring as corrector of its legitimacy predicate. *)
+val corrector : config -> Corrector.t

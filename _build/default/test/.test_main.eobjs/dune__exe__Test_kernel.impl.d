@@ -1,0 +1,1 @@
+test/test_kernel.ml: Action Alcotest Detcor_kernel Detcor_systems Domain Expr List Memory Option Pred Program QCheck QCheck_alcotest State Util Value

@@ -1,0 +1,1 @@
+test/test_lang.ml: Action Alcotest Array Ast Detcor_core Detcor_kernel Detcor_lang Detcor_spec Elaborate Filename Fmt Lexer List Option Parser Pred Program State String Sys Token Util Value

@@ -1,0 +1,1 @@
+test/test_reset.ml: Alcotest Corrector Detcor_core Detcor_kernel Detcor_semantics Detcor_systems Distributed_reset Fmt Fun List Pred State Theorems Tolerance Util Value

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Action Alcotest Array Check Detcor_kernel Detcor_semantics Domain Dot Fairness Fmt Fun Graph List Option Pred Program QCheck State String Trace Ts Util Value

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Detcor_kernel Detcor_semantics Detcor_sim Detcor_spec Detcor_systems Injector List Memory Monitor Pred Random Runner Scheduler State Stats Token_ring Value

@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Detcor_kernel Detcor_semantics Detcor_spec Fmt List Liveness Pred QCheck Safety Spec State Trace Ts Util Value

@@ -1,0 +1,1 @@
+test/test_synthesis.ml: Action Alcotest Detcor_core Detcor_kernel Detcor_spec Detcor_synthesis Detcor_systems Fault Fmt List Memory Pred Program Spec State Synthesize Tmr Token_ring Tolerance Value

@@ -1,0 +1,1 @@
+test/test_termination.ml: Alcotest Detcor_core Detcor_kernel Detcor_semantics Detcor_spec Detcor_systems Detector Fmt List Pred Spec Termination Tolerance Util

@@ -1,0 +1,1 @@
+test/util.ml: Action Alcotest Detcor_kernel Detcor_semantics Domain Fmt List Pred Program QCheck QCheck_alcotest State Value

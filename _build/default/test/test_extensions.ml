@@ -1,0 +1,298 @@
+(* Tests for the framework extensions: counterexample explanation,
+   component composition, multitolerance, and the DSL typechecker. *)
+
+open Detcor_kernel
+open Detcor_semantics
+open Detcor_spec
+open Detcor_core
+open Detcor_systems
+
+(* ------------------------------------------------------------------ *)
+(* Shortest paths and explanations.                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_shortest_path () =
+  let ts =
+    Ts.build (Util.graph_program 5 [ (0, 1); (1, 2); (2, 3); (0, 4); (4, 3) ])
+      ~from:[ Util.node_state 0 ]
+  in
+  let goal = Option.get (Ts.index_of ts (Util.node_state 3)) in
+  match Graph.shortest_path ts ~from:(Ts.initials ts) ~target:(fun i -> i = goal) with
+  | None -> Alcotest.fail "path exists"
+  | Some (_, steps) -> Alcotest.(check int) "shortest has 2 steps" 2 (List.length steps)
+
+let test_shortest_path_masked () =
+  let ts =
+    Ts.build (Util.graph_program 4 [ (0, 1); (1, 3); (0, 2); (2, 3) ])
+      ~from:[ Util.node_state 0 ]
+  in
+  let goal = Option.get (Ts.index_of ts (Util.node_state 3)) in
+  let avoid1 i = not (State.equal (Ts.state ts i) (Util.node_state 1)) in
+  match
+    Graph.shortest_path ~mask:avoid1 ts ~from:(Ts.initials ts)
+      ~target:(fun i -> i = goal)
+  with
+  | None -> Alcotest.fail "masked path exists via 2"
+  | Some (_, steps) ->
+    let through =
+      List.map (fun (_, j) -> State.get (Ts.state ts j) "node") steps
+    in
+    Alcotest.(check bool) "avoids node 1" true
+      (not (List.exists (Value.equal (Value.int 1)) through))
+
+let test_explain_bad_transition () =
+  (* The intolerant memory program: witness trace must be
+     fault-then-unsafe-read, the paper's motivating scenario. *)
+  let span =
+    Tolerance.fault_span Memory.intolerant ~faults:Memory.page_fault
+      ~from:Memory.s
+  in
+  let sspec = Spec.smallest_safety_containing Memory.spec in
+  match Spec.refines span.ts_pf sspec with
+  | Check.Holds -> Alcotest.fail "expected a violation"
+  | Check.Fails v -> (
+    match Explain.violation span.ts_pf v with
+    | None -> Alcotest.fail "witness should exist"
+    | Some w ->
+      let actions =
+        List.map (fun (s : Trace.step) -> s.action) (Trace.steps w.prefix)
+      in
+      Alcotest.(check bool) "fault occurs in the witness" true
+        (List.mem "F:page-fault" actions);
+      Alcotest.(check bool) "unsafe read ends the witness" true
+        (match List.rev actions with "p_read" :: _ -> true | _ -> false))
+
+let test_explain_unreachable () =
+  let ts = Ts.build (Util.graph_program 3 [ (0, 1) ]) ~from:[ Util.node_state 0 ] in
+  Alcotest.(check bool) "unreachable state has no witness" true
+    (Explain.to_state ts (Util.node_state 2) = None)
+
+let test_explain_fair_cycle () =
+  let ts =
+    Ts.build (Util.graph_program 3 [ (0, 1); (1, 1) ]) ~from:[ Util.node_state 0 ]
+  in
+  let at2 = Pred.make "at2" (fun st -> Value.equal (State.get st "node") (Value.int 2)) in
+  match Check.eventually ts at2 with
+  | Check.Holds -> Alcotest.fail "expected fair-cycle violation"
+  | Check.Fails v -> (
+    match Explain.violation ts v with
+    | Some w -> Alcotest.(check bool) "cycle reported" true (w.cycle <> [])
+    | None -> Alcotest.fail "witness should exist")
+
+(* ------------------------------------------------------------------ *)
+(* Component composition.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let masking_ts = lazy (Ts.of_pred Memory.masking ~from:Memory.t)
+
+(* A second detector of pm: "the output cell is populated" witnesses
+   itself (a trivially sound detector used to exercise composition). *)
+let populated =
+  Pred.make "data#bot" (fun st -> not (Value.equal (State.get st "data") Value.bot))
+
+let d_populated = Detector.make ~name:"populated" ~witness:populated ~detection:populated ()
+
+let test_detector_conjunction () =
+  let ts = Lazy.force masking_ts in
+  let schema = Compose.conjunction_schema ts Memory.pm_detector d_populated in
+  Alcotest.(check bool)
+    (Fmt.str "%a" Compose.pp_schema schema)
+    true (Compose.holds schema)
+
+let test_detector_conjunction_soundness_random () =
+  (* The conjunction lemma is unconditional: on every system where both
+     premises hold, the conclusion must hold.  Exercise it across the
+     example corpus. *)
+  let instances =
+    [
+      (Lazy.force masking_ts, Memory.pm_detector, d_populated);
+      ( Ts.of_pred Memory.failsafe ~from:Memory.t,
+        Memory.pf_detector,
+        d_populated );
+    ]
+  in
+  List.iter
+    (fun (ts, d1, d2) ->
+      let schema = Compose.conjunction_schema ts d1 d2 in
+      Alcotest.(check bool) "conjunction validates" true (Compose.validates schema))
+    instances
+
+let test_detector_seq () =
+  let ts = Lazy.force masking_ts in
+  let d = Compose.detector_seq Memory.pm_detector d_populated in
+  Util.check_holds "sequenced detector holds on pm" (Detector.satisfies_ts ts d)
+
+let test_detector_list_and () =
+  let ts = Lazy.force masking_ts in
+  let d = Compose.detector_list_and [ Memory.pm_detector; d_populated; Memory.pm_detector ] in
+  Util.check_holds "n-ary conjunction" (Detector.satisfies_ts ts d);
+  Alcotest.(check bool) "empty list rejected" true
+    (try
+       ignore (Compose.detector_list_and []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_corrector_conjunction () =
+  let ts = Ts.of_pred Memory.nonmasking ~from:Memory.t in
+  let c2 = Corrector.of_invariant Pred.true_ in
+  let schema = Compose.corrector_conjunction_schema ts Memory.pn_corrector c2 in
+  Alcotest.(check bool)
+    (Fmt.str "%a" Compose.pp_schema schema)
+    true (Compose.holds schema)
+
+let test_disjunction_instance () =
+  (* Disjunction is instance-checked; on pm with these two detectors it
+     happens to hold, and validates() must not be violated either way. *)
+  let ts = Lazy.force masking_ts in
+  let schema = Compose.disjunction_schema ts Memory.pm_detector Memory.pm_detector in
+  Alcotest.(check bool) "self-disjunction holds" true (Compose.holds schema)
+
+(* ------------------------------------------------------------------ *)
+(* Multitolerance.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_multitolerance_pm () =
+  (* pm: masking to page faults AND nonmasking to data corruption — the
+     multitolerance headline. *)
+  let report =
+    Multitolerance.check Memory.masking ~spec:Memory.spec ~invariant:Memory.s
+      ~requirements:
+        [
+          { Multitolerance.fault = Memory.page_fault; tol = Spec.Masking };
+          { Multitolerance.fault = Memory.data_corruption; tol = Spec.Nonmasking };
+        ]
+  in
+  Alcotest.(check bool)
+    (Fmt.str "%a" Multitolerance.pp_report report)
+    true
+    (Multitolerance.verdict report);
+  (* The combined class is checked at the weakest level (nonmasking). *)
+  Alcotest.(check bool) "combined report present" true (report.combined <> None)
+
+let test_multitolerance_negative () =
+  (* pf is not nonmasking to page faults, so a requirement asking for it
+     must fail. *)
+  let report =
+    Multitolerance.check Memory.failsafe ~spec:Memory.spec ~invariant:Memory.s
+      ~requirements:
+        [
+          { Multitolerance.fault = Memory.page_fault; tol = Spec.Nonmasking };
+        ]
+  in
+  Alcotest.(check bool) "pf cannot recover" false (Multitolerance.verdict report)
+
+let test_multitolerance_weakest () =
+  Alcotest.(check bool) "all masking" true
+    (Multitolerance.weakest [ Spec.Masking; Spec.Masking ] = Spec.Masking);
+  Alcotest.(check bool) "nonmasking dominates" true
+    (Multitolerance.weakest [ Spec.Masking; Spec.Nonmasking ] = Spec.Nonmasking);
+  Alcotest.(check bool) "failsafe when no nonmasking" true
+    (Multitolerance.weakest [ Spec.Masking; Spec.Failsafe ] = Spec.Failsafe)
+
+let test_masking_against_weakened_spec () =
+  (* Against the recovery-only specification (no safety part), pm is even
+     masking tolerant to data corruption. *)
+  Alcotest.(check bool) "pm masking for recovery spec" true
+    (Tolerance.verdict
+       (Tolerance.is_masking Memory.masking ~spec:Memory.spec_recovery
+          ~invariant:Memory.s ~faults:Memory.data_corruption))
+
+(* ------------------------------------------------------------------ *)
+(* Typechecker.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+open Detcor_lang
+
+let errors src = Typecheck.check (Parser.parse_string src)
+
+let test_typecheck_clean () =
+  Alcotest.(check (list string)) "well-typed program" []
+    (errors
+       "program t\nvar x : 0..3\nvar b : bool\ninvariant b\naction a: b && x < 2 -> x := x + 1")
+
+let test_typecheck_unknown_ident () =
+  Alcotest.(check bool) "unknown identifier reported" true
+    (errors "program t\nvar x : bool\naction a: y -> x := true" <> [])
+
+let test_typecheck_kind_mismatch () =
+  Alcotest.(check bool) "int guard rejected" true
+    (errors "program t\nvar x : 0..3\naction a: x -> x := 0" <> []);
+  Alcotest.(check bool) "bool arithmetic rejected" true
+    (errors "program t\nvar b : bool\naction a: true -> b := b + 1" <> []);
+  Alcotest.(check bool) "cross-kind comparison rejected" true
+    (errors "program t\nvar b : bool\nvar x : 0..3\naction a: b = x -> x := 0" <> [])
+
+let test_typecheck_symbol_domain () =
+  Alcotest.(check bool) "foreign symbol in comparison" true
+    (errors
+       "program t\nvar c : {red, green}\nvar d : {blue}\naction a: c = blue -> c := red"
+    <> []);
+  Alcotest.(check bool) "foreign symbol in assignment" true
+    (errors
+       "program t\nvar c : {red, green}\nvar d : {blue}\naction a: true -> c := blue"
+    <> [])
+
+let test_typecheck_duplicates () =
+  Alcotest.(check bool) "duplicate action" true
+    (errors
+       "program t\nvar x : bool\naction a: true -> x := true\naction a: true -> x := false"
+    <> []);
+  Alcotest.(check bool) "duplicate variable" true
+    (errors "program t\nvar x : bool\nvar x : 0..1\naction a: true -> x := true" <> [])
+
+let test_typecheck_based_on () =
+  Alcotest.(check bool) "dangling based-on" true
+    (errors "program t\nvar x : bool\naction a based on ghost: true -> x := true" <> [])
+
+let test_typecheck_if_branches () =
+  Alcotest.(check bool) "mixed if branches rejected" true
+    (errors
+       "program t\nvar x : 0..3\nvar b : bool\naction a: true -> x := if b then 1 else b"
+    <> [])
+
+let test_typecheck_empty_action () =
+  Alcotest.(check bool) "empty assignment list unreachable via parser" true
+    (try
+       ignore (Parser.parse_string "program t\naction a: true ->");
+       false
+     with Parser.Error _ -> true)
+
+let test_elaborate_runs_typecheck () =
+  Alcotest.(check bool) "elaborate rejects ill-typed source" true
+    (try
+       ignore
+         (Elaborate.load_string "program t\nvar x : 0..3\naction a: x -> x := 0");
+       false
+     with Elaborate.Error _ -> true)
+
+let suite =
+  ( "extensions (explain, compose, multitolerance, typecheck)",
+    [
+      Alcotest.test_case "shortest path" `Quick test_shortest_path;
+      Alcotest.test_case "masked shortest path" `Quick test_shortest_path_masked;
+      Alcotest.test_case "explain bad transition" `Quick test_explain_bad_transition;
+      Alcotest.test_case "explain unreachable" `Quick test_explain_unreachable;
+      Alcotest.test_case "explain fair cycle" `Quick test_explain_fair_cycle;
+      Alcotest.test_case "detector conjunction" `Quick test_detector_conjunction;
+      Alcotest.test_case "conjunction soundness corpus" `Quick
+        test_detector_conjunction_soundness_random;
+      Alcotest.test_case "sequenced detector" `Quick test_detector_seq;
+      Alcotest.test_case "n-ary conjunction" `Quick test_detector_list_and;
+      Alcotest.test_case "corrector conjunction" `Quick test_corrector_conjunction;
+      Alcotest.test_case "disjunction instance" `Quick test_disjunction_instance;
+      Alcotest.test_case "multitolerance pm" `Quick test_multitolerance_pm;
+      Alcotest.test_case "multitolerance negative" `Quick test_multitolerance_negative;
+      Alcotest.test_case "weakest tolerance" `Quick test_multitolerance_weakest;
+      Alcotest.test_case "weakened spec masking" `Quick
+        test_masking_against_weakened_spec;
+      Alcotest.test_case "typecheck clean" `Quick test_typecheck_clean;
+      Alcotest.test_case "typecheck unknown ident" `Quick test_typecheck_unknown_ident;
+      Alcotest.test_case "typecheck kind mismatch" `Quick test_typecheck_kind_mismatch;
+      Alcotest.test_case "typecheck symbol domains" `Quick test_typecheck_symbol_domain;
+      Alcotest.test_case "typecheck duplicates" `Quick test_typecheck_duplicates;
+      Alcotest.test_case "typecheck based-on" `Quick test_typecheck_based_on;
+      Alcotest.test_case "typecheck if branches" `Quick test_typecheck_if_branches;
+      Alcotest.test_case "typecheck empty action" `Quick test_typecheck_empty_action;
+      Alcotest.test_case "elaborate runs typecheck" `Quick
+        test_elaborate_runs_typecheck;
+    ] )

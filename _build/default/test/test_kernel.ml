@@ -1,0 +1,351 @@
+(* Tests for Detcor_kernel: values, domains, states, expressions,
+   predicates, actions, programs, compositions, encapsulation. *)
+
+open Detcor_kernel
+
+let test_value_order () =
+  Alcotest.(check bool) "int < bool" true (Value.compare (Value.int 3) (Value.bool false) < 0);
+  Alcotest.(check bool) "bool < sym" true (Value.compare (Value.bool true) (Value.sym "a") < 0);
+  Alcotest.(check bool) "equal ints" true (Value.equal (Value.int 2) (Value.int 2));
+  Alcotest.(check bool) "distinct syms" false (Value.equal (Value.sym "a") (Value.sym "b"))
+
+let test_value_projections () =
+  Alcotest.(check (option int)) "to_int" (Some 4) (Value.to_int (Value.int 4));
+  Alcotest.(check (option int)) "to_int of bool" None (Value.to_int (Value.bool true));
+  Alcotest.(check (option bool)) "to_bool" (Some true) (Value.to_bool (Value.bool true));
+  Alcotest.check_raises "as_int of sym" (Value.Type_error "expected int, got bot")
+    (fun () -> ignore (Value.as_int Value.bot))
+
+let test_domain () =
+  Alcotest.(check int) "range size" 4 (Domain.size (Domain.range 0 3));
+  Alcotest.(check int) "bool size" 2 (Domain.size Domain.boolean);
+  Alcotest.(check int) "dedup" 2 (Domain.size (Domain.of_values [ Value.int 1; Value.int 1; Value.int 2 ]));
+  Alcotest.(check bool) "mem" true (Domain.mem (Value.int 2) (Domain.range 0 3));
+  Alcotest.(check bool) "not mem" false (Domain.mem (Value.int 9) (Domain.range 0 3));
+  Alcotest.(check bool) "with_bot" true (Domain.mem Value.bot (Domain.with_bot Domain.boolean));
+  Alcotest.check_raises "empty range" (Invalid_argument "Domain.range: empty range")
+    (fun () -> ignore (Domain.range 3 2))
+
+let test_state_basics () =
+  let st = State.of_list [ ("x", Value.int 1); ("y", Value.bool true) ] in
+  Alcotest.check Util.value "get x" (Value.int 1) (State.get st "x");
+  let st' = State.set st "x" (Value.int 2) in
+  Alcotest.check Util.value "set is persistent" (Value.int 1) (State.get st "x");
+  Alcotest.check Util.value "set updates" (Value.int 2) (State.get st' "x");
+  Alcotest.(check (list string)) "variables" [ "x"; "y" ] (State.variables st);
+  Alcotest.(check bool) "mem" true (State.mem st "y");
+  Alcotest.(check bool) "not mem" false (State.mem st "z")
+
+let test_state_projection () =
+  let st = State.of_list [ ("x", Value.int 1); ("y", Value.int 2); ("z", Value.int 3) ] in
+  let p = State.project st [ "x"; "z" ] in
+  Alcotest.(check (list string)) "projected vars" [ "x"; "z" ] (State.variables p);
+  Alcotest.(check bool) "agree_on x z" true (State.agree_on st p [ "x"; "z" ]);
+  let st2 = State.set st "y" (Value.int 9) in
+  Alcotest.(check bool) "agree ignoring y" true (State.agree_on st st2 [ "x"; "z" ]);
+  Alcotest.(check bool) "disagree on y" false (State.agree_on st st2 [ "y" ])
+
+let test_expr_eval () =
+  let st = State.of_list [ ("x", Value.int 3); ("b", Value.bool true) ] in
+  let open Expr in
+  Alcotest.(check int) "arith" 7 (eval_int st (add (var "x") (int 4)));
+  Alcotest.(check int) "mod positive" 1 (eval_int st (mod_ (int 7) (int 2)));
+  Alcotest.(check int) "mod negative operand" 1 (eval_int st (mod_ (int (-3)) (int 2)));
+  Alcotest.(check bool) "cmp" true (eval_bool st (le (var "x") (int 3)));
+  Alcotest.(check bool) "implies false antecedent" true
+    (eval_bool st (implies (bool false) (bool false)));
+  Alcotest.(check bool) "iff" true (eval_bool st (iff (var "b") (gt (var "x") (int 0))));
+  Alcotest.check Util.value "ite" (Value.int 1)
+    (eval st (ite (var "b") (int 1) (int 0)));
+  Alcotest.(check (list string)) "variables" [ "b"; "x" ]
+    (variables (and_ [ var "b"; eq (var "x") (var "b") ]))
+
+let test_expr_errors () =
+  let st = State.of_list [ ("x", Value.int 3) ] in
+  Alcotest.check_raises "unbound" (Value.Type_error "unbound variable y")
+    (fun () -> ignore (Expr.eval st (Expr.var "y")));
+  Alcotest.check_raises "mod zero" (Value.Type_error "modulo by zero")
+    (fun () -> ignore (Expr.eval st (Expr.mod_ (Expr.var "x") (Expr.int 0))))
+
+let test_pred_combinators () =
+  let st = State.of_list [ ("x", Value.int 3) ] in
+  let p = Pred.make "x>0" (fun st -> Value.as_int (State.get st "x") > 0) in
+  let q = Pred.make "x<2" (fun st -> Value.as_int (State.get st "x") < 2) in
+  Alcotest.(check bool) "and" false (Pred.holds (Pred.and_ p q) st);
+  Alcotest.(check bool) "or" true (Pred.holds (Pred.or_ p q) st);
+  Alcotest.(check bool) "not" false (Pred.holds (Pred.not_ p) st);
+  Alcotest.(check bool) "implies" false (Pred.holds (Pred.implies p q) st);
+  Alcotest.(check bool) "conj empty = true" true (Pred.holds (Pred.conj []) st);
+  Alcotest.(check bool) "disj empty = false" false (Pred.holds (Pred.disj []) st)
+
+let test_pred_of_states () =
+  let s1 = State.of_list [ ("x", Value.int 1) ] in
+  let s2 = State.of_list [ ("x", Value.int 2) ] in
+  let p = Pred.of_states [ s1 ] in
+  Alcotest.(check bool) "member" true (Pred.holds p s1);
+  Alcotest.(check bool) "non-member" false (Pred.holds p s2)
+
+(* A tiny counter program used across action/program tests. *)
+let counter max =
+  let guard = Pred.make "x<max" (fun st -> Value.as_int (State.get st "x") < max) in
+  let inc =
+    Action.deterministic "inc" guard (fun st ->
+        State.set st "x" (Value.int (Value.as_int (State.get st "x") + 1)))
+  in
+  Program.make ~name:"counter" ~vars:[ ("x", Domain.range 0 max) ] ~actions:[ inc ]
+
+let test_action_execute () =
+  let p = counter 3 in
+  let inc = Option.get (Program.find_action p "inc") in
+  let st0 = State.of_list [ ("x", Value.int 0) ] in
+  let st3 = State.of_list [ ("x", Value.int 3) ] in
+  Alcotest.(check bool) "enabled" true (Action.enabled inc st0);
+  Alcotest.(check bool) "disabled at max" false (Action.enabled inc st3);
+  Alcotest.(check (list Util.state)) "successor"
+    [ State.of_list [ ("x", Value.int 1) ] ]
+    (Action.execute inc st0);
+  Alcotest.(check (list Util.state)) "no successor when disabled" []
+    (Action.execute inc st3)
+
+let test_action_restrict () =
+  let p = counter 3 in
+  let inc = Option.get (Program.find_action p "inc") in
+  let even = Pred.make "even" (fun st -> Value.as_int (State.get st "x") mod 2 = 0) in
+  let restricted = Action.restrict even inc in
+  let st1 = State.of_list [ ("x", Value.int 1) ] in
+  let st2 = State.of_list [ ("x", Value.int 2) ] in
+  Alcotest.(check bool) "odd blocked" false (Action.enabled restricted st1);
+  Alcotest.(check bool) "even enabled" true (Action.enabled restricted st2)
+
+let test_action_preserves () =
+  let p = counter 3 in
+  let inc = Option.get (Program.find_action p "inc") in
+  let universe = Program.states p in
+  let nonneg = Pred.make "x>=0" (fun st -> Value.as_int (State.get st "x") >= 0) in
+  let lt2 = Pred.make "x<2" (fun st -> Value.as_int (State.get st "x") < 2) in
+  Alcotest.(check bool) "preserves x>=0" true (Action.preserves inc nonneg ~universe);
+  Alcotest.(check bool) "does not preserve x<2" false (Action.preserves inc lt2 ~universe)
+
+let test_corrupt_action () =
+  let d = Domain.range 0 2 in
+  let c = Action.corrupt "c" Pred.true_ "x" d in
+  let st = State.of_list [ ("x", Value.int 0) ] in
+  Alcotest.(check int) "three successors" 3 (List.length (Action.execute c st))
+
+let test_program_space () =
+  let p = counter 3 in
+  Alcotest.(check int) "space size" 4 (Program.space_size p);
+  Alcotest.(check int) "states" 4 (List.length (Program.states p));
+  let st3 = State.of_list [ ("x", Value.int 3) ] in
+  Alcotest.(check bool) "deadlock at max" true (Program.deadlocked p st3);
+  Alcotest.(check (list string)) "well formed" [] (Program.well_formed p)
+
+let test_program_out_of_domain () =
+  let bad =
+    Program.make ~name:"bad"
+      ~vars:[ ("x", Domain.range 0 1) ]
+      ~actions:
+        [
+          Action.deterministic "boom" Pred.true_ (fun st ->
+              State.set st "x" (Value.int 7));
+        ]
+  in
+  Alcotest.(check bool) "violations reported" true (Program.well_formed bad <> [])
+
+let test_parallel_composition () =
+  let a =
+    Program.make ~name:"a"
+      ~vars:[ ("x", Domain.boolean) ]
+      ~actions:[ Action.skip "sa" ]
+  in
+  let b =
+    Program.make ~name:"b"
+      ~vars:[ ("x", Domain.boolean); ("y", Domain.boolean) ]
+      ~actions:[ Action.skip "sb" ]
+  in
+  let ab = Program.parallel a b in
+  Alcotest.(check int) "union of actions" 2 (List.length (Program.actions ab));
+  Alcotest.(check (list string)) "merged vars" [ "x"; "y" ] (Program.variables ab)
+
+let test_parallel_domain_clash () =
+  let a = Program.make ~name:"a" ~vars:[ ("x", Domain.boolean) ] ~actions:[] in
+  let b = Program.make ~name:"b" ~vars:[ ("x", Domain.range 0 1) ] ~actions:[] in
+  Alcotest.(check bool) "clash raises" true
+    (try
+       ignore (Program.parallel a b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_restrict_composition () =
+  let p = counter 3 in
+  let never = Pred.false_ in
+  let restricted = Program.restrict never p in
+  let st0 = State.of_list [ ("x", Value.int 0) ] in
+  Alcotest.(check bool) "restricted program deadlocked" true
+    (Program.deadlocked restricted st0)
+
+let test_sequential_composition () =
+  let p = counter 2 in
+  let q =
+    Program.make ~name:"reset"
+      ~vars:[ ("x", Domain.range 0 2) ]
+      ~actions:
+        [
+          Action.deterministic "reset" Pred.true_ (fun st ->
+              State.set st "x" (Value.int 0));
+        ]
+  in
+  let at2 = Pred.make "x=2" (fun st -> Value.equal (State.get st "x") (Value.int 2)) in
+  let seq = Program.sequential p at2 q in
+  let st1 = State.of_list [ ("x", Value.int 1) ] in
+  let st2 = State.of_list [ ("x", Value.int 2) ] in
+  let reset = Option.get (Program.find_action seq "reset") in
+  Alcotest.(check bool) "reset blocked before Z" false (Action.enabled reset st1);
+  Alcotest.(check bool) "reset enabled under Z" true (Action.enabled reset st2)
+
+let test_duplicate_names () =
+  Alcotest.(check bool) "duplicate action name rejected" true
+    (try
+       ignore
+         (Program.make ~name:"d" ~vars:[]
+            ~actions:[ Action.skip "s"; Action.skip "s" ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "duplicate var rejected" true
+    (try
+       ignore
+         (Program.make ~name:"d"
+            ~vars:[ ("x", Domain.boolean); ("x", Domain.boolean) ]
+            ~actions:[]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_encapsulation_positive () =
+  let open Detcor_systems in
+  let universe = Program.states Memory.failsafe in
+  Alcotest.(check bool) "pf encapsulates p" true
+    (Program.encapsulates ~base:Memory.intolerant Memory.failsafe ~universe)
+
+let test_encapsulation_negative () =
+  (* An action tagged based_on p_read but with a different effect. *)
+  let rogue =
+    Program.make ~name:"rogue"
+      ~vars:
+        (Program.var_decls Detcor_systems.Memory.intolerant
+        @ [ ("z1", Domain.boolean) ])
+      ~actions:
+        [
+          Action.deterministic ~based_on:"p_read" "lying" Pred.true_ (fun st ->
+              State.set st "data" Detcor_systems.Memory.bad);
+        ]
+  in
+  let universe = Program.states rogue in
+  Alcotest.(check bool) "wrong effect detected" false
+    (Program.encapsulates ~base:Detcor_systems.Memory.intolerant rogue ~universe);
+  (* An untagged action that silently writes base variables. *)
+  let sneaky =
+    Program.make ~name:"sneaky"
+      ~vars:(Program.var_decls Detcor_systems.Memory.intolerant)
+      ~actions:
+        [
+          Action.deterministic "untagged" Pred.true_ (fun st ->
+              State.set st "data" Detcor_systems.Memory.good);
+        ]
+  in
+  Alcotest.(check bool) "untagged base write detected" false
+    (Program.encapsulates ~base:Detcor_systems.Memory.intolerant sneaky
+       ~universe:(Program.states sneaky))
+
+let test_encapsulation_guard_violation () =
+  (* Based-on action enabled while the base guard is false. *)
+  let base =
+    Program.make ~name:"base"
+      ~vars:[ ("x", Domain.boolean) ]
+      ~actions:
+        [
+          Action.deterministic "flip"
+            (Pred.make "x" (fun st -> Value.equal (State.get st "x") (Value.bool true)))
+            (fun st -> State.set st "x" (Value.bool false));
+        ]
+  in
+  let over =
+    Program.make ~name:"over"
+      ~vars:[ ("x", Domain.boolean) ]
+      ~actions:
+        [
+          Action.deterministic ~based_on:"flip" "flip'" Pred.true_ (fun st ->
+              State.set st "x" (Value.bool false));
+        ]
+  in
+  Alcotest.(check bool) "guard widening detected" false
+    (Program.encapsulates ~base over ~universe:(Program.states over))
+
+let prop_state_set_get =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"state set/get roundtrip"
+       (QCheck.pair (Util.state_arb [ "x"; "y" ]) Util.value_arb)
+       (fun (st, v) ->
+         Value.equal (State.get (State.set st "x" v) "x") v
+         && Value.equal (State.get (State.set st "x" v) "y") (State.get st "y")))
+
+let prop_state_equal_hash =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"equal states hash equally"
+       (Util.state_arb [ "x"; "y"; "z" ])
+       (fun st ->
+         let st' = State.of_list (State.bindings st) in
+         State.equal st st' && State.hash st = State.hash st'))
+
+let prop_pred_laws =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"pred boolean laws"
+       (Util.state_arb [ "x"; "y" ])
+       (fun st ->
+         let p = Pred.make "p" (fun st -> Value.hash (State.get st "x") mod 2 = 0) in
+         let q = Pred.make "q" (fun st -> Value.hash (State.get st "y") mod 3 = 0) in
+         let eqp a b = Pred.holds a st = Pred.holds b st in
+         eqp (Pred.not_ (Pred.and_ p q)) (Pred.or_ (Pred.not_ p) (Pred.not_ q))
+         && eqp (Pred.not_ (Pred.not_ p)) p
+         && eqp (Pred.implies p q) (Pred.or_ (Pred.not_ p) q)))
+
+let prop_expr_deterministic =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"expr evaluation is deterministic"
+       (Util.state_arb [ "x" ])
+       (fun st ->
+         let e = Expr.(ite (eq (var "x") (var "x")) (int 1) (int 0)) in
+         Value.equal (Expr.eval st e) (Expr.eval st e)
+         && Expr.eval_int st e = 1))
+
+let suite =
+  ( "kernel",
+    [
+      Alcotest.test_case "value total order" `Quick test_value_order;
+      Alcotest.test_case "value projections" `Quick test_value_projections;
+      Alcotest.test_case "domains" `Quick test_domain;
+      Alcotest.test_case "state basics" `Quick test_state_basics;
+      Alcotest.test_case "state projection" `Quick test_state_projection;
+      Alcotest.test_case "expr evaluation" `Quick test_expr_eval;
+      Alcotest.test_case "expr errors" `Quick test_expr_errors;
+      Alcotest.test_case "pred combinators" `Quick test_pred_combinators;
+      Alcotest.test_case "pred of states" `Quick test_pred_of_states;
+      Alcotest.test_case "action execute" `Quick test_action_execute;
+      Alcotest.test_case "action restrict" `Quick test_action_restrict;
+      Alcotest.test_case "action preserves" `Quick test_action_preserves;
+      Alcotest.test_case "corrupt action" `Quick test_corrupt_action;
+      Alcotest.test_case "program space" `Quick test_program_space;
+      Alcotest.test_case "out-of-domain detection" `Quick test_program_out_of_domain;
+      Alcotest.test_case "parallel composition" `Quick test_parallel_composition;
+      Alcotest.test_case "parallel domain clash" `Quick test_parallel_domain_clash;
+      Alcotest.test_case "restriction composition" `Quick test_restrict_composition;
+      Alcotest.test_case "sequential composition" `Quick test_sequential_composition;
+      Alcotest.test_case "duplicate names rejected" `Quick test_duplicate_names;
+      Alcotest.test_case "encapsulation positive" `Quick test_encapsulation_positive;
+      Alcotest.test_case "encapsulation negative" `Quick test_encapsulation_negative;
+      Alcotest.test_case "encapsulation guard widening" `Quick
+        test_encapsulation_guard_violation;
+      prop_state_set_get;
+      prop_state_equal_hash;
+      prop_pred_laws;
+      prop_expr_deterministic;
+    ] )

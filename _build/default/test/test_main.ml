@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "detcor"
+    [
+      Test_kernel.suite;
+      Test_semantics.suite;
+      Test_spec.suite;
+      Test_core.suite;
+      Test_systems.suite;
+      Test_synthesis.suite;
+      Test_lang.suite;
+      Test_sim.suite;
+      Test_extensions.suite;
+      Test_systems2.suite;
+      Test_random.suite;
+      Test_termination.suite;
+      Test_reset.suite;
+      Test_misc.suite;
+    ]

@@ -1,0 +1,126 @@
+(* Tests for distributed reset (E14): detector raises, wave corrects. *)
+
+open Detcor_kernel
+open Detcor_core
+open Detcor_systems
+
+let cfg = Distributed_reset.default
+let p = Distributed_reset.program cfg
+
+let test_settled_fault_free () =
+  let _, outcome =
+    Tolerance.refines_from p ~spec:(Distributed_reset.spec cfg)
+      ~invariant:(Distributed_reset.invariant cfg)
+  in
+  Util.check_holds "reset refines SPEC from settled" outcome
+
+let test_nonmasking () =
+  Alcotest.(check bool) "nonmasking tolerant to x corruption" true
+    (Tolerance.verdict
+       (Tolerance.is_nonmasking p ~spec:(Distributed_reset.spec cfg)
+          ~invariant:(Distributed_reset.invariant cfg)
+          ~faults:(Distributed_reset.corruption cfg)))
+
+let test_is_corrector () =
+  (* From the whole fault span, the protocol corrects 'settled'. *)
+  let span =
+    Tolerance.fault_span p ~faults:(Distributed_reset.corruption cfg)
+      ~from:(Distributed_reset.invariant cfg)
+  in
+  let ts_p = Detcor_semantics.Ts.build p ~from:span.states in
+  Util.check_holds "wave corrects settled"
+    (Corrector.satisfies_ts ts_p (Distributed_reset.corrector cfg))
+
+let test_raise_is_a_detector () =
+  (* The request flag is the detector's witness; its Progress side: every
+     raised request is eventually resolved into the settled predicate
+     (checked on the program alone over the whole span — after faults
+     stop, per Assumption 2).  Note that Safeness of "req only with
+     reason" does NOT hold verbatim: a fault may un-corrupt a cell after
+     the raise, leaving a momentarily reasonless request that the wave
+     then clears — which is why the nonmasking obligations, not a naive
+     implication, are the right specification. *)
+  let span =
+    Tolerance.fault_span p ~faults:(Distributed_reset.corruption cfg)
+      ~from:(Distributed_reset.invariant cfg)
+  in
+  let ts_p = Detcor_semantics.Ts.build p ~from:span.states in
+  let req = Pred.make "req" (fun st -> Value.as_bool (State.get st "req")) in
+  Util.check_holds "every request is eventually resolved"
+    (Detcor_semantics.Check.leads_to ts_p req (Distributed_reset.invariant cfg))
+
+let test_wave_resets_state () =
+  (* Drive one corruption by hand and watch the wave clean it up. *)
+  let settled_state =
+    State.of_list
+      (("req", Value.bool false)
+      :: List.concat_map
+           (fun i ->
+             [
+               (Distributed_reset.xvar i, Value.int 0);
+               (Distributed_reset.wvar i, Value.sym "idle");
+             ])
+           (List.init cfg.Distributed_reset.processes Fun.id))
+  in
+  let corrupted = State.set settled_state (Distributed_reset.xvar 1) (Value.int 1) in
+  let ts = Detcor_semantics.Ts.build p ~from:[ corrupted ] in
+  Util.check_holds "wave converges to settled"
+    (Detcor_semantics.Check.eventually ts (Distributed_reset.invariant cfg));
+  Util.check_holds "settled closed"
+    (Detcor_semantics.Check.closed ts (Distributed_reset.invariant cfg))
+
+let test_theorem_4_3 () =
+  let schema =
+    Theorems.theorem_4_3 ~base:p ~refined:p ~spec:(Distributed_reset.spec cfg)
+      ~faults:(Distributed_reset.corruption cfg)
+      ~invariant_s:(Distributed_reset.invariant cfg)
+      ~invariant_r:(Distributed_reset.invariant cfg) ()
+  in
+  Alcotest.(check bool)
+    (Fmt.str "4.3 on reset: %a" Theorems.pp_schema schema)
+    true (Theorems.holds schema)
+
+let test_overlapping_waves_refuted () =
+  (* The first design of the protocol (root restarts over a draining
+     release wave) livelocks: the checker's fair cycle shows waves folding
+     completion against stale marks while the corrupted tail is never
+     reset. *)
+  let r =
+    Tolerance.is_nonmasking (Distributed_reset.buggy cfg)
+      ~spec:(Distributed_reset.spec cfg)
+      ~invariant:(Distributed_reset.invariant cfg)
+      ~faults:(Distributed_reset.corruption cfg)
+  in
+  Alcotest.(check bool) "overlapping waves refuted" false (Tolerance.verdict r);
+  match Tolerance.failures r with
+  | { outcome = Detcor_semantics.Check.Fails (Detcor_semantics.Check.Fair_cycle _); _ } :: _ ->
+    ()
+  | _ -> Alcotest.fail "expected a fair-cycle (livelock) counterexample"
+
+let test_sizes () =
+  List.iter
+    (fun n ->
+      let c = Distributed_reset.make_config n in
+      Alcotest.(check bool)
+        (Fmt.str "n=%d nonmasking" n)
+        true
+        (Tolerance.verdict
+           (Tolerance.is_nonmasking (Distributed_reset.program c)
+              ~spec:(Distributed_reset.spec c)
+              ~invariant:(Distributed_reset.invariant c)
+              ~faults:(Distributed_reset.corruption c))))
+    [ 2; 4 ]
+
+let suite =
+  ( "distributed reset (E14)",
+    [
+      Alcotest.test_case "fault-free correctness" `Quick test_settled_fault_free;
+      Alcotest.test_case "nonmasking" `Quick test_nonmasking;
+      Alcotest.test_case "wave is a corrector" `Quick test_is_corrector;
+      Alcotest.test_case "raise is a detector" `Quick test_raise_is_a_detector;
+      Alcotest.test_case "wave resets state" `Quick test_wave_resets_state;
+      Alcotest.test_case "theorem 4.3" `Quick test_theorem_4_3;
+      Alcotest.test_case "overlapping waves refuted" `Quick
+        test_overlapping_waves_refuted;
+      Alcotest.test_case "line sizes" `Slow test_sizes;
+    ] )

@@ -1,0 +1,200 @@
+(* Tests for the simulation environment (the SIEFAST role, experiment
+   E8): schedulers, injectors, runner determinism, online monitors. *)
+
+open Detcor_kernel
+open Detcor_systems
+open Detcor_sim
+
+let mem_init =
+  State.of_list
+    [
+      ("present", Value.bool true);
+      ("data", Value.bot);
+      ("z1", Value.bool false);
+    ]
+
+let test_runner_deterministic () =
+  let injector () = Injector.make (Injector.At_steps [ 3 ]) Memory.page_fault in
+  let r1 = Runner.run Memory.masking ~injector:(injector ()) ~init:mem_init in
+  let r2 = Runner.run Memory.masking ~injector:(injector ()) ~init:mem_init in
+  Alcotest.(check int) "same length" (Detcor_semantics.Trace.length r1.trace)
+    (Detcor_semantics.Trace.length r2.trace);
+  Alcotest.(check bool) "same states" true
+    (List.for_all2 State.equal
+       (Detcor_semantics.Trace.states r1.trace)
+       (Detcor_semantics.Trace.states r2.trace))
+
+let test_runner_seeds_differ () =
+  (* An illegitimate ring state enables several moves at once, so distinct
+     seeds schedule distinct action sequences (almost surely). *)
+  let cfg = Token_ring.make_config 4 in
+  let init =
+    State.of_list
+      (List.init cfg.Token_ring.processes (fun i ->
+           (Token_ring.xvar i, Value.int (i mod cfg.Token_ring.counter_values))))
+  in
+  let run seed =
+    Runner.run
+      ~config:{ Runner.default with seed; max_steps = 50 }
+      (Token_ring.program cfg)
+      ~injector:(Injector.make Injector.None_ (Token_ring.corruption cfg))
+      ~init
+  in
+  let actions r =
+    List.map
+      (fun (s : Detcor_semantics.Trace.step) -> s.action)
+      (Detcor_semantics.Trace.steps r.Runner.trace)
+  in
+  let schedules = List.map (fun seed -> actions (run seed)) (List.init 10 (fun i -> i + 1)) in
+  let distinct = List.sort_uniq compare schedules in
+  Alcotest.(check bool) "some schedules differ across 10 seeds" true
+    (List.length distinct > 1)
+
+let test_injector_bounds () =
+  let runs =
+    Runner.sample 20 Memory.masking ~faults:Memory.page_fault
+      ~policy:(Injector.Random { probability = 0.5; max_faults = 2 })
+      ~init:mem_init
+  in
+  Alcotest.(check bool) "at most 2 faults per run" true
+    (List.for_all (fun (r : Runner.run) -> r.faults_injected <= 2) runs)
+
+let test_injector_at_steps () =
+  let injector = Injector.make (Injector.At_steps [ 0 ]) Memory.page_fault in
+  let r = Runner.run Memory.masking ~injector ~init:mem_init in
+  Alcotest.(check (list int)) "fault at step 0" [ 0 ] r.fault_steps
+
+let test_round_robin_terminates () =
+  let r =
+    Runner.run
+      ~config:{ Runner.default with scheduler = Scheduler.Round_robin }
+      Memory.failsafe
+      ~injector:(Injector.make Injector.None_ Memory.page_fault)
+      ~init:mem_init
+  in
+  (* pf from S with no faults: keeps reading good data. *)
+  Alcotest.(check bool) "no safety violation" true
+    (Monitor.first_safety_violation r
+       (Detcor_spec.Spec.safety
+          (Detcor_spec.Spec.smallest_safety_containing Memory.spec))
+    = None)
+
+let test_monitor_detection_latency () =
+  let injector = Injector.make Injector.None_ Memory.page_fault in
+  let r = Runner.run Memory.masking ~injector ~init:mem_init in
+  let latencies = Monitor.detection_latency r Memory.pm_detector in
+  Alcotest.(check bool) "detection observed" true (latencies <> []);
+  Alcotest.(check bool) "latencies nonnegative" true (List.for_all (fun l -> l >= 0) latencies)
+
+let test_monitor_correction_latency () =
+  let injector = Injector.make (Injector.At_steps [ 2 ]) Memory.page_fault in
+  let r =
+    Runner.run
+      ~config:{ Runner.default with max_steps = 100 }
+      Memory.nonmasking ~injector
+      ~init:(State.of_list [ ("present", Value.bool true); ("data", Value.bot) ])
+  in
+  match Monitor.correction_latency r Memory.pn_corrector with
+  | Some l -> Alcotest.(check bool) "corrected after fault" true (l >= 0)
+  | None -> Alcotest.fail "pn failed to correct in simulation"
+
+let test_monitor_safety_violation_detected () =
+  (* The intolerant program under an early fault eventually writes bad
+     data in some schedule; scan seeds until observed. *)
+  let sspec =
+    Detcor_spec.Spec.safety (Detcor_spec.Spec.smallest_safety_containing Memory.spec)
+  in
+  let violated =
+    List.exists
+      (fun seed ->
+        let injector = Injector.make (Injector.At_steps [ 0 ]) Memory.page_fault in
+        let r =
+          Runner.run
+            ~config:{ Runner.default with seed }
+            Memory.intolerant ~injector
+            ~init:(State.of_list [ ("present", Value.bool true); ("data", Value.bot) ])
+        in
+        Monitor.first_safety_violation r sspec <> None)
+      (List.init 20 (fun i -> i + 1))
+  in
+  Alcotest.(check bool) "violation observed for intolerant p" true violated
+
+let test_monitor_report () =
+  let runs =
+    Runner.sample 30 Memory.masking ~faults:Memory.page_fault
+      ~policy:(Injector.Random { probability = 0.1; max_faults = 1 })
+      ~init:mem_init
+  in
+  let report =
+    Monitor.report runs ~detector:Memory.pm_detector ~corrector:Memory.pm_corrector
+      ~sspec:
+        (Detcor_spec.Spec.safety
+           (Detcor_spec.Spec.smallest_safety_containing Memory.spec))
+  in
+  Alcotest.(check int) "all runs counted" 30 report.runs;
+  Alcotest.(check int) "masking program never violates safety" 0
+    report.safety_violations;
+  Alcotest.(check bool) "corrections observed" true (report.corrected_runs > 0)
+
+let test_stats () =
+  match Stats.summarize [ 5; 1; 3; 2; 4 ] with
+  | None -> Alcotest.fail "nonempty summary"
+  | Some s ->
+    Alcotest.(check int) "count" 5 s.count;
+    Alcotest.(check int) "min" 1 s.min;
+    Alcotest.(check int) "max" 5 s.max;
+    Alcotest.(check int) "median" 3 s.p50;
+    Alcotest.(check (float 0.001)) "mean" 3.0 s.mean;
+    Alcotest.(check bool) "empty" true (Stats.summarize [] = None)
+
+(* Property: the ring stabilizes in simulation from random corrupted
+   states (E9's dynamic counterpart of the convergence proof). *)
+let test_ring_simulation_stabilizes () =
+  let cfg = Token_ring.make_config 4 in
+  let p = Token_ring.program cfg in
+  let legit = Token_ring.legitimate cfg in
+  let ok = ref 0 in
+  for seed = 1 to 20 do
+    let init =
+      let rng = Random.State.make [| seed |] in
+      State.of_list
+        (List.init cfg.Token_ring.processes (fun i ->
+             (Token_ring.xvar i, Value.int (Random.State.int rng cfg.Token_ring.counter_values))))
+    in
+    let r =
+      Runner.run
+        ~config:{ Runner.default with seed; max_steps = 300 }
+        p
+        ~injector:(Injector.make Injector.None_ (Token_ring.corruption cfg))
+        ~init
+    in
+    let states = Detcor_semantics.Trace.states r.trace in
+    (* once legitimate, stays legitimate; and legitimacy is reached *)
+    let reached = List.exists (Pred.holds legit) states in
+    let rec closed seen = function
+      | [] -> true
+      | st :: rest ->
+        let v = Pred.holds legit st in
+        if seen && not v then false else closed (seen || v) rest
+    in
+    if reached && closed false states then incr ok
+  done;
+  Alcotest.(check int) "all 20 random starts stabilize" 20 !ok
+
+let suite =
+  ( "sim (SIEFAST, E8/E9)",
+    [
+      Alcotest.test_case "runner determinism" `Quick test_runner_deterministic;
+      Alcotest.test_case "seeds differ" `Quick test_runner_seeds_differ;
+      Alcotest.test_case "injector bounds" `Quick test_injector_bounds;
+      Alcotest.test_case "injector at steps" `Quick test_injector_at_steps;
+      Alcotest.test_case "round robin" `Quick test_round_robin_terminates;
+      Alcotest.test_case "detection latency" `Quick test_monitor_detection_latency;
+      Alcotest.test_case "correction latency" `Quick test_monitor_correction_latency;
+      Alcotest.test_case "safety violation detected" `Quick
+        test_monitor_safety_violation_detected;
+      Alcotest.test_case "monitor report" `Quick test_monitor_report;
+      Alcotest.test_case "stats" `Quick test_stats;
+      Alcotest.test_case "ring stabilizes in simulation" `Quick
+        test_ring_simulation_stabilizes;
+    ] )

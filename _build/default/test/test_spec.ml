@@ -1,0 +1,212 @@
+(* Tests for Detcor_spec: safety as bad states/transitions, liveness
+   obligations, the paper's named specifications (closure, generalized
+   pairs, converges-to, detects, corrects) and trace semantics. *)
+
+open Detcor_kernel
+open Detcor_semantics
+open Detcor_spec
+
+let node_pred k =
+  Pred.make (Fmt.str "at%d" k) (fun st ->
+      Value.equal (State.get st "node") (Value.int k))
+
+let build n edges =
+  Ts.build (Util.graph_program n edges) ~from:[ Util.node_state 0 ]
+
+let trace_of_nodes nodes =
+  match nodes with
+  | [] -> invalid_arg "trace_of_nodes"
+  | first :: rest ->
+    Trace.make ~ending:Trace.Maximal (Util.node_state first)
+      (List.map (fun k -> { Trace.action = "e"; target = Util.node_state k }) rest)
+
+let test_safety_never () =
+  let s = Safety.never (node_pred 2) in
+  Alcotest.(check bool) "bad state flagged" true
+    (Safety.bad_state s (Util.node_state 2));
+  Alcotest.(check bool) "good state ok" false
+    (Safety.bad_state s (Util.node_state 1));
+  Util.check_fails "ts reaching 2 violates" (Safety.check (build 3 [ (0, 1); (1, 2) ]) s);
+  Util.check_holds "ts avoiding 2 ok" (Safety.check (build 3 [ (0, 1) ]) s)
+
+let test_safety_closure () =
+  let le1 = Pred.make "node<=1" (fun st -> Value.as_int (State.get st "node") <= 1) in
+  let s = Safety.closure_of le1 in
+  Alcotest.(check bool) "leaving transition bad" true
+    (Safety.bad_transition s (Util.node_state 1) (Util.node_state 2));
+  Alcotest.(check bool) "entering transition fine" false
+    (Safety.bad_transition s (Util.node_state 2) (Util.node_state 1))
+
+let test_safety_pair () =
+  let s = Safety.generalized_pair (node_pred 0) (node_pred 1) in
+  Alcotest.(check bool) "0 -> 2 is bad" true
+    (Safety.bad_transition s (Util.node_state 0) (Util.node_state 2));
+  Alcotest.(check bool) "0 -> 1 is fine" false
+    (Safety.bad_transition s (Util.node_state 0) (Util.node_state 1));
+  Alcotest.(check bool) "1 -> 2 unconstrained" false
+    (Safety.bad_transition s (Util.node_state 1) (Util.node_state 2))
+
+let test_safety_conj () =
+  let a = Safety.never (node_pred 1) and b = Safety.never (node_pred 2) in
+  let c = Safety.conj a b in
+  Alcotest.(check bool) "either bad state" true (Safety.bad_state c (Util.node_state 1));
+  Alcotest.(check bool) "other bad state" true (Safety.bad_state c (Util.node_state 2));
+  Alcotest.(check bool) "top is clean" false
+    (Safety.bad_state Safety.top (Util.node_state 1))
+
+let test_safety_trace () =
+  let s = Safety.never (node_pred 2) in
+  Alcotest.(check (option int)) "violation index" (Some 2)
+    (Safety.first_violation_in_trace (trace_of_nodes [ 0; 1; 2 ]) s);
+  Alcotest.(check (option int)) "clean trace" None
+    (Safety.first_violation_in_trace (trace_of_nodes [ 0; 1; 1 ]) s);
+  let pair = Safety.generalized_pair (node_pred 0) (node_pred 1) in
+  Alcotest.(check (option int)) "bad transition index" (Some 1)
+    (Safety.first_violation_in_trace (trace_of_nodes [ 0; 2 ]) pair);
+  Alcotest.(check bool) "maintains = no violation" true
+    (Safety.maintains (trace_of_nodes [ 0; 1 ]) pair)
+
+let test_liveness_check () =
+  let live = Liveness.leads_to (node_pred 0) (node_pred 2) in
+  Util.check_holds "ts satisfying" (Liveness.check (build 3 [ (0, 1); (1, 2); (2, 2) ]) live);
+  Util.check_fails "deadlocked short" (Liveness.check (build 3 [ (0, 1) ]) live)
+
+let test_liveness_trace () =
+  let live = Liveness.leads_to (node_pred 0) (node_pred 2) in
+  Alcotest.(check (option bool)) "satisfied maximal" (Some true)
+    (Liveness.check_trace (trace_of_nodes [ 0; 1; 2 ]) live);
+  Alcotest.(check (option bool)) "failed maximal" (Some false)
+    (Liveness.check_trace (trace_of_nodes [ 0; 1; 1 ]) live);
+  let truncated =
+    Trace.make ~ending:Trace.Truncated (Util.node_state 0)
+      [ { Trace.action = "e"; target = Util.node_state 1 } ]
+  in
+  Alcotest.(check (option bool)) "pending truncated" None
+    (Liveness.check_trace truncated live);
+  (* Repeated triggers: every occurrence must be answered. *)
+  Alcotest.(check (option bool)) "second trigger unanswered" (Some false)
+    (Liveness.check_trace (trace_of_nodes [ 0; 2; 0; 1 ]) live);
+  Alcotest.(check (option bool)) "both triggers answered" (Some true)
+    (Liveness.check_trace (trace_of_nodes [ 0; 2; 0; 2 ]) live)
+
+let test_spec_closure () =
+  let le1 = Pred.make "node<=1" (fun st -> Value.as_int (State.get st "node") <= 1) in
+  Util.check_fails "closure violated" (Spec.refines (build 3 [ (0, 1); (1, 2) ]) (Spec.closure le1));
+  Util.check_holds "closure holds" (Spec.refines (build 3 [ (0, 1); (1, 0) ]) (Spec.closure le1))
+
+let test_spec_converges_to () =
+  let spec = Spec.converges_to Pred.true_ (node_pred 2) in
+  Util.check_holds "converges" (Spec.refines (build 3 [ (0, 1); (1, 2); (2, 2) ]) spec);
+  Util.check_fails "2 not closed" (Spec.refines (build 3 [ (0, 1); (1, 2); (2, 0) ]) spec)
+
+(* The detects specification on hand-built systems. *)
+let witness = node_pred 2 (* Z: we are at node 2 *)
+
+let detection =
+  Pred.make "node>=1" (fun st -> Value.as_int (State.get st "node") >= 1)
+
+let detects_spec = Spec.detects ~witness ~detection
+
+let test_detects_holds () =
+  (* 0 (X false) -> 1 (X true) -> 2 (X, Z) -> 2: safe, stable, progress. *)
+  Util.check_holds "detects satisfied"
+    (Spec.refines (build 3 [ (0, 1); (1, 2); (2, 2) ]) detects_spec)
+
+let test_detects_safeness_violated () =
+  (* Node 2 (Z true) with X redefined to node>=3: Z without X. *)
+  let bad = Spec.detects ~witness ~detection:(Pred.make "node>=3" (fun st -> Value.as_int (State.get st "node") >= 3)) in
+  Util.check_fails "safeness violated"
+    (Spec.refines (build 3 [ (0, 1); (1, 2); (2, 2) ]) bad)
+
+let test_detects_progress_violated () =
+  (* 1 loops on itself fairly without reaching 2 while X stays true. *)
+  Util.check_fails "progress violated"
+    (Spec.refines (build 3 [ (0, 1); (1, 1) ]) detects_spec)
+
+let test_detects_stability_violated () =
+  (* 2 -> 1: Z falsified while X remains true. *)
+  Util.check_fails "stability violated"
+    (Spec.refines (build 3 [ (0, 1); (1, 2); (2, 1) ]) detects_spec)
+
+let test_corrects () =
+  let corr = Spec.corrects ~witness ~detection in
+  (* Convergence additionally requires X closed and eventually reached. *)
+  Util.check_holds "corrects satisfied"
+    (Spec.refines (build 3 [ (0, 1); (1, 2); (2, 2) ]) corr);
+  (* X not closed: 1 -> 0 leaves X. *)
+  Util.check_fails "convergence closure violated"
+    (Spec.refines (build 3 [ (0, 1); (1, 0); (1, 2); (2, 2) ]) corr)
+
+let test_smallest_safety () =
+  let spec = Spec.converges_to Pred.true_ (node_pred 2) in
+  let ss = Spec.smallest_safety_containing spec in
+  (* The liveness obligation is dropped: a system that never reaches 2 but
+     keeps 2 closed satisfies SSPEC. *)
+  Util.check_holds "SSPEC ignores liveness"
+    (Spec.refines (build 2 [ (0, 1); (1, 0) ]) ss);
+  Util.check_fails "SSPEC keeps closure"
+    (Spec.refines (build 3 [ (0, 2); (2, 0) ]) ss)
+
+let test_tolerance_names () =
+  Alcotest.(check string) "masking" "masking" (Fmt.str "%a" Spec.pp_tolerance Spec.Masking);
+  Alcotest.(check bool) "parse failsafe" true
+    (Spec.tolerance_of_string "fail-safe" = Some Spec.Failsafe);
+  Alcotest.(check bool) "parse nonmasking" true
+    (Spec.tolerance_of_string "nonmasking" = Some Spec.Nonmasking);
+  Alcotest.(check bool) "parse junk" true (Spec.tolerance_of_string "junk" = None)
+
+let test_spec_trace () =
+  let spec =
+    Spec.make ~name:"t"
+      ~safety:(Safety.never (node_pred 3))
+      ~liveness:(Liveness.eventually (node_pred 2))
+      ()
+  in
+  Alcotest.(check (option bool)) "safety violation decided" (Some false)
+    (Spec.check_trace (trace_of_nodes [ 0; 3 ]) spec);
+  Alcotest.(check (option bool)) "satisfied" (Some true)
+    (Spec.check_trace (trace_of_nodes [ 0; 1; 2 ]) spec);
+  Alcotest.(check (option bool)) "liveness failed on maximal" (Some false)
+    (Spec.check_trace (trace_of_nodes [ 0; 1 ]) spec)
+
+(* Property: a trace satisfies cl(S) iff S never goes true-then-false. *)
+let prop_closure_trace =
+  Util.qtest ~count:200 "cl(S) trace semantics"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 8) (QCheck.int_range 0 3))
+    (fun nodes ->
+      QCheck.assume (nodes <> []);
+      let le1 =
+        Pred.make "node<=1" (fun st -> Value.as_int (State.get st "node") <= 1)
+      in
+      let tr = trace_of_nodes nodes in
+      let holds = Safety.trace_satisfies tr (Safety.closure_of le1) in
+      let rec brute seen_true = function
+        | [] -> true
+        | k :: rest ->
+          let v = k <= 1 in
+          if seen_true && not v then false else brute (seen_true || v) rest
+      in
+      holds = brute false nodes)
+
+let suite =
+  ( "spec",
+    [
+      Alcotest.test_case "safety never" `Quick test_safety_never;
+      Alcotest.test_case "safety closure" `Quick test_safety_closure;
+      Alcotest.test_case "generalized pair" `Quick test_safety_pair;
+      Alcotest.test_case "safety conjunction" `Quick test_safety_conj;
+      Alcotest.test_case "safety on traces" `Quick test_safety_trace;
+      Alcotest.test_case "liveness check" `Quick test_liveness_check;
+      Alcotest.test_case "liveness on traces" `Quick test_liveness_trace;
+      Alcotest.test_case "closure spec" `Quick test_spec_closure;
+      Alcotest.test_case "converges-to spec" `Quick test_spec_converges_to;
+      Alcotest.test_case "detects holds" `Quick test_detects_holds;
+      Alcotest.test_case "detects safeness" `Quick test_detects_safeness_violated;
+      Alcotest.test_case "detects progress" `Quick test_detects_progress_violated;
+      Alcotest.test_case "detects stability" `Quick test_detects_stability_violated;
+      Alcotest.test_case "corrects" `Quick test_corrects;
+      Alcotest.test_case "smallest safety" `Quick test_smallest_safety;
+      Alcotest.test_case "tolerance names" `Quick test_tolerance_names;
+      Alcotest.test_case "spec on traces" `Quick test_spec_trace;
+      prop_closure_trace;
+    ] )

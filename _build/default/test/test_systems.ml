@@ -1,0 +1,326 @@
+(* Tests for the paper's Section 6 constructions (TMR, Byzantine
+   agreement) and the substrate systems (token ring, ring mutex). *)
+
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+open Detcor_systems
+
+(* ------------------------------------------------------------------ *)
+(* TMR (Section 6.1)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let tmr_verdict p tol =
+  Tolerance.verdict
+    (Tolerance.check p ~spec:Tmr.spec ~invariant:Tmr.invariant
+       ~faults:Tmr.one_corruption ~tol)
+
+let test_tmr_matrix () =
+  Alcotest.(check bool) "IR failsafe" false (tmr_verdict Tmr.intolerant Spec.Failsafe);
+  Alcotest.(check bool) "IR masking" false (tmr_verdict Tmr.intolerant Spec.Masking);
+  Alcotest.(check bool) "DR;IR failsafe" true (tmr_verdict Tmr.failsafe Spec.Failsafe);
+  Alcotest.(check bool) "DR;IR masking" false (tmr_verdict Tmr.failsafe Spec.Masking);
+  Alcotest.(check bool) "DR;IR[]CR failsafe" true (tmr_verdict Tmr.masking Spec.Failsafe);
+  Alcotest.(check bool) "DR;IR[]CR masking" true (tmr_verdict Tmr.masking Spec.Masking)
+
+let test_tmr_majority () =
+  let st vals =
+    State.of_list
+      (List.map2 (fun x v -> (x, Value.int v)) [ "x"; "y"; "z" ] vals
+      @ [ ("out", Value.bot) ])
+  in
+  Alcotest.(check (option Util.value)) "all agree" (Some (Value.int 1))
+    (Tmr.majority (st [ 1; 1; 1 ]));
+  Alcotest.(check (option Util.value)) "two agree" (Some (Value.int 0))
+    (Tmr.majority (st [ 0; 1; 0 ]))
+
+let test_tmr_detector () =
+  (* DR's witness (x=y or x=z) detects x=uncor in the fail-safe program
+     from the at-most-one-corruption span. *)
+  let span =
+    Tolerance.fault_span Tmr.failsafe ~faults:Tmr.one_corruption
+      ~from:Tmr.invariant
+  in
+  Util.check_holds "DR witness implies detection on span"
+    (Detcor_semantics.Check.implies span.ts_pf Tmr.dr_witness Tmr.dr_detection)
+
+let test_tmr_theorem_3_6 () =
+  let schema =
+    Theorems.theorem_3_6 ~base:Tmr.intolerant ~refined:Tmr.failsafe
+      ~spec:Tmr.spec ~faults:Tmr.one_corruption ~invariant_s:Tmr.invariant
+      ~invariant_r:Tmr.invariant ()
+  in
+  Alcotest.(check bool)
+    (Fmt.str "3.6 on TMR: %a" Theorems.pp_schema schema)
+    true (Theorems.holds schema)
+
+let test_tmr_corrector () =
+  (* In the masking program, out=uncor corrects out=uncor from the span. *)
+  let span =
+    Tolerance.fault_span Tmr.masking ~faults:Tmr.one_corruption
+      ~from:Tmr.invariant
+  in
+  let ts_p =
+    Detcor_semantics.Ts.build Tmr.masking ~from:span.states
+  in
+  Util.check_holds "CR corrects out=uncor on p alone"
+    (Corrector.satisfies_ts ts_p Tmr.corrector)
+
+let test_tmr_deadlock_shape () =
+  (* DR;IR deadlocks exactly when x is the corrupted input. *)
+  let st =
+    State.of_list
+      [
+        ("x", Value.int 1);
+        ("y", Value.int 0);
+        ("z", Value.int 0);
+        ("out", Value.bot);
+      ]
+  in
+  Alcotest.(check bool) "failsafe blocks on corrupt x" true
+    (Program.deadlocked Tmr.failsafe st);
+  Alcotest.(check bool) "masking recovers via CR" false
+    (Program.deadlocked Tmr.masking st)
+
+(* ------------------------------------------------------------------ *)
+(* Byzantine agreement (Section 6.2)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let cfg = Byzantine.default
+
+let byz_verdict ?invariant p tol =
+  let invariant =
+    match invariant with Some i -> i | None -> Byzantine.invariant cfg
+  in
+  Tolerance.verdict
+    (Tolerance.check p ~spec:(Byzantine.spec cfg) ~invariant
+       ~faults:(Byzantine.byzantine_faults cfg) ~tol)
+
+let test_byz_matrix () =
+  Alcotest.(check bool) "IB failsafe" false
+    (byz_verdict ~invariant:(Byzantine.invariant_weak cfg)
+       (Byzantine.intolerant cfg) Spec.Failsafe);
+  Alcotest.(check bool) "IB+DB failsafe" true
+    (byz_verdict (Byzantine.failsafe cfg) Spec.Failsafe);
+  Alcotest.(check bool) "IB+DB masking" false
+    (byz_verdict (Byzantine.failsafe cfg) Spec.Masking);
+  Alcotest.(check bool) "IB+DB+CB failsafe" true
+    (byz_verdict (Byzantine.masking cfg) Spec.Failsafe);
+  Alcotest.(check bool) "IB+DB+CB masking" true
+    (byz_verdict (Byzantine.masking cfg) Spec.Masking)
+
+let test_byz_no_faults_terminates () =
+  (* In the absence of faults, the masking program refines the spec. *)
+  let _, outcome =
+    Tolerance.refines_from (Byzantine.masking cfg) ~spec:(Byzantine.spec cfg)
+      ~invariant:(Byzantine.invariant cfg)
+  in
+  Util.check_holds "IB[]DB[]CB refines SPEC from S" outcome
+
+let test_byz_two_byzantine_breaks () =
+  (* With two Byzantine processes out of four, masking tolerance is
+     impossible (3f+1 bound); our checker must refute it. *)
+  let two_byz =
+    let f = Byzantine.byzantine_faults cfg in
+    let one =
+      Pred.make "at-most-two-byz" (fun st ->
+          let count =
+            List.length
+              (List.filter
+                 (fun j ->
+                   Value.equal (State.get st (Byzantine.bvar j)) (Value.bool true))
+                 (0 :: Byzantine.procs cfg))
+          in
+          count <= 1)
+    in
+    let relaxed =
+      List.map
+        (fun ac ->
+          match Action.based_on ac with
+          | _ ->
+            if
+              String.length (Action.name ac) >= 12
+              && String.sub (Action.name ac) 0 12 = "F:become-byz"
+            then
+              Action.make (Action.name ac) one (fun st ->
+                  match Action.execute ac st with
+                  | [] ->
+                    (* original guard blocked a second corruption: force it *)
+                    let j =
+                      int_of_string
+                        (String.sub (Action.name ac) 13
+                           (String.length (Action.name ac) - 13))
+                    in
+                    let st = State.set st (Byzantine.bvar j) (Value.bool true) in
+                    if j = 0 then [ st ]
+                    else
+                      [
+                        State.set st (Byzantine.dvar j) (Value.int 0);
+                        State.set st (Byzantine.dvar j) (Value.int 1);
+                      ]
+                  | succs -> succs)
+            else ac)
+        (Fault.actions f)
+    in
+    Fault.make "two-byzantine" relaxed
+  in
+  Alcotest.(check bool) "two byzantine breaks masking" false
+    (Tolerance.verdict
+       (Tolerance.check (Byzantine.masking cfg) ~spec:(Byzantine.spec cfg)
+          ~invariant:(Byzantine.invariant cfg) ~faults:two_byz
+          ~tol:Spec.Masking))
+
+let test_byz_majority () =
+  let st =
+    State.of_list
+      ([ (Byzantine.dvar 0, Value.int 1); (Byzantine.bvar 0, Value.bool false) ]
+      @ List.concat_map
+          (fun j ->
+            [
+              (Byzantine.dvar j, Value.int (if j = 1 then 0 else 1));
+              (Byzantine.ovar j, Value.bot);
+              (Byzantine.bvar j, Value.bool false);
+            ])
+          (Byzantine.procs cfg))
+  in
+  Alcotest.(check (option Util.value)) "majority 1" (Some (Value.int 1))
+    (Byzantine.majority cfg st);
+  Alcotest.(check (option Util.value)) "corrdecn = d.g for honest general"
+    (Some (Value.int 1))
+    (Byzantine.corrdecn cfg st)
+
+let test_byz_space_size () =
+  Alcotest.(check bool) "4-process state space is explorable" true
+    (Program.space_size (Byzantine.masking cfg) < 100_000)
+
+(* ------------------------------------------------------------------ *)
+(* Token ring                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rcfg = Token_ring.default
+
+let test_ring_config_validation () =
+  Alcotest.(check bool) "n<2 rejected" true
+    (try
+       ignore (Token_ring.make_config 1);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "K<n rejected" true
+    (try
+       ignore (Token_ring.make_config ~k:2 4);
+       false
+     with Invalid_argument _ -> true)
+
+let test_ring_legitimate () =
+  let uniform =
+    State.of_list
+      (List.init rcfg.Token_ring.processes (fun i ->
+           (Token_ring.xvar i, Value.int 0)))
+  in
+  Alcotest.(check int) "uniform state has one privilege" 1
+    (Token_ring.privilege_count rcfg uniform);
+  Alcotest.(check bool) "legitimate" true
+    (Pred.holds (Token_ring.legitimate rcfg) uniform)
+
+let test_ring_nonmasking () =
+  Alcotest.(check bool) "ring nonmasking tolerant" true
+    (Tolerance.verdict
+       (Tolerance.is_nonmasking (Token_ring.program rcfg)
+          ~spec:(Token_ring.spec rcfg)
+          ~invariant:(Token_ring.legitimate rcfg)
+          ~faults:(Token_ring.corruption rcfg)))
+
+let test_ring_not_masking () =
+  Alcotest.(check bool) "ring not masking tolerant" false
+    (Tolerance.verdict
+       (Tolerance.is_masking (Token_ring.program rcfg)
+          ~spec:(Token_ring.spec rcfg)
+          ~invariant:(Token_ring.legitimate rcfg)
+          ~faults:(Token_ring.corruption rcfg)))
+
+let test_ring_is_corrector () =
+  (* Self-stabilization: the ring corrects its own legitimacy predicate
+     from arbitrary states (the Arora-Gouda special case). *)
+  Util.check_holds "ring corrects legitimacy from true"
+    (Corrector.satisfies (Token_ring.program rcfg) (Token_ring.corrector rcfg)
+       ~from:Pred.true_)
+
+let test_ring_sizes () =
+  (* Convergence holds across ring sizes. *)
+  List.iter
+    (fun n ->
+      let c = Token_ring.make_config n in
+      Util.check_holds
+        (Fmt.str "ring n=%d corrects legitimacy" n)
+        (Corrector.satisfies (Token_ring.program c) (Token_ring.corrector c)
+           ~from:Pred.true_))
+    [ 2; 3; 5 ]
+
+let test_ring_theorem_4_3 () =
+  let schema =
+    Theorems.theorem_4_3 ~base:(Token_ring.program rcfg)
+      ~refined:(Token_ring.program rcfg) ~spec:(Token_ring.spec rcfg)
+      ~faults:(Token_ring.corruption rcfg)
+      ~invariant_s:(Token_ring.legitimate rcfg)
+      ~invariant_r:(Token_ring.legitimate rcfg) ()
+  in
+  Alcotest.(check bool)
+    (Fmt.str "4.3 on ring: %a" Theorems.pp_schema schema)
+    true (Theorems.holds schema)
+
+(* ------------------------------------------------------------------ *)
+(* Ring mutex                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mcfg = Ring_mutex.make_config 3
+
+let test_mutex_nonmasking () =
+  Alcotest.(check bool) "mutex nonmasking tolerant" true
+    (Tolerance.verdict
+       (Tolerance.is_nonmasking (Ring_mutex.program mcfg)
+          ~spec:(Ring_mutex.spec mcfg)
+          ~invariant:(Ring_mutex.invariant mcfg)
+          ~faults:(Ring_mutex.corruption mcfg)))
+
+let test_mutex_broken () =
+  Alcotest.(check bool) "exit that keeps the CS: not nonmasking" false
+    (Tolerance.verdict
+       (Tolerance.is_nonmasking (Ring_mutex.broken mcfg)
+          ~spec:(Ring_mutex.spec mcfg)
+          ~invariant:(Ring_mutex.invariant mcfg)
+          ~faults:(Ring_mutex.corruption mcfg)))
+
+let test_mutex_safety_in_invariant () =
+  let _, outcome =
+    Tolerance.refines_from (Ring_mutex.program mcfg) ~spec:(Ring_mutex.spec mcfg)
+      ~invariant:(Ring_mutex.invariant mcfg)
+  in
+  Util.check_holds "mutex refines SPEC from S" outcome
+
+let suite =
+  ( "systems (Section 6 + substrates)",
+    [
+      Alcotest.test_case "TMR verdict matrix" `Quick test_tmr_matrix;
+      Alcotest.test_case "TMR majority" `Quick test_tmr_majority;
+      Alcotest.test_case "TMR detector witness" `Quick test_tmr_detector;
+      Alcotest.test_case "TMR theorem 3.6" `Quick test_tmr_theorem_3_6;
+      Alcotest.test_case "TMR corrector" `Quick test_tmr_corrector;
+      Alcotest.test_case "TMR deadlock shape" `Quick test_tmr_deadlock_shape;
+      Alcotest.test_case "Byzantine verdict matrix" `Slow test_byz_matrix;
+      Alcotest.test_case "Byzantine fault-free run" `Quick
+        test_byz_no_faults_terminates;
+      Alcotest.test_case "two Byzantine breaks masking" `Slow
+        test_byz_two_byzantine_breaks;
+      Alcotest.test_case "Byzantine majority" `Quick test_byz_majority;
+      Alcotest.test_case "Byzantine space size" `Quick test_byz_space_size;
+      Alcotest.test_case "ring config validation" `Quick test_ring_config_validation;
+      Alcotest.test_case "ring legitimacy" `Quick test_ring_legitimate;
+      Alcotest.test_case "ring nonmasking" `Quick test_ring_nonmasking;
+      Alcotest.test_case "ring not masking" `Quick test_ring_not_masking;
+      Alcotest.test_case "ring is a corrector" `Quick test_ring_is_corrector;
+      Alcotest.test_case "ring sizes" `Slow test_ring_sizes;
+      Alcotest.test_case "ring theorem 4.3" `Quick test_ring_theorem_4_3;
+      Alcotest.test_case "mutex nonmasking" `Slow test_mutex_nonmasking;
+      Alcotest.test_case "mutex broken variant" `Slow test_mutex_broken;
+      Alcotest.test_case "mutex invariant" `Quick test_mutex_safety_in_invariant;
+    ] )

@@ -1,0 +1,205 @@
+(* Tests for the additional case-study systems from the paper's
+   introduction: barrier computation and leader election. *)
+
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+open Detcor_systems
+
+(* ------------------------------------------------------------------ *)
+(* Barrier                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let bcfg = Barrier.default
+
+let barrier_verdict p ~invariant tol =
+  Tolerance.verdict
+    (Tolerance.check p ~spec:(Barrier.spec bcfg) ~invariant
+       ~faults:(Barrier.phase_loss bcfg) ~tol)
+
+let test_barrier_correct_fault_free () =
+  let _, out_tol =
+    Tolerance.refines_from (Barrier.tolerant bcfg) ~spec:(Barrier.spec bcfg)
+      ~invariant:(Barrier.invariant bcfg)
+  in
+  Util.check_holds "tolerant barrier refines SPEC from window" out_tol;
+  let _, out_int =
+    Tolerance.refines_from (Barrier.intolerant bcfg) ~spec:(Barrier.spec bcfg)
+      ~invariant:(Barrier.intolerant_invariant bcfg)
+  in
+  Util.check_holds "cached-witness barrier refines SPEC fault-free" out_int
+
+let test_barrier_stale_witness_breaks () =
+  (* The cached witness goes stale after a restart: not even fail-safe. *)
+  Alcotest.(check bool) "intolerant barrier not fail-safe" false
+    (barrier_verdict (Barrier.intolerant bcfg)
+       ~invariant:(Barrier.intolerant_invariant bcfg)
+       Spec.Failsafe)
+
+let test_barrier_masking () =
+  Alcotest.(check bool) "fresh-witness barrier masking" true
+    (barrier_verdict (Barrier.tolerant bcfg) ~invariant:(Barrier.invariant bcfg)
+       Spec.Masking);
+  Alcotest.(check bool) "fresh-witness barrier fail-safe" true
+    (barrier_verdict (Barrier.tolerant bcfg) ~invariant:(Barrier.invariant bcfg)
+       Spec.Failsafe)
+
+let test_barrier_detector_extraction () =
+  (* Theorem 3.4's extraction finds, for each unguarded advance, the
+     detector the tolerant barrier contains. *)
+  let sspec =
+    Spec.safety (Spec.smallest_safety_containing (Barrier.spec bcfg))
+  in
+  let ts =
+    Detcor_semantics.Ts.of_pred (Barrier.tolerant bcfg)
+      ~from:(Barrier.invariant bcfg)
+  in
+  let extracted =
+    Extraction.detectors ~base:(Barrier.unguarded bcfg) ~sspec ts
+  in
+  Alcotest.(check int) "one per advance" 3 (List.length extracted);
+  List.iter
+    (fun (e : Extraction.extracted_detector) ->
+      Util.check_holds (Fmt.str "extracted detector for %s" e.for_action)
+        e.outcome)
+    extracted
+
+let test_barrier_theorem_3_4 () =
+  let sspec =
+    Spec.safety (Spec.smallest_safety_containing (Barrier.spec bcfg))
+  in
+  let schema =
+    Theorems.theorem_3_4 ~base:(Barrier.unguarded bcfg)
+      ~refined:(Barrier.tolerant bcfg) ~sspec ~invariant:(Barrier.invariant bcfg)
+      ()
+  in
+  Alcotest.(check bool)
+    (Fmt.str "3.4 on barrier: %a" Theorems.pp_schema schema)
+    true (Theorems.holds schema)
+
+let test_barrier_window_dynamics () =
+  let st =
+    State.of_list
+      [ ("ph0", Value.int 1); ("ph1", Value.int 1); ("ph2", Value.int 2) ]
+  in
+  Alcotest.(check bool) "window holds at spread 1" true
+    (Pred.holds (Barrier.window bcfg) st);
+  let st' = State.set st "ph2" (Value.int 3) in
+  Alcotest.(check bool) "window broken at spread 2" false
+    (Pred.holds (Barrier.window bcfg) st');
+  Alcotest.(check bool) "laggard is the minimum" true
+    (Pred.holds (Barrier.is_minimum bcfg 0) st);
+  Alcotest.(check bool) "leader is not" false
+    (Pred.holds (Barrier.is_minimum bcfg 2) st)
+
+let test_barrier_multiple_losses () =
+  (* Two restarts are still masked by the fresh-witness barrier. *)
+  Alcotest.(check bool) "masking under two losses" true
+    (Tolerance.verdict
+       (Tolerance.check (Barrier.tolerant bcfg) ~spec:(Barrier.spec bcfg)
+          ~invariant:(Barrier.invariant bcfg)
+          ~faults:(Barrier.phase_loss ~max_losses:2 bcfg)
+          ~tol:Spec.Masking))
+
+let test_barrier_config_validation () =
+  Alcotest.(check bool) "tiny configs rejected" true
+    ((try
+        ignore (Barrier.make_config 1);
+        false
+      with Invalid_argument _ -> true)
+    &&
+    try
+      ignore (Barrier.make_config ~phases:1 3);
+      false
+    with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Leader election                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let lcfg = Leader_election.default
+
+let test_leader_nonmasking () =
+  Alcotest.(check bool) "leader election nonmasking" true
+    (Tolerance.verdict
+       (Tolerance.is_nonmasking (Leader_election.program lcfg)
+          ~spec:(Leader_election.spec lcfg)
+          ~invariant:(Leader_election.invariant lcfg)
+          ~faults:(Leader_election.corruption lcfg)))
+
+let test_leader_is_corrector () =
+  Util.check_holds "protocol corrects leadership from anywhere"
+    (Corrector.satisfies (Leader_election.program lcfg)
+       (Leader_election.corrector lcfg) ~from:Pred.true_)
+
+let test_leader_sizes () =
+  List.iter
+    (fun n ->
+      let c = Leader_election.make_config n in
+      Util.check_holds
+        (Fmt.str "n=%d corrects leadership" n)
+        (Corrector.satisfies (Leader_election.program c)
+           (Leader_election.corrector c) ~from:Pred.true_))
+    [ 2; 3; 5 ]
+
+let test_leader_fixpoint_unique () =
+  (* The only deadlocked states are the elected ones. *)
+  let p = Leader_election.program lcfg in
+  let deadlocks =
+    List.filter (Program.deadlocked p) (Program.states p)
+  in
+  Alcotest.(check bool) "deadlocks are exactly elected states" true
+    (deadlocks <> []
+    && List.for_all (Pred.holds (Leader_election.elected lcfg)) deadlocks)
+
+let test_leader_theorem_4_3 () =
+  let schema =
+    Theorems.theorem_4_3
+      ~base:(Leader_election.program lcfg)
+      ~refined:(Leader_election.program lcfg)
+      ~spec:(Leader_election.spec lcfg)
+      ~faults:(Leader_election.corruption lcfg)
+      ~invariant_s:(Leader_election.invariant lcfg)
+      ~invariant_r:(Leader_election.invariant lcfg) ()
+  in
+  Alcotest.(check bool)
+    (Fmt.str "4.3 on leader election: %a" Theorems.pp_schema schema)
+    true (Theorems.holds schema)
+
+let test_leader_stale_max_recovers () =
+  (* Corrupt a candidate to the maximum id at the wrong moment: the flood
+     still converges (max is the true answer anyway). *)
+  let p = Leader_election.program lcfg in
+  let corrupted =
+    State.of_list
+      (List.init lcfg.Leader_election.processes (fun i ->
+           ( Leader_election.ldrvar i,
+             Value.int (if i = 0 then Leader_election.max_id lcfg else 0) )))
+  in
+  let ts = Detcor_semantics.Ts.build p ~from:[ corrupted ] in
+  Util.check_holds "converges from planted maximum"
+    (Detcor_semantics.Check.eventually ts (Leader_election.elected lcfg))
+
+let suite =
+  ( "systems 2 (barrier, leader election)",
+    [
+      Alcotest.test_case "barrier fault-free correctness" `Quick
+        test_barrier_correct_fault_free;
+      Alcotest.test_case "stale witness breaks barrier" `Quick
+        test_barrier_stale_witness_breaks;
+      Alcotest.test_case "fresh witness masks" `Quick test_barrier_masking;
+      Alcotest.test_case "barrier detector extraction" `Quick
+        test_barrier_detector_extraction;
+      Alcotest.test_case "barrier theorem 3.4" `Quick test_barrier_theorem_3_4;
+      Alcotest.test_case "window dynamics" `Quick test_barrier_window_dynamics;
+      Alcotest.test_case "two losses masked" `Slow test_barrier_multiple_losses;
+      Alcotest.test_case "barrier config validation" `Quick
+        test_barrier_config_validation;
+      Alcotest.test_case "leader nonmasking" `Quick test_leader_nonmasking;
+      Alcotest.test_case "leader is corrector" `Quick test_leader_is_corrector;
+      Alcotest.test_case "leader sizes" `Slow test_leader_sizes;
+      Alcotest.test_case "leader unique fixpoint" `Quick test_leader_fixpoint_unique;
+      Alcotest.test_case "leader theorem 4.3" `Quick test_leader_theorem_4_3;
+      Alcotest.test_case "planted maximum recovers" `Quick
+        test_leader_stale_max_recovers;
+    ] )

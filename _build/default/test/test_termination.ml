@@ -1,0 +1,102 @@
+(* Tests for the Dijkstra–Feijen–van Gasteren termination detector —
+   "probe success detects global quiescence" (E13). *)
+
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+open Detcor_systems
+
+let cfg = Termination.default
+let p = Termination.program cfg
+
+let test_detects_holds () =
+  Util.check_holds "'declared detects quiescent' from conservative starts"
+    (Detector.satisfies p (Termination.detector cfg) ~from:(Termination.fresh cfg))
+
+let test_quiescence_closed () =
+  let ts = Detcor_semantics.Ts.of_pred p ~from:(Termination.fresh cfg) in
+  Util.check_holds "quiescence is closed"
+    (Detcor_semantics.Check.closed ts (Termination.quiescent cfg))
+
+let test_declaration_irrevocable () =
+  let ts = Detcor_semantics.Ts.of_pred p ~from:(Termination.fresh cfg) in
+  Util.check_holds "declarations are never retracted"
+    (Detcor_semantics.Check.closed ts Termination.declared)
+
+let test_safety_theorem () =
+  (* The DFG safety theorem, as Safeness: declared ⇒ quiescent on every
+     reachable state. *)
+  let ts = Detcor_semantics.Ts.of_pred p ~from:(Termination.fresh cfg) in
+  Util.check_holds "declared implies quiescent (DFG safety)"
+    (Detcor_semantics.Check.implies ts Termination.declared
+       (Termination.quiescent cfg))
+
+let test_progress_theorem () =
+  (* The DFG liveness theorem, as Progress: quiescence leads to
+     declaration. *)
+  let ts = Detcor_semantics.Ts.of_pred p ~from:(Termination.fresh cfg) in
+  Util.check_holds "quiescent leads to declared (DFG liveness)"
+    (Detcor_semantics.Check.leads_to ts (Termination.quiescent cfg)
+       Termination.declared)
+
+let test_blackening_masked () =
+  let r =
+    Detector.tolerant p (Termination.detector cfg)
+      ~faults:(Termination.blackening cfg) ~tol:Spec.Masking
+      ~from:(Termination.fresh cfg)
+  in
+  Alcotest.(check bool)
+    (Fmt.str "%a" Detector.pp_report r)
+    true (Detector.verdict r)
+
+let test_whitening_unsound () =
+  let r =
+    Detector.tolerant p (Termination.detector cfg)
+      ~faults:Termination.whitening ~tol:Spec.Failsafe
+      ~from:(Termination.fresh cfg)
+  in
+  Alcotest.(check bool) "whitening breaks Safeness" false (Detector.verdict r)
+
+let test_whitening_counterexample_is_false_detection () =
+  (* The violation the checker finds must be a declared-but-active state. *)
+  let span =
+    Tolerance.fault_span p ~faults:Termination.whitening
+      ~from:(Termination.fresh cfg)
+  in
+  match
+    Detcor_spec.Spec.refines span.ts_pf
+      (Detector.safety_spec (Termination.detector cfg))
+  with
+  | Detcor_semantics.Check.Holds -> Alcotest.fail "expected a false detection"
+  | Detcor_semantics.Check.Fails (Detcor_semantics.Check.Bad_state st) ->
+    Alcotest.(check bool) "declared" true (Pred.holds Termination.declared st);
+    Alcotest.(check bool) "not quiescent" false
+      (Pred.holds (Termination.quiescent cfg) st)
+  | Detcor_semantics.Check.Fails v ->
+    Alcotest.failf "unexpected violation %a" Detcor_semantics.Check.pp_violation v
+
+let test_sizes () =
+  List.iter
+    (fun n ->
+      let c = Termination.make_config n in
+      Util.check_holds
+        (Fmt.str "n=%d detects" n)
+        (Detector.satisfies (Termination.program c) (Termination.detector c)
+           ~from:(Termination.fresh c)))
+    [ 2; 4 ]
+
+let suite =
+  ( "termination detection (DFG)",
+    [
+      Alcotest.test_case "detects holds" `Quick test_detects_holds;
+      Alcotest.test_case "quiescence closed" `Quick test_quiescence_closed;
+      Alcotest.test_case "declaration irrevocable" `Quick
+        test_declaration_irrevocable;
+      Alcotest.test_case "DFG safety theorem" `Quick test_safety_theorem;
+      Alcotest.test_case "DFG liveness theorem" `Quick test_progress_theorem;
+      Alcotest.test_case "blackening masked" `Quick test_blackening_masked;
+      Alcotest.test_case "whitening unsound" `Quick test_whitening_unsound;
+      Alcotest.test_case "false detection exhibited" `Quick
+        test_whitening_counterexample_is_false_detection;
+      Alcotest.test_case "ring sizes" `Slow test_sizes;
+    ] )

@@ -1,0 +1,72 @@
+(* Shared helpers and generators for the test suite. *)
+
+open Detcor_kernel
+
+let check_holds msg outcome =
+  Alcotest.(check bool)
+    (Fmt.str "%s: %a" msg Detcor_semantics.Check.pp_outcome outcome)
+    true
+    (Detcor_semantics.Check.holds outcome)
+
+let check_fails msg outcome =
+  Alcotest.(check bool) msg false (Detcor_semantics.Check.holds outcome)
+
+let state = Alcotest.testable State.pp State.equal
+
+let value = Alcotest.testable Value.pp Value.equal
+
+(* QCheck generator for values. *)
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map Value.int (int_range (-5) 5);
+        map Value.bool bool;
+        map Value.sym (oneofl [ "a"; "b"; "bot" ]);
+      ])
+
+let value_arb = QCheck.make ~print:Value.to_string value_gen
+
+(* States over a fixed small set of variables. *)
+let state_gen vars =
+  QCheck.Gen.(
+    let bind_var x = map (fun v -> (x, v)) value_gen in
+    map State.of_list (flatten_l (List.map bind_var vars)))
+
+let state_arb vars = QCheck.make ~print:State.to_string (state_gen vars)
+
+(* Random directed graphs as programs over one variable [node : 0..n-1];
+   each edge (i, j) becomes an action.  Used to cross-validate the graph
+   algorithms against brute force. *)
+let graph_program n edges =
+  let actions =
+    List.mapi
+      (fun idx (i, j) ->
+        Action.deterministic
+          (Fmt.str "e%d_%d_%d" idx i j)
+          (Pred.make (Fmt.str "at%d" i) (fun st ->
+               Value.equal (State.get st "node") (Value.int i)))
+          (fun st -> State.set st "node" (Value.int j)))
+      edges
+  in
+  Program.make ~name:"graph"
+    ~vars:[ ("node", Domain.range 0 (n - 1)) ]
+    ~actions
+
+let node_state i = State.of_list [ ("node", Value.int i) ]
+
+let edges_gen n =
+  QCheck.Gen.(
+    let edge = pair (int_range 0 (n - 1)) (int_range 0 (n - 1)) in
+    list_size (int_range 0 (2 * n)) edge)
+
+let graph_arb n =
+  QCheck.make
+    ~print:(fun edges ->
+      Fmt.str "%a"
+        Fmt.(list ~sep:(any "; ") (pair ~sep:(any "->") int int))
+        edges)
+    (edges_gen n)
+
+let qtest ?(count = 200) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
