@@ -87,15 +87,17 @@ let check_ts ~base ts ~from:s =
     let sccs = Fairness.fair_sccs ts in
     List.find_opt
       (fun (scc : Graph.scc) ->
+        let in_scc = Hashtbl.create (List.length scc.members) in
+        List.iter (fun v -> Hashtbl.replace in_scc v ()) scc.members;
         let all_stutter =
           List.for_all
             (fun v ->
-              List.for_all
-                (fun (_aid, j) ->
-                  let inside = List.mem j scc.members in
-                  (not inside)
-                  || State.agree_on (Ts.state ts v) (Ts.state ts j) base_vars)
-                (Ts.edges_of ts v))
+              Ts.fold_out ts v
+                (fun acc _aid j ->
+                  acc
+                  && ((not (Hashtbl.mem in_scc j))
+                     || State.agree_on (Ts.state ts v) (Ts.state ts j) base_vars))
+                true)
             scc.members
         in
         all_stutter

@@ -65,9 +65,9 @@ type span = {
 
 (* The F-span of p from S: smallest T with S ⇒ T, T closed in p, and T
    closed in F — i.e. the forward closure of the S-states under p [] F. *)
-let fault_span ?limit p ~faults ~from =
+let fault_span ?limit ?engine p ~faults ~from =
   let composed = Fault.compose p faults in
-  let ts_pf = Ts.of_pred ?limit composed ~from in
+  let ts_pf = Ts.of_pred ?limit ?engine composed ~from in
   let states = Ts.states ts_pf in
   let pred =
     Pred.of_states ~name:(Fmt.str "span(%s)" (Pred.name from)) states
@@ -76,9 +76,9 @@ let fault_span ?limit p ~faults ~from =
 
 (* [fault_span_from_states] avoids re-enumerating the product space when the
    initial states are already known. *)
-let fault_span_from_states ?limit p ~faults ~init =
+let fault_span_from_states ?limit ?engine p ~faults ~init =
   let composed = Fault.compose p faults in
-  let ts_pf = Ts.build ?limit composed ~from:init in
+  let ts_pf = Ts.build ?limit ?engine composed ~from:init in
   let states = Ts.states ts_pf in
   let pred = Pred.of_states ~name:"span" states in
   { pred; states; ts_pf }
@@ -89,12 +89,12 @@ let fault_span_from_states ?limit p ~faults ~init =
 
 (* S must be closed in p, and every computation from S must be in SPEC
    (Section 2.2.1, Refines + Invariant). *)
-let refines_from ?limit p ~spec ~invariant =
-  let ts = Ts.of_pred ?limit p ~from:invariant in
+let refines_from ?limit ?engine p ~spec ~invariant =
+  let ts = Ts.of_pred ?limit ?engine p ~from:invariant in
   (ts, Check.all [ Check.closed ts invariant; Spec.refines ts spec ])
 
-let refines_from_states ?limit p ~spec ~init ~invariant =
-  let ts = Ts.build ?limit p ~from:init in
+let refines_from_states ?limit ?engine p ~spec ~init ~invariant =
+  let ts = Ts.build ?limit ?engine p ~from:init in
   (ts, Check.all [ Check.closed ts invariant; Spec.refines ts spec ])
 
 (* ------------------------------------------------------------------ *)
@@ -150,13 +150,13 @@ let liveness_under_faults ~ts_pf ~ts_p liveness =
 (* The three tolerance checkers.                                       *)
 (* ------------------------------------------------------------------ *)
 
-let check_with ?limit ?recover p ~spec ~invariant ~init ~faults ~tol =
+let check_with ?limit ?engine ?recover p ~spec ~invariant ~init ~faults ~tol =
   let ts_p, base_outcome =
-    refines_from_states ?limit p ~spec ~init ~invariant
+    refines_from_states ?limit ?engine p ~spec ~init ~invariant
   in
-  let span = fault_span_from_states ?limit p ~faults ~init in
+  let span = fault_span_from_states ?limit ?engine p ~faults ~init in
   (* p alone, over the whole span: used for liveness after faults stop. *)
-  let ts_p_span = Ts.build ?limit p ~from:span.states in
+  let ts_p_span = Ts.build ?limit ?engine p ~from:span.states in
   let base_item =
     { label = "p refines SPEC from S"; outcome = base_outcome }
   in
@@ -179,7 +179,8 @@ let check_with ?limit ?recover p ~spec ~invariant ~init ~faults ~tol =
   in
   let recover_item () =
     let ts_rec =
-      Ts.build ?limit p ~from:(List.filter (Pred.holds recover) span.states)
+      Ts.build ?limit ?engine p
+        ~from:(List.filter (Pred.holds recover) span.states)
     in
     {
       label = Fmt.str "p refines SPEC from %s" (Pred.name recover);
@@ -212,25 +213,42 @@ let check_with ?limit ?recover p ~spec ~invariant ~init ~faults ~tol =
     items;
   }
 
-let init_states ?limit p ~invariant =
+(* The invariant states of the product space.  The reference engine keeps
+   the seed behaviour (materialize the product list, then filter); the
+   packed engines stream the enumeration through the program's layout. *)
+let init_states ?limit ?(engine = Ts.Auto) p ~invariant =
   ignore limit;
-  List.filter (Pred.holds invariant) (Program.states p)
+  let reference () = List.filter (Pred.holds invariant) (Program.states p) in
+  match engine with
+  | Ts.Reference -> reference ()
+  | Ts.Packed | Ts.Auto -> (
+    match Layout.of_program p with
+    | Some layout ->
+      let acc = ref [] in
+      Layout.iter_scratch layout (fun sc ->
+          if Pred.holds invariant (State.scratch_view sc) then
+            acc := State.scratch_copy sc :: !acc);
+      List.rev !acc
+    | None ->
+      if engine = Ts.Packed then raise Layout.Unrepresentable
+      else reference ())
 
-let check ?limit ?recover p ~spec ~invariant ~faults ~tol =
-  let init = init_states ?limit p ~invariant in
-  check_with ?limit ?recover p ~spec ~invariant ~init ~faults ~tol
+let check ?limit ?engine ?recover p ~spec ~invariant ~faults ~tol =
+  let init = init_states ?limit ?engine p ~invariant in
+  check_with ?limit ?engine ?recover p ~spec ~invariant ~init ~faults ~tol
 
-let is_failsafe ?limit p ~spec ~invariant ~faults =
-  check ?limit p ~spec ~invariant ~faults ~tol:Spec.Failsafe
+let is_failsafe ?limit ?engine p ~spec ~invariant ~faults =
+  check ?limit ?engine p ~spec ~invariant ~faults ~tol:Spec.Failsafe
 
-let is_nonmasking ?limit ?recover p ~spec ~invariant ~faults =
-  check ?limit ?recover p ~spec ~invariant ~faults ~tol:Spec.Nonmasking
+let is_nonmasking ?limit ?engine ?recover p ~spec ~invariant ~faults =
+  check ?limit ?engine ?recover p ~spec ~invariant ~faults ~tol:Spec.Nonmasking
 
-let is_masking ?limit p ~spec ~invariant ~faults =
-  check ?limit p ~spec ~invariant ~faults ~tol:Spec.Masking
+let is_masking ?limit ?engine p ~spec ~invariant ~faults =
+  check ?limit ?engine p ~spec ~invariant ~faults ~tol:Spec.Masking
 
 (* Classify: the reports for all three classes, masking first. *)
-let classify ?limit ?recover p ~spec ~invariant ~faults =
+let classify ?limit ?engine ?recover p ~spec ~invariant ~faults =
   List.map
-    (fun tol -> (tol, check ?limit ?recover p ~spec ~invariant ~faults ~tol))
+    (fun tol ->
+      (tol, check ?limit ?engine ?recover p ~spec ~invariant ~faults ~tol))
     [ Spec.Masking; Spec.Failsafe; Spec.Nonmasking ]

@@ -36,28 +36,52 @@ type span = {
 
 (** The F-span of [p] from [from] (Section 2.3): forward closure of the
     [from]-states under [p [] F]. *)
-val fault_span : ?limit:int -> Program.t -> faults:Fault.t -> from:Pred.t -> span
+val fault_span :
+  ?limit:int ->
+  ?engine:Ts.engine ->
+  Program.t ->
+  faults:Fault.t ->
+  from:Pred.t ->
+  span
 
 (** As {!fault_span} with the initial states given explicitly (skips
     product-space enumeration). *)
 val fault_span_from_states :
-  ?limit:int -> Program.t -> faults:Fault.t -> init:State.t list -> span
+  ?limit:int ->
+  ?engine:Ts.engine ->
+  Program.t ->
+  faults:Fault.t ->
+  init:State.t list ->
+  span
 
 (** [refines_from p ~spec ~invariant]: S closed in p and every computation
     from S in SPEC; also returns the explored system. *)
 val refines_from :
-  ?limit:int -> Program.t -> spec:Spec.t -> invariant:Pred.t -> Ts.t * Check.outcome
+  ?limit:int ->
+  ?engine:Ts.engine ->
+  Program.t ->
+  spec:Spec.t ->
+  invariant:Pred.t ->
+  Ts.t * Check.outcome
 
 val refines_from_states :
   ?limit:int ->
+  ?engine:Ts.engine ->
   Program.t ->
   spec:Spec.t ->
   init:State.t list ->
   invariant:Pred.t ->
   Ts.t * Check.outcome
 
-(** The product-space states satisfying the invariant. *)
-val init_states : ?limit:int -> Program.t -> invariant:Pred.t -> State.t list
+(** The product-space states satisfying the invariant.  With the packed
+    engine the product is streamed through the program's {!Layout} instead
+    of materialized as a list. *)
+val init_states :
+  ?limit:int ->
+  ?engine:Ts.engine ->
+  Program.t ->
+  invariant:Pred.t ->
+  State.t list
 
 (** [leads_to_under_faults ~ts_pf ~ts_p o]: does the leads-to obligation
     hold on every computation of [p [] F] under the finitely-many-faults
@@ -74,6 +98,7 @@ val liveness_under_faults :
     refine SPEC from — the R of Theorem 4.3. *)
 val check :
   ?limit:int ->
+  ?engine:Ts.engine ->
   ?recover:Pred.t ->
   Program.t ->
   spec:Spec.t ->
@@ -85,6 +110,7 @@ val check :
 (** As {!check}, with explicit initial states. *)
 val check_with :
   ?limit:int ->
+  ?engine:Ts.engine ->
   ?recover:Pred.t ->
   Program.t ->
   spec:Spec.t ->
@@ -96,20 +122,24 @@ val check_with :
 
 val is_failsafe :
   ?limit:int ->
+  ?engine:Ts.engine ->
   Program.t -> spec:Spec.t -> invariant:Pred.t -> faults:Fault.t -> report
 
 val is_nonmasking :
   ?limit:int ->
+  ?engine:Ts.engine ->
   ?recover:Pred.t ->
   Program.t -> spec:Spec.t -> invariant:Pred.t -> faults:Fault.t -> report
 
 val is_masking :
   ?limit:int ->
+  ?engine:Ts.engine ->
   Program.t -> spec:Spec.t -> invariant:Pred.t -> faults:Fault.t -> report
 
 (** Reports for all three classes, masking first. *)
 val classify :
   ?limit:int ->
+  ?engine:Ts.engine ->
   ?recover:Pred.t ->
   Program.t ->
   spec:Spec.t ->

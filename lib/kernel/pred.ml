@@ -7,11 +7,19 @@
    exactly set operations. *)
 
 type t = {
+  id : int;
   name : string;
   eval : State.t -> bool;
 }
 
-let make name eval = { name; eval }
+(* Unique per predicate instance; the transition-system caches key their
+   bitsets on it.  Atomic so predicates may be constructed from worker
+   domains during parallel exploration. *)
+let counter = Atomic.make 0
+
+let make name eval = { id = Atomic.fetch_and_add counter 1; name; eval }
+
+let id p = p.id
 
 let holds p st = p.eval st
 

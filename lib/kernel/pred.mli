@@ -12,6 +12,11 @@ val make : string -> (State.t -> bool) -> t
 val holds : t -> State.t -> bool
 val name : t -> string
 
+(** Unique id of this predicate instance (two predicates built by separate
+    [make] calls have different ids even when extensionally equal).  Used by
+    the transition-system layer to key per-system bitset caches. *)
+val id : t -> int
+
 (** [of_expr e] interprets a boolean expression as a predicate. *)
 val of_expr : ?name:string -> Expr.t -> t
 

@@ -17,6 +17,12 @@ val set : t -> string -> Value.t -> t
 val mem : t -> string -> bool
 val bindings : t -> (string * Value.t) list
 val variables : t -> string list
+
+(** [fold f st init] folds over the bindings in increasing variable-name
+    order (the same order as [bindings]). *)
+val fold : (string -> Value.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val cardinal : t -> int
 val update_many : t -> (string * Value.t) list -> t
 
 (** [project st vars] is the projection of [st] on [vars]
@@ -32,3 +38,28 @@ val equal : t -> t -> bool
 val hash : t -> int
 val pp : t Fmt.t
 val to_string : t -> string
+
+(** {2 Scratch buffers}
+
+    A scratch buffer is a mutable state over a fixed variable set, for
+    enumerating large state spaces without allocating one state per
+    visited point.  {!scratch_view} exposes the buffer as a state without
+    copying; the view is only valid until the next {!scratch_set} — use
+    {!scratch_copy} to retain a visited state. *)
+
+type scratch
+
+(** [scratch_create vars] is a fresh buffer over [vars], which must be in
+    ascending name order.  All slots start at [Value.bot]. *)
+val scratch_create : string array -> scratch
+
+(** [scratch_set sc k v] writes [v] into slot [k] (the [k]-th variable of
+    the buffer in name order). *)
+val scratch_set : scratch -> int -> Value.t -> unit
+
+(** The buffer as a state, without copying.  Invalidated by the next
+    {!scratch_set}. *)
+val scratch_view : scratch -> t
+
+(** An immutable snapshot of the buffer's current state. *)
+val scratch_copy : scratch -> t

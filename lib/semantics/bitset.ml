@@ -1,0 +1,70 @@
+(* Dense bit vectors over state indices.
+
+   The predicate and guard caches of [Ts] store one bit per state; a
+   [Bytes]-backed bitset keeps them 8x denser than [bool array]s and makes
+   whole-set operations (union, count) cheap. *)
+
+type t = {
+  length : int;
+  bits : Bytes.t;
+}
+
+let create length =
+  if length < 0 then invalid_arg "Bitset.create: negative length";
+  { length; bits = Bytes.make ((length + 7) / 8) '\000' }
+
+let length t = t.length
+
+let check t i =
+  if i < 0 || i >= t.length then
+    invalid_arg (Printf.sprintf "Bitset: index %d out of bounds [0,%d)" i t.length)
+
+let get t i =
+  check t i;
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i =
+  check t i;
+  let byte = i lsr 3 in
+  Bytes.unsafe_set t.bits byte
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get t.bits byte) lor (1 lsl (i land 7))))
+
+let clear t i =
+  check t i;
+  let byte = i lsr 3 in
+  Bytes.unsafe_set t.bits byte
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get t.bits byte) land lnot (1 lsl (i land 7))))
+
+let of_fn length f =
+  let t = create length in
+  for i = 0 to length - 1 do
+    if f i then set t i
+  done;
+  t
+
+(* Popcount of a byte, via an 8-bit lookup table. *)
+let popcount_table =
+  let tbl = Bytes.create 256 in
+  for b = 0 to 255 do
+    let rec count n = if n = 0 then 0 else (n land 1) + count (n lsr 1) in
+    Bytes.set tbl b (Char.chr (count b))
+  done;
+  tbl
+
+let cardinal t =
+  let n = Bytes.length t.bits in
+  let total = ref 0 in
+  for byte = 0 to n - 1 do
+    total :=
+      !total
+      + Char.code (Bytes.get popcount_table (Char.code (Bytes.get t.bits byte)))
+  done;
+  !total
+
+let iter_set t f =
+  for i = 0 to t.length - 1 do
+    if get t i then f i
+  done
+
+let equal a b = a.length = b.length && Bytes.equal a.bits b.bits

@@ -1,0 +1,17 @@
+(** Dense bit vectors over state indices, backing the predicate and guard
+    caches of {!Ts}. *)
+
+type t
+
+val create : int -> t
+
+(** [of_fn n f] is the bitset [{ i < n | f i }]. *)
+val of_fn : int -> (int -> bool) -> t
+
+val length : t -> int
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val cardinal : t -> int
+val iter_set : t -> (int -> unit) -> unit
+val equal : t -> t -> bool

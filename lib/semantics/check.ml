@@ -140,11 +140,11 @@ let safety ts ~bad_state ~bad_transition =
    or it is an infinite fair run inside [¬q]. *)
 let leads_to ts p q =
   let not_q i = not (Ts.holds_at ts q i) in
-  let starts =
-    List.filter
-      (fun i -> Ts.holds_at ts p i && not_q i)
-      (List.init (Ts.num_states ts) Fun.id)
-  in
+  let starts = ref [] in
+  for i = Ts.num_states ts - 1 downto 0 do
+    if Ts.holds_at ts p i && not_q i then starts := i :: !starts
+  done;
+  let starts = !starts in
   if starts = [] then Holds
   else begin
     let reach = Graph.reachable ~mask:not_q ts ~from:starts in

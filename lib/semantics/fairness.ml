@@ -38,10 +38,8 @@ let fair_scc ts (scc : Graph.scc) =
     let has_internal_edge = Array.make num_actions false in
     List.iter
       (fun v ->
-        List.iter
-          (fun (aid, j) ->
-            if Hashtbl.mem in_scc j then has_internal_edge.(aid) <- true)
-          (Ts.edges_of ts v))
+        Ts.iter_out ts v (fun aid j ->
+            if Hashtbl.mem in_scc j then has_internal_edge.(aid) <- true))
       scc.members;
     let ok = ref true in
     for aid = 0 to num_actions - 1 do

@@ -18,13 +18,11 @@ let reachable ?(mask = no_mask) ts ~from =
     from;
   while not (Queue.is_empty queue) do
     let i = Queue.pop queue in
-    List.iter
-      (fun (_aid, j) ->
+    Ts.iter_out ts i (fun _aid j ->
         if mask j && not seen.(j) then begin
           seen.(j) <- true;
           Queue.add j queue
         end)
-      (Ts.edges_of ts i)
   done;
   seen
 
@@ -78,15 +76,13 @@ let shortest_path ?(mask = no_mask) ts ~from ~target =
     let i = Queue.pop queue in
     if target i then found := Some i
     else
-      List.iter
-        (fun (aid, j) ->
+      Ts.iter_out ts i (fun aid j ->
           if mask j && not seen.(j) then begin
             seen.(j) <- true;
             parent.(j) <- Some (i, aid);
             start_of.(j) <- start_of.(i);
             Queue.add j queue
           end)
-        (Ts.edges_of ts i)
   done;
   match !found with
   | None -> None
@@ -118,9 +114,8 @@ let sccs ?(mask = no_mask) ts =
   let counter = ref 0 in
   let components = ref [] in
   let succs i =
-    List.filter_map
-      (fun (_aid, j) -> if mask j then Some j else None)
-      (Ts.edges_of ts i)
+    List.rev
+      (Ts.fold_out ts i (fun acc _aid j -> if mask j then j :: acc else acc) [])
   in
   let visit root =
     (* Explicit call stack: (node, remaining successors). *)
@@ -176,11 +171,7 @@ let sccs ?(mask = no_mask) ts =
   let make_scc id members =
     let trivial =
       match members with
-      | [ v ] ->
-        not
-          (List.exists
-             (fun (_aid, j) -> j = v)
-             (Ts.edges_of ts v))
+      | [ v ] -> not (Ts.fold_out ts v (fun acc _aid j -> acc || j = v) false)
       | _ -> false
     in
     { id; members; trivial }

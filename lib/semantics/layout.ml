@@ -1,0 +1,127 @@
+(* Variable layouts: the compiled shape of a program's state space.
+
+   A layout fixes, once per program, the order of the variables (sorted by
+   name, matching the binding order of [State.t]) and the order of each
+   finite domain (sorted by [Value.compare]).  A state that binds exactly
+   the layout's variables to in-domain values is then representable as a
+   single integer rank in mixed-radix notation.  Ranks are cheap to hash
+   and compare, so the packed engine of [Ts] interns states by rank instead
+   of hashing whole variable maps.
+
+   Rank order is exactly [State.compare] order: variables are compared in
+   ascending name order and domain codes are assigned in ascending
+   [Value.compare] order, so the lexicographic rank comparison coincides
+   with the map comparison.  [Ts] relies on this to reproduce the seed
+   engine's state numbering without sorting. *)
+
+open Detcor_kernel
+
+exception Unrepresentable
+
+type t = {
+  vars : string array; (* ascending name order *)
+  domains : Value.t array array; (* per variable, ascending value order *)
+  strides : int array; (* strides.(k) = product of later domain sizes *)
+  codes : (Value.t, int) Hashtbl.t array; (* value -> domain index *)
+  space : int; (* full product size *)
+}
+
+(* [of_program p] compiles the layout, or returns [None] when the product
+   space overflows the integer range (packed ranks would not fit). *)
+let of_program p =
+  let decls =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (Program.var_decls p)
+  in
+  let vars = Array.of_list (List.map fst decls) in
+  let domains =
+    Array.of_list
+      (List.map (fun (_, d) -> Array.of_list (Domain.values d)) decls)
+  in
+  Array.iter (fun d -> Array.sort Value.compare d) domains;
+  let n = Array.length vars in
+  let strides = Array.make n 1 in
+  let space = ref 1 in
+  let overflow = ref false in
+  for k = n - 1 downto 0 do
+    strides.(k) <- !space;
+    let size = Array.length domains.(k) in
+    if size = 0 || !space > max_int / size then overflow := true
+    else space := !space * size
+  done;
+  if !overflow then None
+  else begin
+    let codes =
+      Array.map
+        (fun dom ->
+          let tbl = Hashtbl.create (2 * Array.length dom) in
+          Array.iteri (fun i v -> Hashtbl.replace tbl v i) dom;
+          tbl)
+        domains
+    in
+    Some { vars; domains; strides; codes; space = !space }
+  end
+
+let num_vars t = Array.length t.vars
+let space t = t.space
+let var t k = t.vars.(k)
+let domain_values t k = Array.to_list t.domains.(k)
+
+(* [pack t st]: the rank of [st], in one lockstep walk over the state's
+   bindings (name-sorted) and the layout's variables (also name-sorted).
+   @raise Unrepresentable when [st] does not bind exactly the layout's
+   variables to in-domain values. *)
+let pack t st =
+  let n = Array.length t.vars in
+  let rank = ref 0 in
+  let k = ref 0 in
+  State.fold
+    (fun x v () ->
+      let i = !k in
+      if i >= n || not (String.equal x t.vars.(i)) then raise Unrepresentable;
+      (match Hashtbl.find_opt t.codes.(i) v with
+      | None -> raise Unrepresentable
+      | Some code -> rank := !rank + (code * t.strides.(i)));
+      incr k)
+    st ();
+  if !k <> n then raise Unrepresentable;
+  !rank
+
+let pack_opt t st = match pack t st with
+  | rank -> Some rank
+  | exception Unrepresentable -> None
+
+let unpack t rank =
+  if rank < 0 || rank >= t.space then
+    invalid_arg (Printf.sprintf "Layout.unpack: rank %d outside [0,%d)" rank t.space);
+  let n = Array.length t.vars in
+  let st = ref State.empty in
+  for k = 0 to n - 1 do
+    let code = rank / t.strides.(k) mod Array.length t.domains.(k) in
+    st := State.set !st t.vars.(k) t.domains.(k).(code)
+  done;
+  !st
+
+(* Enumerate the whole product space in rank order through one reusable
+   scratch buffer: visiting a state costs one slot write instead of a
+   fresh state allocation.  The buffer passed to [f] is invalidated by the
+   next visit; [f] must [State.scratch_copy] any state it retains. *)
+let iter_scratch t f =
+  let n = Array.length t.vars in
+  let sc = State.scratch_create t.vars in
+  let rec go k =
+    if k = n then f sc
+    else
+      Array.iter
+        (fun v ->
+          State.scratch_set sc k v;
+          go (k + 1))
+        t.domains.(k)
+  in
+  go 0
+
+let iter_states t f = iter_scratch t (fun sc -> f (State.scratch_copy sc))
+
+let pp ppf t =
+  Fmt.pf ppf "layout: %d vars, %d states" (Array.length t.vars) t.space

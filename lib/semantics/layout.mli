@@ -1,0 +1,50 @@
+(** Variable layouts: the compiled shape of a program's state space.
+
+    A layout maps a program's variables (in ascending name order) and their
+    finite domains (in ascending {!Detcor_kernel.Value.compare} order) to
+    integer indices, so that any state binding exactly those variables to
+    in-domain values packs into a single integer rank.  Rank order coincides
+    with {!Detcor_kernel.State.compare} order, which the packed engine of
+    {!Ts} relies on to reproduce the reference engine's state numbering. *)
+
+open Detcor_kernel
+
+type t
+
+(** Raised by {!pack} when a state binds a variable outside the layout, is
+    missing a layout variable, or holds an out-of-domain value. *)
+exception Unrepresentable
+
+(** [of_program p] compiles the layout of [p]'s declared variables, or
+    [None] when the product space size overflows the integer range. *)
+val of_program : Program.t -> t option
+
+val num_vars : t -> int
+
+(** Size of the full product space. *)
+val space : t -> int
+
+val var : t -> int -> string
+val domain_values : t -> int -> Value.t list
+
+(** [pack t st] is the mixed-radix rank of [st].
+    @raise Unrepresentable if [st] does not fit the layout. *)
+val pack : t -> State.t -> int
+
+val pack_opt : t -> State.t -> int option
+
+(** [unpack t rank] rebuilds the state of the given rank; inverse of
+    {!pack} on representable states. *)
+val unpack : t -> int -> State.t
+
+(** Enumerate the full product space in ascending rank order.  Each state
+    passed to the callback is fresh and may be retained. *)
+val iter_states : t -> (State.t -> unit) -> unit
+
+(** Like {!iter_states}, but reuses one {!Detcor_kernel.State.scratch}
+    buffer for the whole sweep: visiting a state costs a slot write
+    instead of an allocation.  The buffer is invalidated by the next
+    visit — the callback must [State.scratch_copy] states it retains. *)
+val iter_scratch : t -> (State.scratch -> unit) -> unit
+
+val pp : t Fmt.t

@@ -4,7 +4,26 @@
    edges are (action, successor) pairs.  It is built either from a set of
    initial states (forward reachability) or over the full product space.
    All decision procedures of the library (closure, convergence, leads-to,
-   fairness, safety) run on this structure. *)
+   fairness, safety) run on this structure.
+
+   Two engines build the same structure:
+
+   - [Packed] (the default via [Auto]): a [Layout] compiles the program's
+     variables and domains to integer indices once, states are interned by
+     their packed rank (a single int), edges land in CSR (compressed sparse
+     row) arrays, and predicate / guard evaluations are cached in per-system
+     bitsets so [holds_at] and [enabled] answer in O(1) after one sweep.
+     Frontier expansion can fan out over OCaml 5 domains ([?workers]) with
+     a deterministic in-order merge, so the numbering is independent of the
+     worker count.
+   - [Reference]: the seed list-based path — map-keyed interning and direct
+     predicate evaluation on every query.  It is kept both as the fallback
+     for programs whose actions step outside their declared domains (where
+     no layout applies) and as the oracle for differential testing.
+
+   Both engines explore initial states in [State.compare] order and expand
+   states in id order, so they produce identical state numbering, edge
+   arrays and initials. *)
 
 open Detcor_kernel
 
@@ -15,88 +34,334 @@ module State_table = Hashtbl.Make (struct
   let hash = State.hash
 end)
 
+type engine = Auto | Packed | Reference
+
 type t = {
   program : Program.t;
   states : State.t array;
-  index : int State_table.t;
   actions : Action.t array;
-  edges : (int * int) list array;
-      (* per source state: (action id, target state id) *)
+  (* CSR adjacency: edges of state [i] occupy [row_ptr.(i) .. row_ptr.(i+1))
+     of [edge_action]/[edge_target]. *)
+  row_ptr : int array;
+  edge_action : int array;
+  edge_target : int array;
   initials : int list;
+  lookup : State.t -> int option;
+  layout : Layout.t option; (* Some iff built by the packed engine *)
+  (* Bitset caches; only consulted when [cached] (packed engine). *)
+  cached : bool;
+  pred_cache : (int, Bitset.t) Hashtbl.t; (* keyed by Pred.id *)
+  enabled_cache : Bitset.t option array; (* per action id *)
 }
 
 exception Too_large of int
 
 let default_limit = 2_000_000
 
-(* Forward exploration from [from].  All recorded states are reachable. *)
-let build ?(limit = default_limit) program ~from =
+(* ------------------------------------------------------------------ *)
+(* Growable buffers shared by both engines.                            *)
+(* ------------------------------------------------------------------ *)
+
+type builder = {
+  mutable states_buf : State.t array;
+  mutable count : int;
+  mutable ea : int array; (* edge action ids *)
+  mutable et : int array; (* edge targets *)
+  mutable elen : int;
+  mutable rows : int array; (* rows.(i+1) = end offset of state i's edges *)
+  limit : int;
+}
+
+let new_builder ~limit =
+  {
+    states_buf = Array.make 1024 State.empty;
+    count = 0;
+    ea = Array.make 4096 0;
+    et = Array.make 4096 0;
+    elen = 0;
+    rows = Array.make 1025 0;
+    limit;
+  }
+
+let add_state b st =
+  let i = b.count in
+  if i >= b.limit then raise (Too_large b.limit);
+  let cap = Array.length b.states_buf in
+  if i >= cap then begin
+    let states' = Array.make (2 * cap) State.empty in
+    Array.blit b.states_buf 0 states' 0 cap;
+    b.states_buf <- states';
+    let rows' = Array.make ((2 * cap) + 1) 0 in
+    Array.blit b.rows 0 rows' 0 (cap + 1);
+    b.rows <- rows'
+  end;
+  b.states_buf.(i) <- st;
+  b.count <- i + 1;
+  i
+
+let push_edge b aid j =
+  let cap = Array.length b.ea in
+  if b.elen >= cap then begin
+    let ea' = Array.make (2 * cap) 0 and et' = Array.make (2 * cap) 0 in
+    Array.blit b.ea 0 ea' 0 cap;
+    Array.blit b.et 0 et' 0 cap;
+    b.ea <- ea';
+    b.et <- et'
+  end;
+  b.ea.(b.elen) <- aid;
+  b.et.(b.elen) <- j;
+  b.elen <- b.elen + 1
+
+(* Mark the end of state [i]'s edge row (states are expanded in id order). *)
+let close_row b i = b.rows.(i + 1) <- b.elen
+
+let finish b ~program ~actions ~initials ~lookup ~layout ~cached =
+  let n = b.count in
+  {
+    program;
+    states = Array.sub b.states_buf 0 n;
+    actions;
+    row_ptr = Array.sub b.rows 0 (n + 1);
+    edge_action = Array.sub b.ea 0 b.elen;
+    edge_target = Array.sub b.et 0 b.elen;
+    initials;
+    lookup;
+    layout;
+    cached;
+    pred_cache = Hashtbl.create 16;
+    enabled_cache = Array.make (Array.length actions) None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reference engine: the seed list-based path.                         *)
+(* ------------------------------------------------------------------ *)
+
+let build_reference ~limit program ~from =
   let actions = Array.of_list (Program.actions program) in
   let index = State_table.create 1024 in
-  let dyn_states = ref (Array.make 1024 State.empty) in
-  let dyn_edges = ref (Array.make 1024 []) in
-  let count = ref 0 in
-  let ensure_capacity n =
-    let cap = Array.length !dyn_states in
-    if n >= cap then begin
-      let cap' = max (2 * cap) (n + 1) in
-      let states' = Array.make cap' State.empty in
-      Array.blit !dyn_states 0 states' 0 cap;
-      dyn_states := states';
-      let edges' = Array.make cap' [] in
-      Array.blit !dyn_edges 0 edges' 0 cap;
-      dyn_edges := edges'
-    end
-  in
+  let b = new_builder ~limit in
   let intern st =
     match State_table.find_opt index st with
     | Some i -> i
     | None ->
-      let i = !count in
-      if i >= limit then raise (Too_large limit);
-      ensure_capacity i;
+      let i = add_state b st in
       State_table.add index st i;
-      !dyn_states.(i) <- st;
-      incr count;
       i
   in
   let initials = List.map intern (List.sort_uniq State.compare from) in
-  let queue = Queue.create () in
-  List.iter (fun i -> Queue.add i queue) initials;
-  let expanded = Hashtbl.create 1024 in
-  while not (Queue.is_empty queue) do
-    let i = Queue.pop queue in
-    if not (Hashtbl.mem expanded i) then begin
-      Hashtbl.add expanded i ();
-      let st = !dyn_states.(i) in
-      let out = ref [] in
-      Array.iteri
-        (fun aid ac ->
-          List.iter
-            (fun st' ->
-              let j = intern st' in
-              out := (aid, j) :: !out;
-              if not (Hashtbl.mem expanded j) then Queue.add j queue)
-            (Action.execute ac st))
-        actions;
-      !dyn_edges.(i) <- List.rev !out
-    end
+  (* Expansion in id order is exactly the seed's FIFO breadth-first order:
+     every new state receives the next id and is appended. *)
+  let cursor = ref 0 in
+  while !cursor < b.count do
+    let i = !cursor in
+    let st = b.states_buf.(i) in
+    Array.iteri
+      (fun aid ac ->
+        List.iter (fun st' -> push_edge b aid (intern st')) (Action.execute ac st))
+      actions;
+    close_row b i;
+    incr cursor
   done;
-  let states = Array.sub !dyn_states 0 !count in
-  let edges = Array.sub !dyn_edges 0 !count in
-  { program; states; index; actions; edges; initials }
+  finish b ~program ~actions ~initials
+    ~lookup:(fun st -> State_table.find_opt index st)
+    ~layout:None ~cached:false
 
-(* Build over the full product space of the program's variables. *)
-let full ?(limit = default_limit) program =
-  if Program.space_size program > limit then
-    raise (Too_large limit);
-  build ~limit program ~from:(Program.states program)
+(* ------------------------------------------------------------------ *)
+(* Packed engine: rank-interned states, optional parallel frontier.    *)
+(* ------------------------------------------------------------------ *)
 
-let of_pred ?(limit = default_limit) program ~from =
-  let initials =
-    List.filter (Pred.holds from) (Program.states program)
+(* Successors of [st] under all actions, with packed ranks, in the same
+   deterministic order as the sequential loop.  Pure: safe to run from
+   worker domains. *)
+let successors_packed layout actions st =
+  let acc = ref [] in
+  Array.iteri
+    (fun aid ac ->
+      List.iter
+        (fun st' -> acc := (aid, st', Layout.pack layout st') :: !acc)
+        (Action.execute ac st))
+    actions;
+  List.rev !acc
+
+(* Expand the frontier slice [lo, hi) in parallel: split it into [workers]
+   chunks, compute successor lists in worker domains, and merge them back
+   in id order so the numbering matches the sequential engine exactly. *)
+let expand_parallel layout actions b index ~lo ~hi ~workers =
+  let len = hi - lo in
+  let chunk = (len + workers - 1) / workers in
+  let slices =
+    List.init workers (fun w ->
+        let start = lo + (w * chunk) in
+        let stop = min hi (start + chunk) in
+        if start >= stop then [||]
+        else Array.init (stop - start) (fun k -> b.states_buf.(start + k)))
   in
-  build ~limit program ~from:initials
+  let domains =
+    List.map
+      (fun slice ->
+        Stdlib.Domain.spawn (fun () ->
+            try Ok (Array.map (successors_packed layout actions) slice)
+            with e -> Error e))
+      slices
+  in
+  let results = List.map Stdlib.Domain.join domains in
+  let merge i succs =
+    List.iter
+      (fun (aid, st', rank) ->
+        let j =
+          match Hashtbl.find_opt index rank with
+          | Some j -> j
+          | None ->
+            let j = add_state b st' in
+            Hashtbl.add index rank j;
+            j
+        in
+        push_edge b aid j)
+      succs;
+    close_row b i
+  in
+  let cursor = ref lo in
+  List.iter
+    (fun result ->
+      match result with
+      | Error e -> raise e
+      | Ok per_state ->
+        Array.iter
+          (fun succs ->
+            merge !cursor succs;
+            incr cursor)
+          per_state)
+    results
+
+let explore_packed ~workers layout program ~actions ~b ~index ~initials =
+  let intern_code st rank =
+    match Hashtbl.find_opt index rank with
+    | Some i -> i
+    | None ->
+      let i = add_state b st in
+      Hashtbl.add index rank i;
+      i
+  in
+  let par_threshold = max 2 (workers * 8) in
+  let cursor = ref 0 in
+  while !cursor < b.count do
+    let lo = !cursor in
+    let hi = b.count in
+    if workers > 1 && hi - lo >= par_threshold then
+      expand_parallel layout actions b index ~lo ~hi ~workers
+    else
+      for i = lo to hi - 1 do
+        let st = b.states_buf.(i) in
+        Array.iteri
+          (fun aid ac ->
+            List.iter
+              (fun st' -> push_edge b aid (intern_code st' (Layout.pack layout st')))
+              (Action.execute ac st))
+          actions;
+        close_row b i
+      done;
+    cursor := hi
+  done;
+  finish b ~program ~actions ~initials
+    ~lookup:(fun st ->
+      match Layout.pack_opt layout st with
+      | None -> None
+      | Some rank -> Hashtbl.find_opt index rank)
+    ~layout:(Some layout) ~cached:true
+
+let build_packed ~limit ~workers layout program ~from =
+  let actions = Array.of_list (Program.actions program) in
+  let index : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let b = new_builder ~limit in
+  (* Sorting by rank is sorting by State.compare (Layout invariant), so the
+     initial numbering matches the reference engine. *)
+  let ranked = List.map (fun st -> (Layout.pack layout st, st)) from in
+  let ranked =
+    List.sort_uniq (fun (r1, _) (r2, _) -> Int.compare r1 r2) ranked
+  in
+  let initials =
+    List.map
+      (fun (rank, st) ->
+        match Hashtbl.find_opt index rank with
+        | Some i -> i
+        | None ->
+          let i = add_state b st in
+          Hashtbl.add index rank i;
+          i)
+      ranked
+  in
+  explore_packed ~workers layout program ~actions ~b ~index ~initials
+
+(* Packed [of_pred]: stream the product space in rank order (which is
+   State.compare order), interning matches on the fly — no intermediate
+   lists and no sorting, unlike the reference path. *)
+let of_pred_packed ~limit ~workers layout program ~from =
+  let actions = Array.of_list (Program.actions program) in
+  let index : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let b = new_builder ~limit in
+  let rank = ref 0 in
+  Layout.iter_scratch layout (fun sc ->
+      if Pred.holds from (State.scratch_view sc) then
+        Hashtbl.add index !rank (add_state b (State.scratch_copy sc));
+      incr rank);
+  let initials = List.init b.count Fun.id in
+  explore_packed ~workers layout program ~actions ~b ~index ~initials
+
+(* ------------------------------------------------------------------ *)
+(* Engine dispatch.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let default_engine = Auto
+
+let build ?(limit = default_limit) ?(engine = default_engine) ?(workers = 1)
+    program ~from =
+  match engine with
+  | Reference -> build_reference ~limit program ~from
+  | Packed | Auto -> (
+    match Layout.of_program program with
+    | None ->
+      if engine = Packed then raise Layout.Unrepresentable
+      else build_reference ~limit program ~from
+    | Some layout -> (
+      try build_packed ~limit ~workers layout program ~from with
+      | Layout.Unrepresentable when engine = Auto ->
+        (* Some state steps outside the declared domains: the layout does
+           not apply, fall back to the seed path. *)
+        build_reference ~limit program ~from))
+
+let full ?(limit = default_limit) ?(engine = default_engine) ?(workers = 1)
+    program =
+  if Program.space_size program > limit then raise (Too_large limit);
+  match engine with
+  | Reference -> build_reference ~limit program ~from:(Program.states program)
+  | Packed | Auto -> (
+    match Layout.of_program program with
+    | None ->
+      if engine = Packed then raise Layout.Unrepresentable
+      else build_reference ~limit program ~from:(Program.states program)
+    | Some layout -> (
+      try of_pred_packed ~limit ~workers layout program ~from:Pred.true_ with
+      | Layout.Unrepresentable when engine = Auto ->
+        build_reference ~limit program ~from:(Program.states program)))
+
+let of_pred ?(limit = default_limit) ?(engine = default_engine) ?(workers = 1)
+    program ~from =
+  let reference () =
+    build_reference ~limit program
+      ~from:(List.filter (Pred.holds from) (Program.states program))
+  in
+  match engine with
+  | Reference -> reference ()
+  | Packed | Auto -> (
+    match Layout.of_program program with
+    | None -> if engine = Packed then raise Layout.Unrepresentable else reference ()
+    | Some layout -> (
+      try of_pred_packed ~limit ~workers layout program ~from with
+      | Layout.Unrepresentable when engine = Auto -> reference ()))
+
+(* ------------------------------------------------------------------ *)
+(* Accessors.                                                          *)
+(* ------------------------------------------------------------------ *)
 
 let program ts = ts.program
 let num_states ts = Array.length ts.states
@@ -106,9 +371,32 @@ let initials ts = ts.initials
 let actions ts = ts.actions
 let num_actions ts = Array.length ts.actions
 let action ts i = ts.actions.(i)
-let edges_of ts i = ts.edges.(i)
+let layout ts = ts.layout
+let engine_of ts = match ts.layout with Some _ -> Packed | None -> Reference
+let num_edges ts = ts.row_ptr.(Array.length ts.states)
 
-let index_of ts st = State_table.find_opt ts.index st
+let edges_of ts i =
+  let lo = ts.row_ptr.(i) and hi = ts.row_ptr.(i + 1) in
+  let rec go k acc =
+    if k < lo then acc
+    else go (k - 1) ((ts.edge_action.(k), ts.edge_target.(k)) :: acc)
+  in
+  go (hi - 1) []
+
+let iter_out ts i f =
+  let hi = ts.row_ptr.(i + 1) in
+  for k = ts.row_ptr.(i) to hi - 1 do
+    f ts.edge_action.(k) ts.edge_target.(k)
+  done
+
+let out_degree ts i = ts.row_ptr.(i + 1) - ts.row_ptr.(i)
+
+let fold_out ts i f init =
+  let acc = ref init in
+  iter_out ts i (fun aid j -> acc := f !acc aid j);
+  !acc
+
+let index_of ts st = ts.lookup st
 
 let action_id ts name =
   let found = ref None in
@@ -129,36 +417,99 @@ let action_ids_of_names ts names =
   List.rev !ids
 
 let iter_edges ts f =
-  Array.iteri
-    (fun i out -> List.iter (fun (aid, j) -> f i aid j) out)
-    ts.edges
+  let n = num_states ts in
+  for i = 0 to n - 1 do
+    iter_out ts i (fun aid j -> f i aid j)
+  done
 
 let fold_edges ts f init =
   let acc = ref init in
   iter_edges ts (fun i aid j -> acc := f !acc i aid j);
   !acc
 
+(* ------------------------------------------------------------------ *)
+(* Cached predicate and guard queries.                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* [pred_bitset ts pred]: the bitset of states satisfying [pred].  On a
+   packed system the sweep runs once per predicate instance and is cached;
+   on a reference system a fresh bitset is computed on every call (the
+   reference engine preserves the seed path's evaluate-on-query behavior
+   for [holds_at]). *)
+let pred_bitset ts pred =
+  let compute () =
+    let n = num_states ts in
+    let bits = Bitset.create n in
+    for i = 0 to n - 1 do
+      if Pred.holds pred ts.states.(i) then Bitset.set bits i
+    done;
+    bits
+  in
+  if not ts.cached then compute ()
+  else
+    let key = Pred.id pred in
+    match Hashtbl.find_opt ts.pred_cache key with
+    | Some bits -> bits
+    | None ->
+      let bits = compute () in
+      Hashtbl.add ts.pred_cache key bits;
+      bits
+
+let holds_at ts pred i =
+  if ts.cached then Bitset.get (pred_bitset ts pred) i
+  else Pred.holds pred ts.states.(i)
+
+let enabled_bitset ts aid =
+  let compute () =
+    let n = num_states ts in
+    let guard = Action.guard ts.actions.(aid) in
+    let bits = Bitset.create n in
+    for i = 0 to n - 1 do
+      if Pred.holds guard ts.states.(i) then Bitset.set bits i
+    done;
+    bits
+  in
+  if not ts.cached then compute ()
+  else
+    match ts.enabled_cache.(aid) with
+    | Some bits -> bits
+    | None ->
+      let bits = compute () in
+      ts.enabled_cache.(aid) <- Some bits;
+      bits
+
 (* [enabled ts i aid]: is action [aid] enabled at state [i]?  Computed from
    the guard, not from edges: an enabled action always yields at least one
    successor in this framework, but checking the guard is cheaper than
    scanning edges and also correct for actions with empty statements. *)
-let enabled ts i aid = Action.enabled ts.actions.(aid) ts.states.(i)
+let enabled ts i aid =
+  if ts.cached then Bitset.get (enabled_bitset ts aid) i
+  else Action.enabled ts.actions.(aid) ts.states.(i)
 
 let deadlocked ts i =
   let n = Array.length ts.actions in
-  let rec go aid = if aid >= n then true else (not (enabled ts i aid)) && go (aid + 1) in
+  let rec go aid =
+    if aid >= n then true else (not (enabled ts i aid)) && go (aid + 1)
+  in
   go 0
 
 let satisfying ts pred =
-  let result = ref [] in
-  Array.iteri
-    (fun i st -> if Pred.holds pred st then result := i :: !result)
-    ts.states;
-  List.rev !result
-
-let holds_at ts pred i = Pred.holds pred ts.states.(i)
+  if ts.cached then begin
+    let bits = pred_bitset ts pred in
+    let result = ref [] in
+    for i = num_states ts - 1 downto 0 do
+      if Bitset.get bits i then result := i :: !result
+    done;
+    !result
+  end
+  else begin
+    let result = ref [] in
+    Array.iteri
+      (fun i st -> if Pred.holds pred st then result := i :: !result)
+      ts.states;
+    List.rev !result
+  end
 
 let pp_stats ppf ts =
-  let num_edges = fold_edges ts (fun n _ _ _ -> n + 1) 0 in
-  Fmt.pf ppf "%d states, %d transitions, %d actions" (num_states ts) num_edges
-    (num_actions ts)
+  Fmt.pf ppf "%d states, %d transitions, %d actions" (num_states ts)
+    (num_edges ts) (num_actions ts)

@@ -1,29 +1,54 @@
 (** Explicit-state transition systems.
 
     The semantic graph of a program: nodes are states (indexed by dense
-    integers), edges are (action id, successor id) pairs.  All decision
-    procedures (closure, convergence, leads-to, fairness, safety) run on
-    this structure. *)
+    integers), edges are (action id, successor id) pairs stored in CSR
+    (compressed sparse row) arrays.  All decision procedures (closure,
+    convergence, leads-to, fairness, safety) run on this structure.
+
+    Two engines build the same structure and produce identical state
+    numbering, edges and initials:
+
+    - {!Packed} (chosen by {!Auto} whenever the program's declared domains
+      cover the explored states): a {!Layout} packs each state into a
+      single integer rank for interning, and predicate / guard sweeps are
+      cached in per-system bitsets, so {!holds_at} and {!enabled} answer in
+      O(1) after one sweep.  Frontier expansion can run on OCaml 5 domains
+      ([?workers]) with a deterministic in-order merge.
+    - {!Reference}: the seed list-based path (map-keyed interning, direct
+      predicate evaluation on every query), kept as the fallback for
+      programs whose actions step outside their declared domains and as the
+      oracle for differential testing. *)
 
 open Detcor_kernel
 
 type t
+
+(** Engine selection: [Auto] uses the packed engine and falls back to the
+    reference engine when the program's states do not fit a {!Layout};
+    [Packed] insists (raising {!Layout.Unrepresentable} otherwise);
+    [Reference] forces the seed path. *)
+type engine = Auto | Packed | Reference
 
 exception Too_large of int
 
 val default_limit : int
 
 (** [build program ~from] explores forward from the given initial states.
-    Every recorded state is reachable from [from].
+    Every recorded state is reachable from [from].  [workers] > 1 expands
+    large frontiers on that many OCaml domains (the result is identical to
+    the sequential build); actions and predicates must then be pure.
     @raise Too_large if more than [limit] states are encountered. *)
-val build : ?limit:int -> Program.t -> from:State.t list -> t
+val build :
+  ?limit:int -> ?engine:engine -> ?workers:int -> Program.t ->
+  from:State.t list -> t
 
 (** [full program] builds the system over the whole product state space. *)
-val full : ?limit:int -> Program.t -> t
+val full : ?limit:int -> ?engine:engine -> ?workers:int -> Program.t -> t
 
 (** [of_pred program ~from] explores from all product-space states
     satisfying [from]. *)
-val of_pred : ?limit:int -> Program.t -> from:Pred.t -> t
+val of_pred :
+  ?limit:int -> ?engine:engine -> ?workers:int -> Program.t -> from:Pred.t -> t
 
 val program : t -> Program.t
 val num_states : t -> int
@@ -34,9 +59,24 @@ val actions : t -> Action.t array
 val num_actions : t -> int
 val action : t -> int -> Action.t
 
-(** Outgoing edges of a state: [(action id, target id)] list. *)
+(** The layout compiled for this system, when the packed engine built it. *)
+val layout : t -> Layout.t option
+
+(** Which engine actually built this system ({!Packed} or {!Reference}). *)
+val engine_of : t -> engine
+
+val num_edges : t -> int
+
+(** Outgoing edges of a state: [(action id, target id)] list.  Allocates;
+    prefer {!iter_out} on hot paths. *)
 val edges_of : t -> int -> (int * int) list
 
+(** [iter_out ts i f] calls [f action_id target_id] for each outgoing edge
+    of state [i], in edge order, without allocating. *)
+val iter_out : t -> int -> (int -> int -> unit) -> unit
+
+val out_degree : t -> int -> int
+val fold_out : t -> int -> ('a -> int -> int -> 'a) -> 'a -> 'a
 val index_of : t -> State.t -> int option
 val action_id : t -> string -> int option
 
@@ -47,13 +87,22 @@ val action_ids_of_names : t -> string list -> int list
 val iter_edges : t -> (int -> int -> int -> unit) -> unit
 val fold_edges : t -> ('a -> int -> int -> int -> 'a) -> 'a -> 'a
 
+(** [pred_bitset ts pred]: bitset of the states satisfying [pred].  Cached
+    per predicate instance on packed systems; computed afresh on reference
+    systems. *)
+val pred_bitset : t -> Pred.t -> Bitset.t
+
+(** [enabled_bitset ts aid]: bitset of the states where action [aid]'s
+    guard holds; cached like {!pred_bitset}. *)
+val enabled_bitset : t -> int -> Bitset.t
+
 (** [enabled ts i aid]: guard of action [aid] true at state [i]. *)
 val enabled : t -> int -> int -> bool
 
 (** No action enabled at state [i]. *)
 val deadlocked : t -> int -> bool
 
-(** Indices of states satisfying the predicate. *)
+(** Indices of states satisfying the predicate, ascending. *)
 val satisfying : t -> Pred.t -> int list
 
 val holds_at : t -> Pred.t -> int -> bool

@@ -38,7 +38,19 @@ let make_config ?(phases = 4) processes =
 
 let default = make_config 3
 
-let phvar i = Fmt.str "ph%d" i
+(* Variable names are read inside closures evaluated once per product
+   state, so memoize the formatting. *)
+let memo_var prefix =
+  let cache = Hashtbl.create 16 in
+  fun i ->
+    match Hashtbl.find_opt cache i with
+    | Some s -> s
+    | None ->
+      let s = Fmt.str "%s%d" prefix i in
+      Hashtbl.add cache i s;
+      s
+
+let phvar = memo_var "ph"
 
 let vars cfg =
   List.init cfg.processes (fun i -> (phvar i, Domain.range 0 (cfg.phases - 1)))
@@ -49,21 +61,24 @@ let procs cfg = List.init cfg.processes Fun.id
 
 (* The barrier window: no two processes more than one phase apart. *)
 let window cfg =
+  let procs = procs cfg in
   Pred.make "phases within window 1" (fun st ->
-      let phs = List.map (phase st) (procs cfg) in
+      let phs = List.map (phase st) procs in
       let lo = List.fold_left min max_int phs in
       let hi = List.fold_left max min_int phs in
       hi - lo <= 1)
 
 let all_done cfg =
+  let procs = procs cfg in
   Pred.make "all at final phase" (fun st ->
-      List.for_all (fun i -> phase st i = cfg.phases - 1) (procs cfg))
+      List.for_all (fun i -> phase st i = cfg.phases - 1) procs)
 
 (* The detector witness of process i: nobody is behind me. *)
 let is_minimum cfg i =
+  let procs = procs cfg in
   Pred.make
     (Fmt.str "min_%d" i)
-    (fun st -> List.for_all (fun j -> phase st j >= phase st i) (procs cfg))
+    (fun st -> List.for_all (fun j -> phase st j >= phase st i) procs)
 
 let can_advance cfg i =
   Pred.make (Fmt.str "ph%d<last" i) (fun st -> phase st i < cfg.phases - 1)
@@ -72,7 +87,7 @@ let advance ?based_on ~guard name i =
   Action.deterministic ?based_on name guard (fun st ->
       State.set st (phvar i) (Value.int (phase st i + 1)))
 
-let donevar i = Fmt.str "done%d" i
+let donevar = memo_var "done"
 
 let done_flag i =
   Pred.make (Fmt.str "done%d" i) (fun st ->
@@ -107,13 +122,15 @@ let intolerant cfg =
 (* Invariant of the intolerant barrier: the window, plus consistency of
    the cached witnesses. *)
 let intolerant_invariant cfg =
+  let window = window cfg in
+  let procs = procs cfg in
+  let flags = List.map (fun i -> (done_flag i, is_minimum cfg i)) procs in
   Pred.make "window /\\ fresh flags" (fun st ->
-      Pred.holds (window cfg) st
+      Pred.holds window st
       && List.for_all
-           (fun i ->
-             (not (Pred.holds (done_flag i) st))
-             || Pred.holds (is_minimum cfg i) st)
-           (procs cfg))
+           (fun (flag, minimum) ->
+             (not (Pred.holds flag st)) || Pred.holds minimum st)
+           flags)
 
 (* The tolerant barrier: advance only as a minimum (the detector). *)
 let tolerant cfg =
@@ -157,12 +174,13 @@ let phase_loss ?(max_losses = 1) cfg =
    phase k (bad transition: an advance that overtakes a laggard), and
    eventually everyone completes. *)
 let spec cfg =
+  let procs = procs cfg in
   let overtaking st st' =
     List.exists
       (fun i ->
         phase st' i = phase st i + 1
-        && List.exists (fun j -> phase st j < phase st i) (procs cfg))
-      (procs cfg)
+        && List.exists (fun j -> phase st j < phase st i) procs)
+      procs
   in
   Spec.make ~name:"SPEC_barrier"
     ~safety:(Safety.make ~name:"no barrier overtaking" ~bad_transition:overtaking ())

@@ -26,9 +26,21 @@ let default = { non_generals = 3 }
 let dec_domain = Domain.range 0 1
 let opt_dec_domain = Domain.with_bot (Domain.range 0 1)
 
-let dvar j = Fmt.str "d%d" j
-let ovar j = Fmt.str "o%d" j
-let bvar j = Fmt.str "b%d" j (* j = 0 is the general *)
+(* Variable names are built inside predicate and action closures that the
+   engines evaluate once per product state, so memoize the formatting. *)
+let memo_var prefix =
+  let cache = Hashtbl.create 16 in
+  fun j ->
+    match Hashtbl.find_opt cache j with
+    | Some s -> s
+    | None ->
+      let s = Fmt.str "%s%d" prefix j in
+      Hashtbl.add cache j s;
+      s
+
+let dvar = memo_var "d"
+let ovar = memo_var "o"
+let bvar = memo_var "b" (* j = 0 is the general *)
 
 let procs cfg = List.init cfg.non_generals (fun i -> i + 1)
 
@@ -57,8 +69,9 @@ let majority cfg st =
   List.find_opt (fun value -> count value > half) candidates
 
 let all_decided cfg =
+  let procs = procs cfg in
   Pred.make "all d.k # bot" (fun st ->
-      List.for_all (fun j -> not (is_bot (v st (dvar j)))) (procs cfg))
+      List.for_all (fun j -> not (is_bot (v st (dvar j)))) procs)
 
 (* corrdecn (Section 6.2): d.g if the general is non-Byzantine, otherwise
    the majority of the non-general decisions. *)
@@ -116,6 +129,7 @@ let spec cfg =
    the span would contain "half-output" states unreachable without faults,
    from which no 1-Byzantine-tolerant protocol can maintain agreement. *)
 let invariant_weak cfg =
+  let procs = procs cfg in
   Pred.make "S_byz" (fun st ->
       (not (byz st 0))
       && List.for_all
@@ -125,15 +139,17 @@ let invariant_weak cfg =
              && (is_bot (v st (ovar j))
                 || ((not (is_bot (v st (dvar j))))
                    && Value.equal (v st (ovar j)) (v st (dvar j)))))
-           (procs cfg))
+           procs)
 
 let invariant cfg =
+  let weak = invariant_weak cfg in
+  let decided = all_decided cfg in
+  let procs = procs cfg in
   Pred.make "S_byz_strong" (fun st ->
-      Pred.holds (invariant_weak cfg) st
+      Pred.holds weak st
       && List.for_all
-           (fun j ->
-             is_bot (v st (ovar j)) || Pred.holds (all_decided cfg) st)
-           (procs cfg))
+           (fun j -> is_bot (v st (ovar j)) || Pred.holds decided st)
+           procs)
 
 (* ------------------------------------------------------------------ *)
 (* The fault class: at most one process becomes Byzantine; a Byzantine  *)
@@ -142,8 +158,9 @@ let invariant cfg =
 (* ------------------------------------------------------------------ *)
 
 let none_byz cfg =
+  let procs = procs cfg in
   Pred.make "no process Byzantine" (fun st ->
-      (not (byz st 0)) && List.for_all (fun j -> not (byz st j)) (procs cfg))
+      (not (byz st 0)) && List.for_all (fun j -> not (byz st j)) procs)
 
 let corrupt_var name guard =
   Action.make (Fmt.str "F:byz-%s" name) guard (fun st ->
@@ -218,10 +235,11 @@ let intolerant cfg =
 (* ------------------------------------------------------------------ *)
 
 let db_witness cfg j =
+  let decided = all_decided cfg in
   Pred.make
     (Fmt.str "DB-witness_%d" j)
     (fun st ->
-      Pred.holds (all_decided cfg) st
+      Pred.holds decided st
       &&
       match majority cfg st with
       | Some m -> Value.equal (v st (dvar j)) m
@@ -263,13 +281,14 @@ let failsafe cfg =
 (* ------------------------------------------------------------------ *)
 
 let cb_action cfg j =
+  let decided = all_decided cfg in
   Action.deterministic
     (Fmt.str "CB1_%d" j)
     (Pred.make
        (Fmt.str "CB-guard_%d" j)
        (fun st ->
          (not (byz st j))
-         && Pred.holds (all_decided cfg) st
+         && Pred.holds decided st
          &&
          match majority cfg st with
          | Some m -> not (Value.equal (v st (dvar j)) m)

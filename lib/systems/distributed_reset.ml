@@ -28,8 +28,20 @@ let make_config n =
 
 let default = make_config 3
 
-let xvar i = Fmt.str "x%d" i
-let wvar i = Fmt.str "w%d" i
+(* Variable names are read inside closures evaluated once per product
+   state, so memoize the formatting. *)
+let memo_var prefix =
+  let cache = Hashtbl.create 16 in
+  fun i ->
+    match Hashtbl.find_opt cache i with
+    | Some s -> s
+    | None ->
+      let s = Fmt.str "%s%d" prefix i in
+      Hashtbl.add cache i s;
+      s
+
+let xvar = memo_var "x"
+let wvar = memo_var "w"
 
 let idle = Value.sym "idle"
 let prop = Value.sym "prop"
@@ -50,19 +62,20 @@ let req st = Value.as_bool (State.get st "req")
 
 (* The global target: application zeroed, machinery idle, no request. *)
 let settled cfg =
+  let procs = procs cfg in
   Pred.make "reset settled" (fun st ->
       (not (req st))
-      && List.for_all
-           (fun i -> x st i = 0 && Value.equal (w st i) idle)
-           (procs cfg))
+      && List.for_all (fun i -> x st i = 0 && Value.equal (w st i) idle) procs)
 
 let corrupted cfg =
+  let procs = procs cfg in
   Pred.make "some x corrupted" (fun st ->
-      List.exists (fun i -> x st i <> 0) (procs cfg))
+      List.exists (fun i -> x st i <> 0) procs)
 
 let all_idle cfg =
+  let procs = procs cfg in
   Pred.make "machinery idle" (fun st ->
-      List.for_all (fun i -> Value.equal (w st i) idle) (procs cfg))
+      List.for_all (fun i -> Value.equal (w st i) idle) procs)
 
 (* [lazy_start = true] reproduces the first design of this module, whose
    root starts a new wave as soon as it is itself idle.  The fair-cycle
@@ -119,9 +132,10 @@ let actions ?(lazy_start = false) cfg =
   in
   (* The root releases the machinery and clears the request... *)
   let finish =
+    let procs = procs cfg in
     Action.deterministic "finish"
       (Pred.make "all complete at root" (fun st ->
-           List.for_all (fun i -> Value.equal (w st i) comp) (procs cfg)))
+           List.for_all (fun i -> Value.equal (w st i) comp) procs))
       (fun st ->
         State.update_many st [ (wvar 0, idle); ("req", Value.bool false) ])
   in

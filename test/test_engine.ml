@@ -1,0 +1,241 @@
+(* Unit tests for the packed state-space engine: layout round-trips, the
+   bitset container, the predicate/guard caches, engine selection and
+   fallback, and determinism of the parallel build. *)
+
+open Detcor_kernel
+open Detcor_semantics
+
+let vars =
+  [
+    ("a", Domain.boolean);
+    ("b", Domain.boolean);
+    ("n", Domain.range 0 2);
+    ("s", Domain.symbols [ "x"; "y"; "bot" ]);
+  ]
+
+let toggle =
+  Action.deterministic "toggle"
+    (Pred.make "true" (fun _ -> true))
+    (fun st -> State.set st "a" (Value.bool (not (Value.as_bool (State.get st "a")))))
+
+let step =
+  Action.deterministic "step"
+    (Pred.make "n<2" (fun st -> Value.as_int (State.get st "n") < 2))
+    (fun st -> State.set st "n" (Value.int (Value.as_int (State.get st "n") + 1)))
+
+let program = Program.make ~name:"engine-test" ~vars ~actions:[ toggle; step ]
+
+let layout () =
+  match Layout.of_program program with
+  | Some l -> l
+  | None -> Alcotest.fail "layout of a small program must exist"
+
+(* ------------------------------------------------------------------ *)
+(* Layout                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_layout_roundtrip () =
+  let l = layout () in
+  Alcotest.(check int) "space" (Program.space_size program) (Layout.space l);
+  Alcotest.(check int) "vars" 4 (Layout.num_vars l);
+  for rank = 0 to Layout.space l - 1 do
+    let st = Layout.unpack l rank in
+    Alcotest.(check int) "pack(unpack rank) = rank" rank (Layout.pack l st)
+  done
+
+let test_layout_rank_order () =
+  (* Rank order must be State.compare order: the packed engine relies on it
+     to reproduce the reference engine's initial-state numbering. *)
+  let l = layout () in
+  for rank = 0 to Layout.space l - 2 do
+    let st = Layout.unpack l rank and st' = Layout.unpack l (rank + 1) in
+    Alcotest.(check bool) "unpack monotone wrt State.compare" true
+      (State.compare st st' < 0)
+  done
+
+let test_layout_enumeration () =
+  let l = layout () in
+  let seen = ref [] in
+  Layout.iter_states l (fun st -> seen := st :: !seen);
+  let seen = List.rev !seen in
+  Alcotest.(check int) "enumerates the whole space" (Layout.space l)
+    (List.length seen);
+  List.iteri
+    (fun rank st ->
+      Alcotest.(check bool) "iter_states is in rank order" true
+        (State.equal st (Layout.unpack l rank)))
+    seen
+
+let test_layout_unrepresentable () =
+  let l = layout () in
+  let good = Layout.unpack l 0 in
+  Alcotest.(check bool) "good state packs" true (Layout.pack_opt l good <> None);
+  let extra = State.set good "zz" (Value.int 0) in
+  Alcotest.(check bool) "extra variable rejected" true
+    (Layout.pack_opt l extra = None);
+  let missing = State.project good [ "a"; "b"; "n" ] in
+  Alcotest.(check bool) "missing variable rejected" true
+    (Layout.pack_opt l missing = None);
+  let out_of_domain = State.set good "n" (Value.int 99) in
+  Alcotest.(check bool) "out-of-domain value rejected" true
+    (Layout.pack_opt l out_of_domain = None)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitset () =
+  let b = Bitset.create 77 in
+  Alcotest.(check int) "fresh cardinal" 0 (Bitset.cardinal b);
+  List.iter (fun i -> Bitset.set b i) [ 0; 1; 8; 63; 64; 76 ];
+  Alcotest.(check int) "cardinal after sets" 6 (Bitset.cardinal b);
+  Alcotest.(check bool) "get set bit" true (Bitset.get b 64);
+  Alcotest.(check bool) "get unset bit" false (Bitset.get b 2);
+  Bitset.clear b 64;
+  Alcotest.(check bool) "cleared" false (Bitset.get b 64);
+  let evens = Bitset.of_fn 10 (fun i -> i mod 2 = 0) in
+  Alcotest.(check int) "of_fn cardinal" 5 (Bitset.cardinal evens);
+  let collected = ref [] in
+  Bitset.iter_set evens (fun i -> collected := i :: !collected);
+  Alcotest.(check (list int)) "iter_set" [ 0; 2; 4; 6; 8 ] (List.rev !collected);
+  Alcotest.(check bool) "equal reflexive" true (Bitset.equal evens evens);
+  Alcotest.(check bool) "not equal" false (Bitset.equal evens b);
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Bitset: index 10 out of bounds [0,10)") (fun () ->
+      ignore (Bitset.get evens 10))
+
+(* ------------------------------------------------------------------ *)
+(* Predicate / guard caches                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_pred_cache_coherence () =
+  let ts = Ts.full program in
+  Alcotest.(check bool) "packed engine used" true (Ts.engine_of ts = Ts.Packed);
+  let pred =
+    Pred.make "a && n>0" (fun st ->
+        Value.as_bool (State.get st "a") && Value.as_int (State.get st "n") > 0)
+  in
+  let bits = Ts.pred_bitset ts pred in
+  for i = 0 to Ts.num_states ts - 1 do
+    let direct = Pred.holds pred (Ts.state ts i) in
+    Alcotest.(check bool) "bitset matches direct eval" direct (Bitset.get bits i);
+    Alcotest.(check bool) "holds_at matches direct eval" direct
+      (Ts.holds_at ts pred i)
+  done;
+  Alcotest.(check int) "satisfying agrees with bitset" (Bitset.cardinal bits)
+    (List.length (Ts.satisfying ts pred));
+  (* The cache is per predicate instance: the same instance returns the
+     same bitset, a fresh extensionally-equal instance gets its own. *)
+  Alcotest.(check bool) "cache hit returns same bitset" true
+    (Ts.pred_bitset ts pred == bits)
+
+let test_enabled_cache_coherence () =
+  let ts = Ts.full program in
+  for aid = 0 to Ts.num_actions ts - 1 do
+    let bits = Ts.enabled_bitset ts aid in
+    for i = 0 to Ts.num_states ts - 1 do
+      let direct = Action.enabled (Ts.action ts aid) (Ts.state ts i) in
+      Alcotest.(check bool) "enabled bitset matches guard" direct
+        (Bitset.get bits i);
+      Alcotest.(check bool) "enabled matches guard" direct (Ts.enabled ts i aid)
+    done
+  done;
+  for i = 0 to Ts.num_states ts - 1 do
+    let direct =
+      not
+        (List.exists
+           (fun ac -> Action.enabled ac (Ts.state ts i))
+           (Program.actions program))
+    in
+    Alcotest.(check bool) "deadlocked matches guards" direct (Ts.deadlocked ts i)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Engine selection and fallback                                       *)
+(* ------------------------------------------------------------------ *)
+
+let escaping =
+  (* An action that steps outside the declared domain of [n]: no layout can
+     represent its successors, so Auto must fall back to the reference
+     engine and still build the same system. *)
+  Program.make ~name:"escaping"
+    ~vars:[ ("n", Domain.range 0 2) ]
+    ~actions:
+      [
+        Action.deterministic "inc"
+          (Pred.make "n<9" (fun st -> Value.as_int (State.get st "n") < 9))
+          (fun st -> State.set st "n" (Value.int (Value.as_int (State.get st "n") + 1)));
+      ]
+
+let test_fallback_on_escape () =
+  let from = [ State.of_list [ ("n", Value.int 0) ] ] in
+  let auto = Ts.build ~limit:100 escaping ~from in
+  Alcotest.(check bool) "auto falls back to reference" true
+    (Ts.engine_of auto = Ts.Reference);
+  let reference = Ts.build ~limit:100 ~engine:Ts.Reference escaping ~from in
+  Alcotest.(check int) "same states as reference" (Ts.num_states reference)
+    (Ts.num_states auto);
+  Alcotest.check_raises "packed engine refuses" Layout.Unrepresentable
+    (fun () -> ignore (Ts.build ~limit:100 ~engine:Ts.Packed escaping ~from))
+
+let test_index_of_foreign_state () =
+  let ts = Ts.full program in
+  let foreign = State.of_list [ ("only", Value.int 1) ] in
+  Alcotest.(check bool) "unrepresentable state not indexed" true
+    (Ts.index_of ts foreign = None);
+  List.iter
+    (fun i ->
+      Alcotest.(check (option int)) "index_of inverts state" (Some i)
+        (Ts.index_of ts (Ts.state ts i)))
+    (List.init (Ts.num_states ts) Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel build determinism                                          *)
+(* ------------------------------------------------------------------ *)
+
+let same_system label a b =
+  Alcotest.(check int) (label ^ ": num_states") (Ts.num_states a) (Ts.num_states b);
+  Alcotest.(check int) (label ^ ": num_edges") (Ts.num_edges a) (Ts.num_edges b);
+  Alcotest.(check (list int)) (label ^ ": initials") (Ts.initials a) (Ts.initials b);
+  for i = 0 to Ts.num_states a - 1 do
+    Alcotest.(check bool)
+      (Fmt.str "%s: state %d" label i)
+      true
+      (State.equal (Ts.state a i) (Ts.state b i));
+    Alcotest.(check (list (pair int int)))
+      (Fmt.str "%s: edges of %d" label i)
+      (Ts.edges_of a i) (Ts.edges_of b i)
+  done
+
+let test_parallel_determinism () =
+  let cfg = Detcor_systems.Token_ring.make_config 5 in
+  let p = Detcor_systems.Token_ring.program cfg in
+  let sequential = Ts.full ~workers:1 p in
+  let parallel = Ts.full ~workers:4 p in
+  same_system "workers 4 = workers 1" sequential parallel;
+  Alcotest.(check bool) "parallel build is packed" true
+    (Ts.engine_of parallel = Ts.Packed)
+
+let test_parallel_matches_reference () =
+  let cfg = Detcor_systems.Token_ring.make_config 4 in
+  let p = Detcor_systems.Token_ring.program cfg in
+  let reference = Ts.full ~engine:Ts.Reference p in
+  let parallel = Ts.full ~workers:3 p in
+  same_system "parallel = reference" reference parallel
+
+let suite =
+  ( "engine",
+    [
+      Alcotest.test_case "layout roundtrip" `Quick test_layout_roundtrip;
+      Alcotest.test_case "layout rank order" `Quick test_layout_rank_order;
+      Alcotest.test_case "layout enumeration" `Quick test_layout_enumeration;
+      Alcotest.test_case "layout unrepresentable" `Quick test_layout_unrepresentable;
+      Alcotest.test_case "bitset" `Quick test_bitset;
+      Alcotest.test_case "pred cache coherence" `Quick test_pred_cache_coherence;
+      Alcotest.test_case "enabled cache coherence" `Quick test_enabled_cache_coherence;
+      Alcotest.test_case "fallback on domain escape" `Quick test_fallback_on_escape;
+      Alcotest.test_case "index_of" `Quick test_index_of_foreign_state;
+      Alcotest.test_case "parallel determinism" `Quick test_parallel_determinism;
+      Alcotest.test_case "parallel matches reference" `Quick
+        test_parallel_matches_reference;
+    ] )

@@ -45,6 +45,25 @@ let test_state_projection () =
   Alcotest.(check bool) "agree ignoring y" true (State.agree_on st st2 [ "x"; "z" ]);
   Alcotest.(check bool) "disagree on y" false (State.agree_on st st2 [ "y" ])
 
+(* Projecting a wide state on a wide variable set used to scan the whole
+   variable list per binding (quadratic); this must stay linearithmic.
+   5000 variables x 2500 kept: the old scan did ~12.5M comparisons and
+   took seconds, the set-based version is effectively instant. *)
+let test_state_projection_wide () =
+  let n = 5000 in
+  let st =
+    State.of_list (List.init n (fun i -> (Fmt.str "v%04d" i, Value.int i)))
+  in
+  let keep = List.init (n / 2) (fun i -> Fmt.str "v%04d" (2 * i)) in
+  let t0 = Unix.gettimeofday () in
+  let p = State.project st keep in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check int) "projected cardinality" (n / 2) (State.cardinal p);
+  Alcotest.(check bool) "projection agrees" true (State.agree_on st p keep);
+  Alcotest.(check bool)
+    (Fmt.str "wide projection is fast (%.0f ms)" (1e3 *. elapsed))
+    true (elapsed < 1.0)
+
 let test_expr_eval () =
   let st = State.of_list [ ("x", Value.int 3); ("b", Value.bool true) ] in
   let open Expr in
@@ -325,6 +344,8 @@ let suite =
       Alcotest.test_case "domains" `Quick test_domain;
       Alcotest.test_case "state basics" `Quick test_state_basics;
       Alcotest.test_case "state projection" `Quick test_state_projection;
+      Alcotest.test_case "wide state projection" `Quick
+        test_state_projection_wide;
       Alcotest.test_case "expr evaluation" `Quick test_expr_eval;
       Alcotest.test_case "expr errors" `Quick test_expr_errors;
       Alcotest.test_case "pred combinators" `Quick test_pred_combinators;

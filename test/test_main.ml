@@ -3,6 +3,8 @@ let () =
     [
       Test_kernel.suite;
       Test_semantics.suite;
+      Test_engine.suite;
+      Test_engine_diff.suite;
       Test_spec.suite;
       Test_core.suite;
       Test_systems.suite;
