@@ -406,6 +406,7 @@ let table_engine () =
     (r, Unix.gettimeofday () -. t0)
   in
   let best_speedup = ref 0.0 in
+  let json_rows = ref [] in
   let row name p ~spec ~invariant ~faults =
     let sspec =
       Spec.make ~name:"sspec"
@@ -439,6 +440,20 @@ let table_engine () =
     let total_r = build_r +. check_r and total_p = build_p +. check_p in
     let speedup = total_r /. total_p in
     if speedup > !best_speedup then best_speedup := speedup;
+    let open Detcor_obs in
+    json_rows :=
+      Jsonx.Obj
+        [
+          ("name", Jsonx.Str name);
+          ("states", Jsonx.Int states_r);
+          ("agree", Jsonx.Bool (states_r = states_p && verdicts_r = verdicts_p));
+          ("reference_build_s", Jsonx.Float build_r);
+          ("reference_check_s", Jsonx.Float check_r);
+          ("packed_build_s", Jsonx.Float build_p);
+          ("packed_check_s", Jsonx.Float check_p);
+          ("speedup", Jsonx.Float speedup);
+        ]
+      :: !json_rows;
     Fmt.pr
       "%-22s %6d states  reference %6.0f+%.0f ms  packed %5.0f+%.0f ms  \
        speedup %.1fx@."
@@ -468,7 +483,68 @@ let table_engine () =
     ~spec:(Barrier.spec gcfg)
     ~invariant:(Barrier.invariant gcfg)
     ~faults:(Barrier.phase_loss gcfg);
-  Fmt.pr "@.best construction+check speedup: %.1fx@." !best_speedup
+  Fmt.pr "@.best construction+check speedup: %.1fx@." !best_speedup;
+  (* Machine-readable copy of the table, for CI artifacts and tracking
+     engine performance across commits. *)
+  let open Detcor_obs in
+  let json =
+    Jsonx.Obj
+      [
+        ("benchmark", Jsonx.Str "E10b packed engine vs reference engine");
+        ("best_speedup", Jsonx.Float !best_speedup);
+        ("rows", Jsonx.List (List.rev !json_rows));
+      ]
+  in
+  let oc = open_out "BENCH_engine.json" in
+  output_string oc (Jsonx.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "wrote BENCH_engine.json@."
+
+(* ------------------------------------------------------------------ *)
+(* E11: observability overhead.                                        *)
+(*                                                                     *)
+(* The instrumentation must be free when disabled: every site guards    *)
+(* itself with one ref read.  This table times the same verification    *)
+(* workload with observability off (the default) and with a recording   *)
+(* context installed, and checks the reports are character-identical.   *)
+(* ------------------------------------------------------------------ *)
+
+let table_obs () =
+  section "Table 9b (E11): observability overhead (off vs recording)";
+  let open Detcor_obs in
+  let workload () =
+    Tolerance.check Tmr.masking ~spec:Tmr.spec ~invariant:Tmr.invariant
+      ~faults:Tmr.one_corruption ~tol:Spec.Masking
+  in
+  let report_str r = Fmt.str "%a" Tolerance.pp_report r in
+  let off_report = report_str (workload ()) in
+  let sink, _records = Sink.memory () in
+  let on_report =
+    Obs.with_ctx (Obs.make ~sinks:[ sink ] ()) (fun () -> workload ())
+  in
+  check "verdicts identical with observability on" true
+    (String.equal off_report (report_str on_report));
+  let iters = 40 in
+  let time_iters f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int iters
+  in
+  ignore (time_iters workload) (* warm up *);
+  let t_off = time_iters workload in
+  let t_on =
+    let sink, _ = Sink.memory () in
+    Obs.with_ctx (Obs.make ~sinks:[ sink ] ()) (fun () ->
+        time_iters workload)
+  in
+  Fmt.pr
+    "disabled: %.2f ms/run   recording (memory sink): %.2f ms/run   \
+     overhead when on: %.0f%%@."
+    (1e3 *. t_off) (1e3 *. t_on)
+    (100.0 *. ((t_on /. t_off) -. 1.0))
 
 (* ------------------------------------------------------------------ *)
 (* E10: Bechamel timings.                                              *)
@@ -584,6 +660,7 @@ let () =
   table_simulation ();
   table_ring ();
   table_engine ();
+  table_obs ();
   if timings then run_timings ();
   Fmt.pr "@.=== Summary ===@.";
   if !mismatches = 0 then Fmt.pr "All claims match the paper.@."

@@ -6,6 +6,11 @@
      dcheck components FILE.dc   extract detector/corrector components
      dcheck synthesize FILE.dc   add fail-safe/nonmasking/masking tolerance
      dcheck simulate FILE.dc     fault-injection simulation with monitors
+     dcheck profile FILE.dc      per-phase time/space breakdown of verify
+
+   Every subcommand accepts --trace FILE (span/event trace, JSON-lines or
+   Chrome trace_event by extension), --metrics FILE (JSON snapshot of all
+   counters and histograms) and --log-level LEVEL (echo events to stderr).
 
    Programs are written in the guarded-command language of Detcor_lang;
    see examples/dc/. *)
@@ -15,6 +20,7 @@ open Detcor_kernel
 open Detcor_spec
 open Detcor_core
 open Detcor_lang
+open Detcor_obs
 
 let load path =
   try Ok (Elaborate.load_file path) with
@@ -44,11 +50,101 @@ let limit_arg =
     & info [ "limit" ] ~docv:"N" ~doc:"State-exploration limit.")
 
 (* ------------------------------------------------------------------ *)
+(* Observability options (shared by every subcommand).                  *)
+(* ------------------------------------------------------------------ *)
+
+type obs_opts = {
+  trace : string option;
+  metrics : string option;
+  log_level : string option;
+}
+
+let obs_term =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a trace of spans and events to $(docv): JSON-lines when \
+             the name ends in .jsonl, otherwise a Chrome trace_event array \
+             loadable in Perfetto.")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSON snapshot of all counters, gauges and histograms \
+             to $(docv) on exit.")
+  in
+  let log_level_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Echo trace events at least this severe (debug, info, warn or \
+             error) to stderr.")
+  in
+  let make trace metrics log_level = { trace; metrics; log_level } in
+  Term.(const make $ trace_arg $ metrics_arg $ log_level_arg)
+
+(* Sinks requested on the command line (--trace by extension, --log-level
+   on stderr). *)
+let sinks_of_opts opts =
+  let trace_sink =
+    match opts.trace with
+    | None -> []
+    | Some path when Filename.check_suffix path ".jsonl" ->
+      [ Sink.to_file Sink.jsonl path ]
+    | Some path -> [ Sink.to_file Sink.chrome path ]
+  in
+  let log_sink =
+    match opts.log_level with
+    | None -> []
+    | Some s -> (
+      match Attr.level_of_string s with
+      | Some min_level -> [ Sink.stderr_log ~min_level () ]
+      | None -> or_die (Error (Fmt.str "unknown log level %S" s)))
+  in
+  trace_sink @ log_sink
+
+let write_metrics_snapshot opts =
+  match opts.metrics with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Jsonx.to_string (Metrics.snapshot ()));
+    output_char oc '\n';
+    close_out oc
+
+(* Install a recording context for the duration of [k] when any
+   observability option was given; write the requested outputs on the way
+   out, even on exceptions.  [extra] prepends sinks (used by [profile] to
+   record into memory alongside whatever the user asked for). *)
+let with_obs ?(extra = []) opts k =
+  if
+    extra = [] && opts.trace = None && opts.metrics = None
+    && opts.log_level = None
+  then k ()
+  else begin
+    Obs.set_current (Obs.make ~sinks:(extra @ sinks_of_opts opts) ());
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.close ();
+        write_metrics_snapshot opts)
+      k
+  end
+
+(* ------------------------------------------------------------------ *)
 (* info                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let info_cmd =
-  let run path =
+  let run path limit obs =
+    with_obs obs @@ fun () ->
     let e = or_die (load path) in
     Fmt.pr "program %s@." (Program.name e.program);
     Fmt.pr "  variables:     %d@." (List.length (Program.variables e.program));
@@ -71,11 +167,29 @@ let info_cmd =
       Fmt.pr "  WARNING: ill-formed actions:@.";
       List.iter (fun m -> Fmt.pr "    %s@." m) issues
     end;
+    (* Which engine the auto dispatch actually picks for this program, and
+       why it fell back to the reference engine if it did. *)
+    (try
+       let module Ts = Detcor_semantics.Ts in
+       let ts =
+         Ts.of_pred ~limit (Fault.compose e.program e.faults) ~from:e.invariant
+       in
+       Fmt.pr "  engine:        %s@."
+         (match Ts.engine_of ts with
+         | Ts.Packed -> "packed"
+         | Ts.Reference -> "reference"
+         | Ts.Auto -> "auto");
+       match Ts.fallback_reason ts with
+       | None -> ()
+       | Some reason ->
+         Fmt.pr "  WARNING: packed engine fell back to reference: %s@." reason
+     with Detcor_semantics.Ts.Too_large _ ->
+       Fmt.pr "  engine:        (state space exceeds --limit; not explored)@.");
     `Ok ()
   in
   Cmd.v
     (Cmd.info "info" ~doc:"Summarize a guarded-command program.")
-    Term.(ret (const run $ file_arg))
+    Term.(ret (const run $ file_arg $ limit_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                              *)
@@ -108,7 +222,8 @@ let explain_arg =
         ~doc:"On failure, print a witness trace for each failing obligation.")
 
 let verify_cmd =
-  let run path tol limit explain =
+  let run path tol limit explain obs =
+    with_obs obs @@ fun () ->
     let e = or_die (load path) in
     let classes =
       match tol with
@@ -157,14 +272,18 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Check F-tolerance of the program against its specification.")
-    Term.(ret (const run $ file_arg $ tolerance_arg $ limit_arg $ explain_arg))
+    Term.(
+      ret
+        (const run $ file_arg $ tolerance_arg $ limit_arg $ explain_arg
+       $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* components                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let components_cmd =
-  let run path limit =
+  let run path limit obs =
+    with_obs obs @@ fun () ->
     let e = or_die (load path) in
     let sspec = Spec.safety (Spec.smallest_safety_containing e.spec) in
     let span =
@@ -197,14 +316,15 @@ let components_cmd =
   Cmd.v
     (Cmd.info "components"
        ~doc:"Extract detector and corrector components from the program.")
-    Term.(ret (const run $ file_arg $ limit_arg))
+    Term.(ret (const run $ file_arg $ limit_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* synthesize                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let synthesize_cmd =
-  let run path tol limit =
+  let run path tol limit obs =
+    with_obs obs @@ fun () ->
     let e = or_die (load path) in
     let tol = match tol with Some t -> t | None -> Spec.Masking in
     let result =
@@ -239,7 +359,7 @@ let synthesize_cmd =
        ~doc:
          "Add fail-safe, nonmasking or masking tolerance to the program \
           (default: masking).")
-    Term.(ret (const run $ file_arg $ tolerance_arg $ limit_arg))
+    Term.(ret (const run $ file_arg $ tolerance_arg $ limit_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -267,7 +387,8 @@ let simulate_cmd =
   let seed_arg =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
   in
-  let run path runs steps prob max_faults seed =
+  let run path runs steps prob max_faults seed obs =
+    with_obs obs @@ fun () ->
     let e = or_die (load path) in
     let inits =
       List.filter (Pred.holds e.invariant) (Program.states e.program)
@@ -321,7 +442,61 @@ let simulate_cmd =
     Term.(
       ret
         (const run $ file_arg $ runs_arg $ steps_arg $ prob_arg
-       $ max_faults_arg $ seed_arg))
+       $ max_faults_arg $ seed_arg $ obs_term))
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Run the verification pipeline under an in-memory recording context and
+   print the per-phase breakdown.  Verdicts are printed too, so a profile
+   run doubles as a verify run. *)
+let profile_cmd =
+  let run path tol limit obs =
+    let e = or_die (load path) in
+    let classes =
+      match tol with
+      | Some t -> [ t ]
+      | None -> [ Spec.Failsafe; Spec.Nonmasking; Spec.Masking ]
+    in
+    let mem, records = Sink.memory () in
+    let reports = ref [] in
+    with_obs ~extra:[ mem ] obs (fun () ->
+        List.iter
+          (fun tol ->
+            let report =
+              Tolerance.check ~limit e.program ~spec:e.spec
+                ~invariant:e.invariant ~faults:e.faults ~tol
+            in
+            reports := (tol, report) :: !reports)
+          classes);
+    Fmt.pr "profile of %s (%s)@.@." path (Program.name e.program);
+    Fmt.pr "%a@.@." Profile.pp_table (records ());
+    Fmt.pr "engine counters:@.";
+    List.iter
+      (fun name ->
+        let v = Metrics.counter_value_by_name name in
+        if v > 0 then Fmt.pr "  %-28s %d@." name v)
+      [
+        "engine.builds"; "engine.states_visited"; "engine.edges";
+        "engine.pred_cache.hits"; "engine.pred_cache.misses";
+        "engine.enabled_cache.hits"; "engine.enabled_cache.misses";
+        "engine.fallbacks";
+      ];
+    Fmt.pr "@.";
+    List.iter
+      (fun (tol, report) ->
+        Fmt.pr "%a: %s@." Spec.pp_tolerance tol
+          (if Tolerance.verdict report then "holds" else "FAILS"))
+      (List.rev !reports);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Verify the program under tracing and print a per-phase time/space \
+          breakdown.")
+    Term.(ret (const run $ file_arg $ tolerance_arg $ limit_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* graph                                                               *)
@@ -339,7 +514,8 @@ let graph_cmd =
       value & flag
       & info [ "with-faults" ] ~doc:"Include fault transitions (dashed).")
   in
-  let run path out with_faults limit =
+  let run path out with_faults limit obs =
+    with_obs obs @@ fun () ->
     let e = or_die (load path) in
     let program =
       if with_faults then Fault.compose e.program e.faults else e.program
@@ -367,7 +543,7 @@ let graph_cmd =
        ~doc:
          "Export the reachable transition system (from the invariant) as \
           Graphviz DOT; invariant states are highlighted.")
-    Term.(ret (const run $ file_arg $ out_arg $ faults_arg $ limit_arg))
+    Term.(ret (const run $ file_arg $ out_arg $ faults_arg $ limit_arg $ obs_term))
 
 let main =
   Cmd.group
@@ -376,6 +552,6 @@ let main =
          "Detectors and correctors: verification, extraction, synthesis and \
           simulation of fault-tolerance components.")
     [ info_cmd; verify_cmd; components_cmd; synthesize_cmd; simulate_cmd;
-      graph_cmd ]
+      profile_cmd; graph_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -50,6 +50,9 @@ let project_step base s s' =
 (* Check [super refines base from s] given the explored system of [super]
    from the [s]-states. *)
 let check_ts ~base ts ~from:s =
+  Detcor_obs.Obs.span "refinement.check"
+    ~attrs:[ Detcor_obs.Attr.str "base" (Program.name base) ]
+  @@ fun () ->
   let closure = Check.closed ts s in
   let bad_steps = ref [] in
   Ts.iter_edges ts (fun i aid j ->

@@ -25,11 +25,34 @@
 open Detcor_kernel
 open Detcor_semantics
 open Detcor_spec
+open Detcor_obs
 
 type item = {
   label : string;
   outcome : Check.outcome;
 }
+
+(* Wall time of each proof obligation, recorded when observability is on.
+   [timed] evaluates [f] exactly once either way, so verdicts (and their
+   order of computation) are identical with observability on or off. *)
+let h_verdict = Metrics.histogram "check.verdict_ns"
+
+let timed label f =
+  if not (Obs.on ()) then { label; outcome = f () }
+  else begin
+    let t0 = Obs.now_ns () in
+    let outcome = f () in
+    let dt = Int64.to_int (Int64.sub (Obs.now_ns ()) t0) in
+    Metrics.observe h_verdict dt;
+    Obs.event "tolerance.verdict"
+      ~attrs:
+        [
+          Attr.str "item" label;
+          Attr.bool "holds" (Check.holds outcome);
+          Attr.int "ns" dt;
+        ];
+    { label; outcome }
+  end
 
 type report = {
   subject : string;
@@ -66,21 +89,25 @@ type span = {
 (* The F-span of p from S: smallest T with S ⇒ T, T closed in p, and T
    closed in F — i.e. the forward closure of the S-states under p [] F. *)
 let fault_span ?limit ?engine p ~faults ~from =
+  Obs.span "tolerance.fault_span" @@ fun () ->
   let composed = Fault.compose p faults in
   let ts_pf = Ts.of_pred ?limit ?engine composed ~from in
   let states = Ts.states ts_pf in
   let pred =
     Pred.of_states ~name:(Fmt.str "span(%s)" (Pred.name from)) states
   in
+  if Obs.on () then Obs.annotate [ Attr.int "span_states" (List.length states) ];
   { pred; states; ts_pf }
 
 (* [fault_span_from_states] avoids re-enumerating the product space when the
    initial states are already known. *)
 let fault_span_from_states ?limit ?engine p ~faults ~init =
+  Obs.span "tolerance.fault_span" @@ fun () ->
   let composed = Fault.compose p faults in
   let ts_pf = Ts.build ?limit ?engine composed ~from:init in
   let states = Ts.states ts_pf in
   let pred = Pred.of_states ~name:"span" states in
+  if Obs.on () then Obs.annotate [ Attr.int "span_states" (List.length states) ];
   { pred; states; ts_pf }
 
 (* ------------------------------------------------------------------ *)
@@ -151,53 +178,55 @@ let liveness_under_faults ~ts_pf ~ts_p liveness =
 (* ------------------------------------------------------------------ *)
 
 let check_with ?limit ?engine ?recover p ~spec ~invariant ~init ~faults ~tol =
-  let ts_p, base_outcome =
-    refines_from_states ?limit ?engine p ~spec ~init ~invariant
+  Obs.span "tolerance.check"
+    ~attrs:
+      [
+        Attr.str "program" (Program.name p);
+        Attr.str "tolerance" (Fmt.str "%a" Spec.pp_tolerance tol);
+      ]
+  @@ fun () ->
+  let base_ts = ref None in
+  let base_item =
+    timed "p refines SPEC from S" (fun () ->
+        let ts, o = refines_from_states ?limit ?engine p ~spec ~init ~invariant in
+        base_ts := Some ts;
+        o)
   in
+  let ts_p = Option.get !base_ts in
   let span = fault_span_from_states ?limit ?engine p ~faults ~init in
   (* p alone, over the whole span: used for liveness after faults stop. *)
   let ts_p_span = Ts.build ?limit ?engine p ~from:span.states in
-  let base_item =
-    { label = "p refines SPEC from S"; outcome = base_outcome }
-  in
   let sspec = Spec.smallest_safety_containing spec in
   let safety_item =
-    {
-      label = "p[]F refines SSPEC from span";
-      outcome = Spec.refines span.ts_pf sspec;
-    }
+    timed "p[]F refines SSPEC from span" (fun () ->
+        Spec.refines span.ts_pf sspec)
   in
   (* Nonmasking: a suffix of every computation is in SPEC.  The paper's
      route (Theorem 4.3): converge to a recovery predicate R (default: the
      invariant S) from which SPEC is refined. *)
   let recover = match recover with Some r -> r | None -> invariant in
   let convergence_item =
-    {
-      label = Fmt.str "p converges from span to %s" (Pred.name recover);
-      outcome = Check.eventually ts_p_span recover;
-    }
+    timed
+      (Fmt.str "p converges from span to %s" (Pred.name recover))
+      (fun () -> Check.eventually ts_p_span recover)
   in
   let recover_item () =
-    let ts_rec =
-      Ts.build ?limit ?engine p
-        ~from:(List.filter (Pred.holds recover) span.states)
-    in
-    {
-      label = Fmt.str "p refines SPEC from %s" (Pred.name recover);
-      outcome =
-        Check.all [ Check.closed ts_rec recover; Spec.refines ts_rec spec ];
-    }
+    timed
+      (Fmt.str "p refines SPEC from %s" (Pred.name recover))
+      (fun () ->
+        let ts_rec =
+          Ts.build ?limit ?engine p
+            ~from:(List.filter (Pred.holds recover) span.states)
+        in
+        Check.all [ Check.closed ts_rec recover; Spec.refines ts_rec spec ])
   in
   (* Masking: computations of p [] F from the span are in SPEC — safety on
      the full p [] F graph, liveness under the finitely-many-faults
      semantics (Assumption 2). *)
   let liveness_item =
-    {
-      label = "liveness of SPEC on p[]F from span";
-      outcome =
+    timed "liveness of SPEC on p[]F from span" (fun () ->
         liveness_under_faults ~ts_pf:span.ts_pf ~ts_p:ts_p_span
-          (Spec.liveness spec);
-    }
+          (Spec.liveness spec))
   in
   let items =
     match tol with

@@ -1,0 +1,26 @@
+(** Minimal JSON tree shared by every observability sink: compact writer
+    (standard-parser-compatible output) plus a strict reader used by the
+    tests to parse emitted files back. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Parse a complete JSON document (trailing whitespace allowed). *)
+val of_string : string -> (t, string) result
+
+(** Field lookup on [Obj]; [None] on other constructors. *)
+val member : string -> t -> t option
+
+val to_int : t -> int option
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,44 @@
+(** Process-wide metrics registry: atomic counters, gauges and histograms,
+    get-or-create by name, snapshot-able as JSON.  All cells are [Atomic]
+    (the packed engine increments from worker domains); [reset] zeroes the
+    cells in place so existing handles stay valid. *)
+
+type counter
+type gauge
+type histogram
+
+(** Get or create.  @raise Invalid_argument if [name] is already registered
+    as a different instrument type. *)
+val counter : string -> counter
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+val set_gauge : gauge -> int -> unit
+
+(** Raise the gauge to [v] if larger (lock-free compare-and-set loop). *)
+val max_gauge : gauge -> int -> unit
+
+val gauge_value : gauge -> int
+
+(** [histogram ?buckets name]: bucket bounds are inclusive upper bounds in
+    ascending order; an overflow bucket is added.  Default: 1-2-5 decades
+    from 1 to 1e9. *)
+val histogram : ?buckets:int array -> string -> histogram
+
+val observe : histogram -> int -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> int
+
+(** Per-bucket (upper bound, count); [None] bound = overflow bucket. *)
+val histogram_buckets : histogram -> (int option * int) list
+
+(** JSON snapshot: {counters, gauges, histograms} with names sorted. *)
+val snapshot : unit -> Jsonx.t
+
+(** Zero every instrument in place. *)
+val reset : unit -> unit
+
+(** Counter value by name; 0 when the counter does not exist. *)
+val counter_value_by_name : string -> int

@@ -1,0 +1,45 @@
+(** Tracing façade: contexts, nestable spans, instant events.
+
+    The default context is disabled and every instrumentation site guards
+    itself with [on ()] (a ref read and one branch), so observability costs
+    nothing when off.  Spans nest per domain (domain-local stacks): worker
+    domains can open spans and emit events concurrently; sinks serialize
+    internally. *)
+
+type ctx
+
+(** The inert context: recording off, null sink. *)
+val disabled : ctx
+
+(** A recording context over the given sinks. *)
+val make : sinks:Sink.t list -> unit -> ctx
+
+val current : unit -> ctx
+val set_current : ctx -> unit
+
+(** Run [f] with [ctx] installed; restores the previous context after. *)
+val with_ctx : ctx -> (unit -> 'a) -> 'a
+
+(** Is the current context recording?  The hot-path guard. *)
+val on : unit -> bool
+
+(** Monotonic nanoseconds since process start. *)
+val now_ns : unit -> int64
+
+(** [span ?attrs name f]: time [f] inside a named span.  Emits a [Begin]
+    and, via [Fun.protect], an [End] even on exceptions.  No-op (just runs
+    [f]) when recording is off. *)
+val span : ?attrs:Attr.t list -> string -> (unit -> 'a) -> 'a
+
+(** Attach attributes to the calling domain's innermost open span; they are
+    reported on the span's [End] record. *)
+val annotate : Attr.t list -> unit
+
+(** Emit an instant event (default level [Info]). *)
+val event : ?level:Attr.level -> ?attrs:Attr.t list -> string -> unit
+
+val flush : unit -> unit
+
+(** Flush and close the current context's sink, then fall back to
+    [disabled]. *)
+val close : unit -> unit

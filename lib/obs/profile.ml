@@ -1,0 +1,88 @@
+(* Per-phase aggregation of trace records, for `dcheck profile`.
+
+   Folds the span [End] records of an in-memory sink into one row per span
+   name: call count, total inclusive time, and the sums of integer
+   attributes (the instrumented layers annotate spans with their space
+   usage — states, edges — so the table shows time and space per phase). *)
+
+type entry = {
+  name : string;
+  calls : int;
+  total_ns : int;
+  max_ns : int;
+  attrs : (string * int) list; (* integer attributes, summed over calls *)
+}
+
+let add_attr acc (k, v) =
+  match v with
+  | Attr.Int n -> (
+    match List.assoc_opt k acc with
+    | Some prev -> (k, prev + n) :: List.remove_assoc k acc
+    | None -> (k, n) :: acc)
+  | _ -> acc
+
+let of_records records =
+  let tbl : (string, entry) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun r ->
+      match r with
+      | Sink.End { name; dur; attrs; _ } ->
+        let dur = Int64.to_int dur in
+        let prev =
+          match Hashtbl.find_opt tbl name with
+          | Some e -> e
+          | None -> { name; calls = 0; total_ns = 0; max_ns = 0; attrs = [] }
+        in
+        Hashtbl.replace tbl name
+          {
+            prev with
+            calls = prev.calls + 1;
+            total_ns = prev.total_ns + dur;
+            max_ns = max prev.max_ns dur;
+            attrs = List.fold_left add_attr prev.attrs attrs;
+          }
+      | Sink.Begin _ | Sink.Instant _ -> ())
+    records;
+  let entries = Hashtbl.fold (fun _ e acc -> e :: acc) tbl [] in
+  List.sort (fun a b -> compare b.total_ns a.total_ns) entries
+
+(* Wall time spanned by the recording: first Begin to last End. *)
+let wall_ns records =
+  let lo = ref Int64.max_int and hi = ref Int64.min_int in
+  List.iter
+    (fun r ->
+      let ts =
+        match r with
+        | Sink.Begin { ts; _ } | Sink.End { ts; _ } | Sink.Instant { ts; _ } -> ts
+      in
+      if ts < !lo then lo := ts;
+      if ts > !hi then hi := ts)
+    records;
+  if !hi < !lo then 0 else Int64.to_int (Int64.sub !hi !lo)
+
+let ms ns = float_of_int ns /. 1e6
+
+let pp_attrs ppf attrs =
+  let attrs = List.sort (fun (a, _) (b, _) -> String.compare a b) attrs in
+  Fmt.(list ~sep:(any " ") (fun ppf (k, v) -> Fmt.pf ppf "%s=%d" k v)) ppf attrs
+
+let pp_table ppf records =
+  let entries = of_records records in
+  let wall = wall_ns records in
+  Fmt.pf ppf "%-34s %6s %10s %9s %6s  %s@." "phase" "calls" "total" "avg"
+    "%wall" "space";
+  Fmt.pf ppf "%s@." (String.make 90 '-');
+  List.iter
+    (fun e ->
+      let pct =
+        if wall = 0 then 0.0
+        else 100.0 *. float_of_int e.total_ns /. float_of_int wall
+      in
+      Fmt.pf ppf "%-34s %6d %8.2fms %7.2fms %5.1f%%  %a@." e.name e.calls
+        (ms e.total_ns)
+        (ms e.total_ns /. float_of_int (max 1 e.calls))
+        pct pp_attrs e.attrs)
+    entries;
+  Fmt.pf ppf "%s@." (String.make 90 '-');
+  Fmt.pf ppf "wall time: %.2fms   (inclusive per-phase times; nested phases overlap)@."
+    (ms wall)

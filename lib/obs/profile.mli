@@ -1,0 +1,20 @@
+(** Per-phase aggregation of trace records for [dcheck profile]: one row
+    per span name with call count, total inclusive time and summed integer
+    attributes (space: states, edges, ...). *)
+
+type entry = {
+  name : string;
+  calls : int;
+  total_ns : int;
+  max_ns : int;
+  attrs : (string * int) list;
+}
+
+(** Aggregate span [End] records by name, sorted by descending total. *)
+val of_records : Sink.record list -> entry list
+
+(** Wall-clock span of a recording (first to last record), ns. *)
+val wall_ns : Sink.record list -> int
+
+(** Render the per-phase time/space breakdown table. *)
+val pp_table : Format.formatter -> Sink.record list -> unit

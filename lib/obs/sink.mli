@@ -1,0 +1,50 @@
+(** Trace sinks.  Emission is domain-safe: each writing sink serializes
+    through its own mutex, so instrumented code may emit from worker
+    domains.  Timestamps are monotonic nanoseconds since process start. *)
+
+type record =
+  | Begin of { name : string; ts : int64; tid : int; attrs : Attr.t list }
+  | End of {
+      name : string;
+      ts : int64;
+      dur : int64;
+      tid : int;
+      attrs : Attr.t list;
+    }
+  | Instant of {
+      name : string;
+      ts : int64;
+      tid : int;
+      level : Attr.level;
+      attrs : Attr.t list;
+    }
+
+type t = {
+  emit : record -> unit;
+  flush : unit -> unit;
+  close : unit -> unit;
+}
+
+(** Discards everything; the disabled context's sink. *)
+val null : t
+
+val multiplex : t list -> t
+
+(** Human-readable log on stderr.  Spans log at [Debug]; instants at their
+    own level; records below [min_level] (default [Info]) are dropped. *)
+val stderr_log : ?min_level:Attr.level -> unit -> t
+
+(** One JSON object per line: type/name/ts_ns/tid/attrs (+dur_ns, +level). *)
+val jsonl : out_channel -> t
+
+(** Chrome [trace_event] JSON array, loadable in Perfetto or
+    about://tracing: B/E duration pairs and "i" instants. *)
+val chrome : out_channel -> t
+
+(** In-memory sink plus an accessor for the records collected so far, in
+    emission order. *)
+val memory : unit -> t * (unit -> record list)
+
+(** [to_file jsonl path] / [to_file chrome path]: file-backed sink whose
+    [close] closes the channel. *)
+val to_file : (out_channel -> t) -> string -> t

@@ -2,6 +2,7 @@
    transition systems.  Every check returns [Holds] or a counterexample. *)
 
 open Detcor_kernel
+open Detcor_obs
 
 type violation =
   | Bad_state of State.t
@@ -48,6 +49,7 @@ let first_fail checks =
 (* [closed ts s]: no reachable transition leaves [s].  This is "p refines
    cl(S) from true" restricted to the explored (reachable) graph. *)
 let closed ts s =
+  Obs.span "check.closed" @@ fun () ->
   let result = ref Holds in
   (try
      Ts.iter_edges ts (fun i aid j ->
@@ -66,6 +68,9 @@ let closed ts s =
    where F's actions must preserve T from anywhere, not only from reachable
    states. *)
 let closed_under_actions ~universe actions s =
+  Obs.span "check.closed_under_actions"
+    ~attrs:[ Attr.int "actions" (List.length actions) ]
+  @@ fun () ->
   let check_action ac () =
     let rec go = function
       | [] -> Holds
@@ -90,6 +95,7 @@ let closed_under_actions ~universe actions s =
 
 (* Every reachable transition from an S-state lands in an R-state. *)
 let hoare_triple ts ~pre ~post =
+  Obs.span "check.hoare_triple" @@ fun () ->
   let result = ref Holds in
   (try
      Ts.iter_edges ts (fun i aid j ->
@@ -108,6 +114,7 @@ let hoare_triple ts ~pre ~post =
 (* ------------------------------------------------------------------ *)
 
 let safety ts ~bad_state ~bad_transition =
+  Obs.span "check.safety" @@ fun () ->
   let result = ref Holds in
   (try
      for i = 0 to Ts.num_states ts - 1 do
@@ -139,6 +146,7 @@ let safety ts ~bad_state ~bad_transition =
    computation confined to [¬q]: either it reaches a deadlock inside [¬q],
    or it is an infinite fair run inside [¬q]. *)
 let leads_to ts p q =
+  Obs.span "check.leads_to" @@ fun () ->
   let not_q i = not (Ts.holds_at ts q i) in
   let starts = ref [] in
   for i = Ts.num_states ts - 1 downto 0 do
@@ -181,6 +189,7 @@ let eventually ts q = leads_to ts Pred.true_ q
 (* [converges ts s r]: "S converges to R in p" — cl(S), cl(R), and along
    computations, S implies eventually R. *)
 let converges ts s r =
+  Obs.span "check.converges" @@ fun () ->
   first_fail
     [
       (fun () -> closed ts s);
@@ -193,6 +202,7 @@ let converges ts s r =
 (* ------------------------------------------------------------------ *)
 
 let implies ts a b =
+  Obs.span "check.implies" @@ fun () ->
   let rec go i =
     if i >= Ts.num_states ts then Holds
     else if Ts.holds_at ts a i && not (Ts.holds_at ts b i) then
@@ -203,6 +213,7 @@ let implies ts a b =
 
 (* No reachable deadlock inside the region. *)
 let deadlock_free ts ~inside =
+  Obs.span "check.deadlock_free" @@ fun () ->
   let rec go i =
     if i >= Ts.num_states ts then Holds
     else if Ts.holds_at ts inside i && Ts.deadlocked ts i then

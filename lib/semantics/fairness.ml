@@ -50,8 +50,16 @@ let fair_scc ts (scc : Graph.scc) =
 
 (* All SCCs of the masked subgraph that can host a fair infinite run. *)
 let fair_sccs ?mask ts =
+  Detcor_obs.Obs.span "fairness.fair_sccs" @@ fun () ->
   let components = Graph.sccs ?mask ts in
-  List.filter_map (fair_scc ts) components
+  let fair = List.filter_map (fair_scc ts) components in
+  if Detcor_obs.Obs.on () then
+    Detcor_obs.Obs.annotate
+      [
+        Detcor_obs.Attr.int "sccs" (List.length components);
+        Detcor_obs.Attr.int "fair" (List.length fair);
+      ];
+  fair
 
 (* [fair_run_exists ts ~region ~from]: is there a weakly-fair infinite
    computation that starts at some state of [from], stays inside [region]

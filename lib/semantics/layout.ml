@@ -18,6 +18,29 @@ open Detcor_kernel
 
 exception Unrepresentable
 
+(* Why the last [pack] failed.  [pack] sits on the engine's hot path, so
+   the diagnosis is a small variant recorded through one atomic store on
+   the (exceptional) failure path only; [Ts] reads it back to explain
+   Auto→Reference fallbacks. *)
+type escape =
+  | Extra_variable of string (* state binds a variable the layout lacks *)
+  | Missing_variable of string (* state lacks a layout variable *)
+  | Out_of_domain of string * Value.t (* value outside the declared domain *)
+
+let pp_escape ppf = function
+  | Extra_variable x -> Fmt.pf ppf "state binds undeclared variable %s" x
+  | Missing_variable x -> Fmt.pf ppf "state is missing declared variable %s" x
+  | Out_of_domain (x, v) ->
+    Fmt.pf ppf "variable %s escaped its declared domain (value %a)" x Value.pp v
+
+let last_escape : escape option Atomic.t = Atomic.make None
+
+let escape_reason () = Atomic.get last_escape
+
+let escaped e =
+  Atomic.set last_escape (Some e);
+  raise Unrepresentable
+
 type t = {
   vars : string array; (* ascending name order *)
   domains : Value.t array array; (* per variable, ascending value order *)
@@ -79,13 +102,18 @@ let pack t st =
   State.fold
     (fun x v () ->
       let i = !k in
-      if i >= n || not (String.equal x t.vars.(i)) then raise Unrepresentable;
+      if i >= n then escaped (Extra_variable x);
+      if not (String.equal x t.vars.(i)) then
+        (* Both sides are name-sorted: the smaller name is the odd one out. *)
+        escaped
+          (if String.compare x t.vars.(i) < 0 then Extra_variable x
+           else Missing_variable t.vars.(i));
       (match Hashtbl.find_opt t.codes.(i) v with
-      | None -> raise Unrepresentable
+      | None -> escaped (Out_of_domain (x, v))
       | Some code -> rank := !rank + (code * t.strides.(i)));
       incr k)
     st ();
-  if !k <> n then raise Unrepresentable;
+  if !k <> n then escaped (Missing_variable t.vars.(!k));
   !rank
 
 let pack_opt t st = match pack t st with

@@ -15,6 +15,19 @@ type t
     missing a layout variable, or holds an out-of-domain value. *)
 exception Unrepresentable
 
+(** Why the last {!pack} failed (read back by {!Ts} to explain an
+    Auto→Reference engine fallback). *)
+type escape =
+  | Extra_variable of string
+  | Missing_variable of string
+  | Out_of_domain of string * Value.t
+
+val pp_escape : Format.formatter -> escape -> unit
+
+(** The diagnosis recorded by the most recent {!pack} failure in any
+    domain, if any. *)
+val escape_reason : unit -> escape option
+
 (** [of_program p] compiles the layout of [p]'s declared variables, or
     [None] when the product space size overflows the integer range. *)
 val of_program : Program.t -> t option

@@ -26,6 +26,22 @@
    arrays and initials. *)
 
 open Detcor_kernel
+open Detcor_obs
+
+(* Engine metrics.  Every update is gated by [Obs.on ()] — one ref read
+   and a branch — so construction with observability disabled matches the
+   uninstrumented engine (the E11 bench claim). *)
+let m_states = Metrics.counter "engine.states_visited"
+let m_edges = Metrics.counter "engine.edges"
+let m_builds = Metrics.counter "engine.builds"
+let m_pred_hits = Metrics.counter "engine.pred_cache.hits"
+let m_pred_misses = Metrics.counter "engine.pred_cache.misses"
+let m_enabled_hits = Metrics.counter "engine.enabled_cache.hits"
+let m_enabled_misses = Metrics.counter "engine.enabled_cache.misses"
+let m_fallbacks = Metrics.counter "engine.fallbacks"
+let m_par_expanded = Metrics.counter "engine.parallel.states_expanded"
+let h_frontier = Metrics.histogram "engine.frontier_width"
+let h_worker_chunk = Metrics.histogram "engine.worker_chunk"
 
 module State_table = Hashtbl.Make (struct
   type t = State.t
@@ -52,6 +68,10 @@ type t = {
   cached : bool;
   pred_cache : (int, Bitset.t) Hashtbl.t; (* keyed by Pred.id *)
   enabled_cache : Bitset.t option array; (* per action id *)
+  (* Set when [Auto] dispatch fell back to the reference engine: the
+     diagnosed reason (domain escape, product overflow).  Surfaced by
+     `dcheck info` and the Obs metrics. *)
+  mutable fallback_reason : string option;
 }
 
 exception Too_large of int
@@ -117,6 +137,11 @@ let close_row b i = b.rows.(i + 1) <- b.elen
 
 let finish b ~program ~actions ~initials ~lookup ~layout ~cached =
   let n = b.count in
+  if Obs.on () then begin
+    Metrics.incr m_builds;
+    Metrics.incr ~by:n m_states;
+    Metrics.incr ~by:b.elen m_edges
+  end;
   {
     program;
     states = Array.sub b.states_buf 0 n;
@@ -130,6 +155,7 @@ let finish b ~program ~actions ~initials ~lookup ~layout ~cached =
     cached;
     pred_cache = Hashtbl.create 16;
     enabled_cache = Array.make (Array.length actions) None;
+    fallback_reason = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -200,10 +226,22 @@ let expand_parallel layout actions b index ~lo ~hi ~workers =
     List.map
       (fun slice ->
         Stdlib.Domain.spawn (fun () ->
-            try Ok (Array.map (successors_packed layout actions) slice)
+            try
+              let succs = Array.map (successors_packed layout actions) slice in
+              (* Incremented from the worker domain: the counters must be
+                 atomic under parallel exploration (tested). *)
+              if Obs.on () then
+                Metrics.incr ~by:(Array.length slice) m_par_expanded;
+              Ok succs
             with e -> Error e))
       slices
   in
+  if Obs.on () then
+    List.iter
+      (fun slice ->
+        let len = Array.length slice in
+        if len > 0 then Metrics.observe h_worker_chunk len)
+      slices;
   let results = List.map Stdlib.Domain.join domains in
   let merge i succs =
     List.iter
@@ -244,9 +282,16 @@ let explore_packed ~workers layout program ~actions ~b ~index ~initials =
   in
   let par_threshold = max 2 (workers * 8) in
   let cursor = ref 0 in
+  let level = ref 0 in
   while !cursor < b.count do
     let lo = !cursor in
     let hi = b.count in
+    if Obs.on () then begin
+      Metrics.observe h_frontier (hi - lo);
+      Obs.event "ts.frontier" ~level:Attr.Debug
+        ~attrs:[ Attr.int "depth" !level; Attr.int "width" (hi - lo) ];
+      incr level
+    end;
     if workers > 1 && hi - lo >= par_threshold then
       expand_parallel layout actions b index ~lo ~hi ~workers
     else
@@ -313,51 +358,105 @@ let of_pred_packed ~limit ~workers layout program ~from =
 
 let default_engine = Auto
 
+let engine_name = function
+  | Auto -> "auto"
+  | Packed -> "packed"
+  | Reference -> "reference"
+
+let overflow_reason = "product space size overflows the packed rank range"
+
+let escape_message () =
+  match Layout.escape_reason () with
+  | Some e -> Fmt.str "%a" Layout.pp_escape e
+  | None -> "a state escaped the declared layout"
+
+(* Record an Auto→Reference fallback on the built system and in Obs. *)
+let fell_back reason ts =
+  ts.fallback_reason <- Some reason;
+  if Obs.on () then begin
+    Metrics.incr m_fallbacks;
+    Obs.event "ts.fallback" ~level:Attr.Warn
+      ~attrs:[ Attr.str "reason" reason ]
+  end;
+  ts
+
+(* Wrap a construction entry point in a span annotated, on completion,
+   with the size of what was built. *)
+let build_span op program engine f =
+  Obs.span "ts.build"
+    ~attrs:
+      [
+        Attr.str "op" op;
+        Attr.str "program" (Program.name program);
+        Attr.str "engine" (engine_name engine);
+      ]
+    (fun () ->
+      let ts = f () in
+      if Obs.on () then
+        Obs.annotate
+          [
+            Attr.int "states" (Array.length ts.states);
+            Attr.int "edges" ts.row_ptr.(Array.length ts.states);
+            Attr.bool "packed" (ts.layout <> None);
+          ];
+      ts)
+
 let build ?(limit = default_limit) ?(engine = default_engine) ?(workers = 1)
     program ~from =
-  match engine with
-  | Reference -> build_reference ~limit program ~from
-  | Packed | Auto -> (
-    match Layout.of_program program with
-    | None ->
-      if engine = Packed then raise Layout.Unrepresentable
-      else build_reference ~limit program ~from
-    | Some layout -> (
-      try build_packed ~limit ~workers layout program ~from with
-      | Layout.Unrepresentable when engine = Auto ->
-        (* Some state steps outside the declared domains: the layout does
-           not apply, fall back to the seed path. *)
-        build_reference ~limit program ~from))
+  build_span "build" program engine (fun () ->
+      match engine with
+      | Reference -> build_reference ~limit program ~from
+      | Packed | Auto -> (
+        match Layout.of_program program with
+        | None ->
+          if engine = Packed then raise Layout.Unrepresentable
+          else fell_back overflow_reason (build_reference ~limit program ~from)
+        | Some layout -> (
+          try build_packed ~limit ~workers layout program ~from with
+          | Layout.Unrepresentable when engine = Auto ->
+            (* Some state steps outside the declared domains: the layout
+               does not apply, fall back to the seed path. *)
+            fell_back (escape_message ())
+              (build_reference ~limit program ~from))))
 
 let full ?(limit = default_limit) ?(engine = default_engine) ?(workers = 1)
     program =
   if Program.space_size program > limit then raise (Too_large limit);
-  match engine with
-  | Reference -> build_reference ~limit program ~from:(Program.states program)
-  | Packed | Auto -> (
-    match Layout.of_program program with
-    | None ->
-      if engine = Packed then raise Layout.Unrepresentable
-      else build_reference ~limit program ~from:(Program.states program)
-    | Some layout -> (
-      try of_pred_packed ~limit ~workers layout program ~from:Pred.true_ with
-      | Layout.Unrepresentable when engine = Auto ->
-        build_reference ~limit program ~from:(Program.states program)))
+  build_span "full" program engine (fun () ->
+      match engine with
+      | Reference ->
+        build_reference ~limit program ~from:(Program.states program)
+      | Packed | Auto -> (
+        match Layout.of_program program with
+        | None ->
+          if engine = Packed then raise Layout.Unrepresentable
+          else
+            fell_back overflow_reason
+              (build_reference ~limit program ~from:(Program.states program))
+        | Some layout -> (
+          try of_pred_packed ~limit ~workers layout program ~from:Pred.true_
+          with Layout.Unrepresentable when engine = Auto ->
+            fell_back (escape_message ())
+              (build_reference ~limit program ~from:(Program.states program)))))
 
 let of_pred ?(limit = default_limit) ?(engine = default_engine) ?(workers = 1)
     program ~from =
-  let reference () =
-    build_reference ~limit program
-      ~from:(List.filter (Pred.holds from) (Program.states program))
-  in
-  match engine with
-  | Reference -> reference ()
-  | Packed | Auto -> (
-    match Layout.of_program program with
-    | None -> if engine = Packed then raise Layout.Unrepresentable else reference ()
-    | Some layout -> (
-      try of_pred_packed ~limit ~workers layout program ~from with
-      | Layout.Unrepresentable when engine = Auto -> reference ()))
+  build_span "of_pred" program engine (fun () ->
+      let reference () =
+        build_reference ~limit program
+          ~from:(List.filter (Pred.holds from) (Program.states program))
+      in
+      match engine with
+      | Reference -> reference ()
+      | Packed | Auto -> (
+        match Layout.of_program program with
+        | None ->
+          if engine = Packed then raise Layout.Unrepresentable
+          else fell_back overflow_reason (reference ())
+        | Some layout -> (
+          try of_pred_packed ~limit ~workers layout program ~from with
+          | Layout.Unrepresentable when engine = Auto ->
+            fell_back (escape_message ()) (reference ()))))
 
 (* ------------------------------------------------------------------ *)
 (* Accessors.                                                          *)
@@ -373,6 +472,7 @@ let num_actions ts = Array.length ts.actions
 let action ts i = ts.actions.(i)
 let layout ts = ts.layout
 let engine_of ts = match ts.layout with Some _ -> Packed | None -> Reference
+let fallback_reason ts = ts.fallback_reason
 let num_edges ts = ts.row_ptr.(Array.length ts.states)
 
 let edges_of ts i =
@@ -449,8 +549,11 @@ let pred_bitset ts pred =
   else
     let key = Pred.id pred in
     match Hashtbl.find_opt ts.pred_cache key with
-    | Some bits -> bits
+    | Some bits ->
+      if Obs.on () then Metrics.incr m_pred_hits;
+      bits
     | None ->
+      if Obs.on () then Metrics.incr m_pred_misses;
       let bits = compute () in
       Hashtbl.add ts.pred_cache key bits;
       bits
@@ -472,8 +575,11 @@ let enabled_bitset ts aid =
   if not ts.cached then compute ()
   else
     match ts.enabled_cache.(aid) with
-    | Some bits -> bits
+    | Some bits ->
+      if Obs.on () then Metrics.incr m_enabled_hits;
+      bits
     | None ->
+      if Obs.on () then Metrics.incr m_enabled_misses;
       let bits = compute () in
       ts.enabled_cache.(aid) <- Some bits;
       bits

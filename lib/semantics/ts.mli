@@ -65,6 +65,11 @@ val layout : t -> Layout.t option
 (** Which engine actually built this system ({!Packed} or {!Reference}). *)
 val engine_of : t -> engine
 
+(** Why an [Auto] build fell back to the reference engine, when it did:
+    a human-readable diagnosis (layout overflow, or which variable / value
+    escaped its declared domain).  [None] when no fallback happened. *)
+val fallback_reason : t -> string option
+
 val num_edges : t -> int
 
 (** Outgoing edges of a state: [(action id, target id)] list.  Allocates;

@@ -14,6 +14,11 @@ open Detcor_kernel
 open Detcor_semantics
 open Detcor_spec
 open Detcor_core
+open Detcor_obs
+
+let m_detections = Metrics.counter "sim.monitor.detections"
+let m_corrections = Metrics.counter "sim.monitor.corrections"
+let m_violations = Metrics.counter "sim.monitor.safety_violations"
 
 (* [detection_latency run d]: for each maximal interval where X holds
    continuously, the number of steps from the start of the interval to the
@@ -65,6 +70,8 @@ type report = {
 }
 
 let report runs ~detector ~corrector ~sspec =
+  Obs.span "sim.monitor" ~attrs:[ Attr.int "runs" (List.length runs) ]
+  @@ fun () ->
   let detections =
     List.concat_map (fun r -> detection_latency r detector) runs
   in
@@ -73,6 +80,18 @@ let report runs ~detector ~corrector ~sspec =
     List.length
       (List.filter (fun r -> first_safety_violation r sspec <> None) runs)
   in
+  if Obs.on () then begin
+    Metrics.incr ~by:(List.length detections) m_detections;
+    Metrics.incr ~by:(List.length corrections) m_corrections;
+    Metrics.incr ~by:violations m_violations;
+    Obs.event "sim.monitor.report"
+      ~attrs:
+        [
+          Attr.int "detections" (List.length detections);
+          Attr.int "corrections" (List.length corrections);
+          Attr.int "safety_violations" violations;
+        ]
+  end;
   {
     runs = List.length runs;
     detection = Stats.summarize detections;

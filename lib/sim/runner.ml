@@ -3,6 +3,12 @@
 
 open Detcor_kernel
 open Detcor_semantics
+open Detcor_obs
+
+let m_runs = Metrics.counter "sim.runs"
+let m_steps = Metrics.counter "sim.steps"
+let m_faults = Metrics.counter "sim.faults_injected"
+let h_trace_len = Metrics.histogram "sim.trace_len"
 
 type config = {
   scheduler : Scheduler.t;
@@ -19,6 +25,13 @@ type run = {
 }
 
 let run ?(config = default) program ~injector ~init =
+  Obs.span "sim.run"
+    ~attrs:
+      [
+        Attr.str "program" (Program.name program);
+        Attr.int "seed" config.seed;
+      ]
+  @@ fun () ->
   let rng = Random.State.make [| config.seed |] in
   let rec loop st steps_rev fault_steps step =
     if step >= config.max_steps then
@@ -26,6 +39,11 @@ let run ?(config = default) program ~injector ~init =
     else begin
       match Injector.try_inject injector ~rng ~step st with
       | Some (fname, st') ->
+        if Obs.on () then begin
+          Metrics.incr m_faults;
+          Obs.event "sim.fault"
+            ~attrs:[ Attr.str "action" fname; Attr.int "step" step ]
+        end;
         loop st'
           ({ Trace.action = fname; target = st' } :: steps_rev)
           (step :: fault_steps) (step + 1)
@@ -37,12 +55,30 @@ let run ?(config = default) program ~injector ~init =
           match Scheduler.choose_successor ~rng (Action.execute ac st) with
           | None -> (List.rev steps_rev, List.rev fault_steps, Trace.Maximal)
           | Some st' ->
+            if Obs.on () then
+              Obs.event "sim.schedule" ~level:Attr.Debug
+                ~attrs:
+                  [
+                    Attr.str "action" (Action.name ac);
+                    Attr.int "step" step;
+                    Attr.int "enabled" (List.length enabled);
+                  ];
             loop st'
               ({ Trace.action = Action.name ac; target = st' } :: steps_rev)
               fault_steps (step + 1)))
     end
   in
   let steps, fault_steps, ending = loop init [] [] 0 in
+  if Obs.on () then begin
+    Metrics.incr m_runs;
+    Metrics.incr ~by:(List.length steps) m_steps;
+    Metrics.observe h_trace_len (List.length steps);
+    Obs.annotate
+      [
+        Attr.int "steps" (List.length steps);
+        Attr.int "faults" (Injector.injected injector);
+      ]
+  end;
   {
     trace = Trace.make ~ending init steps;
     fault_steps;
@@ -52,6 +88,7 @@ let run ?(config = default) program ~injector ~init =
 (* [sample ?config n program ~faults ~policy ~init]: n independent runs
    with fresh injectors and distinct seeds. *)
 let sample ?(config = default) n program ~faults ~policy ~init =
+  Obs.span "sim.sample" ~attrs:[ Attr.int "runs" n ] @@ fun () ->
   List.init n (fun i ->
       let injector = Injector.make policy faults in
       run ~config:{ config with seed = config.seed + i } program ~injector ~init)

@@ -28,6 +28,7 @@ open Detcor_kernel
 open Detcor_semantics
 open Detcor_spec
 open Detcor_core
+open Detcor_obs
 
 type failure =
   | Empty_invariant
@@ -63,6 +64,7 @@ type result = {
    edges seeded with the bad states and the sources of bad fault
    transitions. *)
 let compute_ms ts_pf ~fault_ids ~sspec =
+  Obs.span "synth.compute_ms" @@ fun () ->
   let n = Ts.num_states ts_pf in
   let is_fault = Array.make (Ts.num_actions ts_pf) false in
   List.iter (fun i -> is_fault.(i) <- true) fault_ids;
@@ -165,6 +167,8 @@ let recompute_invariant ts_pf ~in_ms p restricted ~invariant =
   SS.elements final
 
 let add_failsafe ?limit p ~spec ~invariant ~faults =
+  Obs.span "synth.add_failsafe" ~attrs:[ Attr.str "program" (Program.name p) ]
+  @@ fun () ->
   let sspec = Spec.safety (Spec.smallest_safety_containing spec) in
   let composed = Fault.compose p faults in
   let ts_pf = Ts.full ?limit composed in
@@ -238,6 +242,8 @@ type recovery = {
    build the recovery action "move one layer closer".  Returns the states
    that cannot reach the target. *)
 let synthesize_recovery ?(step_vars = 1) ~allowed ~target p states =
+  Obs.span "synth.recovery" ~attrs:[ Attr.int "states" (List.length states) ]
+  @@ fun () ->
   let module SM = Map.Make (State) in
   let rank = Hashtbl.create 256 in
   let key st = State.to_string st in
@@ -301,6 +307,8 @@ let synthesize_recovery ?(step_vars = 1) ~allowed ~target p states =
 (* ------------------------------------------------------------------ *)
 
 let add_nonmasking ?limit ?(step_vars = 1) p ~spec ~invariant ~faults =
+  Obs.span "synth.add_nonmasking" ~attrs:[ Attr.str "program" (Program.name p) ]
+  @@ fun () ->
   let init = Tolerance.init_states ?limit p ~invariant in
   if init = [] then Error Empty_invariant
   else begin
@@ -342,6 +350,8 @@ let add_nonmasking ?limit ?(step_vars = 1) p ~spec ~invariant ~faults =
    every recovery step must itself avoid [mt] — the corrector must not
    break the detector's guarantee (Section 5). *)
 let add_masking ?limit ?(step_vars = 1) ?target p ~spec ~invariant ~faults =
+  Obs.span "synth.add_masking" ~attrs:[ Attr.str "program" (Program.name p) ]
+  @@ fun () ->
   let sspec = Spec.safety (Spec.smallest_safety_containing spec) in
   let composed = Fault.compose p faults in
   let ts_pf = Ts.full ?limit composed in

@@ -193,19 +193,7 @@ let test_index_of_foreign_state () =
 (* Parallel build determinism                                          *)
 (* ------------------------------------------------------------------ *)
 
-let same_system label a b =
-  Alcotest.(check int) (label ^ ": num_states") (Ts.num_states a) (Ts.num_states b);
-  Alcotest.(check int) (label ^ ": num_edges") (Ts.num_edges a) (Ts.num_edges b);
-  Alcotest.(check (list int)) (label ^ ": initials") (Ts.initials a) (Ts.initials b);
-  for i = 0 to Ts.num_states a - 1 do
-    Alcotest.(check bool)
-      (Fmt.str "%s: state %d" label i)
-      true
-      (State.equal (Ts.state a i) (Ts.state b i));
-    Alcotest.(check (list (pair int int)))
-      (Fmt.str "%s: edges of %d" label i)
-      (Ts.edges_of a i) (Ts.edges_of b i)
-  done
+let same_system = Util.check_same_system
 
 let test_parallel_determinism () =
   let cfg = Detcor_systems.Token_ring.make_config 5 in

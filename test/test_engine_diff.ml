@@ -163,15 +163,7 @@ let with_inits_arb =
     with_inits_gen
 
 (* Structural equality of two built systems, including numbering. *)
-let equal_system a b =
-  Ts.num_states a = Ts.num_states b
-  && Ts.num_edges a = Ts.num_edges b
-  && Ts.initials a = Ts.initials b
-  && List.for_all
-       (fun i ->
-         State.equal (Ts.state a i) (Ts.state b i)
-         && Ts.edges_of a i = Ts.edges_of b i)
-       (List.init (Ts.num_states a) Fun.id)
+let equal_system = Util.ts_equal
 
 let outcome_str o = Fmt.str "%a" Check.pp_outcome o
 

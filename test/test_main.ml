@@ -11,6 +11,7 @@ let () =
       Test_synthesis.suite;
       Test_lang.suite;
       Test_sim.suite;
+      Test_obs.suite;
       Test_extensions.suite;
       Test_systems2.suite;
       Test_random.suite;

@@ -15,6 +15,36 @@ let state = Alcotest.testable State.pp State.equal
 
 let value = Alcotest.testable Value.pp Value.equal
 
+(* Structural equality of two built systems, including numbering: same
+   states in the same order, same CSR edges, same initials. *)
+let ts_equal a b =
+  let module Ts = Detcor_semantics.Ts in
+  Ts.num_states a = Ts.num_states b
+  && Ts.num_edges a = Ts.num_edges b
+  && Ts.initials a = Ts.initials b
+  && List.for_all
+       (fun i ->
+         State.equal (Ts.state a i) (Ts.state b i)
+         && Ts.edges_of a i = Ts.edges_of b i)
+       (List.init (Ts.num_states a) Fun.id)
+
+(* Alcotest form of {!ts_equal}: one check per component, so a mismatch
+   reports which part of the structure diverged. *)
+let check_same_system label a b =
+  let module Ts = Detcor_semantics.Ts in
+  Alcotest.(check int) (label ^ ": num_states") (Ts.num_states a) (Ts.num_states b);
+  Alcotest.(check int) (label ^ ": num_edges") (Ts.num_edges a) (Ts.num_edges b);
+  Alcotest.(check (list int)) (label ^ ": initials") (Ts.initials a) (Ts.initials b);
+  for i = 0 to Ts.num_states a - 1 do
+    Alcotest.(check bool)
+      (Fmt.str "%s: state %d" label i)
+      true
+      (State.equal (Ts.state a i) (Ts.state b i));
+    Alcotest.(check (list (pair int int)))
+      (Fmt.str "%s: edges of %d" label i)
+      (Ts.edges_of a i) (Ts.edges_of b i)
+  done
+
 (* QCheck generator for values. *)
 let value_gen =
   QCheck.Gen.(
