@@ -10,7 +10,11 @@
 
    Every subcommand accepts --trace FILE (span/event trace, JSON-lines or
    Chrome trace_event by extension), --metrics FILE (JSON snapshot of all
-   counters and histograms) and --log-level LEVEL (echo events to stderr).
+   counters and histograms), --log-level LEVEL (echo events to stderr) and
+   --timeout SECONDS (wall-clock budget; exhaustion exits 3).
+
+   Exit codes: 0 verdict holds, 1 verification (or synthesis) fails,
+   2 usage/parse/type error, 3 resource budget exhausted.
 
    Programs are written in the guarded-command language of Detcor_lang;
    see examples/dc/. *)
@@ -21,21 +25,64 @@ open Detcor_spec
 open Detcor_core
 open Detcor_lang
 open Detcor_obs
-
-let load path =
-  try Ok (Elaborate.load_file path) with
-  | Sys_error m -> Error m
-  | Lexer.Error { line; column; message } ->
-    Error (Fmt.str "%s:%d:%d: %s" path line column message)
-  | Parser.Error { line; column; message } ->
-    Error (Fmt.str "%s:%d:%d: %s" path line column message)
-  | Elaborate.Error m -> Error (Fmt.str "%s: %s" path m)
+module Error = Detcor_robust.Error
+module Budget = Detcor_robust.Budget
 
 let or_die = function
   | Ok v -> v
   | Error m ->
     Fmt.epr "dcheck: %s@." m;
     exit 2
+
+(* Located one-line rendering: parse errors carry the file name. *)
+let pp_located path ppf (e : Error.t) =
+  match e with
+  | Error.Parse { line; col; msg } ->
+    Fmt.pf ppf "%s:%d:%d: %s" path line col msg
+  | e -> Error.pp ppf e
+
+(* Every subcommand runs inside this handler: any failure the toolkit can
+   produce becomes a one-line diagnostic and a documented exit code, never
+   an uncaught exception. *)
+let with_errors ~path k =
+  try k () with
+  | Error.Detcor_error e ->
+    Fmt.epr "dcheck: %a@." (pp_located path) e;
+    Error.exit_code e
+  | Detcor_semantics.Ts.Too_large n ->
+    Fmt.epr "dcheck: state budget exhausted (exploration exceeded --limit %d)@."
+      n;
+    3
+  | Value.Type_error m ->
+    Fmt.epr "dcheck: type error: %s@." m;
+    2
+  | Sys_error m ->
+    Fmt.epr "dcheck: %s@." m;
+    2
+  | Out_of_memory ->
+    Fmt.epr "dcheck: out of memory@.";
+    3
+  | Stack_overflow ->
+    Fmt.epr "dcheck: stack overflow@.";
+    125
+
+let with_budget timeout k =
+  match timeout with
+  | None -> k ()
+  | Some t -> Budget.with_budget (Budget.make ~timeout:t ()) k
+
+(* [guarded ~path timeout k]: the budget goes inside the error handler so
+   exhaustion anywhere — including parsing and elaboration — exits 3. *)
+let guarded ~path timeout k = with_errors ~path (fun () -> with_budget timeout k)
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget for the whole run.  On exhaustion undecided \
+           obligations report as unknown and dcheck exits 3.")
 
 let file_arg =
   Arg.(
@@ -143,9 +190,10 @@ let with_obs ?(extra = []) opts k =
 (* ------------------------------------------------------------------ *)
 
 let info_cmd =
-  let run path limit obs =
+  let run path limit timeout obs =
     with_obs obs @@ fun () ->
-    let e = or_die (load path) in
+    guarded ~path timeout @@ fun () ->
+    let e = Elaborate.load_file path in
     Fmt.pr "program %s@." (Program.name e.program);
     Fmt.pr "  variables:     %d@." (List.length (Program.variables e.program));
     List.iter
@@ -168,28 +216,27 @@ let info_cmd =
       List.iter (fun m -> Fmt.pr "    %s@." m) issues
     end;
     (* Which engine the auto dispatch actually picks for this program, and
-       why it fell back to the reference engine if it did. *)
-    (try
-       let module Ts = Detcor_semantics.Ts in
-       let ts =
-         Ts.of_pred ~limit (Fault.compose e.program e.faults) ~from:e.invariant
-       in
-       Fmt.pr "  engine:        %s@."
-         (match Ts.engine_of ts with
-         | Ts.Packed -> "packed"
-         | Ts.Reference -> "reference"
-         | Ts.Auto -> "auto");
-       match Ts.fallback_reason ts with
-       | None -> ()
-       | Some reason ->
-         Fmt.pr "  WARNING: packed engine fell back to reference: %s@." reason
-     with Detcor_semantics.Ts.Too_large _ ->
-       Fmt.pr "  engine:        (state space exceeds --limit; not explored)@.");
-    `Ok ()
+       why it fell back to the reference engine if it did.  A state space
+       exceeding --limit is NOT swallowed here: it propagates to the shared
+       handler and exits 3 like every other exhausted budget. *)
+    let module Ts = Detcor_semantics.Ts in
+    let ts =
+      Ts.of_pred ~limit (Fault.compose e.program e.faults) ~from:e.invariant
+    in
+    Fmt.pr "  engine:        %s@."
+      (match Ts.engine_of ts with
+      | Ts.Packed -> "packed"
+      | Ts.Reference -> "reference"
+      | Ts.Auto -> "auto");
+    (match Ts.fallback_reason ts with
+    | None -> ()
+    | Some reason ->
+      Fmt.pr "  WARNING: packed engine fell back to reference: %s@." reason);
+    0
   in
   Cmd.v
     (Cmd.info "info" ~doc:"Summarize a guarded-command program.")
-    Term.(ret (const run $ file_arg $ limit_arg $ obs_term))
+    Term.(const run $ file_arg $ limit_arg $ timeout_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                              *)
@@ -222,9 +269,10 @@ let explain_arg =
         ~doc:"On failure, print a witness trace for each failing obligation.")
 
 let verify_cmd =
-  let run path tol limit explain obs =
+  let run path tol limit explain timeout obs =
     with_obs obs @@ fun () ->
-    let e = or_die (load path) in
+    guarded ~path timeout @@ fun () ->
+    let e = Elaborate.load_file path in
     let classes =
       match tol with
       | Some t -> [ t ]
@@ -241,7 +289,9 @@ let verify_cmd =
         List.iter
           (fun (item : Tolerance.item) ->
             match item.outcome with
-            | Detcor_semantics.Check.Holds -> ()
+            | Detcor_semantics.Check.Holds | Detcor_semantics.Check.Unknown _
+              ->
+              ()
             | Detcor_semantics.Check.Fails v -> (
               match Detcor_semantics.Explain.violation span.ts_pf v with
               | Some w ->
@@ -254,7 +304,8 @@ let verify_cmd =
           (Tolerance.failures report)
       end
     in
-    let ok = ref true in
+    let fails = ref false in
+    let unknown = ref false in
     List.iter
       (fun tol ->
         let report =
@@ -262,29 +313,38 @@ let verify_cmd =
             ~faults:e.faults ~tol
         in
         Fmt.pr "%a@.@." Tolerance.pp_report report;
-        if not (Tolerance.verdict report) then begin
-          ok := false;
+        if Tolerance.failures report <> [] then begin
+          fails := true;
           explain_failures report
-        end)
+        end;
+        if Tolerance.unknowns report <> [] then unknown := true)
       classes;
-    if !ok then `Ok () else `Error (false, "verification failed")
+    if !fails then begin
+      Fmt.epr "dcheck: verification failed@.";
+      1
+    end
+    else if !unknown then begin
+      Fmt.epr "dcheck: verification incomplete (resource budget exhausted)@.";
+      3
+    end
+    else 0
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Check F-tolerance of the program against its specification.")
     Term.(
-      ret
-        (const run $ file_arg $ tolerance_arg $ limit_arg $ explain_arg
-       $ obs_term))
+      const run $ file_arg $ tolerance_arg $ limit_arg $ explain_arg
+      $ timeout_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* components                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let components_cmd =
-  let run path limit obs =
+  let run path limit timeout obs =
     with_obs obs @@ fun () ->
-    let e = or_die (load path) in
+    guarded ~path timeout @@ fun () ->
+    let e = Elaborate.load_file path in
     let sspec = Spec.safety (Spec.smallest_safety_containing e.spec) in
     let span =
       Tolerance.fault_span ~limit e.program ~faults:e.faults ~from:e.invariant
@@ -311,21 +371,22 @@ let components_cmd =
       (Pred.name (Corrector.witness extracted.corrector))
       (Pred.name (Corrector.correction extracted.corrector))
       Detcor_semantics.Check.pp_outcome extracted.outcome;
-    `Ok ()
+    0
   in
   Cmd.v
     (Cmd.info "components"
        ~doc:"Extract detector and corrector components from the program.")
-    Term.(ret (const run $ file_arg $ limit_arg $ obs_term))
+    Term.(const run $ file_arg $ limit_arg $ timeout_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* synthesize                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let synthesize_cmd =
-  let run path tol limit obs =
+  let run path tol limit timeout obs =
     with_obs obs @@ fun () ->
-    let e = or_die (load path) in
+    guarded ~path timeout @@ fun () ->
+    let e = Elaborate.load_file path in
     let tol = match tol with Some t -> t | None -> Spec.Masking in
     let result =
       match tol with
@@ -342,7 +403,8 @@ let synthesize_cmd =
     match result with
     | Error f ->
       Fmt.epr "synthesis failed: %a@." Detcor_synthesis.Synthesize.pp_failure f;
-      `Error (false, "synthesis failed")
+      Fmt.epr "dcheck: synthesis failed@.";
+      1
     | Ok r ->
       Fmt.pr "synthesized %s@." (Program.name r.program);
       List.iter
@@ -352,14 +414,15 @@ let synthesize_cmd =
       if r.recovery_states > 0 then
         Fmt.pr "  corrector added: recovery from %d states@." r.recovery_states;
       Fmt.pr "@.%a@." Tolerance.pp_report r.report;
-      `Ok ()
+      0
   in
   Cmd.v
     (Cmd.info "synthesize"
        ~doc:
          "Add fail-safe, nonmasking or masking tolerance to the program \
           (default: masking).")
-    Term.(ret (const run $ file_arg $ tolerance_arg $ limit_arg $ obs_term))
+    Term.(const run $ file_arg $ tolerance_arg $ limit_arg $ timeout_arg
+          $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -387,14 +450,17 @@ let simulate_cmd =
   let seed_arg =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
   in
-  let run path runs steps prob max_faults seed obs =
+  let run path runs steps prob max_faults seed timeout obs =
     with_obs obs @@ fun () ->
-    let e = or_die (load path) in
+    guarded ~path timeout @@ fun () ->
+    let e = Elaborate.load_file path in
     let inits =
       List.filter (Pred.holds e.invariant) (Program.states e.program)
     in
     match inits with
-    | [] -> `Error (false, "no state satisfies the invariant")
+    | [] ->
+      Fmt.epr "dcheck: no state satisfies the invariant@.";
+      2
     | init :: _ ->
       let sspec = Spec.safety (Spec.smallest_safety_containing e.spec) in
       let open Detcor_sim in
@@ -434,15 +500,14 @@ let simulate_cmd =
         (List.length settled) runs;
       Fmt.pr "steps to re-enter the invariant: %a@." Stats.pp_option
         (Stats.summarize settled);
-      `Ok ()
+      0
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Fault-injection simulation with online safety monitoring.")
     Term.(
-      ret
-        (const run $ file_arg $ runs_arg $ steps_arg $ prob_arg
-       $ max_faults_arg $ seed_arg $ obs_term))
+      const run $ file_arg $ runs_arg $ steps_arg $ prob_arg $ max_faults_arg
+      $ seed_arg $ timeout_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* profile                                                             *)
@@ -452,8 +517,9 @@ let simulate_cmd =
    print the per-phase breakdown.  Verdicts are printed too, so a profile
    run doubles as a verify run. *)
 let profile_cmd =
-  let run path tol limit obs =
-    let e = or_die (load path) in
+  let run path tol limit timeout obs =
+    guarded ~path timeout @@ fun () ->
+    let e = Elaborate.load_file path in
     let classes =
       match tol with
       | Some t -> [ t ]
@@ -487,16 +553,19 @@ let profile_cmd =
     List.iter
       (fun (tol, report) ->
         Fmt.pr "%a: %s@." Spec.pp_tolerance tol
-          (if Tolerance.verdict report then "holds" else "FAILS"))
+          (if Tolerance.verdict report then "holds"
+           else if Tolerance.failures report <> [] then "FAILS"
+           else "UNKNOWN"))
       (List.rev !reports);
-    `Ok ()
+    0
   in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
          "Verify the program under tracing and print a per-phase time/space \
           breakdown.")
-    Term.(ret (const run $ file_arg $ tolerance_arg $ limit_arg $ obs_term))
+    Term.(const run $ file_arg $ tolerance_arg $ limit_arg $ timeout_arg
+          $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* graph                                                               *)
@@ -514,9 +583,10 @@ let graph_cmd =
       value & flag
       & info [ "with-faults" ] ~doc:"Include fault transitions (dashed).")
   in
-  let run path out with_faults limit obs =
+  let run path out with_faults limit timeout obs =
     with_obs obs @@ fun () ->
-    let e = or_die (load path) in
+    guarded ~path timeout @@ fun () ->
+    let e = Elaborate.load_file path in
     let program =
       if with_faults then Fault.compose e.program e.faults else e.program
     in
@@ -536,14 +606,16 @@ let graph_cmd =
       Detcor_semantics.Dot.to_file ~style ts file;
       Fmt.pr "wrote %s (%d states)@." file (Detcor_semantics.Ts.num_states ts)
     | None -> print_string (Detcor_semantics.Dot.to_string ~style ts));
-    `Ok ()
+    0
   in
   Cmd.v
     (Cmd.info "graph"
        ~doc:
          "Export the reachable transition system (from the invariant) as \
           Graphviz DOT; invariant states are highlighted.")
-    Term.(ret (const run $ file_arg $ out_arg $ faults_arg $ limit_arg $ obs_term))
+    Term.(
+      const run $ file_arg $ out_arg $ faults_arg $ limit_arg $ timeout_arg
+      $ obs_term)
 
 let main =
   Cmd.group
@@ -554,4 +626,8 @@ let main =
     [ info_cmd; verify_cmd; components_cmd; synthesize_cmd; simulate_cmd;
       profile_cmd; graph_cmd ]
 
-let () = exit (Cmd.eval main)
+(* cmdliner reports its own CLI parse problems with [Exit.cli_error]
+   (124); the documented contract puts every usage error at 2. *)
+let () =
+  let code = Cmd.eval' main in
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -56,7 +56,7 @@ let () =
   List.iter
     (fun (item : Tolerance.item) ->
       match item.outcome with
-      | Detcor_semantics.Check.Holds -> ()
+      | Detcor_semantics.Check.Holds | Detcor_semantics.Check.Unknown _ -> ()
       | Detcor_semantics.Check.Fails v -> (
         match Detcor_semantics.Explain.violation span.ts_pf v with
         | Some w ->

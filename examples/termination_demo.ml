@@ -38,7 +38,8 @@ let () =
   (match
      Spec.refines span.ts_pf (Detector.safety_spec (Termination.detector cfg))
    with
-  | Detcor_semantics.Check.Holds -> Fmt.pr "unexpectedly safe?@."
+  | Detcor_semantics.Check.Holds | Detcor_semantics.Check.Unknown _ ->
+    Fmt.pr "unexpectedly safe?@."
   | Detcor_semantics.Check.Fails v -> (
     Fmt.pr "violation: %a@." Detcor_semantics.Check.pp_violation v;
     match Detcor_semantics.Explain.violation span.ts_pf v with

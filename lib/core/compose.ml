@@ -42,7 +42,7 @@ let detector_or d1 d2 =
     ()
 
 let detector_list_and = function
-  | [] -> invalid_arg "Compose.detector_list_and: empty list"
+  | [] -> Detcor_robust.Error.internal "Compose.detector_list_and: empty list"
   | d :: ds -> List.fold_left detector_and d ds
 
 let corrector_and c1 c2 =

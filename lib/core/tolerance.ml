@@ -36,14 +36,25 @@ type item = {
    [timed] evaluates [f] exactly once either way, so verdicts (and their
    order of computation) are identical with observability on or off. *)
 let h_verdict = Metrics.histogram "check.verdict_ns"
+let m_unknown = Metrics.counter "check.unknown_verdicts"
+
+let count_unknown outcome =
+  match outcome with
+  | Check.Unknown _ when Obs.on () -> Metrics.incr m_unknown
+  | _ -> ()
 
 let timed label f =
-  if not (Obs.on ()) then { label; outcome = f () }
+  if not (Obs.on ()) then begin
+    let outcome = f () in
+    count_unknown outcome;
+    { label; outcome }
+  end
   else begin
     let t0 = Obs.now_ns () in
     let outcome = f () in
     let dt = Int64.to_int (Int64.sub (Obs.now_ns ()) t0) in
     Metrics.observe h_verdict dt;
+    count_unknown outcome;
     Obs.event "tolerance.verdict"
       ~attrs:
         [
@@ -53,6 +64,18 @@ let timed label f =
         ];
     { label; outcome }
   end
+
+(* A resource-exhaustion exception, as the taxonomy's [resource] payload.
+   [Ts.Too_large] is the legacy state-ceiling cliff; it is subsumed here
+   so an exceeded exploration limit yields an [Unknown] verdict exactly
+   like an exceeded budget dimension. *)
+let resource_of_exn = function
+  | Detcor_robust.Error.Detcor_error (Detcor_robust.Error.Resource r) ->
+    Some r
+  | Ts.Too_large n ->
+    Some { Detcor_robust.Error.kind = Detcor_robust.Error.States;
+           spent = n; budget = n }
+  | _ -> None
 
 type report = {
   subject : string;
@@ -64,7 +87,21 @@ type report = {
 
 let verdict r = List.for_all (fun i -> Check.holds i.outcome) r.items
 
-let failures r = List.filter (fun i -> not (Check.holds i.outcome)) r.items
+let failures r =
+  List.filter
+    (fun i -> match i.outcome with Check.Fails _ -> true | _ -> false)
+    r.items
+
+let unknowns r =
+  List.filter
+    (fun i -> match i.outcome with Check.Unknown _ -> true | _ -> false)
+    r.items
+
+let first_unknown r =
+  List.find_map
+    (fun i ->
+      match i.outcome with Check.Unknown res -> Some res | _ -> None)
+    r.items
 
 let pp_report ppf r =
   Fmt.pf ppf
@@ -74,7 +111,13 @@ let pp_report ppf r =
       list ~sep:cut (fun ppf i ->
           Fmt.pf ppf "  %-52s %a" i.label Check.pp_outcome i.outcome))
     r.items
-    (if verdict r then "VERDICT: holds" else "VERDICT: FAILS")
+    (if failures r <> [] then "VERDICT: FAILS"
+     else
+       match first_unknown r with
+       | Some res ->
+         Fmt.str "VERDICT: UNKNOWN (%s budget exhausted)"
+           (Detcor_robust.Error.resource_kind_name res.kind)
+       | None -> "VERDICT: holds")
 
 (* ------------------------------------------------------------------ *)
 (* Fault spans (Section 2.3).                                          *)
@@ -185,21 +228,61 @@ let check_with ?limit ?engine ?recover p ~spec ~invariant ~init ~faults ~tol =
         Attr.str "tolerance" (Fmt.str "%a" Spec.pp_tolerance tol);
       ]
   @@ fun () ->
+  (* Exhaustion of the ambient budget (or of the exploration limit) inside
+     any obligation is recorded here; that obligation — and every later one
+     whose shared structures could not be built — reports [Unknown] instead
+     of aborting the whole check.  With a generous budget nothing trips, no
+     extra work runs, and the report is identical to the pre-budget one. *)
+  let exhausted = ref None in
+  let record e =
+    match resource_of_exn e with
+    | Some r ->
+      if !exhausted = None then exhausted := Some r;
+      Some r
+    | None -> None
+  in
+  let guard f =
+    match !exhausted with
+    | Some r -> Check.Unknown r
+    | None -> (
+      try f ()
+      with e -> (
+        match record e with Some r -> Check.Unknown r | None -> raise e))
+  in
+  let structure f =
+    match !exhausted with
+    | Some _ -> None
+    | None -> (
+      try Some (f ())
+      with e -> (match record e with Some _ -> None | None -> raise e))
+  in
+  let unknown () = Check.Unknown (Option.get !exhausted) in
   let base_ts = ref None in
   let base_item =
     timed "p refines SPEC from S" (fun () ->
-        let ts, o = refines_from_states ?limit ?engine p ~spec ~init ~invariant in
-        base_ts := Some ts;
-        o)
+        guard (fun () ->
+            let ts, o =
+              refines_from_states ?limit ?engine p ~spec ~init ~invariant
+            in
+            base_ts := Some ts;
+            o))
   in
-  let ts_p = Option.get !base_ts in
-  let span = fault_span_from_states ?limit ?engine p ~faults ~init in
+  let span =
+    structure (fun () -> fault_span_from_states ?limit ?engine p ~faults ~init)
+  in
   (* p alone, over the whole span: used for liveness after faults stop. *)
-  let ts_p_span = Ts.build ?limit ?engine p ~from:span.states in
+  let ts_p_span =
+    match span with
+    | None -> None
+    | Some span ->
+      structure (fun () -> Ts.build ?limit ?engine p ~from:span.states)
+  in
   let sspec = Spec.smallest_safety_containing spec in
   let safety_item =
     timed "p[]F refines SSPEC from span" (fun () ->
-        Spec.refines span.ts_pf sspec)
+        match span with
+        | None -> unknown ()
+        | Some span -> guard (fun () -> Spec.refines span.ts_pf sspec))
   in
   (* Nonmasking: a suffix of every computation is in SPEC.  The paper's
      route (Theorem 4.3): converge to a recovery predicate R (default: the
@@ -208,25 +291,37 @@ let check_with ?limit ?engine ?recover p ~spec ~invariant ~init ~faults ~tol =
   let convergence_item =
     timed
       (Fmt.str "p converges from span to %s" (Pred.name recover))
-      (fun () -> Check.eventually ts_p_span recover)
+      (fun () ->
+        match ts_p_span with
+        | None -> unknown ()
+        | Some ts -> guard (fun () -> Check.eventually ts recover))
   in
   let recover_item () =
     timed
       (Fmt.str "p refines SPEC from %s" (Pred.name recover))
       (fun () ->
-        let ts_rec =
-          Ts.build ?limit ?engine p
-            ~from:(List.filter (Pred.holds recover) span.states)
-        in
-        Check.all [ Check.closed ts_rec recover; Spec.refines ts_rec spec ])
+        match span with
+        | None -> unknown ()
+        | Some span ->
+          guard (fun () ->
+              let ts_rec =
+                Ts.build ?limit ?engine p
+                  ~from:(List.filter (Pred.holds recover) span.states)
+              in
+              Check.all
+                [ Check.closed ts_rec recover; Spec.refines ts_rec spec ]))
   in
   (* Masking: computations of p [] F from the span are in SPEC — safety on
      the full p [] F graph, liveness under the finitely-many-faults
      semantics (Assumption 2). *)
   let liveness_item =
     timed "liveness of SPEC on p[]F from span" (fun () ->
-        liveness_under_faults ~ts_pf:span.ts_pf ~ts_p:ts_p_span
-          (Spec.liveness spec))
+        match (span, ts_p_span) with
+        | Some span, Some ts_p_span ->
+          guard (fun () ->
+              liveness_under_faults ~ts_pf:span.ts_pf ~ts_p:ts_p_span
+                (Spec.liveness spec))
+        | _ -> unknown ())
   in
   let items =
     match tol with
@@ -237,8 +332,9 @@ let check_with ?limit ?engine ?recover p ~spec ~invariant ~init ~faults ~tol =
   {
     subject = Program.name p;
     tol;
-    span_size = List.length span.states;
-    invariant_size = List.length (Ts.states ts_p);
+    span_size = (match span with Some s -> List.length s.states | None -> 0);
+    invariant_size =
+      (match !base_ts with Some ts -> List.length (Ts.states ts) | None -> 0);
     items;
   }
 
@@ -263,8 +359,24 @@ let init_states ?limit ?(engine = Ts.Auto) p ~invariant =
       else reference ())
 
 let check ?limit ?engine ?recover p ~spec ~invariant ~faults ~tol =
-  let init = init_states ?limit ?engine p ~invariant in
-  check_with ?limit ?engine ?recover p ~spec ~invariant ~init ~faults ~tol
+  match init_states ?limit ?engine p ~invariant with
+  | init ->
+    check_with ?limit ?engine ?recover p ~spec ~invariant ~init ~faults ~tol
+  | exception e -> (
+    (* Exhaustion while enumerating the invariant itself still yields a
+       well-formed report: one Unknown obligation, never an exception. *)
+    match resource_of_exn e with
+    | Some r ->
+      let outcome = Check.Unknown r in
+      count_unknown outcome;
+      {
+        subject = Program.name p;
+        tol;
+        span_size = 0;
+        invariant_size = 0;
+        items = [ { label = "enumerate invariant states"; outcome } ];
+      }
+    | None -> raise e)
 
 let is_failsafe ?limit ?engine p ~spec ~invariant ~faults =
   check ?limit ?engine p ~spec ~invariant ~faults ~tol:Spec.Failsafe

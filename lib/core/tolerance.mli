@@ -24,8 +24,20 @@ type report = {
   items : item list;
 }
 
+(** [verdict r] is true iff every obligation holds; an [Unknown]
+    obligation (resource budget exhausted mid-check) makes the verdict
+    false but is reported distinctly — see {!unknowns}. *)
 val verdict : report -> bool
+
+(** The obligations that definitely fail (excludes [Unknown] ones). *)
 val failures : report -> item list
+
+(** The obligations left undecided by resource exhaustion. *)
+val unknowns : report -> item list
+
+(** The first exhausted-resource payload in the report, if any. *)
+val first_unknown : report -> Detcor_robust.Error.resource option
+
 val pp_report : report Fmt.t
 
 type span = {

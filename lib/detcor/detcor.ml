@@ -18,6 +18,10 @@ module Pred = Detcor_kernel.Pred
 module Action = Detcor_kernel.Action
 module Program = Detcor_kernel.Program
 
+(* Robustness: the error taxonomy and resource budgets *)
+module Error = Detcor_robust.Error
+module Budget = Detcor_robust.Budget
+
 (* Semantics *)
 module Ts = Detcor_semantics.Ts
 module Graph = Detcor_semantics.Graph

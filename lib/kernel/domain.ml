@@ -3,12 +3,12 @@
 type t = Value.t list
 
 let of_values vs =
-  if vs = [] then invalid_arg "Domain.of_values: empty domain";
+  if vs = [] then Detcor_robust.Error.internal "Domain.of_values: empty domain";
   let sorted = List.sort_uniq Value.compare vs in
   sorted
 
 let range lo hi =
-  if lo > hi then invalid_arg "Domain.range: empty range";
+  if lo > hi then Detcor_robust.Error.internal "Domain.range: empty range";
   List.init (hi - lo + 1) (fun i -> Value.Int (lo + i))
 
 let boolean = [ Value.Bool false; Value.Bool true ]

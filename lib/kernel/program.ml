@@ -25,11 +25,12 @@ let make ~name ~vars ~actions =
   let var_names = List.map (fun (x, _) -> x) vars in
   let sorted = List.sort_uniq String.compare var_names in
   if List.length sorted <> List.length var_names then
-    invalid_arg (Fmt.str "Program.make %s: duplicate variable declaration" name);
+    Detcor_robust.Error.internal "Program.make %s: duplicate variable declaration"
+      name;
   let action_names = List.map Action.name actions in
   let sorted_actions = List.sort_uniq String.compare action_names in
   if List.length sorted_actions <> List.length action_names then
-    invalid_arg (Fmt.str "Program.make %s: duplicate action name" name);
+    Detcor_robust.Error.internal "Program.make %s: duplicate action name" name;
   {
     name;
     vars = List.map (fun (x, d) -> { var_name = x; domain = d }) vars;
@@ -67,9 +68,9 @@ let merge_vars ~context vs1 vs2 =
     | Some existing ->
       if Domain.values existing.domain = Domain.values vd.domain then acc
       else
-        invalid_arg
-          (Fmt.str "%s: variable %s declared with two different domains"
-             context vd.var_name)
+        Detcor_robust.Error.internal
+          "%s: variable %s declared with two different domains" context
+          vd.var_name
   in
   List.fold_left extend vs1 vs2
 
@@ -83,7 +84,7 @@ let parallel p q =
   }
 
 let parallel_list = function
-  | [] -> invalid_arg "Program.parallel_list: empty list"
+  | [] -> Detcor_robust.Error.internal "Program.parallel_list: empty list"
   | p :: ps -> List.fold_left parallel p ps
 
 (* Restriction Z ∧ p. *)
@@ -105,7 +106,9 @@ let space_size p =
    early; [states] materializes the whole space. *)
 let fold_states f init p =
   let rec go acc st = function
-    | [] -> f acc st
+    | [] ->
+      Detcor_robust.Budget.tick ();
+      f acc st
     | vd :: rest ->
       List.fold_left
         (fun acc v -> go acc (State.set st vd.var_name v) rest)

@@ -5,9 +5,9 @@ open Detcor_kernel
 open Detcor_spec
 open Detcor_core
 
-exception Error of string
-
-let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+(* Elaboration failures are static typing/scoping problems, so they raise
+   [Detcor_robust.Error.Detcor_error (Type_error _)]. *)
+let error fmt = Detcor_robust.Error.type_error fmt
 
 type elaborated = {
   program : Program.t;
@@ -17,10 +17,19 @@ type elaborated = {
   source : Ast.program;
 }
 
+(* Domains are materialized as value lists, so an absurd range like
+   0..999999999 must be rejected here — with a typed error — rather than
+   exhaust memory building it. *)
+let max_domain_size = 1_000_000
+
 let domain_of_decl = function
   | Ast.Dbool -> Domain.boolean
   | Ast.Drange (lo, hi) ->
     if lo > hi then error "empty range %d..%d" lo hi;
+    (* hi - lo overflows to negative when the bounds span most of the int
+       range; treat that as over the cap too. *)
+    if hi - lo < 0 || hi - lo + 1 > max_domain_size then
+      error "range %d..%d is too large (over %d values)" lo hi max_domain_size;
     Domain.range lo hi
   | Ast.Dsymbols names ->
     if names = [] then error "empty symbol domain";

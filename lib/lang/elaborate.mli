@@ -5,8 +5,6 @@ open Detcor_kernel
 open Detcor_spec
 open Detcor_core
 
-exception Error of string
-
 type elaborated = {
   program : Program.t;  (** the non-fault actions *)
   faults : Fault.t;  (** the [fault] declarations *)

@@ -1,11 +1,6 @@
 (* Hand-rolled lexer for the guarded-command language.
-   Comments run from '#' or '//' to end of line. *)
-
-exception Error of {
-  line : int;
-  column : int;
-  message : string;
-}
+   Comments run from '#' or '//' to end of line.
+   All rejections raise [Detcor_robust.Error.Detcor_error (Parse _)]. *)
 
 type located = {
   token : Token.t;
@@ -35,7 +30,9 @@ let tokenize src =
     | _ -> incr col);
     incr pos
   in
-  let error message = raise (Error { line = !line; column = !col; message }) in
+  let error message =
+    Detcor_robust.Error.parse ~line:!line ~col:!col "%s" message
+  in
   let emit token l c = tokens := { token; line = l; column = c } :: !tokens in
   while !pos < n do
     let l = !line and c = !col in
@@ -60,7 +57,14 @@ let tokenize src =
       while !pos < n && is_digit src.[!pos] do
         advance ()
       done;
-      emit (Token.INT (int_of_string (String.sub src start (!pos - start)))) l c
+      let lexeme = String.sub src start (!pos - start) in
+      (* Reject out-of-range literals here rather than letting
+         [int_of_string] escape as a bare [Failure]. *)
+      match int_of_string_opt lexeme with
+      | Some v -> emit (Token.INT v) l c
+      | None ->
+        Detcor_robust.Error.parse ~line:l ~col:c
+          "integer literal %s out of range" lexeme
     end
     else begin
       let two = if !pos + 1 < n then String.sub src !pos 2 else "" in

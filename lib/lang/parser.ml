@@ -1,22 +1,36 @@
-(* Recursive-descent parser for the guarded-command language. *)
-
-exception Error of {
-  line : int;
-  column : int;
-  message : string;
-}
+(* Recursive-descent parser for the guarded-command language.
+   All rejections raise [Detcor_robust.Error.Detcor_error (Parse _)]. *)
 
 type stream = {
   mutable tokens : Lexer.located list;
+  mutable depth : int; (* current expression-nesting depth *)
 }
 
 let peek s =
   match s.tokens with
   | t :: _ -> t
-  | [] -> assert false (* the lexer always appends EOF *)
+  | [] ->
+    (* the lexer always appends EOF *)
+    Detcor_robust.Error.internal "Parser.peek: token stream without EOF"
 
 let error_at (t : Lexer.located) message =
-  raise (Error { line = t.line; column = t.column; message })
+  Detcor_robust.Error.parse ~line:t.line ~col:t.column "%s" message
+
+(* Recursion bound for the expression grammar: a hostile source of deeply
+   nested parentheses (or a long right-associative operator chain) must be
+   rejected with a located diagnostic, not a [Stack_overflow]. *)
+let max_depth = 1000
+
+let deeper s f =
+  s.depth <- s.depth + 1;
+  if s.depth > max_depth then begin
+    let t = peek s in
+    Detcor_robust.Error.parse ~line:t.line ~col:t.column
+      "expression nesting too deep (more than %d levels)" max_depth
+  end;
+  let r = f () in
+  s.depth <- s.depth - 1;
+  r
 
 let next s =
   let t = peek s in
@@ -63,19 +77,23 @@ let integer s =
 let rec parse_expr s = parse_iff s
 
 and parse_iff s =
+  deeper s @@ fun () ->
   let lhs = parse_implies s in
   if accept s Token.IFF then Ast.Binop (Ast.Biff, lhs, parse_iff s) else lhs
 
 and parse_implies s =
+  deeper s @@ fun () ->
   let lhs = parse_or s in
   if accept s Token.IMPLIES then Ast.Binop (Ast.Bimplies, lhs, parse_implies s)
   else lhs
 
 and parse_or s =
+  deeper s @@ fun () ->
   let lhs = parse_and s in
   if accept s Token.OR then Ast.Binop (Ast.Bor, lhs, parse_or s) else lhs
 
 and parse_and s =
+  deeper s @@ fun () ->
   let lhs = parse_cmp s in
   if accept s Token.AND then Ast.Binop (Ast.Band, lhs, parse_and s) else lhs
 
@@ -124,9 +142,11 @@ and parse_mul s =
   loop (parse_unary s)
 
 and parse_unary s =
+  deeper s @@ fun () ->
   if accept s Token.NOT then Ast.Not (parse_unary s) else parse_atom s
 
 and parse_atom s =
+  deeper s @@ fun () ->
   let t = next s in
   match t.token with
   | Token.INT n -> Ast.Int n
@@ -265,7 +285,7 @@ let parse_decl s =
          (Token.to_string other))
 
 let parse_program tokens =
-  let s = { tokens } in
+  let s = { tokens; depth = 0 } in
   expect s Token.KW_PROGRAM;
   let pname = ident s in
   let rec decls acc =

@@ -1,0 +1,132 @@
+(* Resource governance for long-running procedures.
+
+   A budget bounds the wall-clock time (monotonic deadline), visited
+   state count and major-heap size of everything run under
+   [with_budget].  Long-running loops call the cooperative checkpoints
+   [tick]/[count_state]; when a dimension runs out the checkpoint
+   raises [Error.Detcor_error (Resource _)], which callers such as
+   [Tolerance.check] convert into a sound [Unknown] verdict.
+
+   The ambient budget is a plain global: worker domains spawned under
+   [with_budget] read the same record, and the [tripped] cell is an
+   [Atomic] so exhaustion detected on one domain cancels the others at
+   their next checkpoint.  The inactive fast path of [tick] is two
+   loads and a branch, so an unlimited budget (the default) costs
+   nothing measurable even in per-edge loops. *)
+
+type t = {
+  active : bool;
+  start_ns : int64; (* monotonic, for Time spent reporting *)
+  deadline_ns : int64 option; (* absolute monotonic deadline *)
+  timeout_ns : int64; (* relative, for Time budget reporting *)
+  max_states : int option;
+  max_memory_bytes : int option;
+  states : int Atomic.t;
+  ticks : int Atomic.t;
+  tripped : Error.resource option Atomic.t;
+}
+
+let unlimited =
+  {
+    active = false;
+    start_ns = 0L;
+    deadline_ns = None;
+    timeout_ns = 0L;
+    max_states = None;
+    max_memory_bytes = None;
+    states = Atomic.make 0;
+    ticks = Atomic.make 0;
+    tripped = Atomic.make None;
+  }
+
+let make ?timeout ?max_states ?max_memory_mb () =
+  let start_ns = Detcor_obs.Obs.now_ns () in
+  let timeout_ns =
+    match timeout with
+    | None -> 0L
+    | Some s -> Int64.of_float (s *. 1e9)
+  in
+  {
+    active = timeout <> None || max_states <> None || max_memory_mb <> None;
+    start_ns;
+    deadline_ns =
+      (match timeout with
+      | None -> None
+      | Some _ -> Some (Int64.add start_ns timeout_ns));
+    timeout_ns;
+    max_states;
+    max_memory_bytes = Option.map (fun mb -> mb * 1024 * 1024) max_memory_mb;
+    states = Atomic.make 0;
+    ticks = Atomic.make 0;
+    tripped = Atomic.make None;
+  }
+
+let current_budget = ref unlimited
+
+let current () = !current_budget
+
+let with_budget b f =
+  let prev = !current_budget in
+  current_budget := b;
+  Fun.protect ~finally:(fun () -> current_budget := prev) f
+
+(* Record the exhausted dimension (first writer wins, so concurrent
+   domains report one consistent reason) and raise. *)
+let trip b r =
+  ignore (Atomic.compare_and_set b.tripped None (Some r));
+  match Atomic.get b.tripped with
+  | Some r -> raise (Error.Detcor_error (Error.Resource r))
+  | None -> raise (Error.Detcor_error (Error.Resource r))
+
+let reraise_if_tripped b =
+  match Atomic.get b.tripped with
+  | Some r -> raise (Error.Detcor_error (Error.Resource r))
+  | None -> ()
+
+(* The expensive checks: clock and heap, run every [interval] ticks. *)
+let check_now b =
+  reraise_if_tripped b;
+  (match b.deadline_ns with
+  | Some deadline ->
+    let now = Detcor_obs.Obs.now_ns () in
+    if now > deadline then
+      trip b
+        {
+          Error.kind = Error.Time;
+          spent = Int64.to_int (Int64.sub now b.start_ns);
+          budget = Int64.to_int b.timeout_ns;
+        }
+  | None -> ());
+  match b.max_memory_bytes with
+  | Some limit ->
+    let heap_bytes = (Gc.quick_stat ()).Gc.heap_words * (Sys.word_size / 8) in
+    if heap_bytes > limit then
+      trip b { Error.kind = Error.Memory; spent = heap_bytes; budget = limit }
+  | None -> ()
+
+let interval = 128 (* power of two: the tick test is a mask *)
+
+let tick () =
+  let b = !current_budget in
+  if b.active then begin
+    let n = Atomic.fetch_and_add b.ticks 1 in
+    if n land (interval - 1) = 0 then check_now b else reraise_if_tripped b
+  end
+
+(* One visited state: counts toward the state ceiling and doubles as a
+   cooperative checkpoint. *)
+let count_state () =
+  let b = !current_budget in
+  if b.active then begin
+    let n = Atomic.fetch_and_add b.states 1 + 1 in
+    (match b.max_states with
+    | Some limit when n > limit ->
+      trip b { Error.kind = Error.States; spent = n; budget = limit }
+    | _ -> ());
+    let t = Atomic.fetch_and_add b.ticks 1 in
+    if t land (interval - 1) = 0 then check_now b else reraise_if_tripped b
+  end
+
+let states_visited () = Atomic.get !current_budget.states
+
+let exhausted () = Atomic.get !current_budget.tripped

@@ -1,0 +1,79 @@
+(* The toolkit-wide error taxonomy.
+
+   Every failure a user can provoke — a malformed source file, an
+   ill-typed program, an exhausted resource budget — is a value of
+   [Error.t] carried by the single [Detcor_error] exception, so front
+   ends can map any failure to a located one-line diagnostic and a
+   documented exit code instead of dying on a bare [Failure] or
+   [Invalid_argument].  [Internal] covers API misuse inside the library
+   (the former [invalid_arg]/[assert false] sites); it is never raised
+   by a well-formed `.dc` source reaching the toolkit through the
+   language front end. *)
+
+type resource_kind = Time | Memory | States
+
+type resource = {
+  kind : resource_kind;
+  spent : int; (* ns for Time, bytes for Memory, count for States *)
+  budget : int;
+}
+
+type t =
+  | Parse of { line : int; col : int; msg : string }
+  | Type_error of { msg : string }
+  | Resource of resource
+  | Internal of { msg : string }
+
+exception Detcor_error of t
+
+let parse ~line ~col fmt =
+  Fmt.kstr (fun msg -> raise (Detcor_error (Parse { line; col; msg }))) fmt
+
+let type_error fmt =
+  Fmt.kstr (fun msg -> raise (Detcor_error (Type_error { msg }))) fmt
+
+let internal fmt =
+  Fmt.kstr (fun msg -> raise (Detcor_error (Internal { msg }))) fmt
+
+let resource ~kind ~spent ~budget =
+  raise (Detcor_error (Resource { kind; spent; budget }))
+
+let resource_kind_name = function
+  | Time -> "time"
+  | Memory -> "memory"
+  | States -> "state"
+
+let pp_resource ppf { kind; spent; budget } =
+  match kind with
+  | Time ->
+    Fmt.pf ppf "time budget exhausted (spent %.3fs of %.3fs)"
+      (float_of_int spent /. 1e9)
+      (float_of_int budget /. 1e9)
+  | Memory ->
+    Fmt.pf ppf "memory budget exhausted (used %d MB of %d MB)"
+      (spent / (1024 * 1024))
+      (budget / (1024 * 1024))
+  | States ->
+    Fmt.pf ppf "state budget exhausted (visited %d of %d states)" spent budget
+
+let pp ppf = function
+  | Parse { line; col; msg } ->
+    Fmt.pf ppf "parse error at line %d, column %d: %s" line col msg
+  | Type_error { msg } -> Fmt.pf ppf "type error: %s" msg
+  | Resource r -> pp_resource ppf r
+  | Internal { msg } -> Fmt.pf ppf "internal error: %s" msg
+
+let to_string e = Fmt.str "%a" pp e
+
+(* The dcheck exit-code contract: 0 holds, 1 verification fails, 2
+   usage/parse error, 3 resource exhausted.  [Internal] maps to 125
+   (a toolkit bug, aligned with cmdliner's internal-error code). *)
+let exit_code = function
+  | Parse _ | Type_error _ -> 2
+  | Resource _ -> 3
+  | Internal _ -> 125
+
+let () =
+  Printexc.register_printer (function
+    | Detcor_error e -> Some (Fmt.str "Detcor_error (%s)" (to_string e))
+    | _ -> None)

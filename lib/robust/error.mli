@@ -1,0 +1,42 @@
+(** The toolkit-wide error taxonomy.
+
+    Every user-provokable failure is a value of {!t} carried by the
+    single {!Detcor_error} exception: front ends map any failure to a
+    located one-line diagnostic and a documented exit code instead of
+    dying on a bare [Failure] or [Invalid_argument]. *)
+
+type resource_kind = Time | Memory | States
+
+type resource = {
+  kind : resource_kind;
+  spent : int;  (** ns for [Time], bytes for [Memory], count for [States] *)
+  budget : int;
+}
+
+type t =
+  | Parse of { line : int; col : int; msg : string }
+      (** source-located front-end rejection *)
+  | Type_error of { msg : string }
+      (** static or elaboration-time typing failure *)
+  | Resource of resource  (** a budget dimension ran out *)
+  | Internal of { msg : string }
+      (** library API misuse — never reachable from a well-formed [.dc] *)
+
+exception Detcor_error of t
+
+(** The raising constructors; all are [Fmt.kstr] format raisers except
+    [resource]. *)
+
+val parse : line:int -> col:int -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val type_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val internal : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val resource : kind:resource_kind -> spent:int -> budget:int -> 'a
+
+val resource_kind_name : resource_kind -> string
+val pp_resource : resource Fmt.t
+val pp : t Fmt.t
+val to_string : t -> string
+
+(** The dcheck exit-code contract: [Parse]/[Type_error] → 2, [Resource]
+    → 3, [Internal] → 125.  (0 is a held verdict, 1 a failed one.) *)
+val exit_code : t -> int

@@ -10,14 +10,14 @@ type t = {
 }
 
 let create length =
-  if length < 0 then invalid_arg "Bitset.create: negative length";
+  if length < 0 then Detcor_robust.Error.internal "Bitset.create: negative length";
   { length; bits = Bytes.make ((length + 7) / 8) '\000' }
 
 let length t = t.length
 
 let check t i =
   if i < 0 || i >= t.length then
-    invalid_arg (Printf.sprintf "Bitset: index %d out of bounds [0,%d)" i t.length)
+    Detcor_robust.Error.internal "Bitset: index %d out of bounds [0,%d)" i t.length
 
 let get t i =
   check t i;

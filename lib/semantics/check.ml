@@ -16,8 +16,12 @@ type violation =
 type outcome =
   | Holds
   | Fails of violation
+  | Unknown of Detcor_robust.Error.resource
+      (* a resource budget ran out before the obligation was decided;
+         sound in both directions: neither a proof nor a refutation *)
 
-let holds = function Holds -> true | Fails _ -> false
+let holds = function Holds -> true | Fails _ | Unknown _ -> false
+let known = function Unknown _ -> false | Holds | Fails _ -> true
 
 let pp_violation ppf = function
   | Bad_state st -> Fmt.pf ppf "bad state %a" State.pp st
@@ -33,6 +37,7 @@ let pp_violation ppf = function
 let pp_outcome ppf = function
   | Holds -> Fmt.string ppf "holds"
   | Fails v -> Fmt.pf ppf "fails: %a" pp_violation v
+  | Unknown r -> Fmt.pf ppf "unknown: %a" Detcor_robust.Error.pp_resource r
 
 (* First violation among a lazy sequence of candidates. *)
 let first_fail checks =
@@ -75,6 +80,7 @@ let closed_under_actions ~universe actions s =
     let rec go = function
       | [] -> Holds
       | st :: rest ->
+        Detcor_robust.Budget.tick ();
         if Pred.holds s st then
           let bad =
             List.find_opt (fun st' -> not (Pred.holds s st')) (Action.execute ac st)
@@ -204,6 +210,7 @@ let converges ts s r =
 let implies ts a b =
   Obs.span "check.implies" @@ fun () ->
   let rec go i =
+    Detcor_robust.Budget.tick ();
     if i >= Ts.num_states ts then Holds
     else if Ts.holds_at ts a i && not (Ts.holds_at ts b i) then
       Fails (Not_implied (Ts.state ts i))
@@ -215,6 +222,7 @@ let implies ts a b =
 let deadlock_free ts ~inside =
   Obs.span "check.deadlock_free" @@ fun () ->
   let rec go i =
+    Detcor_robust.Budget.tick ();
     if i >= Ts.num_states ts then Holds
     else if Ts.holds_at ts inside i && Ts.deadlocked ts i then
       Fails (Deadlock (Ts.state ts i))

@@ -14,8 +14,14 @@ type violation =
 type outcome =
   | Holds
   | Fails of violation
+  | Unknown of Detcor_robust.Error.resource
+      (** a resource budget ran out before the obligation was decided *)
 
+(** [Holds] only: [Fails] and [Unknown] are both [false]. *)
 val holds : outcome -> bool
+
+(** [Holds] or [Fails]: was the obligation decided within budget? *)
+val known : outcome -> bool
 val pp_violation : violation Fmt.t
 val pp_outcome : outcome Fmt.t
 

@@ -72,7 +72,7 @@ let violation ts (v : Check.violation) =
         (to_state ts first))
 
 let of_outcome ts = function
-  | Check.Holds -> None
+  | Check.Holds | Check.Unknown _ -> None
   | Check.Fails v -> violation ts v
 
 let pp ppf e =

@@ -30,6 +30,7 @@ let fair_scc ts (scc : Graph.scc) =
     let enabled_everywhere = Array.make num_actions true in
     List.iter
       (fun v ->
+        Detcor_robust.Budget.tick ();
         for aid = 0 to num_actions - 1 do
           if enabled_everywhere.(aid) && not (Ts.enabled ts v aid) then
             enabled_everywhere.(aid) <- false

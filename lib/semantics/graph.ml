@@ -17,6 +17,7 @@ let reachable ?(mask = no_mask) ts ~from =
       end)
     from;
   while not (Queue.is_empty queue) do
+    Detcor_robust.Budget.tick ();
     let i = Queue.pop queue in
     Ts.iter_out ts i (fun _aid j ->
         if mask j && not seen.(j) then begin
@@ -43,6 +44,7 @@ let co_reachable ?(mask = no_mask) ts ~target =
       end)
     target;
   while not (Queue.is_empty queue) do
+    Detcor_robust.Budget.tick ();
     let j = Queue.pop queue in
     List.iter
       (fun i ->
@@ -126,6 +128,7 @@ let sccs ?(mask = no_mask) ts =
     stack := root :: !stack;
     on_stack.(root) <- true;
     while !call_stack <> [] do
+      Detcor_robust.Budget.tick ();
       match !call_stack with
       | [] -> ()
       | (v, remaining) :: rest -> (

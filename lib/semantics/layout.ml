@@ -122,7 +122,7 @@ let pack_opt t st = match pack t st with
 
 let unpack t rank =
   if rank < 0 || rank >= t.space then
-    invalid_arg (Printf.sprintf "Layout.unpack: rank %d outside [0,%d)" rank t.space);
+    Detcor_robust.Error.internal "Layout.unpack: rank %d outside [0,%d)" rank t.space;
   let n = Array.length t.vars in
   let st = ref State.empty in
   for k = 0 to n - 1 do
@@ -139,7 +139,10 @@ let iter_scratch t f =
   let n = Array.length t.vars in
   let sc = State.scratch_create t.vars in
   let rec go k =
-    if k = n then f sc
+    if k = n then begin
+      Detcor_robust.Budget.tick ();
+      f sc
+    end
     else
       Array.iter
         (fun v ->

@@ -106,6 +106,7 @@ let new_builder ~limit =
 let add_state b st =
   let i = b.count in
   if i >= b.limit then raise (Too_large b.limit);
+  Detcor_robust.Budget.count_state ();
   let cap = Array.length b.states_buf in
   if i >= cap then begin
     let states' = Array.make (2 * cap) State.empty in
@@ -179,6 +180,7 @@ let build_reference ~limit program ~from =
      every new state receives the next id and is appended. *)
   let cursor = ref 0 in
   while !cursor < b.count do
+    Detcor_robust.Budget.tick ();
     let i = !cursor in
     let st = b.states_buf.(i) in
     Array.iteri
@@ -200,6 +202,7 @@ let build_reference ~limit program ~from =
    deterministic order as the sequential loop.  Pure: safe to run from
    worker domains. *)
 let successors_packed layout actions st =
+  Detcor_robust.Budget.tick ();
   let acc = ref [] in
   Array.iteri
     (fun aid ac ->
@@ -296,6 +299,7 @@ let explore_packed ~workers layout program ~actions ~b ~index ~initials =
       expand_parallel layout actions b index ~lo ~hi ~workers
     else
       for i = lo to hi - 1 do
+        Detcor_robust.Budget.tick ();
         let st = b.states_buf.(i) in
         Array.iteri
           (fun aid ac ->
@@ -519,6 +523,7 @@ let action_ids_of_names ts names =
 let iter_edges ts f =
   let n = num_states ts in
   for i = 0 to n - 1 do
+    Detcor_robust.Budget.tick ();
     iter_out ts i (fun aid j -> f i aid j)
   done
 

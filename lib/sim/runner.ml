@@ -34,6 +34,7 @@ let run ?(config = default) program ~injector ~init =
   @@ fun () ->
   let rng = Random.State.make [| config.seed |] in
   let rec loop st steps_rev fault_steps step =
+    Detcor_robust.Budget.tick ();
     if step >= config.max_steps then
       (List.rev steps_rev, List.rev fault_steps, Trace.Truncated)
     else begin
@@ -85,10 +86,28 @@ let run ?(config = default) program ~injector ~init =
     faults_injected = Injector.injected injector;
   }
 
+(* Per-run seeds are derived from (seed, i) with a splitmix64-style
+   finalizer.  The obvious [seed + i] correlates overlapping samples:
+   base seed 1 run 1 and base seed 2 run 0 would replay the identical
+   stream.  Mixing through the finalizer makes the derived seeds
+   statistically independent across both the run index and nearby base
+   seeds. *)
+let derive_seed seed i =
+  let z =
+    let open Int64 in
+    let z = add (of_int seed) (mul (of_int (i + 1)) 0x9E3779B97F4A7C15L) in
+    let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+    logxor z (shift_right_logical z 31)
+  in
+  Int64.to_int z land max_int
+
 (* [sample ?config n program ~faults ~policy ~init]: n independent runs
-   with fresh injectors and distinct seeds. *)
+   with fresh injectors and independently derived seeds. *)
 let sample ?(config = default) n program ~faults ~policy ~init =
   Obs.span "sim.sample" ~attrs:[ Attr.int "runs" n ] @@ fun () ->
   List.init n (fun i ->
       let injector = Injector.make policy faults in
-      run ~config:{ config with seed = config.seed + i } program ~injector ~init)
+      run
+        ~config:{ config with seed = derive_seed config.seed i }
+        program ~injector ~init)

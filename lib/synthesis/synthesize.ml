@@ -87,6 +87,7 @@ let compute_ms ts_pf ~fault_ids ~sspec =
     if Safety.bad_state sspec (Ts.state ts_pf i) then add i
   done;
   while not (Queue.is_empty queue) do
+    Detcor_robust.Budget.tick ();
     let j = Queue.pop queue in
     List.iter add fault_preds.(j)
   done;
@@ -262,6 +263,7 @@ let synthesize_recovery ?(step_vars = 1) ~allowed ~target p states =
     let additions = ref [] in
     Hashtbl.iter
       (fun k st ->
+        Detcor_robust.Budget.tick ();
         if not (Hashtbl.mem rank k) then begin
           let candidate =
             List.find_opt

@@ -50,6 +50,7 @@ let test_explain_bad_transition () =
   let sspec = Spec.smallest_safety_containing Memory.spec in
   match Spec.refines span.ts_pf sspec with
   | Check.Holds -> Alcotest.fail "expected a violation"
+  | Check.Unknown _ -> Alcotest.fail "expected a definite verdict"
   | Check.Fails v -> (
     match Explain.violation span.ts_pf v with
     | None -> Alcotest.fail "witness should exist"
@@ -74,6 +75,7 @@ let test_explain_fair_cycle () =
   let at2 = Pred.make "at2" (fun st -> Value.equal (State.get st "node") (Value.int 2)) in
   match Check.eventually ts at2 with
   | Check.Holds -> Alcotest.fail "expected fair-cycle violation"
+  | Check.Unknown _ -> Alcotest.fail "expected a definite verdict"
   | Check.Fails v -> (
     match Explain.violation ts v with
     | Some w -> Alcotest.(check bool) "cycle reported" true (w.cycle <> [])
@@ -130,7 +132,9 @@ let test_detector_list_and () =
     (try
        ignore (Compose.detector_list_and []);
        false
-     with Invalid_argument _ -> true)
+     with
+     | Detcor_robust.Error.Detcor_error (Detcor_robust.Error.Internal _) ->
+       true)
 
 let test_corrector_conjunction () =
   let ts = Ts.of_pred Memory.nonmasking ~from:Memory.t in
@@ -255,7 +259,8 @@ let test_typecheck_empty_action () =
     (try
        ignore (Parser.parse_string "program t\naction a: true ->");
        false
-     with Parser.Error _ -> true)
+     with
+     | Detcor_robust.Error.Detcor_error (Detcor_robust.Error.Parse _) -> true)
 
 let test_elaborate_runs_typecheck () =
   Alcotest.(check bool) "elaborate rejects ill-typed source" true
@@ -263,7 +268,9 @@ let test_elaborate_runs_typecheck () =
        ignore
          (Elaborate.load_string "program t\nvar x : 0..3\naction a: x -> x := 0");
        false
-     with Elaborate.Error _ -> true)
+     with
+     | Detcor_robust.Error.Detcor_error (Detcor_robust.Error.Type_error _) ->
+       true)
 
 let suite =
   ( "extensions (explain, compose, multitolerance, typecheck)",

@@ -23,8 +23,14 @@ let test_domain () =
   Alcotest.(check bool) "mem" true (Domain.mem (Value.int 2) (Domain.range 0 3));
   Alcotest.(check bool) "not mem" false (Domain.mem (Value.int 9) (Domain.range 0 3));
   Alcotest.(check bool) "with_bot" true (Domain.mem Value.bot (Domain.with_bot Domain.boolean));
-  Alcotest.check_raises "empty range" (Invalid_argument "Domain.range: empty range")
-    (fun () -> ignore (Domain.range 3 2))
+  Alcotest.(check bool) "empty range" true
+    (try
+       ignore (Domain.range 3 2);
+       false
+     with
+     | Detcor_robust.Error.Detcor_error
+         (Detcor_robust.Error.Internal { msg }) ->
+       msg = "Domain.range: empty range")
 
 let test_state_basics () =
   let st = State.of_list [ ("x", Value.int 1); ("y", Value.bool true) ] in
@@ -193,7 +199,9 @@ let test_parallel_domain_clash () =
     (try
        ignore (Program.parallel a b);
        false
-     with Invalid_argument _ -> true)
+     with
+     | Detcor_robust.Error.Detcor_error (Detcor_robust.Error.Internal _) ->
+       true)
 
 let test_restrict_composition () =
   let p = counter 3 in
@@ -229,7 +237,9 @@ let test_duplicate_names () =
          (Program.make ~name:"d" ~vars:[]
             ~actions:[ Action.skip "s"; Action.skip "s" ]);
        false
-     with Invalid_argument _ -> true);
+     with
+     | Detcor_robust.Error.Detcor_error (Detcor_robust.Error.Internal _) ->
+       true);
   Alcotest.(check bool) "duplicate var rejected" true
     (try
        ignore
@@ -237,7 +247,9 @@ let test_duplicate_names () =
             ~vars:[ ("x", Domain.boolean); ("x", Domain.boolean) ]
             ~actions:[]);
        false
-     with Invalid_argument _ -> true)
+     with
+     | Detcor_robust.Error.Detcor_error (Detcor_robust.Error.Internal _) ->
+       true)
 
 let test_encapsulation_positive () =
   let open Detcor_systems in

@@ -50,8 +50,10 @@ let test_lexer_error () =
     (try
        ignore (Lexer.tokenize "x @ y");
        false
-     with Lexer.Error { message; _ } ->
-       String.length message > 0)
+     with
+     | Detcor_robust.Error.Detcor_error (Detcor_robust.Error.Parse { msg; _ })
+       ->
+       String.length msg > 0)
 
 let test_parser_program () =
   let ast = Parser.parse_string memory_src in
@@ -80,7 +82,10 @@ let test_parser_error_location () =
     (try
        ignore (Parser.parse_string "program t action : true -> x := 1");
        false
-     with Parser.Error { line; _ } -> line = 1)
+     with
+     | Detcor_robust.Error.Detcor_error (Detcor_robust.Error.Parse { line; _ })
+       ->
+       line = 1)
 
 let test_parse_wildcard () =
   let ast = Parser.parse_string "program t fault f: true -> x := ?" in
@@ -154,7 +159,8 @@ let test_elaborate_pred_cycle () =
     (try
        ignore (Elaborate.load_string "program t\npred a = a\ninvariant a");
        false
-     with Elaborate.Error _ -> true)
+     with Detcor_robust.Error.Detcor_error (Detcor_robust.Error.Type_error _) ->
+       true)
 
 let test_elaborate_symbols () =
   let e =
@@ -172,7 +178,8 @@ let test_elaborate_undeclared_assignment () =
     (try
        ignore (Elaborate.load_string "program t\naction a: true -> q := 1");
        false
-     with Elaborate.Error _ -> true)
+     with Detcor_robust.Error.Detcor_error (Detcor_robust.Error.Type_error _) ->
+       true)
 
 let test_based_on () =
   let e =

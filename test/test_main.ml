@@ -18,4 +18,5 @@ let () =
       Test_termination.suite;
       Test_reset.suite;
       Test_misc.suite;
+      Test_frontend_fuzz.suite;
     ]

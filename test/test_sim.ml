@@ -59,6 +59,35 @@ let test_injector_bounds () =
   Alcotest.(check bool) "at most 2 faults per run" true
     (List.for_all (fun (r : Runner.run) -> r.faults_injected <= 2) runs)
 
+let test_sample_seeds_uncorrelated () =
+  (* Regression: per-run seeds used to be [config.seed + i], so two
+     overlapping samples shared almost every stream — base seed 1 run 1
+     replayed base seed 2 run 0 exactly.  With splitmix-derived seeds the
+     two samples must produce disjoint traces. *)
+  let cfg = Token_ring.make_config 4 in
+  let init =
+    State.of_list
+      (List.init cfg.Token_ring.processes (fun i ->
+           (Token_ring.xvar i, Value.int (i mod cfg.Token_ring.counter_values))))
+  in
+  let sample seed =
+    Runner.sample
+      ~config:{ Runner.default with seed; max_steps = 40 }
+      6 (Token_ring.program cfg) ~faults:(Token_ring.corruption cfg)
+      ~policy:(Injector.Random { probability = 0.3; max_faults = 3 })
+      ~init
+  in
+  let key (r : Runner.run) =
+    String.concat ";"
+      (List.map
+         (fun (s : Detcor_semantics.Trace.step) -> s.action)
+         (Detcor_semantics.Trace.steps r.trace))
+  in
+  let a = List.map key (sample 1) in
+  let b = List.map key (sample 2) in
+  Alcotest.(check bool) "overlapping samples share no trace" false
+    (List.exists (fun k -> List.mem k a) b)
+
 let test_injector_at_steps () =
   let injector = Injector.make (Injector.At_steps [ 0 ]) Memory.page_fault in
   let r = Runner.run Memory.masking ~injector ~init:mem_init in
@@ -187,6 +216,8 @@ let suite =
       Alcotest.test_case "runner determinism" `Quick test_runner_deterministic;
       Alcotest.test_case "seeds differ" `Quick test_runner_seeds_differ;
       Alcotest.test_case "injector bounds" `Quick test_injector_bounds;
+      Alcotest.test_case "sample seeds uncorrelated" `Quick
+        test_sample_seeds_uncorrelated;
       Alcotest.test_case "injector at steps" `Quick test_injector_at_steps;
       Alcotest.test_case "round robin" `Quick test_round_robin_terminates;
       Alcotest.test_case "detection latency" `Quick test_monitor_detection_latency;
