@@ -31,6 +31,71 @@ let check label expected actual =
   if not (expect label expected actual) then incr mismatches
 
 (* ------------------------------------------------------------------ *)
+(* Shared plumbing of the engine-comparison tables (E10b, E11, E12):    *)
+(* wall-clock timing and the machine-readable JSON copy each table      *)
+(* writes for CI artifacts.                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Bench_table = struct
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+
+  let time_iters ~iters f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int iters
+
+  type t = {
+    benchmark : string;
+    mutable rows : Detcor_obs.Jsonx.t list;
+    mutable best_speedup : float;
+  }
+
+  let create benchmark = { benchmark; rows = []; best_speedup = 0.0 }
+
+  (* Record one reference-vs-packed row; [extra] carries any
+     table-specific fields (phase splits, outcome tags).  Returns the
+     speedup for the table's own rendering. *)
+  let add_row t ~name ~states ~agree ~reference_s ~packed_s ?(extra = []) () =
+    let speedup = reference_s /. packed_s in
+    if speedup > t.best_speedup then t.best_speedup <- speedup;
+    let open Detcor_obs in
+    t.rows <-
+      Jsonx.Obj
+        ([
+           ("name", Jsonx.Str name);
+           ("states", Jsonx.Int states);
+           ("agree", Jsonx.Bool agree);
+           ("reference_s", Jsonx.Float reference_s);
+           ("packed_s", Jsonx.Float packed_s);
+           ("speedup", Jsonx.Float speedup);
+         ]
+        @ extra)
+      :: t.rows;
+    speedup
+
+  let write t ~file =
+    let open Detcor_obs in
+    let json =
+      Jsonx.Obj
+        [
+          ("benchmark", Jsonx.Str t.benchmark);
+          ("best_speedup", Jsonx.Float t.best_speedup);
+          ("rows", Jsonx.List (List.rev t.rows));
+        ]
+    in
+    let oc = open_out file in
+    output_string oc (Jsonx.to_string json);
+    output_char oc '\n';
+    close_out oc;
+    Fmt.pr "wrote %s@." file
+end
+
+(* ------------------------------------------------------------------ *)
 (* E1-E3: the memory-access figures.                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -400,13 +465,7 @@ let table_ring () =
 let table_engine () =
   section "Table 9 (E10b): packed engine vs reference engine";
   let module Sem = Detcor_semantics in
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let r = f () in
-    (r, Unix.gettimeofday () -. t0)
-  in
-  let best_speedup = ref 0.0 in
-  let json_rows = ref [] in
+  let tbl = Bench_table.create "E10b packed engine vs reference engine" in
   let row name p ~spec ~invariant ~faults =
     let sspec =
       Spec.make ~name:"sspec"
@@ -416,14 +475,16 @@ let table_engine () =
     let composed = Fault.compose p faults in
     let measure engine =
       let ts_pf, t_span =
-        time (fun () -> Sem.Ts.of_pred ~engine composed ~from:invariant)
+        Bench_table.time (fun () ->
+            Sem.Ts.of_pred ~engine composed ~from:invariant)
       in
       let ts_p, t_build =
-        time (fun () -> Sem.Ts.build ~engine p ~from:(Sem.Ts.states ts_pf))
+        Bench_table.time (fun () ->
+            Sem.Ts.build ~engine p ~from:(Sem.Ts.states ts_pf))
       in
       let span_pred = Pred.of_states ~name:"span" (Sem.Ts.states ts_pf) in
       let verdicts, t_check =
-        time (fun () ->
+        Bench_table.time (fun () ->
             List.map Sem.Check.holds
               [
                 Sem.Check.closed ts_pf span_pred;
@@ -435,25 +496,21 @@ let table_engine () =
     in
     let states_r, verdicts_r, build_r, check_r = measure Sem.Ts.Reference in
     let states_p, verdicts_p, build_p, check_p = measure Sem.Ts.Auto in
-    check (name ^ ": engines agree") true
-      (states_r = states_p && verdicts_r = verdicts_p);
-    let total_r = build_r +. check_r and total_p = build_p +. check_p in
-    let speedup = total_r /. total_p in
-    if speedup > !best_speedup then best_speedup := speedup;
+    let agree = states_r = states_p && verdicts_r = verdicts_p in
+    check (name ^ ": engines agree") true agree;
     let open Detcor_obs in
-    json_rows :=
-      Jsonx.Obj
-        [
-          ("name", Jsonx.Str name);
-          ("states", Jsonx.Int states_r);
-          ("agree", Jsonx.Bool (states_r = states_p && verdicts_r = verdicts_p));
-          ("reference_build_s", Jsonx.Float build_r);
-          ("reference_check_s", Jsonx.Float check_r);
-          ("packed_build_s", Jsonx.Float build_p);
-          ("packed_check_s", Jsonx.Float check_p);
-          ("speedup", Jsonx.Float speedup);
-        ]
-      :: !json_rows;
+    let speedup =
+      Bench_table.add_row tbl ~name ~states:states_r ~agree
+        ~reference_s:(build_r +. check_r) ~packed_s:(build_p +. check_p)
+        ~extra:
+          [
+            ("reference_build_s", Jsonx.Float build_r);
+            ("reference_check_s", Jsonx.Float check_r);
+            ("packed_build_s", Jsonx.Float build_p);
+            ("packed_check_s", Jsonx.Float check_p);
+          ]
+        ()
+    in
     Fmt.pr
       "%-22s %6d states  reference %6.0f+%.0f ms  packed %5.0f+%.0f ms  \
        speedup %.1fx@."
@@ -483,23 +540,103 @@ let table_engine () =
     ~spec:(Barrier.spec gcfg)
     ~invariant:(Barrier.invariant gcfg)
     ~faults:(Barrier.phase_loss gcfg);
-  Fmt.pr "@.best construction+check speedup: %.1fx@." !best_speedup;
+  Fmt.pr "@.best construction+check speedup: %.1fx@." tbl.Bench_table.best_speedup;
   (* Machine-readable copy of the table, for CI artifacts and tracking
      engine performance across commits. *)
-  let open Detcor_obs in
-  let json =
-    Jsonx.Obj
-      [
-        ("benchmark", Jsonx.Str "E10b packed engine vs reference engine");
-        ("best_speedup", Jsonx.Float !best_speedup);
-        ("rows", Jsonx.List (List.rev !json_rows));
-      ]
+  Bench_table.write tbl ~file:"BENCH_engine.json"
+
+(* ------------------------------------------------------------------ *)
+(* E12: packed synthesis vs the reference synthesis path.              *)
+(*                                                                     *)
+(* Each row runs one end-to-end transformation of {!Synthesize} —      *)
+(* ms/mt fixpoint, detection-guard restriction, invariant              *)
+(* recomputation, recovery layering and the final verification — once  *)
+(* on the reference path and once on the packed path, and demands      *)
+(* byte-identical outcomes: the synthesized program rendered as text,  *)
+(* the added detectors, the recovery-state count and the verification  *)
+(* report (or the same failure).                                       *)
+(* ------------------------------------------------------------------ *)
+
+let table_synth () =
+  section "Table 9d (E12): packed synthesis vs reference synthesis";
+  let module Sem = Detcor_semantics in
+  let open Detcor_synthesis in
+  let tbl = Bench_table.create "E12 packed synthesis vs reference synthesis" in
+  let outcome_str = function
+    | Ok (r : Synthesize.result) ->
+      Fmt.str "%a@.detectors=%a recovery=%d@.%a" Program.pp r.program
+        Fmt.(Dump.list string)
+        (List.map fst r.added_detectors)
+        r.recovery_states Tolerance.pp_report r.report
+    | Error f -> Fmt.str "error: %a" Synthesize.pp_failure f
   in
-  let oc = open_out "BENCH_engine.json" in
-  output_string oc (Jsonx.to_string json);
-  output_char oc '\n';
-  close_out oc;
-  Fmt.pr "wrote BENCH_engine.json@."
+  let states = function
+    | Ok (r : Synthesize.result) -> r.report.Tolerance.span_size
+    | Error _ -> 0
+  in
+  let tag = function
+    | Ok _ -> "ok"
+    | Error Synthesize.Empty_invariant -> "empty-invariant"
+    | Error (Synthesize.Unrecoverable_state _) -> "unrecoverable"
+    | Error (Synthesize.Verification_failed _) -> "verification-failed"
+    | Error (Synthesize.Exhausted _) -> "exhausted"
+  in
+  let row name run =
+    let r_ref, t_ref = Bench_table.time (fun () -> run Sem.Ts.Reference) in
+    let r_pk, t_pk = Bench_table.time (fun () -> run Sem.Ts.Auto) in
+    let agree = String.equal (outcome_str r_ref) (outcome_str r_pk) in
+    check (name ^ ": outcomes byte-identical") true agree;
+    let speedup =
+      Bench_table.add_row tbl ~name ~states:(states r_pk) ~agree
+        ~reference_s:t_ref ~packed_s:t_pk
+        ~extra:[ ("outcome", Detcor_obs.Jsonx.Str (tag r_pk)) ]
+        ()
+    in
+    Fmt.pr
+      "%-24s %6d states  reference %8.0f ms  packed %6.0f ms  speedup \
+       %5.1fx  [%s]@."
+      name (states r_pk) (1e3 *. t_ref) (1e3 *. t_pk) speedup (tag r_pk)
+  in
+  row "memory-masking" (fun engine ->
+      Synthesize.add_masking ~engine Memory.intolerant ~spec:Memory.spec
+        ~invariant:Memory.s ~faults:Memory.page_fault);
+  row "tmr-masking" (fun engine ->
+      Synthesize.add_masking ~engine ~target:Tmr.out_is_uncor Tmr.intolerant
+        ~spec:Tmr.spec ~invariant:Tmr.invariant ~faults:Tmr.one_corruption);
+  (* The ring with one process's move stripped: recovery layering has real
+     work to do re-establishing convergence. *)
+  let rcfg = Token_ring.make_config 5 in
+  let crippled =
+    Program.make ~name:"crippled-ring5"
+      ~vars:(Program.var_decls (Token_ring.program rcfg))
+      ~actions:
+        (List.filter
+           (fun ac -> Action.name ac <> "move_1")
+           (Program.actions (Token_ring.program rcfg)))
+  in
+  row "ring5-nonmasking" (fun engine ->
+      Synthesize.add_nonmasking ~engine crippled ~spec:(Token_ring.spec rcfg)
+        ~invariant:(Token_ring.legitimate rcfg)
+        ~faults:(Token_ring.corruption rcfg));
+  row "ring5-masking" (fun engine ->
+      Synthesize.add_masking ~engine crippled ~spec:(Token_ring.spec rcfg)
+        ~invariant:(Token_ring.legitimate rcfg)
+        ~faults:(Token_ring.corruption rcfg));
+  let bcfg = { Byzantine.non_generals = 4 } in
+  row "byzantine-n4-masking" (fun engine ->
+      Synthesize.add_masking ~engine (Byzantine.intolerant bcfg)
+        ~spec:(Byzantine.spec bcfg)
+        ~invariant:(Byzantine.invariant_weak bcfg)
+        ~faults:(Byzantine.byzantine_faults bcfg));
+  let dcfg = Distributed_reset.make_config 7 in
+  row "reset7-masking" (fun engine ->
+      Synthesize.add_masking ~engine (Distributed_reset.program dcfg)
+        ~spec:(Distributed_reset.spec dcfg)
+        ~invariant:(Distributed_reset.invariant dcfg)
+        ~faults:(Distributed_reset.corruption dcfg));
+  Fmt.pr "@.best end-to-end synthesis speedup: %.1fx@."
+    tbl.Bench_table.best_speedup;
+  Bench_table.write tbl ~file:"BENCH_synth.json"
 
 (* ------------------------------------------------------------------ *)
 (* E11: observability overhead.                                        *)
@@ -525,14 +662,7 @@ let table_obs () =
   in
   check "verdicts identical with observability on" true
     (String.equal off_report (report_str on_report));
-  let iters = 40 in
-  let time_iters f =
-    let t0 = Unix.gettimeofday () in
-    for _ = 1 to iters do
-      ignore (f ())
-    done;
-    (Unix.gettimeofday () -. t0) /. float_of_int iters
-  in
+  let time_iters = Bench_table.time_iters ~iters:40 in
   ignore (time_iters workload) (* warm up *);
   let t_off = time_iters workload in
   let t_on =
@@ -660,6 +790,7 @@ let () =
   table_simulation ();
   table_ring ();
   table_engine ();
+  table_synth ();
   table_obs ();
   if timings then run_timings ();
   Fmt.pr "@.=== Summary ===@.";

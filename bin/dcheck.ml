@@ -401,6 +401,10 @@ let synthesize_cmd =
           ~invariant:e.invariant ~faults:e.faults
     in
     match result with
+    | Error (Detcor_synthesis.Synthesize.Exhausted r) ->
+      (* same contract as every other exhausted budget: exit 3 *)
+      Fmt.epr "dcheck: %a@." Detcor_robust.Error.pp_resource r;
+      3
     | Error f ->
       Fmt.epr "synthesis failed: %a@." Detcor_synthesis.Synthesize.pp_failure f;
       Fmt.epr "dcheck: synthesis failed@.";

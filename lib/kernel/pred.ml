@@ -48,10 +48,19 @@ let implies a b =
 let conj ps = List.fold_left and_ true_ ps
 let disj ps = List.fold_left or_ false_ ps
 
+(* Membership is a hashed set over the states themselves: a query costs
+   one structural hash instead of rendering the state to a string. *)
+module State_set = Hashtbl.Make (struct
+  type t = State.t
+
+  let equal = State.equal
+  let hash = State.hash
+end)
+
 let of_states ?(name = "<state-set>") states =
-  let tbl = Hashtbl.create (max 16 (List.length states)) in
-  List.iter (fun st -> Hashtbl.replace tbl (State.to_string st) ()) states;
-  make name (fun st -> Hashtbl.mem tbl (State.to_string st))
+  let tbl = State_set.create (max 16 (List.length states)) in
+  List.iter (fun st -> State_set.replace tbl st ()) states;
+  make name (fun st -> State_set.mem tbl st)
 
 (* Semantic comparisons are relative to an explicit universe of states. *)
 

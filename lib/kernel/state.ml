@@ -114,6 +114,30 @@ let update_many st bindings =
 let agree_on st st' vars =
   List.for_all (fun x -> Value.equal (get st x) (get st' x)) vars
 
+(* [diff2 a b f]: when [a] and [b] bind the same variables in the same
+   slot order, call [f k va vb] on every slot whose values differ and
+   return [true]; return [false] as soon as the shapes diverge (the
+   caller must then fall back and may discard any effects of [f]).
+   [set] copies the binding array but reuses the untouched pair tuples,
+   so unchanged slots short-circuit on physical equality — this is the
+   packed engine's delta-encoding hot path. *)
+let diff2 (a : t) (b : t) f =
+  let n = Array.length a in
+  if Array.length b <> n then false
+  else
+    try
+      for k = 0 to n - 1 do
+        let ((xa, va) as pa) = Array.unsafe_get a k in
+        let pb = Array.unsafe_get b k in
+        if pa != pb then begin
+          let xb, vb = pb in
+          if not (String.equal xa xb) then raise Exit;
+          if not (Value.equal va vb) then f k va vb
+        end
+      done;
+      true
+    with Exit -> false
+
 (* Scratch buffers: a mutable binding array sharing the representation of
    [t], so [scratch_view] is the identity.  The names are fixed at
    creation; [scratch_set] only replaces the value of a slot. *)

@@ -33,6 +33,15 @@ val project : t -> string list -> t
     every variable in [vars]. *)
 val agree_on : t -> t -> string list -> bool
 
+(** [diff2 a b f]: when [a] and [b] bind the same variables in the same
+    slot order, call [f k va vb] on every slot [k] whose values differ
+    and return [true].  Returns [false] as soon as the shapes diverge
+    (different lengths or variable names); [f]'s effects for earlier
+    slots must then be discarded by the caller.  Unchanged slots are
+    skipped by physical equality, so a state and a successor produced by
+    [set] compare in O(vars) with near-zero per-slot cost. *)
+val diff2 : t -> t -> (int -> Value.t -> Value.t -> unit) -> bool
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val hash : t -> int

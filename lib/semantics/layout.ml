@@ -41,11 +41,20 @@ let escaped e =
   Atomic.set last_escape (Some e);
   raise Unrepresentable
 
+(* Per-variable encoder from value to domain index.  [pack] runs once per
+   generated successor on the engine's hot path, so the common domain
+   shapes — contiguous integer ranges and booleans — get arithmetic
+   coders; only irregular domains pay for a hash lookup. *)
+type coder =
+  | Int_range of int (* contiguous ints from [lo]: code = v - lo *)
+  | Bool_pair (* [false; true] *)
+  | Table of (Value.t, int) Hashtbl.t
+
 type t = {
   vars : string array; (* ascending name order *)
   domains : Value.t array array; (* per variable, ascending value order *)
   strides : int array; (* strides.(k) = product of later domain sizes *)
-  codes : (Value.t, int) Hashtbl.t array; (* value -> domain index *)
+  coders : coder array; (* value -> domain index *)
   space : int; (* full product size *)
 }
 
@@ -75,15 +84,37 @@ let of_program p =
   done;
   if !overflow then None
   else begin
-    let codes =
-      Array.map
-        (fun dom ->
-          let tbl = Hashtbl.create (2 * Array.length dom) in
-          Array.iteri (fun i v -> Hashtbl.replace tbl v i) dom;
-          tbl)
-        domains
+    let coder_of dom =
+      let size = Array.length dom in
+      let contiguous_ints =
+        size > 0
+        && (match dom.(0) with
+           | Value.Int lo ->
+             let ok = ref true in
+             Array.iteri
+               (fun k v ->
+                 match v with
+                 | Value.Int i when i = lo + k -> ()
+                 | _ -> ok := false)
+               dom;
+             !ok
+           | _ -> false)
+      in
+      if contiguous_ints then
+        Int_range (match dom.(0) with Value.Int lo -> lo | _ -> assert false)
+      else if
+        size = 2
+        && Value.equal dom.(0) (Value.bool false)
+        && Value.equal dom.(1) (Value.bool true)
+      then Bool_pair
+      else begin
+        let tbl = Hashtbl.create (2 * size) in
+        Array.iteri (fun i v -> Hashtbl.replace tbl v i) dom;
+        Table tbl
+      end
     in
-    Some { vars; domains; strides; codes; space = !space }
+    let coders = Array.map coder_of domains in
+    Some { vars; domains; strides; coders; space = !space }
   end
 
 let num_vars t = Array.length t.vars
@@ -95,6 +126,17 @@ let domain_values t k = Array.to_list t.domains.(k)
    bindings (name-sorted) and the layout's variables (also name-sorted).
    @raise Unrepresentable when [st] does not bind exactly the layout's
    variables to in-domain values. *)
+(* Domain index of [v] at variable slot [i], or -1 when out of domain. *)
+let code_at t i v =
+  match (t.coders.(i), v) with
+  | Int_range lo, Value.Int x ->
+    let c = x - lo in
+    if c >= 0 && c < Array.length t.domains.(i) then c else -1
+  | Bool_pair, Value.Bool bl -> if bl then 1 else 0
+  | (Int_range _ | Bool_pair), _ -> -1
+  | Table tbl, _ -> (
+    match Hashtbl.find_opt tbl v with Some c -> c | None -> -1)
+
 let pack t st =
   let n = Array.length t.vars in
   let rank = ref 0 in
@@ -108,13 +150,33 @@ let pack t st =
         escaped
           (if String.compare x t.vars.(i) < 0 then Extra_variable x
            else Missing_variable t.vars.(i));
-      (match Hashtbl.find_opt t.codes.(i) v with
-      | None -> escaped (Out_of_domain (x, v))
-      | Some code -> rank := !rank + (code * t.strides.(i)));
+      let code = code_at t i v in
+      if code < 0 then escaped (Out_of_domain (x, v))
+      else rank := !rank + (code * t.strides.(i));
       incr k)
     st ();
   if !k <> n then escaped (Missing_variable t.vars.(!k));
   !rank
+
+exception Slow
+
+(* [pack_from t ~src_rank src st']: the rank of [st'], computed as a
+   delta against the already-ranked source state [src].  Successor
+   states share the untouched binding tuples of their source, so the
+   common case costs one physical-equality scan plus a couple of coder
+   lookups.  Falls back to the full [pack] (and its escape diagnosis)
+   whenever the shapes differ or a value is out of domain. *)
+let pack_from t ~src_rank src st' =
+  let rank = ref src_rank in
+  match
+    State.diff2 src st' (fun k v v' ->
+        let c = code_at t k v and c' = code_at t k v' in
+        if c < 0 || c' < 0 then raise Slow;
+        rank := !rank + ((c' - c) * t.strides.(k)))
+  with
+  | true -> !rank
+  | false -> pack t st'
+  | exception Slow -> pack t st'
 
 let pack_opt t st = match pack t st with
   | rank -> Some rank

@@ -46,6 +46,14 @@ val pack : t -> State.t -> int
 
 val pack_opt : t -> State.t -> int option
 
+(** [pack_from t ~src_rank src st'] is [pack t st'], computed as a delta
+    against the source state [src] of known rank [src_rank].  Successor
+    states share the untouched binding tuples of their source, so the
+    common case is a physical-equality scan plus one coder lookup per
+    changed variable; shape mismatches fall back to the full {!pack}.
+    @raise Unrepresentable if [st'] does not fit the layout. *)
+val pack_from : t -> src_rank:int -> State.t -> State.t -> int
+
 (** [unpack t rank] rebuilds the state of the given rank; inverse of
     {!pack} on representable states. *)
 val unpack : t -> int -> State.t

@@ -341,6 +341,88 @@ let build_packed ~limit ~workers layout program ~from =
   in
   explore_packed ~workers layout program ~actions ~b ~index ~initials
 
+(* Packed [full]: every product state is present, so a state's index IS
+   its rank — no interning table at all.  States are materialized in rank
+   order (= State.compare order = the reference numbering) and successors
+   resolve to indices with one [Layout.pack].  With [workers], the
+   execute+pack phase fans out over rank chunks; the merge is a plain
+   append in id order, so the result is engine-independent. *)
+let successor_ranks layout actions ~rank st =
+  Detcor_robust.Budget.tick ();
+  let acc = ref [] in
+  Array.iteri
+    (fun aid ac ->
+      List.iter
+        (fun st' ->
+          acc := (aid, Layout.pack_from layout ~src_rank:rank st st') :: !acc)
+        (Action.execute ac st))
+    actions;
+  List.rev !acc
+
+let full_packed ~limit ~workers layout program =
+  let actions = Array.of_list (Program.actions program) in
+  let b = new_builder ~limit in
+  (* The exact state count is known up front: size the buffers once
+     instead of doubling through a dozen reallocations. *)
+  let space = Layout.space layout in
+  if space > Array.length b.states_buf && space <= limit then begin
+    b.states_buf <- Array.make space State.empty;
+    b.rows <- Array.make (space + 1) 0;
+    b.ea <- Array.make space 0;
+    b.et <- Array.make space 0
+  end;
+  Layout.iter_scratch layout (fun sc ->
+      ignore (add_state b (State.scratch_copy sc)));
+  let n = b.count in
+  if workers > 1 && n >= max 2 (workers * 8) then begin
+    let chunk = (n + workers - 1) / workers in
+    let domains =
+      List.init workers (fun w ->
+          let lo = w * chunk and hi = min n ((w + 1) * chunk) in
+          Stdlib.Domain.spawn (fun () ->
+              try
+                let succs =
+                  Array.init (max 0 (hi - lo)) (fun k ->
+                      successor_ranks layout actions ~rank:(lo + k)
+                        b.states_buf.(lo + k))
+                in
+                if Obs.on () then
+                  Metrics.incr ~by:(max 0 (hi - lo)) m_par_expanded;
+                Ok succs
+              with e -> Error e))
+    in
+    let results = List.map Stdlib.Domain.join domains in
+    let cursor = ref 0 in
+    List.iter
+      (function
+        | Error e -> raise e
+        | Ok per_state ->
+          Array.iter
+            (fun succs ->
+              List.iter (fun (aid, rank) -> push_edge b aid rank) succs;
+              close_row b !cursor;
+              incr cursor)
+            per_state)
+      results
+  end
+  else
+    for i = 0 to n - 1 do
+      Detcor_robust.Budget.tick ();
+      let st = b.states_buf.(i) in
+      Array.iteri
+        (fun aid ac ->
+          List.iter
+            (fun st' ->
+              push_edge b aid (Layout.pack_from layout ~src_rank:i st st'))
+            (Action.execute ac st))
+        actions;
+      close_row b i
+    done;
+  finish b ~program ~actions
+    ~initials:(List.init n Fun.id)
+    ~lookup:(fun st -> Layout.pack_opt layout st)
+    ~layout:(Some layout) ~cached:true
+
 (* Packed [of_pred]: stream the product space in rank order (which is
    State.compare order), interning matches on the fly — no intermediate
    lists and no sorting, unlike the reference path. *)
@@ -438,7 +520,7 @@ let full ?(limit = default_limit) ?(engine = default_engine) ?(workers = 1)
             fell_back overflow_reason
               (build_reference ~limit program ~from:(Program.states program))
         | Some layout -> (
-          try of_pred_packed ~limit ~workers layout program ~from:Pred.true_
+          try full_packed ~limit ~workers layout program
           with Layout.Unrepresentable when engine = Auto ->
             fell_back (escape_message ())
               (build_reference ~limit program ~from:(Program.states program)))))
@@ -531,6 +613,51 @@ let fold_edges ts f init =
   let acc = ref init in
   iter_edges ts (fun i aid j -> acc := f !acc i aid j);
   !acc
+
+(* ------------------------------------------------------------------ *)
+(* Reverse adjacency.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Reverse CSR over a class of actions: the in-edges of each state whose
+   action id passes [keep], in two prefix-summed arrays.  Built in two
+   O(edges) sweeps; backward fixpoints (the synthesizer's [ms]) iterate
+   predecessors without per-state lists or re-deriving successors. *)
+type reverse = {
+  rev_ptr : int array; (* in-edges of state j occupy [rev_ptr.(j) .. rev_ptr.(j+1)) *)
+  rev_action : int array;
+  rev_source : int array;
+}
+
+let reverse ?(keep = fun _ -> true) ts =
+  let n = num_states ts in
+  let counts = Array.make (n + 1) 0 in
+  let total = ref 0 in
+  iter_edges ts (fun _ aid j ->
+      if keep aid then begin
+        counts.(j + 1) <- counts.(j + 1) + 1;
+        incr total
+      end);
+  for j = 1 to n do
+    counts.(j) <- counts.(j) + counts.(j - 1)
+  done;
+  let rev_ptr = Array.copy counts in
+  let rev_action = Array.make !total 0 in
+  let rev_source = Array.make !total 0 in
+  let cursor = Array.copy counts in
+  iter_edges ts (fun i aid j ->
+      if keep aid then begin
+        let k = cursor.(j) in
+        rev_action.(k) <- aid;
+        rev_source.(k) <- i;
+        cursor.(j) <- k + 1
+      end);
+  { rev_ptr; rev_action; rev_source }
+
+let iter_in rev j f =
+  let hi = rev.rev_ptr.(j + 1) in
+  for k = rev.rev_ptr.(j) to hi - 1 do
+    f rev.rev_action.(k) rev.rev_source.(k)
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Cached predicate and guard queries.                                 *)

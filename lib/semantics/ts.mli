@@ -92,6 +92,18 @@ val action_ids_of_names : t -> string list -> int list
 val iter_edges : t -> (int -> int -> int -> unit) -> unit
 val fold_edges : t -> ('a -> int -> int -> int -> 'a) -> 'a -> 'a
 
+(** Reverse CSR adjacency over a class of actions (see {!reverse}). *)
+type reverse
+
+(** [reverse ?keep ts]: the in-edge arrays of [ts] restricted to edges
+    whose action id satisfies [keep] (default: all).  Two O(edges)
+    sweeps; backward fixpoints then iterate predecessors by index. *)
+val reverse : ?keep:(int -> bool) -> t -> reverse
+
+(** [iter_in rev j f] calls [f action_id source_id] for each kept in-edge
+    of state [j], without allocating. *)
+val iter_in : reverse -> int -> (int -> int -> unit) -> unit
+
 (** [pred_bitset ts pred]: bitset of the states satisfying [pred].  Cached
     per predicate instance on packed systems; computed afresh on reference
     systems. *)

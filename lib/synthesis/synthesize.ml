@@ -22,7 +22,19 @@
 
    The [ms]/[mt] fixpoints follow the Kulkarni-Arora formulation: [ms] is
    the set of states from which fault actions alone can violate safety;
-   [mt] the transitions a safe program must never take. *)
+   [mt] the transitions a safe program must never take.
+
+   Like {!Ts}, the synthesizer has two interchangeable paths.  When the
+   explored [p [] F] system was built by the packed engine, [ms] is a
+   bitset-seeded backward fixpoint over the reverse fault-edge CSR,
+   detection guards are per-action bitsets consulted by state index (the
+   semantic closure remains only as the fallback for states outside the
+   explored product), invariant recomputation is a counter-based deadlock
+   pruning worklist, and recovery layering ranks states in [int] arrays
+   with a frontier queue whose candidate scans can fan out over OCaml
+   domains ([?workers]).  The reference path is the seed implementation,
+   kept as the differential oracle; both produce extensionally identical
+   programs, invariants and reports. *)
 
 open Detcor_kernel
 open Detcor_semantics
@@ -34,6 +46,7 @@ type failure =
   | Empty_invariant
   | Unrecoverable_state of State.t
   | Verification_failed of Tolerance.report
+  | Exhausted of Detcor_robust.Error.resource
 
 type 'a outcome = ('a, failure) result
 
@@ -45,6 +58,8 @@ let pp_failure ppf = function
   | Verification_failed r ->
     Fmt.pf ppf "synthesized program failed verification:@,%a"
       Tolerance.pp_report r
+  | Exhausted r ->
+    Fmt.pf ppf "synthesis undecided: %a" Detcor_robust.Error.pp_resource r
 
 type result = {
   program : Program.t;
@@ -54,6 +69,23 @@ type result = {
       (* per restricted action: the added detection guard *)
   recovery_states : int; (* states given a recovery transition *)
 }
+
+(* A budget trip inside a synthesis fixpoint surfaces as an [Exhausted]
+   outcome rather than an escaping exception, mirroring the per-obligation
+   [Unknown] of {!Tolerance}: the caller always gets a value stating
+   whether synthesis succeeded, failed, or was left undecided. *)
+let surface_exhaustion f =
+  try f () with
+  | Detcor_robust.Error.Detcor_error (Detcor_robust.Error.Resource r) ->
+    Error (Exhausted r)
+  | Ts.Too_large n ->
+    Error
+      (Exhausted
+         {
+           Detcor_robust.Error.kind = Detcor_robust.Error.States;
+           spent = n;
+           budget = n;
+         })
 
 (* ------------------------------------------------------------------ *)
 (* ms / mt                                                             *)
@@ -93,15 +125,49 @@ let compute_ms ts_pf ~fault_ids ~sspec =
   done;
   in_ms
 
+(* Packed [ms]: identical fixpoint, but membership lives in a bitset and
+   predecessor iteration runs over the reverse fault-edge CSR instead of
+   per-state predecessor lists. *)
+let compute_ms_packed ts_pf ~fault_ids ~sspec ~bad =
+  Obs.span "synth.compute_ms" @@ fun () ->
+  let n = Ts.num_states ts_pf in
+  let is_fault = Array.make (Ts.num_actions ts_pf) false in
+  List.iter (fun i -> is_fault.(i) <- true) fault_ids;
+  let rev = Ts.reverse ~keep:(fun aid -> is_fault.(aid)) ts_pf in
+  let ms = Bitset.create n in
+  let queue = Queue.create () in
+  let add i =
+    if not (Bitset.get ms i) then begin
+      Bitset.set ms i;
+      Queue.add i queue
+    end
+  in
+  (* Seed from bad fault transitions by walking the reverse CSR: it holds
+     exactly the fault edges, so the (possibly expensive) bad-transition
+     predicate runs on those alone rather than on every product edge. *)
+  for j = 0 to n - 1 do
+    Ts.iter_in rev j (fun _aid i ->
+        if Safety.bad_transition sspec (Ts.state ts_pf i) (Ts.state ts_pf j)
+        then add i)
+  done;
+  for i = 0 to n - 1 do
+    if Bitset.get bad i then add i
+  done;
+  while not (Queue.is_empty queue) do
+    Detcor_robust.Budget.tick ();
+    let j = Queue.pop queue in
+    Ts.iter_in rev j (fun _ i -> add i)
+  done;
+  ms
+
 (* [mt]: a transition a safe program must never take — already a bad
-   transition, or into a bad state, or into [ms]. *)
-let make_mt ts_pf ~in_ms ~sspec s s' =
+   transition, or into a bad state, or into [ms].  [in_ms_at] answers ms
+   membership by state index, whatever the representation. *)
+let make_mt ts_pf ~in_ms_at ~sspec s s' =
   Safety.bad_transition sspec s s'
   || Safety.bad_state sspec s'
   ||
-  match Ts.index_of ts_pf s' with
-  | Some j -> in_ms.(j)
-  | None -> false
+  match Ts.index_of ts_pf s' with Some j -> in_ms_at j | None -> false
 
 (* ------------------------------------------------------------------ *)
 (* Fail-safe                                                           *)
@@ -110,24 +176,69 @@ let make_mt ts_pf ~in_ms ~sspec s s' =
 (* The detection guard added to action [ac]: executing [ac] here neither
    violates safety nor lands in [ms].  This is the weakest detection
    predicate of [ac] for the [mt]-extended safety specification. *)
-let detection_guard ts_pf ~in_ms ~sspec ac =
+let detection_guard ts_pf ~in_ms_at ~sspec ac =
   Pred.make
     (Fmt.str "wdp(%s)" (Action.name ac))
     (fun st ->
       (not (Safety.bad_state sspec st))
       && (match Ts.index_of ts_pf st with
-         | Some i -> not in_ms.(i)
+         | Some i -> not (in_ms_at i)
          | None -> true)
       && List.for_all
-           (fun st' -> not (make_mt ts_pf ~in_ms ~sspec st st'))
+           (fun st' -> not (make_mt ts_pf ~in_ms_at ~sspec st st'))
            (Action.execute ac st))
 
-let restrict_program ts_pf ~in_ms ~sspec p =
-  let restrict ac =
-    let guard = detection_guard ts_pf ~in_ms ~sspec ac in
-    (Action.name ac, guard, Action.restrict guard ac)
+(* Packed detection guards: one edge sweep marks, per program action, the
+   states from which some [ac]-step is an mt transition; each guard is
+   then a single bitset probe.  States outside the explored product (the
+   packed engine explored it exhaustively, so only states over a different
+   variable set) fall back to the semantic formula above. *)
+let detection_guards_packed ts_pf ~sspec ~bad ~ms p =
+  let n = Ts.num_states ts_pf in
+  let acts = Program.actions p in
+  let pos_of = Array.make (Ts.num_actions ts_pf) (-1) in
+  List.iteri
+    (fun k ac ->
+      match Ts.action_id ts_pf (Action.name ac) with
+      | Some aid -> pos_of.(aid) <- k
+      | None -> ())
+    acts;
+  let bad_step = Array.init (List.length acts) (fun _ -> Bitset.create n) in
+  Ts.iter_edges ts_pf (fun i aid j ->
+      let k = pos_of.(aid) in
+      if k >= 0
+         && (Bitset.get bad j
+            || Bitset.get ms j
+            || Safety.bad_transition sspec (Ts.state ts_pf i) (Ts.state ts_pf j))
+      then Bitset.set bad_step.(k) i);
+  let in_ms_at = Bitset.get ms in
+  List.mapi
+    (fun k ac ->
+      let ok =
+        Bitset.of_fn n (fun i ->
+            (not (Bitset.get bad i))
+            && (not (Bitset.get ms i))
+            && not (Bitset.get bad_step.(k) i))
+      in
+      let guard =
+        Pred.make
+          (Fmt.str "wdp(%s)" (Action.name ac))
+          (fun st ->
+            match Ts.index_of ts_pf st with
+            | Some i -> Bitset.get ok i
+            | None ->
+              (not (Safety.bad_state sspec st))
+              && List.for_all
+                   (fun st' -> not (make_mt ts_pf ~in_ms_at ~sspec st st'))
+                   (Action.execute ac st))
+      in
+      (ac, guard))
+    acts
+
+let restrict_with guards p =
+  let restricted =
+    List.map (fun (ac, g) -> (Action.name ac, g, Action.restrict g ac)) guards
   in
-  let restricted = List.map restrict (Program.actions p) in
   let program =
     Program.make
       ~name:(Fmt.str "failsafe(%s)" (Program.name p))
@@ -140,7 +251,7 @@ let restrict_program ts_pf ~in_ms ~sspec p =
 (* Recompute the invariant: drop ms-states, then iteratively drop states
    that the restriction newly deadlocked (states that could move in [p]
    but cannot in the restricted program within the shrinking set). *)
-let recompute_invariant ts_pf ~in_ms p restricted ~invariant =
+let recompute_invariant ts_pf ~in_ms_at p restricted ~invariant =
   let module SS = Set.Make (State) in
   let initial =
     List.filter
@@ -148,7 +259,7 @@ let recompute_invariant ts_pf ~in_ms p restricted ~invariant =
         Pred.holds invariant st
         &&
         match Ts.index_of ts_pf st with
-        | Some i -> not in_ms.(i)
+        | Some i -> not (in_ms_at i)
         | None -> true)
       (Program.states p)
   in
@@ -167,22 +278,137 @@ let recompute_invariant ts_pf ~in_ms p restricted ~invariant =
   let final = fix (SS.of_list initial) in
   SS.elements final
 
-let add_failsafe ?limit p ~spec ~invariant ~faults =
+(* Packed recomputation: the same greatest fixpoint, as a deadlock-pruning
+   worklist.  Candidate states stream through the program's layout in rank
+   (= [State.compare]) order; each live state counts its restricted
+   successors inside the candidate set, and dies when the count reaches
+   zero.  Per-occurrence reverse lists make each pruning step O(in-degree)
+   instead of a whole-set rescan. *)
+let recompute_invariant_packed ts_pf ~in_ms_at ~layout p restricted ~invariant
+    =
+  let acc = ref [] in
+  Layout.iter_scratch layout (fun sc ->
+      let st = State.scratch_view sc in
+      if Pred.holds invariant st
+         && (match Ts.index_of ts_pf st with
+            | Some i -> not (in_ms_at i)
+            | None -> true)
+      then acc := State.scratch_copy sc :: !acc);
+  let states = Array.of_list (List.rev !acc) in
+  let n = Array.length states in
+  let local_of_rank = Hashtbl.create (max 16 (2 * n)) in
+  Array.iteri
+    (fun k st -> Hashtbl.replace local_of_rank (Layout.pack layout st) k)
+    states;
+  let always_keep = Array.make n false in
+  let succ = Array.make n [||] in
+  Array.iteri
+    (fun k st ->
+      Detcor_robust.Budget.tick ();
+      if Program.deadlocked p st then always_keep.(k) <- true
+      else
+        succ.(k) <-
+          Program.successors restricted st
+          |> List.filter_map (fun (_, st') ->
+                 match Layout.pack_opt layout st' with
+                 | Some r -> Hashtbl.find_opt local_of_rank r
+                 | None -> None)
+          |> Array.of_list)
+    states;
+  let cnt = Array.make n 0 in
+  let preds = Array.make n [] in
+  for k = 0 to n - 1 do
+    if not always_keep.(k) then
+      Array.iter
+        (fun j ->
+          cnt.(k) <- cnt.(k) + 1;
+          preds.(j) <- k :: preds.(j))
+        succ.(k)
+  done;
+  let alive = Array.make n true in
+  let queue = Queue.create () in
+  let kill k =
+    if alive.(k) then begin
+      alive.(k) <- false;
+      Queue.add k queue
+    end
+  in
+  for k = 0 to n - 1 do
+    if (not always_keep.(k)) && cnt.(k) = 0 then kill k
+  done;
+  while not (Queue.is_empty queue) do
+    Detcor_robust.Budget.tick ();
+    let j = Queue.pop queue in
+    List.iter
+      (fun k ->
+        if alive.(k) && not always_keep.(k) then begin
+          cnt.(k) <- cnt.(k) - 1;
+          if cnt.(k) = 0 then kill k
+        end)
+      preds.(j)
+  done;
+  let out = ref [] in
+  for k = n - 1 downto 0 do
+    if alive.(k) then out := states.(k) :: !out
+  done;
+  !out
+
+(* The fail-safe front end shared by [add_failsafe] and [add_masking]:
+   ms, the restricted program, and the recomputed invariant — packed when
+   the composed system was built packed (and the program's own layout
+   compiles), reference otherwise.  Returns the index-level ms oracle for
+   the masking path's recovery restriction. *)
+let failsafe_core ts_pf ~sspec ~fault_ids p ~invariant =
+  let layout =
+    if Ts.engine_of ts_pf = Ts.Packed then Layout.of_program p else None
+  in
+  match layout with
+  | Some layout ->
+    let n = Ts.num_states ts_pf in
+    let bad =
+      Bitset.of_fn n (fun i -> Safety.bad_state sspec (Ts.state ts_pf i))
+    in
+    let ms = compute_ms_packed ts_pf ~fault_ids ~sspec ~bad in
+    let in_ms_at = Bitset.get ms in
+    let guards = detection_guards_packed ts_pf ~sspec ~bad ~ms p in
+    let restricted, added = restrict_with guards p in
+    let inv_states =
+      recompute_invariant_packed ts_pf ~in_ms_at ~layout p restricted
+        ~invariant
+    in
+    (restricted, added, inv_states, in_ms_at)
+  | None ->
+    let in_ms = compute_ms ts_pf ~fault_ids ~sspec in
+    let in_ms_at i = in_ms.(i) in
+    let guards =
+      List.map
+        (fun ac -> (ac, detection_guard ts_pf ~in_ms_at ~sspec ac))
+        (Program.actions p)
+    in
+    let restricted, added = restrict_with guards p in
+    let inv_states =
+      recompute_invariant ts_pf ~in_ms_at p restricted ~invariant
+    in
+    (restricted, added, inv_states, in_ms_at)
+
+let add_failsafe ?limit ?(engine = Ts.Auto) ?(workers = 1) p ~spec ~invariant
+    ~faults =
   Obs.span "synth.add_failsafe" ~attrs:[ Attr.str "program" (Program.name p) ]
   @@ fun () ->
+  surface_exhaustion @@ fun () ->
   let sspec = Spec.safety (Spec.smallest_safety_containing spec) in
   let composed = Fault.compose p faults in
-  let ts_pf = Ts.full ?limit composed in
+  let ts_pf = Ts.full ?limit ~engine ~workers composed in
   let fault_ids = Ts.action_ids_of_names ts_pf (Fault.action_names faults) in
-  let in_ms = compute_ms ts_pf ~fault_ids ~sspec in
-  let restricted, added = restrict_program ts_pf ~in_ms ~sspec p in
-  let inv_states = recompute_invariant ts_pf ~in_ms p restricted ~invariant in
+  let restricted, added, inv_states, _ =
+    failsafe_core ts_pf ~sspec ~fault_ids p ~invariant
+  in
   if inv_states = [] then Error Empty_invariant
   else begin
     let invariant' = Pred.of_states ~name:"S_failsafe" inv_states in
     let report =
-      Tolerance.check_with ?limit restricted ~spec ~invariant:invariant'
-        ~init:inv_states ~faults ~tol:Spec.Failsafe
+      Tolerance.check_with ?limit ~engine restricted ~spec
+        ~invariant:invariant' ~init:inv_states ~faults ~tol:Spec.Failsafe
     in
     if Tolerance.verdict report then
       Ok
@@ -200,58 +426,86 @@ let add_failsafe ?limit p ~spec ~invariant ~faults =
 (* Recovery synthesis (the corrector).                                 *)
 (* ------------------------------------------------------------------ *)
 
+module State_tbl = Hashtbl.Make (struct
+  type t = State.t
+
+  let equal = State.equal
+  let hash = State.hash
+end)
+
 (* Candidate recovery steps change at most [step_vars] variables — local
    corrections rather than global resets.  Backward layering from the
    target assigns each state a rank; the synthesized recovery action moves
    to a strictly smaller rank, so convergence is cycle-free by
-   construction. *)
+   construction.  The list order is the tie-breaking order of the layering
+   (first qualifying candidate wins), so it must be deterministic; the
+   two-variable composition is deduplicated because a second step over the
+   same variable re-emits one-variable states (or the origin itself), and
+   different step orders reach the same state twice. *)
 let neighbors ~step_vars p st =
   let decls = Program.var_decls p in
-  let single =
+  let single_from base =
     List.concat_map
       (fun (x, d) ->
         List.filter_map
           (fun value ->
-            if Value.equal (State.get st x) value then None
-            else Some (State.set st x value))
+            if Value.equal (State.get base x) value then None
+            else Some (State.set base x value))
           (Domain.values d))
       decls
   in
+  let single = single_from st in
   if step_vars <= 1 then single
-  else
-    (* two-variable steps: compose one-variable steps *)
-    single
-    @ List.concat_map
-        (fun st1 ->
-          List.concat_map
-            (fun (x, d) ->
-              List.filter_map
-                (fun value ->
-                  if Value.equal (State.get st1 x) value then None
-                  else Some (State.set st1 x value))
-                (Domain.values d))
-            decls)
-        single
+  else begin
+    let seen = State_tbl.create 64 in
+    State_tbl.replace seen st ();
+    let emit acc st' =
+      if State_tbl.mem seen st' then acc
+      else begin
+        State_tbl.replace seen st' ();
+        st' :: acc
+      end
+    in
+    let acc = List.fold_left emit [] single in
+    let acc =
+      List.fold_left
+        (fun acc st1 -> List.fold_left emit acc (single_from st1))
+        acc single
+    in
+    List.rev acc
+  end
 
 type recovery = {
-  table : (string, State.t) Hashtbl.t;
+  moves : int; (* states given a recovery transition *)
   action : Action.t;
 }
 
 (* [synthesize_recovery ~allowed ~target states]: rank the given states by
    backward BFS from the target set over allowed candidate steps, then
    build the recovery action "move one layer closer".  Returns the states
-   that cannot reach the target. *)
+   that cannot reach the target, minimal first. *)
 let synthesize_recovery ?(step_vars = 1) ~allowed ~target p states =
   Obs.span "synth.recovery" ~attrs:[ Attr.int "states" (List.length states) ]
   @@ fun () ->
-  let module SM = Map.Make (State) in
   let rank = Hashtbl.create 256 in
   let key st = State.to_string st in
   let target_states = List.filter (Pred.holds target) states in
   List.iter (fun st -> Hashtbl.replace rank (key st) 0) target_states;
   let state_set = Hashtbl.create 256 in
   List.iter (fun st -> Hashtbl.replace state_set (key st) st) states;
+  (* Candidate steps do not depend on the level: generate each state's
+     in-set neighbor list (with its keys) once, not once per level. *)
+  let neighbor_lists = Hashtbl.create 256 in
+  List.iter
+    (fun st ->
+      Detcor_robust.Budget.tick ();
+      Hashtbl.replace neighbor_lists (key st)
+        (List.filter_map
+           (fun st' ->
+             let k' = key st' in
+             if Hashtbl.mem state_set k' then Some (k', st') else None)
+           (neighbors ~step_vars p st)))
+    states;
   (* Backward BFS: repeatedly find unranked states with a one-step move to
      a ranked state. *)
   let table = Hashtbl.create 64 in
@@ -267,24 +521,22 @@ let synthesize_recovery ?(step_vars = 1) ~allowed ~target p states =
         if not (Hashtbl.mem rank k) then begin
           let candidate =
             List.find_opt
-              (fun st' ->
-                Hashtbl.mem state_set (key st')
-                && (match Hashtbl.find_opt rank (key st') with
-                   | Some r -> r < !level
-                   | None -> false)
+              (fun (k', st') ->
+                (match Hashtbl.find_opt rank k' with
+                | Some r -> r < !level
+                | None -> false)
                 && allowed st st')
-              (neighbors ~step_vars p st)
+              (Hashtbl.find neighbor_lists k)
           in
           match candidate with
-          | Some st' -> additions := (k, st, st') :: !additions
+          | Some (_, st') -> additions := (k, st') :: !additions
           | None -> ()
         end)
       state_set;
     List.iter
-      (fun (k, st, st') ->
+      (fun (k, st') ->
         Hashtbl.replace rank k !level;
         Hashtbl.replace table k st';
-        ignore st;
         changed := true)
       !additions
   done;
@@ -292,6 +544,7 @@ let synthesize_recovery ?(step_vars = 1) ~allowed ~target p states =
     Hashtbl.fold
       (fun k st acc -> if Hashtbl.mem rank k then acc else st :: acc)
       state_set []
+    |> List.sort State.compare
   in
   let guard =
     Pred.make "needs-recovery" (fun st -> Hashtbl.mem table (key st))
@@ -302,23 +555,171 @@ let synthesize_recovery ?(step_vars = 1) ~allowed ~target p states =
         | Some st' -> st'
         | None -> st)
   in
-  ({ table; action }, unrecoverable)
+  ({ moves = Hashtbl.length table; action }, unrecoverable)
+
+(* Packed layering over the explored span system: ranks and chosen moves
+   live in [int] arrays indexed by span state, neighbor lists are resolved
+   to index arrays once (memoized), and each level scans only the frontier
+   — the unranked neighbors of the states ranked at the previous level —
+   instead of rescanning the whole span.  The candidate relation is
+   symmetric on span states (a one- or two-variable change backwards is
+   one forwards), so a state's scan outcome can only change when one of
+   its neighbors acquires a rank, which is exactly when the frontier
+   re-queues it; the ranks and chosen moves therefore coincide with the
+   reference layering.  [workers] > 1 fans the per-candidate scans out
+   over OCaml domains; ranks are only written between phases, so the
+   result is identical to the sequential scan. *)
+let synthesize_recovery_packed ?(step_vars = 1) ~workers ~allowed ~target p
+    ts_span =
+  Obs.span "synth.recovery"
+    ~attrs:[ Attr.int "states" (Ts.num_states ts_span) ]
+  @@ fun () ->
+  let n = Ts.num_states ts_span in
+  let unranked = max_int in
+  let rank = Array.make n unranked in
+  let move = Array.make n (-1) in
+  let neigh = Array.make n None in
+  let fill_neighbors i =
+    if neigh.(i) = None then begin
+      Detcor_robust.Budget.tick ();
+      let arr =
+        neighbors ~step_vars p (Ts.state ts_span i)
+        |> List.filter_map (Ts.index_of ts_span)
+        |> Array.of_list
+      in
+      neigh.(i) <- Some arr
+    end
+  in
+  let neighbors_of i =
+    fill_neighbors i;
+    match neigh.(i) with Some a -> a | None -> assert false
+  in
+  (* Chunked fan-out used for both neighbor generation and candidate
+     scans.  Distinct iterations touch distinct array slots, so the only
+     sharing between domains is read-only. *)
+  let parallel_iter arr f =
+    let len = Array.length arr in
+    if workers <= 1 || len < 64 then Array.iter f arr
+    else begin
+      let chunk = (len + workers - 1) / workers in
+      let spawn w =
+        let lo = w * chunk in
+        let hi = min len (lo + chunk) in
+        Stdlib.Domain.spawn (fun () ->
+            try
+              for k = lo to hi - 1 do
+                f arr.(k)
+              done;
+              None
+            with e -> Some e)
+      in
+      let domains = List.init workers spawn in
+      match List.filter_map Stdlib.Domain.join domains with
+      | e :: _ -> raise e
+      | [] -> ()
+    end
+  in
+  let target_bits = Ts.pred_bitset ts_span target in
+  let frontier = ref [] in
+  for i = n - 1 downto 0 do
+    if Bitset.get target_bits i then begin
+      rank.(i) <- 0;
+      frontier := i :: !frontier
+    end
+  done;
+  let queued = Array.make n (-1) in
+  let level = ref 0 in
+  while !frontier <> [] do
+    incr level;
+    let lvl = !level in
+    let front = Array.of_list !frontier in
+    parallel_iter front fill_neighbors;
+    let candidates = ref [] in
+    Array.iter
+      (fun j ->
+        Array.iter
+          (fun i ->
+            if rank.(i) = unranked && queued.(i) <> lvl then begin
+              queued.(i) <- lvl;
+              candidates := i :: !candidates
+            end)
+          (neighbors_of j))
+      front;
+    let cands = Array.of_list !candidates in
+    let chosen = Array.make (Array.length cands) (-1) in
+    let scan_slot k =
+      let i = cands.(k) in
+      fill_neighbors i;
+      let nb = neighbors_of i in
+      let len = Array.length nb in
+      let rec first t =
+        if t >= len then -1
+        else
+          let j = nb.(t) in
+          if rank.(j) < lvl && allowed i j then j else first (t + 1)
+      in
+      chosen.(k) <- first 0
+    in
+    parallel_iter (Array.init (Array.length cands) (fun k -> k)) scan_slot;
+    let newly = ref [] in
+    Array.iteri
+      (fun k i ->
+        if chosen.(k) >= 0 then begin
+          rank.(i) <- lvl;
+          move.(i) <- chosen.(k);
+          newly := i :: !newly
+        end)
+      cands;
+    frontier := !newly
+  done;
+  let unrecoverable = ref [] in
+  for i = n - 1 downto 0 do
+    if rank.(i) = unranked then
+      unrecoverable := Ts.state ts_span i :: !unrecoverable
+  done;
+  let unrecoverable = List.sort State.compare !unrecoverable in
+  let moves =
+    Array.fold_left (fun acc m -> if m >= 0 then acc + 1 else acc) 0 move
+  in
+  let guard =
+    Pred.make "needs-recovery" (fun st ->
+        match Ts.index_of ts_span st with
+        | Some i -> move.(i) >= 0
+        | None -> false)
+  in
+  let action =
+    Action.deterministic "recovery" guard (fun st ->
+        match Ts.index_of ts_span st with
+        | Some i when move.(i) >= 0 -> Ts.state ts_span move.(i)
+        | _ -> st)
+  in
+  ({ moves; action }, unrecoverable)
 
 (* ------------------------------------------------------------------ *)
 (* Nonmasking                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let add_nonmasking ?limit ?(step_vars = 1) p ~spec ~invariant ~faults =
-  Obs.span "synth.add_nonmasking" ~attrs:[ Attr.str "program" (Program.name p) ]
+let add_nonmasking ?limit ?(engine = Ts.Auto) ?(workers = 1) ?(step_vars = 1)
+    p ~spec ~invariant ~faults =
+  Obs.span "synth.add_nonmasking"
+    ~attrs:[ Attr.str "program" (Program.name p) ]
   @@ fun () ->
-  let init = Tolerance.init_states ?limit p ~invariant in
+  surface_exhaustion @@ fun () ->
+  let init = Tolerance.init_states ?limit ~engine p ~invariant in
   if init = [] then Error Empty_invariant
   else begin
-    let span = Tolerance.fault_span_from_states ?limit p ~faults ~init in
+    let ts_span =
+      Ts.build ?limit ~engine ~workers (Fault.compose p faults) ~from:init
+    in
     let recovery, unrecoverable =
-      synthesize_recovery ~step_vars
-        ~allowed:(fun _ _ -> true)
-        ~target:invariant p span.states
+      if Ts.engine_of ts_span = Ts.Packed then
+        synthesize_recovery_packed ~step_vars ~workers
+          ~allowed:(fun _ _ -> true)
+          ~target:invariant p ts_span
+      else
+        synthesize_recovery ~step_vars
+          ~allowed:(fun _ _ -> true)
+          ~target:invariant p (Ts.states ts_span)
     in
     match unrecoverable with
     | st :: _ -> Error (Unrecoverable_state st)
@@ -328,8 +729,8 @@ let add_nonmasking ?limit ?(step_vars = 1) p ~spec ~invariant ~faults =
         |> Program.with_name (Fmt.str "nonmasking(%s)" (Program.name p))
       in
       let report =
-        Tolerance.check_with ?limit program ~spec ~invariant ~init ~faults
-          ~tol:Spec.Nonmasking
+        Tolerance.check_with ?limit ~engine program ~spec ~invariant ~init
+          ~faults ~tol:Spec.Nonmasking
       in
       if Tolerance.verdict report then
         Ok
@@ -338,7 +739,7 @@ let add_nonmasking ?limit ?(step_vars = 1) p ~spec ~invariant ~faults =
             invariant;
             report;
             added_detectors = [];
-            recovery_states = Hashtbl.length recovery.table;
+            recovery_states = recovery.moves;
           }
       else Error (Verification_failed report)
   end
@@ -351,27 +752,56 @@ let add_nonmasking ?limit ?(step_vars = 1) p ~spec ~invariant ~faults =
    back to a target predicate (default: the recomputed invariant), where
    every recovery step must itself avoid [mt] — the corrector must not
    break the detector's guarantee (Section 5). *)
-let add_masking ?limit ?(step_vars = 1) ?target p ~spec ~invariant ~faults =
+let add_masking ?limit ?(engine = Ts.Auto) ?(workers = 1) ?(step_vars = 1)
+    ?target p ~spec ~invariant ~faults =
   Obs.span "synth.add_masking" ~attrs:[ Attr.str "program" (Program.name p) ]
   @@ fun () ->
+  surface_exhaustion @@ fun () ->
   let sspec = Spec.safety (Spec.smallest_safety_containing spec) in
   let composed = Fault.compose p faults in
-  let ts_pf = Ts.full ?limit composed in
+  let ts_pf = Ts.full ?limit ~engine ~workers composed in
   let fault_ids = Ts.action_ids_of_names ts_pf (Fault.action_names faults) in
-  let in_ms = compute_ms ts_pf ~fault_ids ~sspec in
-  let restricted, added = restrict_program ts_pf ~in_ms ~sspec p in
-  let inv_states = recompute_invariant ts_pf ~in_ms p restricted ~invariant in
+  let restricted, added, inv_states, in_ms_at =
+    failsafe_core ts_pf ~sspec ~fault_ids p ~invariant
+  in
   if inv_states = [] then Error Empty_invariant
   else begin
     let invariant' = Pred.of_states ~name:"S_masking" inv_states in
     let target = match target with Some t -> t | None -> invariant' in
-    let span =
-      Tolerance.fault_span_from_states ?limit restricted ~faults
-        ~init:inv_states
+    let ts_span =
+      Ts.build ?limit ~engine ~workers
+        (Fault.compose restricted faults)
+        ~from:inv_states
     in
-    let allowed s s' = not (make_mt ts_pf ~in_ms ~sspec s s') in
     let recovery, unrecoverable =
-      synthesize_recovery ~step_vars ~allowed ~target restricted span.states
+      if Ts.engine_of ts_span = Ts.Packed then begin
+        (* Resolve ms/bad for every span state up front; an allowed step
+           then costs two bitset probes and one bad-transition check. *)
+        let nspan = Ts.num_states ts_span in
+        let bad_span =
+          Bitset.of_fn nspan (fun i ->
+              Safety.bad_state sspec (Ts.state ts_span i))
+        in
+        let ms_span =
+          Bitset.of_fn nspan (fun i ->
+              match Ts.index_of ts_pf (Ts.state ts_span i) with
+              | Some gi -> in_ms_at gi
+              | None -> false)
+        in
+        let allowed i j =
+          (not (Bitset.get bad_span j))
+          && (not (Bitset.get ms_span j))
+          && not
+               (Safety.bad_transition sspec (Ts.state ts_span i)
+                  (Ts.state ts_span j))
+        in
+        synthesize_recovery_packed ~step_vars ~workers ~allowed ~target
+          restricted ts_span
+      end
+      else
+        let allowed s s' = not (make_mt ts_pf ~in_ms_at ~sspec s s') in
+        synthesize_recovery ~step_vars ~allowed ~target restricted
+          (Ts.states ts_span)
     in
     match unrecoverable with
     | st :: _ -> Error (Unrecoverable_state st)
@@ -381,8 +811,8 @@ let add_masking ?limit ?(step_vars = 1) ?target p ~spec ~invariant ~faults =
         |> Program.with_name (Fmt.str "masking(%s)" (Program.name p))
       in
       let report =
-        Tolerance.check_with ?limit program ~spec ~invariant:invariant'
-          ~init:inv_states ~faults ~tol:Spec.Masking
+        Tolerance.check_with ?limit ~engine program ~spec
+          ~invariant:invariant' ~init:inv_states ~faults ~tol:Spec.Masking
       in
       if Tolerance.verdict report then
         Ok
@@ -391,7 +821,7 @@ let add_masking ?limit ?(step_vars = 1) ?target p ~spec ~invariant ~faults =
             invariant = invariant';
             report;
             added_detectors = added;
-            recovery_states = Hashtbl.length recovery.table;
+            recovery_states = recovery.moves;
           }
       else Error (Verification_failed report)
   end

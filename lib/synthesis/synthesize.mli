@@ -3,7 +3,15 @@
     strengthening to weakest detection predicates) for fail-safe, add a
     corrector (ranked recovery) for nonmasking, and both for masking.
     Every synthesized program is re-verified with {!Detcor_core.Tolerance}
-    before being returned. *)
+    before being returned.
+
+    The synthesizer mirrors {!Detcor_semantics.Ts}'s engine split: when
+    the explored system was built by the packed engine, the [ms]/[mt]
+    fixpoints, detection guards, invariant recomputation and recovery
+    layering all run on integer state indices (bitsets, reverse-CSR
+    adjacency, frontier queues, optional domain-parallel scans); the seed
+    closure-based path remains as the [Reference] oracle.  Both paths
+    synthesize extensionally identical programs and reports. *)
 
 open Detcor_kernel
 open Detcor_spec
@@ -13,6 +21,9 @@ type failure =
   | Empty_invariant
   | Unrecoverable_state of State.t
   | Verification_failed of Tolerance.report
+  | Exhausted of Detcor_robust.Error.resource
+      (** a resource budget ran out inside a synthesis fixpoint: the
+          outcome is undecided, not negative *)
 
 type 'a outcome = ('a, failure) result
 
@@ -27,10 +38,22 @@ type result = {
   recovery_states : int;  (** states given a recovery transition *)
 }
 
+(** Candidate recovery steps from a state: the states differing from it
+    in at most [step_vars] (1 or 2) of [p]'s declared variables, within
+    their declared domains, deduplicated and excluding the state itself.
+    The list order is the layering tie-break order (deterministic). *)
+val neighbors : step_vars:int -> Program.t -> State.t -> State.t list
+
 (** Strengthen every action with its weakest detection predicate for the
-    [ms/mt]-extended safety specification; recompute the invariant. *)
+    [ms/mt]-extended safety specification; recompute the invariant.
+    [engine] selects the synthesis path exactly as it selects the
+    {!Detcor_semantics.Ts} engine (default [Auto]); [workers] > 1
+    additionally fans packed exploration and recovery scans out over that
+    many OCaml domains. *)
 val add_failsafe :
   ?limit:int ->
+  ?engine:Detcor_semantics.Ts.engine ->
+  ?workers:int ->
   Program.t ->
   spec:Spec.t ->
   invariant:Pred.t ->
@@ -42,6 +65,8 @@ val add_failsafe :
     step may write (default 1 — local corrections). *)
 val add_nonmasking :
   ?limit:int ->
+  ?engine:Detcor_semantics.Ts.engine ->
+  ?workers:int ->
   ?step_vars:int ->
   Program.t ->
   spec:Spec.t ->
@@ -53,6 +78,8 @@ val add_nonmasking :
     [target] (default: the recomputed invariant). *)
 val add_masking :
   ?limit:int ->
+  ?engine:Detcor_semantics.Ts.engine ->
+  ?workers:int ->
   ?step_vars:int ->
   ?target:Pred.t ->
   Program.t ->

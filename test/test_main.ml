@@ -9,6 +9,7 @@ let () =
       Test_core.suite;
       Test_systems.suite;
       Test_synthesis.suite;
+      Test_synthesis_diff.suite;
       Test_lang.suite;
       Test_sim.suite;
       Test_obs.suite;

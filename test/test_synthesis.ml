@@ -147,7 +147,127 @@ let test_ring_nonmasking_synthesis () =
       (match f with
       | Synthesize.Verification_failed _ | Synthesize.Unrecoverable_state _ ->
         true
-      | Synthesize.Empty_invariant -> false)
+      | Synthesize.Empty_invariant | Synthesize.Exhausted _ -> false)
+
+let outcome_tag = function
+  | Ok _ -> "Ok"
+  | Error f -> Fmt.str "%a" Synthesize.pp_failure f
+
+(* The candidate-step generator: one-variable steps enumerate every other
+   in-domain value; the two-variable composition is deduplicated (no
+   origin, no re-emitted one-variable steps, no repeated states). *)
+let test_neighbors_dedup () =
+  let p =
+    Program.make ~name:"nb"
+      ~vars:[ ("x", Domain.range 0 2); ("y", Domain.range 0 1) ]
+      ~actions:[ Action.deterministic "skip" Pred.false_ (fun st -> st) ]
+  in
+  let st = State.of_list [ ("x", Value.int 0); ("y", Value.int 0) ] in
+  let one = Synthesize.neighbors ~step_vars:1 p st in
+  Alcotest.(check int) "one-variable neighbors" 3 (List.length one);
+  let two = Synthesize.neighbors ~step_vars:2 p st in
+  (* 5 = the product space minus the origin *)
+  Alcotest.(check int) "two-variable neighbors deduplicated" 5
+    (List.length two);
+  Alcotest.(check int) "no duplicates" (List.length two)
+    (List.length (List.sort_uniq State.compare two));
+  Alcotest.(check bool) "origin excluded" false
+    (List.exists (State.equal st) two)
+
+let bit = Domain.range 0 1
+
+(* Fail-safe restriction can leave no invariant state: every invariant
+   state is already bad, so ms swallows the invariant. *)
+let test_failure_empty_invariant () =
+  let x0 = Pred.make "x=0" (fun st -> Value.as_int (State.get st "x") = 0) in
+  let p =
+    Program.make ~name:"empty" ~vars:[ ("x", bit) ]
+      ~actions:[ Action.deterministic "skip" Pred.false_ (fun st -> st) ]
+  in
+  let spec = Spec.make ~name:"bad0" ~safety:(Safety.never x0) () in
+  let faults = Fault.corrupt_variable "x" bit in
+  (match Synthesize.add_masking p ~spec ~invariant:x0 ~faults with
+  | Error Synthesize.Empty_invariant -> ()
+  | r -> Alcotest.failf "expected Empty_invariant, got %s" (outcome_tag r));
+  (* nonmasking starting from an invariant with no states at all *)
+  match Synthesize.add_nonmasking p ~spec ~invariant:Pred.false_ ~faults with
+  | Error Synthesize.Empty_invariant -> ()
+  | r -> Alcotest.failf "expected Empty_invariant, got %s" (outcome_tag r)
+
+(* A fault jumps the program two variables away from the invariant; the
+   only one-variable paths back lead through bad states outside the
+   restricted span, so the corrector has no safe layering. *)
+let test_failure_unrecoverable () =
+  let getx st = Value.as_int (State.get st "x") in
+  let gety st = Value.as_int (State.get st "y") in
+  let inv =
+    Pred.make "origin" (fun st -> getx st = 0 && gety st = 0)
+  in
+  let p =
+    Program.make ~name:"unrec"
+      ~vars:[ ("x", bit); ("y", bit) ]
+      ~actions:[ Action.deterministic "skip" Pred.false_ (fun st -> st) ]
+  in
+  let spec =
+    Spec.make ~name:"diag"
+      ~safety:(Safety.make ~bad_state:(fun st -> getx st <> gety st) ())
+      ()
+  in
+  let jump =
+    Fault.make "jump"
+      [
+        Action.deterministic "F:jump" inv (fun st ->
+            State.set (State.set st "x" (Value.int 1)) "y" (Value.int 1));
+      ]
+  in
+  match Synthesize.add_masking p ~spec ~invariant:inv ~faults:jump with
+  | Error (Synthesize.Unrecoverable_state st) ->
+    Alcotest.(check int) "stuck at x=1" 1 (getx st);
+    Alcotest.(check int) "stuck at y=1" 1 (gety st)
+  | r -> Alcotest.failf "expected Unrecoverable_state, got %s" (outcome_tag r)
+
+(* Recovery synthesis succeeds, but the synthesized program cannot meet
+   the liveness obligation of the specification: the self-looping program
+   never reaches x=1 from the invariant. *)
+let test_failure_verification () =
+  let x1 = Pred.make "x=1" (fun st -> Value.as_int (State.get st "x") = 1) in
+  let p =
+    Program.make ~name:"stuck" ~vars:[ ("x", bit) ]
+      ~actions:[ Action.deterministic "stay" Pred.true_ (fun st -> st) ]
+  in
+  let spec =
+    Spec.make ~name:"eventually-one"
+      ~liveness:(Liveness.leads_to Pred.true_ x1)
+      ()
+  in
+  let faults = Fault.corrupt_variable "x" bit in
+  match
+    Synthesize.add_nonmasking p ~spec ~invariant:(Pred.not_ x1) ~faults
+  with
+  | Error (Synthesize.Verification_failed report) ->
+    Alcotest.(check bool) "verdict false" false (Tolerance.verdict report);
+    Alcotest.(check bool)
+      "a definite failure, not Unknown" true
+      (Tolerance.failures report <> [])
+  | r -> Alcotest.failf "expected Verification_failed, got %s" (outcome_tag r)
+
+(* A state-count budget trips inside synthesis: the outcome is the
+   undecided [Exhausted] failure, not a hang or an escaping exception. *)
+let test_budget_trip () =
+  let cfg = Token_ring.make_config 5 in
+  let budget = Detcor_robust.Budget.make ~max_states:64 () in
+  match
+    Detcor_robust.Budget.with_budget budget (fun () ->
+        Synthesize.add_nonmasking (Token_ring.program cfg)
+          ~spec:(Token_ring.spec cfg)
+          ~invariant:(Token_ring.legitimate cfg)
+          ~faults:(Token_ring.corruption cfg))
+  with
+  | Error (Synthesize.Exhausted r) ->
+    Alcotest.(check bool)
+      "states dimension" true
+      (r.Detcor_robust.Error.kind = Detcor_robust.Error.States)
+  | r -> Alcotest.failf "expected Exhausted, got %s" (outcome_tag r)
 
 let suite =
   ( "synthesis (E7)",
@@ -159,5 +279,12 @@ let suite =
       Alcotest.test_case "TMR masking" `Quick test_tmr_masking;
       Alcotest.test_case "idempotent" `Quick test_idempotent;
       Alcotest.test_case "unsynthesizable" `Quick test_unsynthesizable;
+      Alcotest.test_case "neighbors deduplicated" `Quick test_neighbors_dedup;
+      Alcotest.test_case "empty invariant" `Quick test_failure_empty_invariant;
+      Alcotest.test_case "unrecoverable state" `Quick
+        test_failure_unrecoverable;
+      Alcotest.test_case "verification failed" `Quick
+        test_failure_verification;
+      Alcotest.test_case "budget trip undecided" `Quick test_budget_trip;
       Alcotest.test_case "crippled ring" `Slow test_ring_nonmasking_synthesis;
     ] )
