@@ -13,8 +13,17 @@
    counters and histograms), --log-level LEVEL (echo events to stderr) and
    --timeout SECONDS (wall-clock budget; exhaustion exits 3).
 
+   The long-running subcommands (verify, synthesize, simulate) also take
+   --checkpoint FILE / --checkpoint-interval SECONDS (periodic crash-safe
+   snapshots of the running fixpoints; a final snapshot is written on the
+   way out of an exhausted budget, so exit 3 always leaves a resumable
+   file), --resume FILE (continue from a snapshot to the identical
+   verdict) and --workers N (parallel exploration; a crashed worker
+   domain is retried sequentially and the run degrades to fewer workers).
+
    Exit codes: 0 verdict holds, 1 verification (or synthesis) fails,
-   2 usage/parse/type error, 3 resource budget exhausted.
+   2 usage/parse/type error, 3 resource budget exhausted (including a
+   truncated, corrupted or mismatched --resume snapshot).
 
    Programs are written in the guarded-command language of Detcor_lang;
    see examples/dc/. *)
@@ -27,6 +36,7 @@ open Detcor_lang
 open Detcor_obs
 module Error = Detcor_robust.Error
 module Budget = Detcor_robust.Budget
+module Checkpoint = Detcor_robust.Checkpoint
 
 let or_die = function
   | Ok v -> v
@@ -95,6 +105,82 @@ let limit_arg =
     value
     & opt int Detcor_semantics.Ts.default_limit
     & info [ "limit" ] ~docv:"N" ~doc:"State-exploration limit.")
+
+let workers_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Worker domains for frontier expansion and synthesis scans.  \
+           Results are identical for any worker count; a worker that \
+           crashes is retried sequentially and the run continues with a \
+           smaller pool.")
+
+(* ------------------------------------------------------------------ *)
+(* Crash-safe checkpointing (verify / synthesize / simulate).           *)
+(* ------------------------------------------------------------------ *)
+
+type robust_opts = {
+  checkpoint : string option;
+  interval : float;
+  resume : string option;
+}
+
+let robust_term =
+  let checkpoint_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Periodically write a crash-safe snapshot of the running \
+             fixpoints to $(docv) (atomic rename; the file is always \
+             either the previous snapshot or a complete new one).  A \
+             final snapshot is also written when a resource budget trips, \
+             so exit 3 always leaves a resumable file.")
+  in
+  let interval_arg =
+    Arg.(
+      value
+      & opt float Checkpoint.default_interval
+      & info [ "checkpoint-interval" ] ~docv:"SECONDS"
+          ~doc:
+            "Seconds between periodic snapshots, measured on the \
+             monotonic clock (suspends and clock steps cannot starve or \
+             flood the writer).")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a snapshot written by --checkpoint.  The \
+             snapshot must come from the same program, subcommand and \
+             options (fingerprint-checked); the continued run produces \
+             the identical verdict and report.")
+  in
+  let make checkpoint interval resume = { checkpoint; interval; resume } in
+  Term.(const make $ checkpoint_arg $ interval_arg $ resume_arg)
+
+(* Arm the checkpoint session around [k].  The fingerprint binds the
+   snapshot to the program source, the subcommand and every option that
+   affects the computation (worker count and timeout excluded: both are
+   free to change across a resume).  [Fun.protect] makes the final save
+   unconditional — in particular a budget trip unwinding through [k]
+   persists the mid-fixpoint captures before the process exits 3. *)
+let with_checkpoint ~path ~sub ~params robust k =
+  match (robust.checkpoint, robust.resume) with
+  | None, None -> k ()
+  | write, resume ->
+    let source =
+      try In_channel.with_open_bin path In_channel.input_all
+      with Sys_error _ -> ""
+    in
+    let fingerprint = Checkpoint.digest ("dcheck/1.0.0" :: sub :: source :: params) in
+    Checkpoint.start ~interval:robust.interval ?write ?resume ~fingerprint ();
+    Fun.protect ~finally:Checkpoint.stop k
 
 (* ------------------------------------------------------------------ *)
 (* Observability options (shared by every subcommand).                  *)
@@ -269,9 +355,19 @@ let explain_arg =
         ~doc:"On failure, print a witness trace for each failing obligation.")
 
 let verify_cmd =
-  let run path tol limit explain timeout obs =
+  let run path tol limit explain timeout workers robust obs =
     with_obs obs @@ fun () ->
     guarded ~path timeout @@ fun () ->
+    with_checkpoint ~path ~sub:"verify"
+      ~params:
+        [
+          (match tol with
+          | Some t -> Fmt.str "%a" Spec.pp_tolerance t
+          | None -> "all");
+          string_of_int limit;
+        ]
+      robust
+    @@ fun () ->
     let e = Elaborate.load_file path in
     let classes =
       match tol with
@@ -283,7 +379,7 @@ let verify_cmd =
         (* Witnesses are found on the composed p [] F system over the
            fault span: it contains every state either checker explored. *)
         let span =
-          Tolerance.fault_span ~limit e.program ~faults:e.faults
+          Tolerance.fault_span ~limit ~workers e.program ~faults:e.faults
             ~from:e.invariant
         in
         List.iter
@@ -309,8 +405,8 @@ let verify_cmd =
     List.iter
       (fun tol ->
         let report =
-          Tolerance.check ~limit e.program ~spec:e.spec ~invariant:e.invariant
-            ~faults:e.faults ~tol
+          Tolerance.check ~limit ~workers e.program ~spec:e.spec
+            ~invariant:e.invariant ~faults:e.faults ~tol
         in
         Fmt.pr "%a@.@." Tolerance.pp_report report;
         if Tolerance.failures report <> [] then begin
@@ -334,7 +430,7 @@ let verify_cmd =
        ~doc:"Check F-tolerance of the program against its specification.")
     Term.(
       const run $ file_arg $ tolerance_arg $ limit_arg $ explain_arg
-      $ timeout_arg $ obs_term)
+      $ timeout_arg $ workers_arg $ robust_term $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* components                                                          *)
@@ -383,22 +479,27 @@ let components_cmd =
 (* ------------------------------------------------------------------ *)
 
 let synthesize_cmd =
-  let run path tol limit timeout obs =
+  let run path tol limit timeout workers robust obs =
     with_obs obs @@ fun () ->
     guarded ~path timeout @@ fun () ->
-    let e = Elaborate.load_file path in
     let tol = match tol with Some t -> t | None -> Spec.Masking in
+    with_checkpoint ~path ~sub:"synthesize"
+      ~params:
+        [ Fmt.str "%a" Spec.pp_tolerance tol; string_of_int limit ]
+      robust
+    @@ fun () ->
+    let e = Elaborate.load_file path in
     let result =
       match tol with
       | Spec.Failsafe ->
-        Detcor_synthesis.Synthesize.add_failsafe ~limit e.program ~spec:e.spec
-          ~invariant:e.invariant ~faults:e.faults
+        Detcor_synthesis.Synthesize.add_failsafe ~limit ~workers e.program
+          ~spec:e.spec ~invariant:e.invariant ~faults:e.faults
       | Spec.Nonmasking ->
-        Detcor_synthesis.Synthesize.add_nonmasking ~limit e.program
+        Detcor_synthesis.Synthesize.add_nonmasking ~limit ~workers e.program
           ~spec:e.spec ~invariant:e.invariant ~faults:e.faults
       | Spec.Masking ->
-        Detcor_synthesis.Synthesize.add_masking ~limit e.program ~spec:e.spec
-          ~invariant:e.invariant ~faults:e.faults
+        Detcor_synthesis.Synthesize.add_masking ~limit ~workers e.program
+          ~spec:e.spec ~invariant:e.invariant ~faults:e.faults
     in
     match result with
     | Error (Detcor_synthesis.Synthesize.Exhausted r) ->
@@ -426,7 +527,7 @@ let synthesize_cmd =
          "Add fail-safe, nonmasking or masking tolerance to the program \
           (default: masking).")
     Term.(const run $ file_arg $ tolerance_arg $ limit_arg $ timeout_arg
-          $ obs_term)
+          $ workers_arg $ robust_term $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -454,9 +555,17 @@ let simulate_cmd =
   let seed_arg =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
   in
-  let run path runs steps prob max_faults seed timeout obs =
+  let run path runs steps prob max_faults seed timeout robust obs =
     with_obs obs @@ fun () ->
     guarded ~path timeout @@ fun () ->
+    with_checkpoint ~path ~sub:"simulate"
+      ~params:
+        [
+          string_of_int runs; string_of_int steps; string_of_float prob;
+          string_of_int max_faults; string_of_int seed;
+        ]
+      robust
+    @@ fun () ->
     let e = Elaborate.load_file path in
     let inits =
       List.filter (Pred.holds e.invariant) (Program.states e.program)
@@ -511,7 +620,7 @@ let simulate_cmd =
        ~doc:"Fault-injection simulation with online safety monitoring.")
     Term.(
       const run $ file_arg $ runs_arg $ steps_arg $ prob_arg $ max_faults_arg
-      $ seed_arg $ timeout_arg $ obs_term)
+      $ seed_arg $ timeout_arg $ robust_term $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* profile                                                             *)

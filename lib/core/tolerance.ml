@@ -131,10 +131,10 @@ type span = {
 
 (* The F-span of p from S: smallest T with S ⇒ T, T closed in p, and T
    closed in F — i.e. the forward closure of the S-states under p [] F. *)
-let fault_span ?limit ?engine p ~faults ~from =
+let fault_span ?limit ?engine ?workers p ~faults ~from =
   Obs.span "tolerance.fault_span" @@ fun () ->
   let composed = Fault.compose p faults in
-  let ts_pf = Ts.of_pred ?limit ?engine composed ~from in
+  let ts_pf = Ts.of_pred ?limit ?engine ?workers composed ~from in
   let states = Ts.states ts_pf in
   let pred =
     Pred.of_states ~name:(Fmt.str "span(%s)" (Pred.name from)) states
@@ -144,10 +144,10 @@ let fault_span ?limit ?engine p ~faults ~from =
 
 (* [fault_span_from_states] avoids re-enumerating the product space when the
    initial states are already known. *)
-let fault_span_from_states ?limit ?engine p ~faults ~init =
+let fault_span_from_states ?limit ?engine ?workers p ~faults ~init =
   Obs.span "tolerance.fault_span" @@ fun () ->
   let composed = Fault.compose p faults in
-  let ts_pf = Ts.build ?limit ?engine composed ~from:init in
+  let ts_pf = Ts.build ?limit ?engine ?workers composed ~from:init in
   let states = Ts.states ts_pf in
   let pred = Pred.of_states ~name:"span" states in
   if Obs.on () then Obs.annotate [ Attr.int "span_states" (List.length states) ];
@@ -159,12 +159,12 @@ let fault_span_from_states ?limit ?engine p ~faults ~init =
 
 (* S must be closed in p, and every computation from S must be in SPEC
    (Section 2.2.1, Refines + Invariant). *)
-let refines_from ?limit ?engine p ~spec ~invariant =
-  let ts = Ts.of_pred ?limit ?engine p ~from:invariant in
+let refines_from ?limit ?engine ?workers p ~spec ~invariant =
+  let ts = Ts.of_pred ?limit ?engine ?workers p ~from:invariant in
   (ts, Check.all [ Check.closed ts invariant; Spec.refines ts spec ])
 
-let refines_from_states ?limit ?engine p ~spec ~init ~invariant =
-  let ts = Ts.build ?limit ?engine p ~from:init in
+let refines_from_states ?limit ?engine ?workers p ~spec ~init ~invariant =
+  let ts = Ts.build ?limit ?engine ?workers p ~from:init in
   (ts, Check.all [ Check.closed ts invariant; Spec.refines ts spec ])
 
 (* ------------------------------------------------------------------ *)
@@ -220,7 +220,7 @@ let liveness_under_faults ~ts_pf ~ts_p liveness =
 (* The three tolerance checkers.                                       *)
 (* ------------------------------------------------------------------ *)
 
-let check_with ?limit ?engine ?recover p ~spec ~invariant ~init ~faults ~tol =
+let check_with ?limit ?engine ?workers ?recover p ~spec ~invariant ~init ~faults ~tol =
   Obs.span "tolerance.check"
     ~attrs:
       [
@@ -262,20 +262,22 @@ let check_with ?limit ?engine ?recover p ~spec ~invariant ~init ~faults ~tol =
     timed "p refines SPEC from S" (fun () ->
         guard (fun () ->
             let ts, o =
-              refines_from_states ?limit ?engine p ~spec ~init ~invariant
+              refines_from_states ?limit ?engine ?workers p ~spec ~init
+                ~invariant
             in
             base_ts := Some ts;
             o))
   in
   let span =
-    structure (fun () -> fault_span_from_states ?limit ?engine p ~faults ~init)
+    structure (fun () ->
+        fault_span_from_states ?limit ?engine ?workers p ~faults ~init)
   in
   (* p alone, over the whole span: used for liveness after faults stop. *)
   let ts_p_span =
     match span with
     | None -> None
     | Some span ->
-      structure (fun () -> Ts.build ?limit ?engine p ~from:span.states)
+      structure (fun () -> Ts.build ?limit ?engine ?workers p ~from:span.states)
   in
   let sspec = Spec.smallest_safety_containing spec in
   let safety_item =
@@ -305,7 +307,7 @@ let check_with ?limit ?engine ?recover p ~spec ~invariant ~init ~faults ~tol =
         | Some span ->
           guard (fun () ->
               let ts_rec =
-                Ts.build ?limit ?engine p
+                Ts.build ?limit ?engine ?workers p
                   ~from:(List.filter (Pred.holds recover) span.states)
               in
               Check.all
@@ -358,10 +360,11 @@ let init_states ?limit ?(engine = Ts.Auto) p ~invariant =
       if engine = Ts.Packed then raise Layout.Unrepresentable
       else reference ())
 
-let check ?limit ?engine ?recover p ~spec ~invariant ~faults ~tol =
+let check ?limit ?engine ?workers ?recover p ~spec ~invariant ~faults ~tol =
   match init_states ?limit ?engine p ~invariant with
   | init ->
-    check_with ?limit ?engine ?recover p ~spec ~invariant ~init ~faults ~tol
+    check_with ?limit ?engine ?workers ?recover p ~spec ~invariant ~init
+      ~faults ~tol
   | exception e -> (
     (* Exhaustion while enumerating the invariant itself still yields a
        well-formed report: one Unknown obligation, never an exception. *)
@@ -378,18 +381,20 @@ let check ?limit ?engine ?recover p ~spec ~invariant ~faults ~tol =
       }
     | None -> raise e)
 
-let is_failsafe ?limit ?engine p ~spec ~invariant ~faults =
-  check ?limit ?engine p ~spec ~invariant ~faults ~tol:Spec.Failsafe
+let is_failsafe ?limit ?engine ?workers p ~spec ~invariant ~faults =
+  check ?limit ?engine ?workers p ~spec ~invariant ~faults ~tol:Spec.Failsafe
 
-let is_nonmasking ?limit ?engine ?recover p ~spec ~invariant ~faults =
-  check ?limit ?engine ?recover p ~spec ~invariant ~faults ~tol:Spec.Nonmasking
+let is_nonmasking ?limit ?engine ?workers ?recover p ~spec ~invariant ~faults =
+  check ?limit ?engine ?workers ?recover p ~spec ~invariant ~faults
+    ~tol:Spec.Nonmasking
 
-let is_masking ?limit ?engine p ~spec ~invariant ~faults =
-  check ?limit ?engine p ~spec ~invariant ~faults ~tol:Spec.Masking
+let is_masking ?limit ?engine ?workers p ~spec ~invariant ~faults =
+  check ?limit ?engine ?workers p ~spec ~invariant ~faults ~tol:Spec.Masking
 
 (* Classify: the reports for all three classes, masking first. *)
-let classify ?limit ?engine ?recover p ~spec ~invariant ~faults =
+let classify ?limit ?engine ?workers ?recover p ~spec ~invariant ~faults =
   List.map
     (fun tol ->
-      (tol, check ?limit ?engine ?recover p ~spec ~invariant ~faults ~tol))
+      (tol,
+       check ?limit ?engine ?workers ?recover p ~spec ~invariant ~faults ~tol))
     [ Spec.Masking; Spec.Failsafe; Spec.Nonmasking ]

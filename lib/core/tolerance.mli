@@ -51,6 +51,7 @@ type span = {
 val fault_span :
   ?limit:int ->
   ?engine:Ts.engine ->
+  ?workers:int ->
   Program.t ->
   faults:Fault.t ->
   from:Pred.t ->
@@ -61,6 +62,7 @@ val fault_span :
 val fault_span_from_states :
   ?limit:int ->
   ?engine:Ts.engine ->
+  ?workers:int ->
   Program.t ->
   faults:Fault.t ->
   init:State.t list ->
@@ -71,6 +73,7 @@ val fault_span_from_states :
 val refines_from :
   ?limit:int ->
   ?engine:Ts.engine ->
+  ?workers:int ->
   Program.t ->
   spec:Spec.t ->
   invariant:Pred.t ->
@@ -79,6 +82,7 @@ val refines_from :
 val refines_from_states :
   ?limit:int ->
   ?engine:Ts.engine ->
+  ?workers:int ->
   Program.t ->
   spec:Spec.t ->
   init:State.t list ->
@@ -111,6 +115,7 @@ val liveness_under_faults :
 val check :
   ?limit:int ->
   ?engine:Ts.engine ->
+  ?workers:int ->
   ?recover:Pred.t ->
   Program.t ->
   spec:Spec.t ->
@@ -123,6 +128,7 @@ val check :
 val check_with :
   ?limit:int ->
   ?engine:Ts.engine ->
+  ?workers:int ->
   ?recover:Pred.t ->
   Program.t ->
   spec:Spec.t ->
@@ -135,23 +141,27 @@ val check_with :
 val is_failsafe :
   ?limit:int ->
   ?engine:Ts.engine ->
+  ?workers:int ->
   Program.t -> spec:Spec.t -> invariant:Pred.t -> faults:Fault.t -> report
 
 val is_nonmasking :
   ?limit:int ->
   ?engine:Ts.engine ->
+  ?workers:int ->
   ?recover:Pred.t ->
   Program.t -> spec:Spec.t -> invariant:Pred.t -> faults:Fault.t -> report
 
 val is_masking :
   ?limit:int ->
   ?engine:Ts.engine ->
+  ?workers:int ->
   Program.t -> spec:Spec.t -> invariant:Pred.t -> faults:Fault.t -> report
 
 (** Reports for all three classes, masking first. *)
 val classify :
   ?limit:int ->
   ?engine:Ts.engine ->
+  ?workers:int ->
   ?recover:Pred.t ->
   Program.t ->
   spec:Spec.t ->

@@ -106,25 +106,39 @@ let check_now b =
 
 let interval = 128 (* power of two: the tick test is a mask *)
 
+(* The same masked slow path also drives periodic crash-safe snapshots:
+   an armed [Checkpoint] session pulses here even when no budget is
+   active, so `--checkpoint` works with or without `--timeout`. *)
 let tick () =
   let b = !current_budget in
-  if b.active then begin
+  let cp = Checkpoint.armed () in
+  if b.active || cp then begin
     let n = Atomic.fetch_and_add b.ticks 1 in
-    if n land (interval - 1) = 0 then check_now b else reraise_if_tripped b
+    if n land (interval - 1) = 0 then begin
+      if b.active then check_now b;
+      if cp then Checkpoint.pulse ()
+    end
+    else if b.active then reraise_if_tripped b
   end
 
 (* One visited state: counts toward the state ceiling and doubles as a
    cooperative checkpoint. *)
 let count_state () =
   let b = !current_budget in
-  if b.active then begin
-    let n = Atomic.fetch_and_add b.states 1 + 1 in
-    (match b.max_states with
-    | Some limit when n > limit ->
-      trip b { Error.kind = Error.States; spent = n; budget = limit }
-    | _ -> ());
+  let cp = Checkpoint.armed () in
+  if b.active || cp then begin
+    (if b.active then
+       let n = Atomic.fetch_and_add b.states 1 + 1 in
+       match b.max_states with
+       | Some limit when n > limit ->
+         trip b { Error.kind = Error.States; spent = n; budget = limit }
+       | _ -> ());
     let t = Atomic.fetch_and_add b.ticks 1 in
-    if t land (interval - 1) = 0 then check_now b else reraise_if_tripped b
+    if t land (interval - 1) = 0 then begin
+      if b.active then check_now b;
+      if cp then Checkpoint.pulse ()
+    end
+    else if b.active then reraise_if_tripped b
   end
 
 let states_visited () = Atomic.get !current_budget.states

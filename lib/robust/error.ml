@@ -22,6 +22,7 @@ type t =
   | Parse of { line : int; col : int; msg : string }
   | Type_error of { msg : string }
   | Resource of resource
+  | Snapshot of { path : string; msg : string }
   | Internal of { msg : string }
 
 exception Detcor_error of t
@@ -37,6 +38,9 @@ let internal fmt =
 
 let resource ~kind ~spent ~budget =
   raise (Detcor_error (Resource { kind; spent; budget }))
+
+let snapshot ~path fmt =
+  Fmt.kstr (fun msg -> raise (Detcor_error (Snapshot { path; msg }))) fmt
 
 let resource_kind_name = function
   | Time -> "time"
@@ -61,16 +65,19 @@ let pp ppf = function
     Fmt.pf ppf "parse error at line %d, column %d: %s" line col msg
   | Type_error { msg } -> Fmt.pf ppf "type error: %s" msg
   | Resource r -> pp_resource ppf r
+  | Snapshot { path; msg } -> Fmt.pf ppf "snapshot %s: %s" path msg
   | Internal { msg } -> Fmt.pf ppf "internal error: %s" msg
 
 let to_string e = Fmt.str "%a" pp e
 
 (* The dcheck exit-code contract: 0 holds, 1 verification fails, 2
-   usage/parse error, 3 resource exhausted.  [Internal] maps to 125
-   (a toolkit bug, aligned with cmdliner's internal-error code). *)
+   usage/parse error, 3 resource exhausted.  [Snapshot] is
+   resource-class (a damaged or mismatched recovery artifact, not a
+   toolkit bug) and shares exit code 3.  [Internal] maps to 125 (a
+   toolkit bug, aligned with cmdliner's internal-error code). *)
 let exit_code = function
   | Parse _ | Type_error _ -> 2
-  | Resource _ -> 3
+  | Resource _ | Snapshot _ -> 3
   | Internal _ -> 125
 
 let () =

@@ -19,6 +19,9 @@ type t =
   | Type_error of { msg : string }
       (** static or elaboration-time typing failure *)
   | Resource of resource  (** a budget dimension ran out *)
+  | Snapshot of { path : string; msg : string }
+      (** a checkpoint file is truncated, corrupted, or belongs to a
+          different run — resource-class (exit 3), never a toolkit bug *)
   | Internal of { msg : string }
       (** library API misuse — never reachable from a well-formed [.dc] *)
 
@@ -31,6 +34,7 @@ val parse : line:int -> col:int -> ('a, Format.formatter, unit, 'b) format4 -> '
 val type_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
 val internal : ('a, Format.formatter, unit, 'b) format4 -> 'a
 val resource : kind:resource_kind -> spent:int -> budget:int -> 'a
+val snapshot : path:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 
 val resource_kind_name : resource_kind -> string
 val pp_resource : resource Fmt.t
@@ -38,5 +42,6 @@ val pp : t Fmt.t
 val to_string : t -> string
 
 (** The dcheck exit-code contract: [Parse]/[Type_error] → 2, [Resource]
-    → 3, [Internal] → 125.  (0 is a held verdict, 1 a failed one.) *)
+    and [Snapshot] → 3, [Internal] → 125.  (0 is a held verdict, 1 a
+    failed one.) *)
 val exit_code : t -> int

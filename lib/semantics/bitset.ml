@@ -68,3 +68,14 @@ let iter_set t f =
   done
 
 let equal a b = a.length = b.length && Bytes.equal a.bits b.bits
+
+(* Raw bit bytes, for snapshot payloads.  [of_string] pairs the bytes
+   back with their logical length, which the string alone cannot carry. *)
+let to_string t = Bytes.to_string t.bits
+
+let of_string length s =
+  if length < 0 || String.length s <> (length + 7) / 8 then
+    Detcor_robust.Error.internal
+      "Bitset.of_string: %d bytes cannot hold exactly %d bits"
+      (String.length s) length;
+  { length; bits = Bytes.of_string s }

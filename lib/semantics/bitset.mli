@@ -15,3 +15,10 @@ val clear : t -> int -> unit
 val cardinal : t -> int
 val iter_set : t -> (int -> unit) -> unit
 val equal : t -> t -> bool
+
+(** The raw bit bytes, for snapshot payloads. *)
+val to_string : t -> string
+
+(** [of_string length s] rebuilds a set of [length] bits from
+    {!to_string} output; the byte count must match exactly. *)
+val of_string : int -> string -> t

@@ -43,6 +43,10 @@ let m_par_expanded = Metrics.counter "engine.parallel.states_expanded"
 let h_frontier = Metrics.histogram "engine.frontier_width"
 let h_worker_chunk = Metrics.histogram "engine.worker_chunk"
 
+(* Lost-worker degradation: counted unconditionally (a retried chunk is a
+   correctness-relevant event, not a tuning signal). *)
+let m_worker_retries = Metrics.counter "robust.worker_retries"
+
 module State_table = Hashtbl.Make (struct
   type t = State.t
 
@@ -89,6 +93,7 @@ type builder = {
   mutable et : int array; (* edge targets *)
   mutable elen : int;
   mutable rows : int array; (* rows.(i+1) = end offset of state i's edges *)
+  mutable expanded : int; (* states with closed rows: 0..expanded-1 *)
   limit : int;
 }
 
@@ -100,6 +105,7 @@ let new_builder ~limit =
     et = Array.make 4096 0;
     elen = 0;
     rows = Array.make 1025 0;
+    expanded = 0;
     limit;
   }
 
@@ -133,8 +139,63 @@ let push_edge b aid j =
   b.et.(b.elen) <- j;
   b.elen <- b.elen + 1
 
-(* Mark the end of state [i]'s edge row (states are expanded in id order). *)
-let close_row b i = b.rows.(i + 1) <- b.elen
+(* Mark the end of state [i]'s edge row (states are expanded in id order).
+   [expanded] trails it: everything below is a consistent CSR prefix, which
+   is exactly what a checkpoint capture may persist. *)
+let close_row b i =
+  b.rows.(i + 1) <- b.elen;
+  b.expanded <- i + 1
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint payloads for the packed construction loops.               *)
+(* ------------------------------------------------------------------ *)
+
+(* A capture persists the closed-row CSR prefix plus (for the BFS, which
+   discovers states as it goes) the packed rank of every state interned
+   so far.  Captures fire from [Budget] checkpoints on the orchestrating
+   domain only: at those points states [0..count) are fully written and
+   edges beyond [rows.(expanded)] belong to a half-merged row, so the
+   prefix below is consistent by construction.  Restoring re-interns the
+   ranks in id order and resumes expansion at [expanded]; everything
+   downstream is deterministic, so the finished system is byte-identical
+   to an uninterrupted build. *)
+type build_snap = {
+  s_ranks : int array; (* rank of state i; empty for the full walk *)
+  s_rows : int array; (* rows.(0 .. expanded) *)
+  s_ea : int array; (* closed edges only *)
+  s_et : int array;
+  s_expanded : int;
+}
+
+let ensure_edges b n =
+  let cap = Array.length b.ea in
+  if n > cap then begin
+    let cap' = max n (2 * cap) in
+    let ea' = Array.make cap' 0 and et' = Array.make cap' 0 in
+    Array.blit b.ea 0 ea' 0 b.elen;
+    Array.blit b.et 0 et' 0 b.elen;
+    b.ea <- ea';
+    b.et <- et'
+  end
+
+let snap_of_builder ?(ranks = [||]) b =
+  let closed = b.rows.(b.expanded) in
+  {
+    s_ranks = ranks;
+    s_rows = Array.sub b.rows 0 (b.expanded + 1);
+    s_ea = Array.sub b.ea 0 closed;
+    s_et = Array.sub b.et 0 closed;
+    s_expanded = b.expanded;
+  }
+
+let restore_edges b snap =
+  let closed = snap.s_rows.(snap.s_expanded) in
+  ensure_edges b closed;
+  Array.blit snap.s_ea 0 b.ea 0 closed;
+  Array.blit snap.s_et 0 b.et 0 closed;
+  b.elen <- closed;
+  Array.blit snap.s_rows 0 b.rows 0 (snap.s_expanded + 1);
+  b.expanded <- snap.s_expanded
 
 let finish b ~program ~actions ~initials ~lookup ~layout ~cached =
   let n = b.count in
@@ -214,7 +275,13 @@ let successors_packed layout actions st =
 
 (* Expand the frontier slice [lo, hi) in parallel: split it into [workers]
    chunks, compute successor lists in worker domains, and merge them back
-   in id order so the numbering matches the sequential engine exactly. *)
+   in id order so the numbering matches the sequential engine exactly.
+
+   A worker that dies with anything other than a tripped budget (the
+   deliberate cancellation path) is degraded, not fatal: its chunk is
+   recomputed sequentially on this domain at the point its results would
+   have merged, so ordering — and therefore the numbering — is unchanged.
+   Returns the number of lost workers so the caller can shrink the pool. *)
 let expand_parallel layout actions b index ~lo ~hi ~workers =
   let len = hi - lo in
   let chunk = (len + workers - 1) / workers in
@@ -230,6 +297,7 @@ let expand_parallel layout actions b index ~lo ~hi ~workers =
       (fun slice ->
         Stdlib.Domain.spawn (fun () ->
             try
+              Detcor_robust.Failpoint.hit "engine.worker";
               let succs = Array.map (successors_packed layout actions) slice in
               (* Incremented from the worker domain: the counters must be
                  atomic under parallel exploration (tested). *)
@@ -247,6 +315,7 @@ let expand_parallel layout actions b index ~lo ~hi ~workers =
       slices;
   let results = List.map Stdlib.Domain.join domains in
   let merge i succs =
+    Detcor_robust.Budget.tick ();
     List.iter
       (fun (aid, st', rank) ->
         let j =
@@ -262,17 +331,32 @@ let expand_parallel layout actions b index ~lo ~hi ~workers =
     close_row b i
   in
   let cursor = ref lo in
-  List.iter
-    (fun result ->
+  let consume per_state =
+    Array.iter
+      (fun succs ->
+        merge !cursor succs;
+        incr cursor)
+      per_state
+  in
+  let retried = ref 0 in
+  List.iteri
+    (fun w result ->
       match result with
-      | Error e -> raise e
-      | Ok per_state ->
-        Array.iter
-          (fun succs ->
-            merge !cursor succs;
-            incr cursor)
-          per_state)
-    results
+      | Ok per_state -> consume per_state
+      | Error
+          (Detcor_robust.Error.Detcor_error (Detcor_robust.Error.Resource _)
+           as e) ->
+        raise e
+      | Error e ->
+        incr retried;
+        Metrics.incr m_worker_retries;
+        if Obs.on () then
+          Obs.event "ts.worker_retry" ~level:Attr.Warn
+            ~attrs:[ Attr.str "exn" (Printexc.to_string e) ];
+        consume
+          (Array.map (successors_packed layout actions) (List.nth slices w)))
+    results;
+  !retried
 
 let explore_packed ~workers layout program ~actions ~b ~index ~initials =
   let intern_code st rank =
@@ -283,8 +367,31 @@ let explore_packed ~workers layout program ~actions ~b ~index ~initials =
       Hashtbl.add index rank i;
       i
   in
-  let par_threshold = max 2 (workers * 8) in
-  let cursor = ref 0 in
+  let phase = Detcor_robust.Checkpoint.enter ~kind:"ts.bfs" in
+  (match Detcor_robust.Checkpoint.resume_data phase with
+  | Some (Detcor_robust.Checkpoint.Midway data)
+  | Some (Detcor_robust.Checkpoint.Done data) ->
+    let snap : build_snap = Marshal.from_string data 0 in
+    (* Re-intern in id order: the snapshot's rank sequence is the
+       discovery order, so ids land exactly where they were.  States
+       the caller already interned (initials) occupy the prefix. *)
+    Array.iteri
+      (fun i rank ->
+        if i >= b.count then
+          ignore (intern_code (Layout.unpack layout rank) rank))
+      snap.s_ranks;
+    restore_edges b snap
+  | None -> ());
+  let capture () =
+    Marshal.to_string
+      (snap_of_builder b
+         ~ranks:(Array.init b.count (fun i -> Layout.pack layout b.states_buf.(i))))
+      []
+  in
+  Detcor_robust.Checkpoint.set_capture phase capture;
+  (* A lost worker shrinks the pool for the rest of the build. *)
+  let eff_workers = ref workers in
+  let cursor = ref b.expanded in
   let level = ref 0 in
   while !cursor < b.count do
     let lo = !cursor in
@@ -295,8 +402,12 @@ let explore_packed ~workers layout program ~actions ~b ~index ~initials =
         ~attrs:[ Attr.int "depth" !level; Attr.int "width" (hi - lo) ];
       incr level
     end;
-    if workers > 1 && hi - lo >= par_threshold then
-      expand_parallel layout actions b index ~lo ~hi ~workers
+    if !eff_workers > 1 && hi - lo >= max 2 (!eff_workers * 8) then begin
+      let lost =
+        expand_parallel layout actions b index ~lo ~hi ~workers:!eff_workers
+      in
+      if lost > 0 then eff_workers := max 1 (!eff_workers - lost)
+    end
     else
       for i = lo to hi - 1 do
         Detcor_robust.Budget.tick ();
@@ -311,6 +422,7 @@ let explore_packed ~workers layout program ~actions ~b ~index ~initials =
       done;
     cursor := hi
   done;
+  Detcor_robust.Checkpoint.complete phase (capture ());
   finish b ~program ~actions ~initials
     ~lookup:(fun st ->
       match Layout.pack_opt layout st with
@@ -374,39 +486,66 @@ let full_packed ~limit ~workers layout program =
   Layout.iter_scratch layout (fun sc ->
       ignore (add_state b (State.scratch_copy sc)));
   let n = b.count in
-  if workers > 1 && n >= max 2 (workers * 8) then begin
-    let chunk = (n + workers - 1) / workers in
+  let phase = Detcor_robust.Checkpoint.enter ~kind:"ts.full" in
+  (match Detcor_robust.Checkpoint.resume_data phase with
+  | Some (Detcor_robust.Checkpoint.Midway data)
+  | Some (Detcor_robust.Checkpoint.Done data) ->
+    (* State i IS rank i here: the materialization above already rebuilt
+       every state, so only the edge prefix needs restoring. *)
+    restore_edges b (Marshal.from_string data 0 : build_snap)
+  | None -> ());
+  let capture () = Marshal.to_string (snap_of_builder b) [] in
+  Detcor_robust.Checkpoint.set_capture phase capture;
+  let base = b.expanded in
+  if workers > 1 && n - base >= max 2 (workers * 8) then begin
+    let chunk = (n - base + workers - 1) / workers in
+    let bounds w = (base + (w * chunk), min n (base + ((w + 1) * chunk))) in
+    let expand_chunk w =
+      let lo, hi = bounds w in
+      Array.init (max 0 (hi - lo)) (fun k ->
+          successor_ranks layout actions ~rank:(lo + k) b.states_buf.(lo + k))
+    in
     let domains =
       List.init workers (fun w ->
-          let lo = w * chunk and hi = min n ((w + 1) * chunk) in
           Stdlib.Domain.spawn (fun () ->
               try
-                let succs =
-                  Array.init (max 0 (hi - lo)) (fun k ->
-                      successor_ranks layout actions ~rank:(lo + k)
-                        b.states_buf.(lo + k))
-                in
+                Detcor_robust.Failpoint.hit "engine.worker";
+                let succs = expand_chunk w in
                 if Obs.on () then
-                  Metrics.incr ~by:(max 0 (hi - lo)) m_par_expanded;
+                  Metrics.incr ~by:(Array.length succs) m_par_expanded;
                 Ok succs
               with e -> Error e))
     in
     let results = List.map Stdlib.Domain.join domains in
-    let cursor = ref 0 in
-    List.iter
-      (function
-        | Error e -> raise e
-        | Ok per_state ->
-          Array.iter
-            (fun succs ->
-              List.iter (fun (aid, rank) -> push_edge b aid rank) succs;
-              close_row b !cursor;
-              incr cursor)
-            per_state)
+    let cursor = ref base in
+    let consume per_state =
+      Array.iter
+        (fun succs ->
+          Detcor_robust.Budget.tick ();
+          List.iter (fun (aid, rank) -> push_edge b aid rank) succs;
+          close_row b !cursor;
+          incr cursor)
+        per_state
+    in
+    List.iteri
+      (fun w result ->
+        match result with
+        | Ok per_state -> consume per_state
+        | Error
+            (Detcor_robust.Error.Detcor_error (Detcor_robust.Error.Resource _)
+             as e) ->
+          raise e
+        | Error e ->
+          (* Lost worker: recompute its chunk here, in merge position. *)
+          Metrics.incr m_worker_retries;
+          if Obs.on () then
+            Obs.event "ts.worker_retry" ~level:Attr.Warn
+              ~attrs:[ Attr.str "exn" (Printexc.to_string e) ];
+          consume (expand_chunk w))
       results
   end
   else
-    for i = 0 to n - 1 do
+    for i = base to n - 1 do
       Detcor_robust.Budget.tick ();
       let st = b.states_buf.(i) in
       Array.iteri
@@ -418,6 +557,7 @@ let full_packed ~limit ~workers layout program =
         actions;
       close_row b i
     done;
+  Detcor_robust.Checkpoint.complete phase (capture ());
   finish b ~program ~actions
     ~initials:(List.init n Fun.id)
     ~lookup:(fun st -> Layout.pack_opt layout st)

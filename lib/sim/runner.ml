@@ -103,11 +103,42 @@ let derive_seed seed i =
   Int64.to_int z land max_int
 
 (* [sample ?config n program ~faults ~policy ~init]: n independent runs
-   with fresh injectors and independently derived seeds. *)
+   with fresh injectors and independently derived seeds.
+
+   An explicit loop rather than [List.init]: checkpoint captures fire
+   from [run]'s budget ticks and must observe the accumulator between
+   runs only.  Because each run's seed comes from its index, a resumed
+   sample replays the remaining runs bit-identically with no RNG state
+   in the snapshot. *)
 let sample ?(config = default) n program ~faults ~policy ~init =
   Obs.span "sim.sample" ~attrs:[ Attr.int "runs" n ] @@ fun () ->
-  List.init n (fun i ->
+  let phase = Detcor_robust.Checkpoint.enter ~kind:"sim.sample" in
+  match Detcor_robust.Checkpoint.resume_data phase with
+  | Some (Detcor_robust.Checkpoint.Done data) ->
+    (Marshal.from_string data 0 : run list)
+  | resumed ->
+    let start, saved =
+      match resumed with
+      | Some (Detcor_robust.Checkpoint.Midway data) ->
+        (Marshal.from_string data 0 : int * run list)
+      | _ -> (0, [])
+    in
+    let completed = ref start in
+    let acc = ref saved in
+    (* completed runs, newest first *)
+    Detcor_robust.Checkpoint.set_capture phase (fun () ->
+        Marshal.to_string (!completed, !acc) []);
+    while !completed < n do
+      let i = !completed in
       let injector = Injector.make policy faults in
-      run
-        ~config:{ config with seed = derive_seed config.seed i }
-        program ~injector ~init)
+      let r =
+        run
+          ~config:{ config with seed = derive_seed config.seed i }
+          program ~injector ~init
+      in
+      acc := r :: !acc;
+      completed := i + 1
+    done;
+    let runs = List.rev !acc in
+    Detcor_robust.Checkpoint.complete phase (Marshal.to_string runs []);
+    runs

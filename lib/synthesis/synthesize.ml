@@ -42,6 +42,10 @@ open Detcor_spec
 open Detcor_core
 open Detcor_obs
 
+(* Shared with the engine's counter of the same name (lost workers whose
+   chunks were retried sequentially). *)
+let m_worker_retries = Metrics.counter "robust.worker_retries"
+
 type failure =
   | Empty_invariant
   | Unrecoverable_state of State.t
@@ -131,34 +135,60 @@ let compute_ms ts_pf ~fault_ids ~sspec =
 let compute_ms_packed ts_pf ~fault_ids ~sspec ~bad =
   Obs.span "synth.compute_ms" @@ fun () ->
   let n = Ts.num_states ts_pf in
-  let is_fault = Array.make (Ts.num_actions ts_pf) false in
-  List.iter (fun i -> is_fault.(i) <- true) fault_ids;
-  let rev = Ts.reverse ~keep:(fun aid -> is_fault.(aid)) ts_pf in
-  let ms = Bitset.create n in
-  let queue = Queue.create () in
-  let add i =
-    if not (Bitset.get ms i) then begin
-      Bitset.set ms i;
-      Queue.add i queue
-    end
-  in
-  (* Seed from bad fault transitions by walking the reverse CSR: it holds
-     exactly the fault edges, so the (possibly expensive) bad-transition
-     predicate runs on those alone rather than on every product edge. *)
-  for j = 0 to n - 1 do
-    Ts.iter_in rev j (fun _aid i ->
-        if Safety.bad_transition sspec (Ts.state ts_pf i) (Ts.state ts_pf j)
-        then add i)
-  done;
-  for i = 0 to n - 1 do
-    if Bitset.get bad i then add i
-  done;
-  while not (Queue.is_empty queue) do
-    Detcor_robust.Budget.tick ();
-    let j = Queue.pop queue in
-    Ts.iter_in rev j (fun _ i -> add i)
-  done;
-  ms
+  let phase = Detcor_robust.Checkpoint.enter ~kind:"synth.ms" in
+  match Detcor_robust.Checkpoint.resume_data phase with
+  | Some (Detcor_robust.Checkpoint.Done data) ->
+    (* The fixpoint finished in the snapshotted run: its result is the
+       whole answer, no reverse CSR needed. *)
+    Bitset.of_string n data
+  | resumed ->
+    let is_fault = Array.make (Ts.num_actions ts_pf) false in
+    List.iter (fun i -> is_fault.(i) <- true) fault_ids;
+    let rev = Ts.reverse ~keep:(fun aid -> is_fault.(aid)) ts_pf in
+    let ms = ref (Bitset.create n) in
+    let queue = Queue.create () in
+    let add i =
+      if not (Bitset.get !ms i) then begin
+        Bitset.set !ms i;
+        Queue.add i queue
+      end
+    in
+    (match resumed with
+    | Some (Detcor_robust.Checkpoint.Midway data) ->
+      (* Mid-fixpoint state: membership bits plus the open frontier.
+         Seeding is subsumed — every seed is marked or processed. *)
+      let bits, frontier = (Marshal.from_string data 0 : string * int array) in
+      ms := Bitset.of_string n bits;
+      Array.iter (fun i -> Queue.add i queue) frontier
+    | _ ->
+      (* Seed from bad fault transitions by walking the reverse CSR: it
+         holds exactly the fault edges, so the (possibly expensive)
+         bad-transition predicate runs on those alone rather than on
+         every product edge. *)
+      for j = 0 to n - 1 do
+        Ts.iter_in rev j (fun _aid i ->
+            if
+              Safety.bad_transition sspec (Ts.state ts_pf i)
+                (Ts.state ts_pf j)
+            then add i)
+      done;
+      for i = 0 to n - 1 do
+        if Bitset.get bad i then add i
+      done);
+    (* The loop's only budget checkpoint is at its top, where the marked
+       set and the frontier are a closed pair — exactly what a capture
+       may persist. *)
+    Detcor_robust.Checkpoint.set_capture phase (fun () ->
+        Marshal.to_string
+          (Bitset.to_string !ms, Array.of_seq (Queue.to_seq queue))
+          []);
+    while not (Queue.is_empty queue) do
+      Detcor_robust.Budget.tick ();
+      let j = Queue.pop queue in
+      Ts.iter_in rev j (fun _ i -> add i)
+    done;
+    Detcor_robust.Checkpoint.complete phase (Bitset.to_string !ms);
+    !ms
 
 (* [mt]: a transition a safe program must never take — already a bad
    transition, or into a bad state, or into [ms].  [in_ms_at] answers ms
@@ -596,17 +626,20 @@ let synthesize_recovery_packed ?(step_vars = 1) ~workers ~allowed ~target p
   in
   (* Chunked fan-out used for both neighbor generation and candidate
      scans.  Distinct iterations touch distinct array slots, so the only
-     sharing between domains is read-only. *)
+     sharing between domains is read-only — which also makes a lost
+     worker recoverable: its chunk reruns on this domain, idempotently.
+     A tripped budget still cancels the whole build. *)
   let parallel_iter arr f =
     let len = Array.length arr in
     if workers <= 1 || len < 64 then Array.iter f arr
     else begin
       let chunk = (len + workers - 1) / workers in
+      let bounds w = (w * chunk, min len ((w + 1) * chunk)) in
       let spawn w =
-        let lo = w * chunk in
-        let hi = min len (lo + chunk) in
+        let lo, hi = bounds w in
         Stdlib.Domain.spawn (fun () ->
             try
+              Detcor_robust.Failpoint.hit "engine.worker";
               for k = lo to hi - 1 do
                 f arr.(k)
               done;
@@ -614,21 +647,62 @@ let synthesize_recovery_packed ?(step_vars = 1) ~workers ~allowed ~target p
             with e -> Some e)
       in
       let domains = List.init workers spawn in
-      match List.filter_map Stdlib.Domain.join domains with
-      | e :: _ -> raise e
-      | [] -> ()
+      let results = List.map Stdlib.Domain.join domains in
+      List.iteri
+        (fun w result ->
+          match result with
+          | None -> ()
+          | Some
+              (Detcor_robust.Error.Detcor_error
+                 (Detcor_robust.Error.Resource _) as e) ->
+            raise e
+          | Some e ->
+            Metrics.incr m_worker_retries;
+            if Obs.on () then
+              Obs.event "synth.worker_retry" ~level:Attr.Warn
+                ~attrs:[ Attr.str "exn" (Printexc.to_string e) ];
+            let lo, hi = bounds w in
+            for k = lo to hi - 1 do
+              f arr.(k)
+            done)
+        results
     end
   in
-  let target_bits = Ts.pred_bitset ts_span target in
+  let phase = Detcor_robust.Checkpoint.enter ~kind:"synth.recovery" in
   let frontier = ref [] in
-  for i = n - 1 downto 0 do
-    if Bitset.get target_bits i then begin
-      rank.(i) <- 0;
-      frontier := i :: !frontier
-    end
-  done;
-  let queued = Array.make n (-1) in
   let level = ref 0 in
+  (match Detcor_robust.Checkpoint.resume_data phase with
+  | Some (Detcor_robust.Checkpoint.Done data) ->
+    let r, m = (Marshal.from_string data 0 : int array * int array) in
+    Array.blit r 0 rank 0 n;
+    Array.blit m 0 move 0 n
+  | Some (Detcor_robust.Checkpoint.Midway data) ->
+    (* Ranks through level [ld] plus the frontier of states ranked [ld]:
+       the layering loop continues from the next level. *)
+    let r, m, front, ld =
+      (Marshal.from_string data 0 : int array * int array * int array * int)
+    in
+    Array.blit r 0 rank 0 n;
+    Array.blit m 0 move 0 n;
+    frontier := Array.to_list front;
+    level := ld
+  | None ->
+    let target_bits = Ts.pred_bitset ts_span target in
+    for i = n - 1 downto 0 do
+      if Bitset.get target_bits i then begin
+        rank.(i) <- 0;
+        frontier := i :: !frontier
+      end
+    done);
+  (* Captures fire from [fill_neighbors] ticks, which always run with
+     [level] pre-incremented for a level whose rank writes have not yet
+     happened — so ranks-through-[level - 1] and the previous frontier
+     are a consistent pair. *)
+  Detcor_robust.Checkpoint.set_capture phase (fun () ->
+      Marshal.to_string
+        (Array.copy rank, Array.copy move, Array.of_list !frontier, !level - 1)
+        []);
+  let queued = Array.make n (-1) in
   while !frontier <> [] do
     incr level;
     let lvl = !level in
@@ -672,6 +746,7 @@ let synthesize_recovery_packed ?(step_vars = 1) ~workers ~allowed ~target p
       cands;
     frontier := !newly
   done;
+  Detcor_robust.Checkpoint.complete phase (Marshal.to_string (rank, move) []);
   let unrecoverable = ref [] in
   for i = n - 1 downto 0 do
     if rank.(i) = unranked then

@@ -1,0 +1,267 @@
+(* Tests for the crash-safe snapshot layer (lib/robust/checkpoint.ml).
+
+   Three groups.  Properties: [write_file]/[read_file] round-trip any
+   entry array bit-exactly, and every damaged file — truncated, byte-
+   flipped, padded, or plain garbage — is rejected with the resource-
+   class [Error.Snapshot], never [Internal] (a damaged recovery artifact
+   is an environmental fault, not a toolkit bug).  Session lifecycle:
+   fingerprint and phase-kind mismatches are Snapshot errors too.
+   End-to-end: a ring5 fault-span build interrupted twice by a state
+   budget and resumed from its snapshot converges to a system
+   structurally identical to the uninterrupted build, and a build whose
+   worker domains are all killed by an armed failpoint degrades to
+   sequential recomputation with the same result. *)
+
+module Checkpoint = Detcor_robust.Checkpoint
+module Error = Detcor_robust.Error
+module Budget = Detcor_robust.Budget
+module Failpoint = Detcor_robust.Failpoint
+module Metrics = Detcor_obs.Metrics
+module Ts = Detcor_semantics.Ts
+module Tolerance = Detcor_core.Tolerance
+
+let with_temp k =
+  let path = Filename.temp_file "detcor_snap" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> k path)
+
+(* ------------------------------------------------------------------ *)
+(* Round-trip.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let entries_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 8)
+      (triple
+         (oneofl [ "ts.bfs"; "ts.full"; "synth.ms"; "synth.recovery";
+                   "sim.sample" ])
+         bool
+         (string_size ~gen:(map Char.chr (int_range 0 255))
+            (int_range 0 4096)))
+    |> map
+         (List.mapi (fun i (kind, complete, data) ->
+              { Checkpoint.step = i; kind; complete; data })))
+
+let entries_arb =
+  QCheck.make
+    ~print:(fun es ->
+      Fmt.str "[%a]"
+        Fmt.(
+          list ~sep:(any "; ") (fun ppf (e : Checkpoint.entry) ->
+              Fmt.pf ppf "%d:%s%s(%d bytes)" e.step e.kind
+                (if e.complete then "!" else "~")
+                (String.length e.data)))
+        es)
+    entries_gen
+
+let roundtrip entries =
+  with_temp @@ fun path ->
+  let arr = Array.of_list entries in
+  let fingerprint =
+    Checkpoint.digest [ "roundtrip"; string_of_int (Array.length arr) ]
+  in
+  let (_ : int) = Checkpoint.write_file ~path ~fingerprint arr in
+  let fp, arr' = Checkpoint.read_file ~path in
+  String.equal fp fingerprint && arr = arr'
+
+(* ------------------------------------------------------------------ *)
+(* Corruption.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type damage =
+  | Truncate of float (* keep this fraction, strictly less than all *)
+  | Flip of float * int (* xor the byte at this fraction with 1..255 *)
+  | Pad of string (* append junk *)
+
+let damage_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun f -> Truncate f) (float_bound_inclusive 0.999);
+        map2 (fun f x -> Flip (f, x)) (float_bound_inclusive 1.0)
+          (int_range 1 255);
+        map (fun s -> Pad s)
+          (string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 1 64));
+      ])
+
+let damage_print = function
+  | Truncate f -> Fmt.str "truncate to %.3f" f
+  | Flip (f, x) -> Fmt.str "flip byte at %.3f with 0x%02x" f x
+  | Pad s -> Fmt.str "pad with %d bytes" (String.length s)
+
+let apply_damage s = function
+  | Truncate f ->
+    let n = String.length s in
+    String.sub s 0 (min (n - 1) (int_of_float (f *. float_of_int n)))
+  | Flip (f, x) ->
+    let n = String.length s in
+    let i = min (n - 1) (int_of_float (f *. float_of_int n)) in
+    let b = Bytes.of_string s in
+    Bytes.set b i (Char.chr (Char.code s.[i] lxor x));
+    Bytes.to_string b
+  | Pad junk -> s ^ junk
+
+let corrupted_rejected (entries, damage) =
+  with_temp @@ fun path ->
+  let fingerprint = Checkpoint.digest [ "corruption" ] in
+  let (_ : int) =
+    Checkpoint.write_file ~path ~fingerprint (Array.of_list entries)
+  in
+  let original = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (apply_damage original damage));
+  match Checkpoint.read_file ~path with
+  | _ ->
+    QCheck.Test.fail_reportf "damaged file (%s) accepted"
+      (damage_print damage)
+  | exception Error.Detcor_error (Error.Snapshot _) -> true
+  | exception e ->
+    QCheck.Test.fail_reportf
+      "damaged file (%s) rejected with %s, not Error.Snapshot"
+      (damage_print damage) (Printexc.to_string e)
+
+let corrupt_arb =
+  QCheck.make
+    ~print:(fun (es, d) ->
+      Fmt.str "%d entries, %s" (List.length es) (damage_print d))
+    QCheck.Gen.(pair entries_gen damage_gen)
+
+let expect_snapshot_error name k =
+  match k () with
+  | _ -> Alcotest.fail (name ^ ": accepted")
+  | exception Error.Detcor_error (Error.Snapshot _ as t) ->
+    Alcotest.(check int) (name ^ ": exit code 3") 3 (Error.exit_code t)
+  | exception e ->
+    Alcotest.fail
+      (Fmt.str "%s: raised %s, not Error.Snapshot" name
+         (Printexc.to_string e))
+
+let test_unreadable_files () =
+  expect_snapshot_error "missing file" (fun () ->
+      Checkpoint.read_file ~path:"/nonexistent/detcor.snap");
+  with_temp (fun path ->
+      expect_snapshot_error "empty file" (fun () ->
+          Checkpoint.read_file ~path));
+  with_temp (fun path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (String.concat "" (List.init 16 (fun _ -> "not a snapshot "))));
+      expect_snapshot_error "garbage file" (fun () ->
+          Checkpoint.read_file ~path))
+
+(* ------------------------------------------------------------------ *)
+(* Session validation.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fingerprint_mismatch () =
+  with_temp @@ fun path ->
+  let (_ : int) =
+    Checkpoint.write_file ~path
+      ~fingerprint:(Checkpoint.digest [ "command A" ])
+      [||]
+  in
+  expect_snapshot_error "foreign fingerprint" (fun () ->
+      Checkpoint.start ~resume:path
+        ~fingerprint:(Checkpoint.digest [ "command B" ])
+        ());
+  Alcotest.(check bool) "no session left behind" false (Checkpoint.active ())
+
+let test_phase_kind_mismatch () =
+  with_temp @@ fun path ->
+  let fingerprint = Checkpoint.digest [ "kinds" ] in
+  let (_ : int) =
+    Checkpoint.write_file ~path ~fingerprint
+      [| { step = 0; kind = "ts.full"; complete = false; data = "" } |]
+  in
+  Checkpoint.start ~resume:path ~fingerprint ();
+  Fun.protect ~finally:Checkpoint.stop @@ fun () ->
+  expect_snapshot_error "diverged phase kind" (fun () ->
+      Checkpoint.enter ~kind:"ts.bfs")
+
+let test_digest_separation () =
+  (* Length prefixes keep part boundaries significant. *)
+  Alcotest.(check bool) "boundaries matter" false
+    (String.equal
+       (Checkpoint.digest [ "ab"; "c" ])
+       (Checkpoint.digest [ "a"; "bc" ]));
+  Alcotest.(check string) "deterministic"
+    (Checkpoint.digest [ "verify"; "ring5" ])
+    (Checkpoint.digest [ "verify"; "ring5" ])
+
+(* ------------------------------------------------------------------ *)
+(* Interrupted build, resumed build.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let ring5 = lazy (Detcor_lang.Elaborate.load_file "../examples/dc/ring5.dc")
+
+let ring5_span () =
+  let e = Lazy.force ring5 in
+  (Tolerance.fault_span e.program ~faults:e.faults ~from:e.invariant).ts_pf
+
+let test_interrupted_resume () =
+  with_temp @@ fun snap ->
+  let fingerprint = Checkpoint.digest [ "test"; "ring5 span" ] in
+  let uninterrupted = ring5_span () in
+  (* Two legs tripped by a growing state ceiling, then one to the end.
+     Each trip unwinds through [Checkpoint.stop], whose final save
+     persists the mid-BFS capture the next leg resumes from. *)
+  let leg ?resume ?max_states () =
+    Checkpoint.start ~interval:3600.0 ~write:snap ?resume ~fingerprint ();
+    Fun.protect ~finally:Checkpoint.stop @@ fun () ->
+    match max_states with
+    | None -> Some (ring5_span ())
+    | Some n -> (
+      match Budget.with_budget (Budget.make ~max_states:n ()) ring5_span with
+      | _ -> Alcotest.fail "state budget did not trip"
+      | exception Error.Detcor_error (Error.Resource _) -> None)
+  in
+  ignore (leg ~max_states:2000 ());
+  Alcotest.(check bool) "snapshot written on first trip" true
+    (Sys.file_exists snap);
+  ignore (leg ~resume:snap ~max_states:6000 ());
+  let resumed = Option.get (leg ~resume:snap ()) in
+  Alcotest.(check bool) "resumed system identical" true
+    (Util.ts_equal uninterrupted resumed)
+
+(* ------------------------------------------------------------------ *)
+(* Worker-failure degradation.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_worker_degradation () =
+  let sequential = ring5_span () in
+  let before = Metrics.counter_value_by_name "robust.worker_retries" in
+  Failpoint.seed 7;
+  Failpoint.set "engine.worker" 1.0;
+  let parallel =
+    Fun.protect ~finally:Failpoint.clear @@ fun () ->
+    let e = Lazy.force ring5 in
+    (Tolerance.fault_span ~workers:4 e.program ~faults:e.faults
+       ~from:e.invariant)
+      .ts_pf
+  in
+  Alcotest.(check bool) "degraded build identical" true
+    (Util.ts_equal sequential parallel);
+  Alcotest.(check bool) "retries recorded" true
+    (Metrics.counter_value_by_name "robust.worker_retries" > before)
+
+let suite =
+  ( "checkpoint (snapshot format, resume, degradation)",
+    [
+      Util.qtest ~count:100 "write_file/read_file round-trip" entries_arb
+        roundtrip;
+      Util.qtest ~count:150 "damaged files raise Error.Snapshot" corrupt_arb
+        corrupted_rejected;
+      Alcotest.test_case "unreadable files raise Error.Snapshot" `Quick
+        test_unreadable_files;
+      Alcotest.test_case "fingerprint mismatch rejected" `Quick
+        test_fingerprint_mismatch;
+      Alcotest.test_case "phase kind mismatch rejected" `Quick
+        test_phase_kind_mismatch;
+      Alcotest.test_case "digest separates part boundaries" `Quick
+        test_digest_separation;
+      Alcotest.test_case "interrupted build resumes to identical system"
+        `Slow test_interrupted_resume;
+      Alcotest.test_case "worker failures degrade without changing results"
+        `Slow test_worker_degradation;
+    ] )

@@ -20,4 +20,6 @@ let () =
       Test_reset.suite;
       Test_misc.suite;
       Test_frontend_fuzz.suite;
+      Test_checkpoint.suite;
+      Test_chaos.suite;
     ]

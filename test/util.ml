@@ -98,5 +98,37 @@ let graph_arb n =
         edges)
     (edges_gen n)
 
+(* One process-wide qcheck seed: QCHECK_SEED when set (how CI pins runs),
+   otherwise self-chosen.  {!qtest} prints it with the shrunk
+   counterexample on failure, so any red run is replayable with
+   [QCHECK_SEED=<seed> dune runtest]. *)
+let qcheck_seed =
+  lazy
+    (match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+    | Some s -> s
+    | None -> Random.State.bits (Random.State.make_self_init ()))
+
 let qtest ?(count = 200) name arb law =
-  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+  let run () =
+    let seed = Lazy.force qcheck_seed in
+    let rand = Random.State.make [| seed |] in
+    match QCheck.Test.make ~count ~name arb law with
+    | QCheck2.Test.Test cell -> (
+      try QCheck.Test.check_cell_exn ~rand cell with
+      | QCheck.Test.Test_fail (n, cexs) as e ->
+        Printf.eprintf
+          "[qcheck] %S failed with QCHECK_SEED=%d; shrunk counterexample:\n\
+           %s\n\
+           %!"
+          n seed
+          (String.concat "\n" (List.map (fun c -> "  " ^ c) cexs));
+        raise e
+      | QCheck.Test.Test_error (n, cex, exn, _) as e ->
+        Printf.eprintf
+          "[qcheck] %S raised %s with QCHECK_SEED=%d; shrunk counterexample:\n\
+          \  %s\n\
+           %!"
+          n (Printexc.to_string exn) seed cex;
+        raise e)
+  in
+  Alcotest.test_case name `Quick run
