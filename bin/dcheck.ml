@@ -6,6 +6,7 @@
      dcheck components FILE.dc   extract detector/corrector components
      dcheck synthesize FILE.dc   add fail-safe/nonmasking/masking tolerance
      dcheck simulate FILE.dc     fault-injection simulation with monitors
+     dcheck monitor FILE.dc      syndrome monitoring of recorded run streams
      dcheck profile FILE.dc      per-phase time/space breakdown of verify
 
    Every subcommand accepts --trace FILE (span/event trace, JSON-lines or
@@ -555,7 +556,16 @@ let simulate_cmd =
   let seed_arg =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
   in
-  let run path runs steps prob max_faults seed timeout robust obs =
+  let record_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"FILE"
+          ~doc:
+            "Write the sampled runs as a detcor stream to $(docv), \
+             replayable offline with $(b,dcheck monitor --stream).")
+  in
+  let run path runs steps prob max_faults seed record timeout robust obs =
     with_obs obs @@ fun () ->
     guarded ~path timeout @@ fun () ->
     with_checkpoint ~path ~sub:"simulate"
@@ -606,6 +616,16 @@ let simulate_cmd =
               if i < List.length states - 1 then Some (i + 1) else None)
           samples
       in
+      (match record with
+      | None -> ()
+      | Some file ->
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            Stream.write_header oc ~program:(Program.name e.program);
+            List.iteri (fun i r -> Stream.write_run oc ~index:i r) samples);
+        Fmt.pr "recorded %d runs to %s@." runs file);
       Fmt.pr "runs: %d (%d steps each, fault prob %.2f, budget %d)@." runs
         steps prob max_faults;
       Fmt.pr "safety violations: %d/%d@." (List.length violations) runs;
@@ -620,7 +640,207 @@ let simulate_cmd =
        ~doc:"Fault-injection simulation with online safety monitoring.")
     Term.(
       const run $ file_arg $ runs_arg $ steps_arg $ prob_arg $ max_faults_arg
-      $ seed_arg $ timeout_arg $ robust_term $ obs_term)
+      $ seed_arg $ record_arg $ timeout_arg $ robust_term $ obs_term)
+
+(* ------------------------------------------------------------------ *)
+(* monitor                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Offline syndrome monitoring of recorded streams.  The program's whole
+   witness family — invariant violation, the specification's bad states,
+   and one unsafe(a) localization witness per action — is compiled into a
+   single syndrome evaluator; the stream's runs are then swept in batches
+   of states, each batch reporting which witnesses fired.  Latencies are
+   measured per injected fault and exported through the metrics snapshot;
+   the first witness to fire after each fault feeds the localization
+   table. *)
+let monitor_cmd =
+  let stream_arg =
+    Arg.(
+      value
+      & opt string "-"
+      & info [ "stream" ] ~docv:"FILE"
+          ~doc:
+            "Recorded run stream to monitor (see $(b,dcheck simulate \
+             --record)); $(b,-) reads standard input.")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt int 256
+      & info [ "batch" ] ~docv:"N" ~doc:"States per syndrome batch.")
+  in
+  let h_detect = Metrics.histogram "monitor.detection_latency" in
+  let h_correct = Metrics.histogram "monitor.correction_latency" in
+  let c_records = Metrics.counter "monitor.records" in
+  let c_runs = Metrics.counter "monitor.runs" in
+  let c_faults = Metrics.counter "monitor.faults" in
+  let c_violations = Metrics.counter "monitor.safety_violations" in
+  let run path stream batch_size timeout obs =
+    with_obs obs @@ fun () ->
+    guarded ~path timeout @@ fun () ->
+    if batch_size <= 0 then begin
+      Fmt.epr "dcheck: --batch must be positive@.";
+      exit 2
+    end;
+    let e = Elaborate.load_file path in
+    let sspec = Spec.safety (Spec.smallest_safety_containing e.spec) in
+    let open Detcor_sim in
+    let family =
+      Pred.not_ e.invariant
+      :: Pred.make (Fmt.str "bad(%s)" (Safety.name sspec)) (Safety.bad_state sspec)
+      :: List.map
+           (fun ac -> Detection_predicate.unsafe ~sspec ac)
+           (Program.actions e.program)
+    in
+    let syn = Syndrome.compile ~program:e.program family in
+    let names = Syndrome.pred_names syn in
+    let m = Array.length names in
+    Fmt.pr "monitoring %s with %d witnesses (%s)@." (Program.name e.program) m
+      (if Syndrome.is_packed syn then "packed" else "reference");
+    Array.iteri (fun j n -> Fmt.pr "  [%d] %s@." j n) names;
+    let stream_path, ic, close_ic =
+      if stream = "-" then ("<stdin>", stdin, fun () -> ())
+      else (stream, open_in stream, fun () -> ())
+    in
+    let close_ic = if stream = "-" then close_ic else fun () -> close_in ic in
+    (* Stream problems (unreadable file, malformed records) are located in
+       the stream, not the program: a nested handler re-renders them with
+       the stream path and its own exit code. *)
+    Fun.protect ~finally:close_ic @@ fun () ->
+    with_errors ~path:stream_path @@ fun () ->
+    let detections = ref [] and corrections = ref [] in
+    let violations = ref 0 and total_states = ref 0 and total_faults = ref 0 in
+    let nruns = ref 0 in
+    (* first-fired witness -> (fault action -> count) *)
+    let localization : (string, (string, int) Hashtbl.t) Hashtbl.t =
+      Hashtbl.create 7
+    in
+    let localize witness fault_action =
+      let inner =
+        match Hashtbl.find_opt localization witness with
+        | Some t -> t
+        | None ->
+          let t = Hashtbl.create 7 in
+          Hashtbl.add localization witness t;
+          t
+      in
+      Hashtbl.replace inner fault_action
+        (1 + Option.value ~default:0 (Hashtbl.find_opt inner fault_action))
+    in
+    let monitor_run () (r : Stream.run) =
+      let rr = Stream.to_run r in
+      let states = Detcor_semantics.Trace.states rr.trace in
+      let n = List.length states in
+      let nonzero = Array.make n false in
+      let fired_low = Array.make n (-1) in
+      let inv_ok = Array.make n true in
+      (* Sweep the run in state batches; each batch line reports the
+         OR-syndrome over its states and the per-witness fire counts. *)
+      let rec batches k base = function
+        | [] -> ()
+        | rest ->
+          let rec take acc i = function
+            | st :: more when i < batch_size -> take (st :: acc) (i + 1) more
+            | more -> (List.rev acc, more)
+          in
+          let chunk, more = take [] 0 rest in
+          let b = Syndrome.of_states syn chunk in
+          let len = Syndrome.length b in
+          let vec =
+            String.init m (fun j ->
+                if Detcor_semantics.Bitset.any (Syndrome.column b j) then '1'
+                else '0')
+          in
+          let fired =
+            List.filter_map
+              (fun j ->
+                let c = Detcor_semantics.Bitset.cardinal (Syndrome.column b j) in
+                if c = 0 then None else Some (Fmt.str "%s=%d" names.(j) c))
+              (List.init m Fun.id)
+          in
+          Fmt.pr "  batch %d: states=%d syndrome=%s%s@." k len vec
+            (match fired with
+            | [] -> ""
+            | fs -> " fired: " ^ String.concat " " fs);
+          for i = 0 to len - 1 do
+            let g = base + i in
+            inv_ok.(g) <- not (Syndrome.get b ~state:i ~pred:0);
+            if Syndrome.nonzero b ~state:i then begin
+              nonzero.(g) <- true;
+              fired_low.(g) <-
+                (match Syndrome.fired b ~state:i with j :: _ -> j | [] -> -1)
+            end
+          done;
+          batches (k + 1) (base + len) more
+      in
+      let record_arr = Array.of_list r.records in
+      Fmt.pr "run %d: states=%d faults=%d@." r.index n
+        (List.length rr.fault_steps);
+      batches 0 0 states;
+      (* Per injected fault: steps from the faulty state to the first
+         fired witness (detection) and to invariant re-entry
+         (correction). *)
+      List.iter
+        (fun s ->
+          let fs = s + 1 in
+          let fault_action = record_arr.(s).Stream.action in
+          let rec find ok j = if j >= n then None else if ok j then Some j else find ok (j + 1) in
+          (match find (fun j -> nonzero.(j)) fs with
+          | Some j ->
+            detections := (j - fs) :: !detections;
+            Metrics.observe h_detect (j - fs);
+            if fired_low.(j) >= 0 then localize names.(fired_low.(j)) fault_action
+          | None -> ());
+          match find (fun j -> inv_ok.(j)) fs with
+          | Some j ->
+            corrections := (j - fs) :: !corrections;
+            Metrics.observe h_correct (j - fs)
+          | None -> ())
+        rr.fault_steps;
+      (match Monitor.first_safety_violation rr sspec with
+      | Some i ->
+        incr violations;
+        Fmt.pr "  safety violated at state %d@." i
+      | None -> ());
+      total_states := !total_states + n;
+      total_faults := !total_faults + List.length rr.fault_steps;
+      incr nruns;
+      Metrics.incr ~by:n c_records;
+      Metrics.incr ~by:(List.length rr.fault_steps) c_faults;
+      Metrics.incr c_runs
+    in
+    let (), _program = Stream.fold ic ~init:() ~f:monitor_run in
+    if !violations > 0 then Metrics.incr ~by:!violations c_violations;
+    Fmt.pr "runs: %d  states: %d  faults: %d@." !nruns !total_states
+      !total_faults;
+    Fmt.pr "safety violations: %d/%d@." !violations !nruns;
+    Fmt.pr "detection latency:  %a@." Stats.pp_option
+      (Stats.summarize !detections);
+    Fmt.pr "correction latency: %a@." Stats.pp_option
+      (Stats.summarize !corrections);
+    Fmt.pr "fault localization:@.";
+    if Hashtbl.length localization = 0 then Fmt.pr "  (no faults detected)@."
+    else
+      Hashtbl.fold (fun w inner acc -> (w, inner) :: acc) localization []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.iter (fun (w, inner) ->
+             let classes =
+               Hashtbl.fold (fun f c acc -> (f, c) :: acc) inner []
+               |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+               |> List.map (fun (f, c) -> Fmt.str "%s:%d" f c)
+             in
+             Fmt.pr "  %s -> %s@." w (String.concat " " classes));
+    if !violations > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Replay a recorded run stream through the compiled syndrome \
+          monitor: per-batch witness vectors, per-fault latencies, and a \
+          fault-localization summary.")
+    Term.(
+      const run $ file_arg $ stream_arg $ batch_arg $ timeout_arg $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* profile                                                             *)
@@ -737,7 +957,7 @@ let main =
          "Detectors and correctors: verification, extraction, synthesis and \
           simulation of fault-tolerance components.")
     [ info_cmd; verify_cmd; components_cmd; synthesize_cmd; simulate_cmd;
-      profile_cmd; graph_cmd ]
+      monitor_cmd; profile_cmd; graph_cmd ]
 
 (* cmdliner reports its own CLI parse problems with [Exit.cli_error]
    (124); the documented contract puts every usage error at 2. *)

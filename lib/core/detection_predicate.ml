@@ -42,3 +42,12 @@ let weakest_tabulated ~sspec ac ~universe =
    universe — the characterization after Theorem 3.3. *)
 let is_detection_predicate ~sspec ac x ~universe =
   Pred.implies_on ~universe x (weakest ~sspec ac)
+
+(* The complement witness used by runtime monitors: [ac] is poised to
+   violate [sspec] — enabled here, but outside its weakest detection
+   predicate.  A monitor that sees this predicate fire has localized a
+   state from which the next step of [ac] can break safety. *)
+let unsafe ~sspec ac =
+  Pred.make
+    (Fmt.str "unsafe(%s)" (Action.name ac))
+    (fun st -> Action.enabled ac st && not (safe_to_execute sspec ac st))

@@ -20,3 +20,9 @@ val weakest_tabulated :
     detection predicate everywhere in the universe. *)
 val is_detection_predicate :
   sspec:Safety.t -> Action.t -> Pred.t -> universe:State.t list -> bool
+
+(** [unsafe ~sspec ac] holds where [ac] is enabled but outside its weakest
+    detection predicate — the next step of [ac] can violate [sspec].
+    Runtime monitors use one such predicate per action as a
+    fault-localization witness. *)
+val unsafe : sspec:Safety.t -> Action.t -> Pred.t

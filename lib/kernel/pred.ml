@@ -23,6 +23,10 @@ let id p = p.id
 
 let holds p st = p.eval st
 
+(* The raw closure, for batch compilers that hoist it out of the record
+   once instead of re-entering [holds] per query. *)
+let fn p = p.eval
+
 let name p = p.name
 
 let of_expr ?name:n e =

@@ -10,6 +10,13 @@ type t
 
 val make : string -> (State.t -> bool) -> t
 val holds : t -> State.t -> bool
+
+(** The predicate's raw semantic function — the compilation hook for batch
+    evaluators (e.g. the simulator's syndrome compiler), which pull the
+    closure out once per predicate instead of re-entering {!holds} on
+    every query. *)
+val fn : t -> State.t -> bool
+
 val name : t -> string
 
 (** Unique id of this predicate instance (two predicates built by separate

@@ -69,6 +69,27 @@ let iter_set t f =
 
 let equal a b = a.length = b.length && Bytes.equal a.bits b.bits
 
+let copy t = { length = t.length; bits = Bytes.copy t.bits }
+
+(* Whole-set queries and updates work byte-at-a-time: the trailing bits of
+   the last byte are invariantly zero ([set] never writes past [length]),
+   so no masking is needed. *)
+let any t =
+  let n = Bytes.length t.bits in
+  let rec go i = i < n && (Bytes.unsafe_get t.bits i <> '\000' || go (i + 1)) in
+  go 0
+
+let union_into ~into t =
+  if into.length <> t.length then
+    Detcor_robust.Error.internal "Bitset.union_into: length %d vs %d" into.length
+      t.length;
+  for byte = 0 to Bytes.length t.bits - 1 do
+    Bytes.unsafe_set into.bits byte
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get into.bits byte)
+         lor Char.code (Bytes.unsafe_get t.bits byte)))
+  done
+
 (* Raw bit bytes, for snapshot payloads.  [of_string] pairs the bytes
    back with their logical length, which the string alone cannot carry. *)
 let to_string t = Bytes.to_string t.bits

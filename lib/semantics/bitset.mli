@@ -15,6 +15,14 @@ val clear : t -> int -> unit
 val cardinal : t -> int
 val iter_set : t -> (int -> unit) -> unit
 val equal : t -> t -> bool
+val copy : t -> t
+
+(** [any t] holds iff at least one bit is set. *)
+val any : t -> bool
+
+(** [union_into ~into t] ORs [t] into [into] in place; the lengths must
+    match. *)
+val union_into : into:t -> t -> unit
 
 (** The raw bit bytes, for snapshot payloads. *)
 val to_string : t -> string

@@ -8,7 +8,16 @@
      correction predicate being re-established (the Convergence obligation
      of 'Z corrects X');
    - safety monitoring: the index of the first specification violation,
-     if any (fail-safe tolerance in the observed run). *)
+     if any (fail-safe tolerance in the observed run).
+
+   Each latency is defined by a one-pass scan automaton over per-state
+   truth values.  The scans are written once, over [int -> bool]
+   accessors, and fed from two interchangeable sources: the reference
+   path queries each predicate closure state by state, while the compiled
+   path ([Compiled]) evaluates the whole witness family per run through
+   the {!Syndrome} batch evaluator and feeds the scans from bit columns.
+   Both sources see the same truth values, so verdicts and latencies are
+   identical by construction. *)
 
 open Detcor_kernel
 open Detcor_semantics
@@ -20,47 +29,174 @@ let m_detections = Metrics.counter "sim.monitor.detections"
 let m_corrections = Metrics.counter "sim.monitor.corrections"
 let m_violations = Metrics.counter "sim.monitor.safety_violations"
 
-(* [detection_latency run d]: for each maximal interval where X holds
-   continuously, the number of steps from the start of the interval to the
-   first state where Z holds (intervals that end before Z is witnessed are
-   skipped: Progress permits escape through ¬X). *)
-let detection_latency (run : Runner.run) d =
-  let x = Detector.detection d and z = Detector.witness d in
-  let states = Trace.states run.trace in
-  let rec go latencies current = function
-    | [] -> List.rev latencies
-    | st :: rest -> (
+(* ------------------------------------------------------------------ *)
+(* Scan automata over per-index truth accessors.                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Progress automaton: for each maximal interval where X holds
+   continuously, steps from the interval start to the first state where Z
+   holds; intervals that end (or the trace ends) before Z is witnessed
+   are skipped — Progress permits escape through ¬X. *)
+let detection_scan n x z =
+  let rec go i latencies current =
+    if i >= n then List.rev latencies
+    else
       match current with
       | None ->
-        if Pred.holds x st then
-          if Pred.holds z st then go (0 :: latencies) None rest
-          else go latencies (Some 1) rest
-        else go latencies None rest
+        if x i then
+          if z i then go (i + 1) (0 :: latencies) None
+          else go (i + 1) latencies (Some 1)
+        else go (i + 1) latencies None
       | Some elapsed ->
-        if Pred.holds z st then go (elapsed :: latencies) None rest
-        else if Pred.holds x st then go latencies (Some (elapsed + 1)) rest
-        else go latencies None rest)
+        if z i then go (i + 1) (elapsed :: latencies) None
+        else if x i then go (i + 1) latencies (Some (elapsed + 1))
+        else go (i + 1) latencies None
   in
-  go [] None states
+  go 0 [] None
 
-(* [correction_latency run c]: steps from the last fault step until the
-   correction predicate holds; [None] if it never does within the trace. *)
+(* Convergence: first index at or after [start] where the correction
+   predicate holds, as steps past [start]. *)
+let correction_scan n ~start c =
+  let rec go i = if i >= n then None else if c i then Some (i - start) else go (i + 1) in
+  if start >= n then None else go start
+
+(* First index at which safety is violated: a bad state there, or a bad
+   transition into it ([bad_pair i] judges the step from [i-1] to [i]). *)
+let safety_scan n ~bad_state ~bad_pair =
+  let rec go i =
+    if i >= n then None
+    else if bad_state i then Some i
+    else if i > 0 && bad_pair i then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Scans begin one state past the last injected fault; [fault_steps] is
+   ascending, so that is its last element. *)
+let last_fault_start (run : Runner.run) =
+  match run.fault_steps with
+  | [] -> 0
+  | steps -> List.fold_left (fun _ s -> s) 0 steps + 1
+
+(* ------------------------------------------------------------------ *)
+(* Reference monitors: one predicate at a time.                        *)
+(* ------------------------------------------------------------------ *)
+
+let detection_latency (run : Runner.run) d =
+  let x = Pred.fn (Detector.detection d) and z = Pred.fn (Detector.witness d) in
+  let states = Array.of_list (Trace.states run.trace) in
+  detection_scan (Array.length states) (fun i -> x states.(i)) (fun i -> z states.(i))
+
 let correction_latency (run : Runner.run) c =
-  let x = Corrector.correction c in
-  let start = match List.rev run.fault_steps with [] -> 0 | s :: _ -> s + 1 in
-  let states = Trace.states run.trace in
-  let rec go i = function
-    | [] -> None
-    | st :: rest ->
-      if i >= start && Pred.holds x st then Some (i - start) else go (i + 1) rest
-  in
-  go 0 states
+  let p = Pred.fn (Corrector.correction c) in
+  let states = Array.of_list (Trace.states run.trace) in
+  correction_scan (Array.length states) ~start:(last_fault_start run) (fun i ->
+      p states.(i))
 
-(* First index at which the run violates the safety specification. *)
 let first_safety_violation (run : Runner.run) sspec =
   Safety.first_violation_in_trace run.trace sspec
 
-(* Aggregate over a batch of runs. *)
+(* ------------------------------------------------------------------ *)
+(* Compiled monitors: the whole witness family per batch.              *)
+(* ------------------------------------------------------------------ *)
+
+module Compiled = struct
+  (* The syndrome family is laid out as [X; Z; C; spec columns].  A
+     decomposable safety specification contributes one disjunction column
+     for its bad states plus an (l, r) column pair per transition
+     obligation; an opaque one keeps its closures and is scanned the
+     reference way. *)
+  type spec_cols =
+    | Opaque
+    | Cols of {
+        bad_i : int option;
+        pairs : (int * int) list;
+      }
+
+  type t = {
+    syn : Syndrome.t;
+    x_i : int;
+    z_i : int;
+    c_i : int;
+    spec_cols : spec_cols;
+    sspec : Safety.t;
+  }
+
+  let make ?mode ?program ~detector ~corrector ~sspec () =
+    let base =
+      [
+        Detector.detection detector;
+        Detector.witness detector;
+        Corrector.correction corrector;
+      ]
+    in
+    let next = ref (List.length base) in
+    let extra = ref [] in
+    let add p =
+      let i = !next in
+      incr next;
+      extra := p :: !extra;
+      i
+    in
+    let spec_cols =
+      match Safety.decompose sspec with
+      | None -> Opaque
+      | Some { Safety.bad_states; bad_pairs } ->
+        let bad_i =
+          match bad_states with [] -> None | ps -> Some (add (Pred.disj ps))
+        in
+        let pairs =
+          List.map
+            (fun (l, r) ->
+              let li = add l in
+              (* cl(S) obligations use one predicate on both sides. *)
+              let ri = if r == l then li else add r in
+              (li, ri))
+            bad_pairs
+        in
+        Cols { bad_i; pairs }
+    in
+    let syn = Syndrome.compile ?mode ?program (base @ List.rev !extra) in
+    { syn; x_i = 0; z_i = 1; c_i = 2; spec_cols; sspec }
+
+  let is_packed t = Syndrome.is_packed t.syn
+
+  let eval t (run : Runner.run) = Syndrome.of_trace t.syn run.trace
+
+  let detection_of_batch t b =
+    detection_scan (Syndrome.length b)
+      (fun i -> Syndrome.get b ~state:i ~pred:t.x_i)
+      (fun i -> Syndrome.get b ~state:i ~pred:t.z_i)
+
+  let correction_of_batch t run b =
+    correction_scan (Syndrome.length b) ~start:(last_fault_start run) (fun i ->
+        Syndrome.get b ~state:i ~pred:t.c_i)
+
+  let violation_of_batch t (run : Runner.run) b =
+    match t.spec_cols with
+    | Opaque -> Safety.first_violation_in_trace run.trace t.sspec
+    | Cols { bad_i; pairs } ->
+      safety_scan (Syndrome.length b)
+        ~bad_state:(fun i ->
+          match bad_i with
+          | None -> false
+          | Some j -> Syndrome.get b ~state:i ~pred:j)
+        ~bad_pair:(fun i ->
+          List.exists
+            (fun (li, ri) ->
+              Syndrome.get b ~state:(i - 1) ~pred:li
+              && not (Syndrome.get b ~state:i ~pred:ri))
+            pairs)
+
+  let detection_latency t run = detection_of_batch t (eval t run)
+  let correction_latency t run = correction_of_batch t run (eval t run)
+  let first_safety_violation t run = violation_of_batch t run (eval t run)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate over a batch of runs.                                     *)
+(* ------------------------------------------------------------------ *)
+
 type report = {
   runs : int;
   detection : Stats.summary option;
@@ -69,16 +205,31 @@ type report = {
   corrected_runs : int;
 }
 
-let report runs ~detector ~corrector ~sspec =
+let report ?(mode = Syndrome.Auto) ?program runs ~detector ~corrector ~sspec =
   Obs.span "sim.monitor" ~attrs:[ Attr.int "runs" (List.length runs) ]
   @@ fun () ->
-  let detections =
-    List.concat_map (fun r -> detection_latency r detector) runs
-  in
-  let corrections = List.filter_map (fun r -> correction_latency r corrector) runs in
-  let violations =
-    List.length
-      (List.filter (fun r -> first_safety_violation r sspec <> None) runs)
+  let detections, corrections, violations =
+    match (mode, program) with
+    | Syndrome.Reference, _ | _, None ->
+      ( List.concat_map (fun r -> detection_latency r detector) runs,
+        List.filter_map (fun r -> correction_latency r corrector) runs,
+        List.length
+          (List.filter (fun r -> first_safety_violation r sspec <> None) runs) )
+    | (Syndrome.Auto | Syndrome.Packed), Some _ ->
+      let comp = Compiled.make ~mode ?program ~detector ~corrector ~sspec () in
+      let per_run =
+        List.map
+          (fun r ->
+            (* One batch evaluation feeds all three scans. *)
+            let b = Compiled.eval comp r in
+            ( Compiled.detection_of_batch comp b,
+              Compiled.correction_of_batch comp r b,
+              Compiled.violation_of_batch comp r b ))
+          runs
+      in
+      ( List.concat_map (fun (d, _, _) -> d) per_run,
+        List.filter_map (fun (_, c, _) -> c) per_run,
+        List.length (List.filter (fun (_, _, v) -> v <> None) per_run) )
   in
   if Obs.on () then begin
     Metrics.incr ~by:(List.length detections) m_detections;

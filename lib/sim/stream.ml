@@ -1,0 +1,201 @@
+(* The recorded-run stream format.
+
+   Deltas keep long streams small: a step line carries only the bindings
+   the action changed, and the reader replays them onto the previous
+   state with [State.update_many].  That requires every state of a run to
+   bind the same variable set — true of any [Runner.run], whose states
+   all bind the program's declared variables — and the writer enforces
+   it.
+
+   Parsing is incremental and position-aware: each run is materialized,
+   handed to the caller's fold function, and dropped, so monitoring a
+   long stream holds one run in memory at a time, and malformed lines
+   raise [Detcor_robust.Error.Parse] with their line number. *)
+
+open Detcor_kernel
+open Detcor_semantics
+
+let header = "# detcor stream v1"
+
+type record = {
+  action : string;
+  fault : bool;
+  target : State.t;
+}
+
+type run = {
+  index : int;
+  init : State.t;
+  records : record list;
+  ending : Trace.ending;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Writing.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let write_header oc ~program =
+  Printf.fprintf oc "%s\nprogram %s\n" header program
+
+let write_binding oc (k, v) = Printf.fprintf oc " %s=%s" k (Value.to_string v)
+
+(* The bindings of [target] that differ from [prev].  Domains must agree
+   or the delta encoding cannot represent the step. *)
+let changed prev target =
+  let prev_bs = State.bindings prev and target_bs = State.bindings target in
+  if List.map fst prev_bs <> List.map fst target_bs then
+    Detcor_robust.Error.internal
+      "Stream.write_run: states bind different variables (%s vs %s)"
+      (State.to_string prev) (State.to_string target);
+  List.filter (fun (k, v) -> not (Value.equal v (State.get prev k))) target_bs
+
+let write_run oc ~index (r : Runner.run) =
+  Printf.fprintf oc "run %d\n" index;
+  let init = Trace.start r.trace in
+  output_string oc "init";
+  List.iter (write_binding oc) (State.bindings init);
+  output_char oc '\n';
+  let faults = ref r.fault_steps in
+  let prev = ref init in
+  List.iteri
+    (fun i { Trace.action; target } ->
+      let fault =
+        match !faults with
+        | s :: rest when s = i ->
+          faults := rest;
+          true
+        | _ -> false
+      in
+      Printf.fprintf oc "%s %s" (if fault then "fault" else "step") action;
+      List.iter (write_binding oc) (changed !prev target);
+      output_char oc '\n';
+      prev := target)
+    (Trace.steps r.trace);
+  Printf.fprintf oc "end %s\n"
+    (match Trace.ending r.trace with
+    | Trace.Maximal -> "maximal"
+    | Trace.Truncated -> "truncated")
+
+(* ------------------------------------------------------------------ *)
+(* Reading.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let perr ~line fmt = Detcor_robust.Error.parse ~line ~col:0 fmt
+
+(* [true]/[false] and digit strings read back as the scalar they printed
+   from; everything else is a symbol.  (A program whose symbol domain
+   contains "true" or "7" would not round-trip; the elaborator's domains
+   use identifier symbols.) *)
+let parse_value s =
+  match s with
+  | "true" -> Value.bool true
+  | "false" -> Value.bool false
+  | _ -> (
+    match int_of_string_opt s with
+    | Some n -> Value.int n
+    | None -> Value.sym s)
+
+let parse_binding ~line tok =
+  match String.index_opt tok '=' with
+  | None -> perr ~line "expected key=value, got %S" tok
+  | Some i ->
+    let k = String.sub tok 0 i in
+    let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+    if k = "" || v = "" then perr ~line "expected key=value, got %S" tok;
+    (k, parse_value v)
+
+let split_words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let fold ic ~init ~f =
+  let lineno = ref 0 in
+  let next () =
+    match input_line ic with
+    | s ->
+      incr lineno;
+      Some s
+    | exception End_of_file -> None
+  in
+  (match next () with
+  | Some l when String.trim l = header -> ()
+  | Some l -> perr ~line:1 "expected %S, got %S" header l
+  | None -> perr ~line:1 "empty stream: expected %S" header);
+  let program = ref None in
+  (* One run is parsed at a time: [in_run] accumulates records in reverse
+     until the matching [end] line. *)
+  let acc = ref init in
+  let in_run = ref None in
+  let finish ending =
+    match !in_run with
+    | None -> perr ~line:!lineno "'end' outside of a run"
+    | Some (index, init_st, records) ->
+      let init_st =
+        match init_st with
+        | None -> perr ~line:!lineno "run %d has no 'init' line" index
+        | Some st -> st
+      in
+      in_run := None;
+      acc := f !acc { index; init = init_st; records = List.rev records; ending }
+  in
+  let rec loop () =
+    match next () with
+    | None ->
+      if !in_run <> None then
+        perr ~line:!lineno "stream ends inside a run (missing 'end' line)"
+    | Some raw ->
+      let line = !lineno in
+      (match split_words (String.trim raw) with
+      | [] -> ()
+      | "#" :: _ -> ()
+      | word :: rest when String.length word > 0 && word.[0] = '#' ->
+        ignore rest
+      | [ "program"; name ] ->
+        if !in_run <> None then perr ~line "'program' inside a run";
+        program := Some name
+      | [ "run"; n ] -> (
+        if !in_run <> None then perr ~line "'run' before previous run ended";
+        match int_of_string_opt n with
+        | Some index -> in_run := Some (index, None, [])
+        | None -> perr ~line "bad run index %S" n)
+      | "init" :: bindings -> (
+        match !in_run with
+        | Some (index, None, []) ->
+          let st = State.of_list (List.map (parse_binding ~line) bindings) in
+          in_run := Some (index, Some st, [])
+        | Some _ -> perr ~line "duplicate 'init' or 'init' after steps"
+        | None -> perr ~line "'init' outside of a run")
+      | (("step" | "fault") as kind) :: action :: bindings -> (
+        match !in_run with
+        | None -> perr ~line "'%s' outside of a run" kind
+        | Some (_, None, _) -> perr ~line "'%s' before 'init'" kind
+        | Some (index, (Some init_st as init'), records) ->
+          let prev =
+            match records with [] -> init_st | r :: _ -> r.target
+          in
+          let target =
+            State.update_many prev (List.map (parse_binding ~line) bindings)
+          in
+          let record = { action; fault = kind = "fault"; target } in
+          in_run := Some (index, init', record :: records))
+      | [ "end"; "maximal" ] -> finish Trace.Maximal
+      | [ "end"; "truncated" ] -> finish Trace.Truncated
+      | [ "end"; e ] -> perr ~line "bad ending %S" e
+      | w :: _ -> perr ~line "unrecognized record %S" w);
+      loop ()
+  in
+  loop ();
+  (!acc, !program)
+
+let to_run (r : run) =
+  let steps =
+    List.map (fun { action; target; _ } -> { Trace.action; target }) r.records
+  in
+  let fault_steps =
+    List.mapi (fun i rec_ -> (i, rec_.fault)) r.records
+    |> List.filter_map (fun (i, f) -> if f then Some i else None)
+  in
+  {
+    Runner.trace = Trace.make ~ending:r.ending r.init steps;
+    fault_steps;
+    faults_injected = List.length fault_steps;
+  }

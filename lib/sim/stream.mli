@@ -1,0 +1,53 @@
+(** The line-oriented record format connecting simulation to offline
+    monitoring ([dcheck simulate --record] / [dcheck monitor --stream]).
+
+    A stream is plain text:
+
+    {v
+    # detcor stream v1
+    program memory
+    run 0
+    init p=0 q=0
+    step write p=1
+    fault corrupt q=3
+    end truncated
+    v}
+
+    [init] carries the full starting state; [step]/[fault] lines name the
+    executed action and list only the bindings it changed.  Values print
+    as {!Detcor_kernel.Value.to_string} ([true]/[false] parse back as
+    booleans, digit strings as integers, anything else as a symbol);
+    blank lines and [#] comments are skipped.  Malformed input raises
+    {!Detcor_robust.Error.Parse} with the offending line. *)
+
+open Detcor_kernel
+open Detcor_semantics
+
+type record = {
+  action : string;
+  fault : bool;
+  target : State.t;
+}
+
+type run = {
+  index : int;
+  init : State.t;
+  records : record list;
+  ending : Trace.ending;
+}
+
+val write_header : out_channel -> program:string -> unit
+
+(** [write_run oc ~index run] appends one recorded run.  All states of
+    the run must bind the same variables (the format encodes steps as
+    deltas). *)
+val write_run : out_channel -> index:int -> Runner.run -> unit
+
+(** Fold over the runs of a stream, parsing incrementally — only one run
+    is in memory at a time.  Returns the accumulator and the declared
+    program name, if any. *)
+val fold : in_channel -> init:'a -> f:('a -> run -> 'a) -> 'a * string option
+
+(** Rebuild the simulator's view of a streamed run ([fault_steps] are the
+    indices of the [fault] records). *)
+val to_run : run -> Runner.run

@@ -1,0 +1,70 @@
+(** Syndrome vectors: a system's whole witness-predicate family evaluated
+    as one batched sweep.
+
+    A monitor watches many predicates at once — detector witnesses,
+    correction predicates, the decomposed obligations of a safety
+    specification.  Evaluating them one at a time re-walks the trace once
+    per predicate and re-enters each closure per state.  A compiled
+    syndrome evaluator instead assigns each predicate a bit position and
+    produces, per batch of states, one {!Detcor_semantics.Bitset} column
+    per predicate; the bit vector across columns at a given state index is
+    that state's {e syndrome} — the fingerprint of which witnesses fired.
+
+    When the states come from a program whose variables admit a
+    {!Detcor_semantics.Layout}, evaluation is memoized by packed rank:
+    each distinct state pays for the family once, and every revisit is a
+    bit lookup.  Long fault streams revisit few distinct states, so the
+    packed path approaches memory bandwidth.  States outside the layout
+    (fault escapes) fall back to direct evaluation, so results never
+    depend on the engine. *)
+
+open Detcor_kernel
+open Detcor_semantics
+
+(** Engine selection, mirroring the {!Ts} convention: [Auto] packs when
+    the program's layout fits in the memoized-column budget, [Packed]
+    requests packing (degrading silently to reference when the program is
+    absent or unpackable), [Reference] always evaluates closures
+    directly.  All three produce identical syndromes. *)
+type mode = Auto | Packed | Reference
+
+(** A compiled predicate family. *)
+type t
+
+(** [compile ?mode ?program preds] compiles the family.  [program] enables
+    the rank-memoized path; without it every mode degrades to reference
+    evaluation. *)
+val compile : ?mode:mode -> ?program:Program.t -> Pred.t list -> t
+
+val num_preds : t -> int
+val pred_names : t -> string array
+
+(** Did compilation produce a rank-memoized evaluator? *)
+val is_packed : t -> bool
+
+(** Syndromes for one batch of states: column [j] holds bit [i] iff
+    predicate [j] of the family holds at state [i] of the batch. *)
+type batch
+
+val of_states : t -> State.t list -> batch
+val of_trace : t -> Trace.t -> batch
+
+(** Number of states in the batch. *)
+val length : batch -> int
+
+(** [get b ~state ~pred]: does predicate [pred] hold at state [state]? *)
+val get : batch -> state:int -> pred:int -> bool
+
+(** The full column of predicate [pred] (length {!length}).  The returned
+    bitset is the batch's own — do not mutate. *)
+val column : batch -> int -> Bitset.t
+
+(** Indices of the predicates holding at state [state], ascending. *)
+val fired : batch -> state:int -> int list
+
+(** Does any predicate of the family hold at state [state]? *)
+val nonzero : batch -> state:int -> bool
+
+(** The syndrome at [state] rendered as a bit string, most significant
+    predicate last (e.g. ["0110"]). *)
+val bits : batch -> state:int -> string

@@ -11,37 +11,60 @@
 
    This is also the representation under which the paper's companion
    synthesis method computes: the [ms]/[mt] fixpoints of
-   [Detcor_synthesis] consume it directly. *)
+   [Detcor_synthesis] consume it directly.
+
+   Alongside the closures the constructors record, when they can, the
+   structure they were built from: bad states as a disjunction of
+   predicates and bad transitions as a disjunction of pair forms
+   [l s ∧ ¬(r s')].  Batch monitors (the simulator's syndrome compiler)
+   read that structure back through [decompose] to turn a whole safety
+   specification into packed predicate columns; only a [make] call with
+   raw closures is opaque. *)
 
 open Detcor_kernel
 open Detcor_semantics
+
+type decomposition = {
+  bad_states : Pred.t list;
+  bad_pairs : (Pred.t * Pred.t) list;
+}
 
 type t = {
   name : string;
   bad_state : State.t -> bool;
   bad_transition : State.t -> State.t -> bool;
+  parts : decomposition option;
 }
 
+let mk ?parts name bad_state bad_transition =
+  { name; bad_state; bad_transition; parts }
+
 let make ?(name = "safety") ?bad_state ?bad_transition () =
-  {
-    name;
-    bad_state = (match bad_state with Some f -> f | None -> fun _ -> false);
-    bad_transition =
-      (match bad_transition with Some f -> f | None -> fun _ _ -> false);
-  }
+  (* Structure survives only when no opaque closure was supplied. *)
+  let parts =
+    match (bad_state, bad_transition) with
+    | None, None -> Some { bad_states = []; bad_pairs = [] }
+    | _ -> None
+  in
+  mk ?parts name
+    (match bad_state with Some f -> f | None -> fun _ -> false)
+    (match bad_transition with Some f -> f | None -> fun _ _ -> false)
 
 let name s = s.name
 let bad_state s = s.bad_state
 let bad_transition s = s.bad_transition
+let decompose s = s.parts
 
 (* The trivial safety specification: all sequences. *)
 let top = make ~name:"true" ()
 
 (* [never p]: states satisfying [p] are bad. *)
 let never p =
-  make
-    ~name:(Fmt.str "never %s" (Pred.name p))
-    ~bad_state:(Pred.holds p) ()
+  mk
+    ~parts:{ bad_states = [ p ]; bad_pairs = [] }
+    (Fmt.str "never %s" (Pred.name p))
+    (Pred.holds p)
+    (fun _ _ -> false)
 
 (* [always p]: the invariant "[]p". *)
 let always p = never (Pred.not_ p)
@@ -49,26 +72,36 @@ let always p = never (Pred.not_ p)
 (* cl(S) as a safety specification (Section 2.2): bad transitions are those
    falsifying S. *)
 let closure_of s =
-  make
-    ~name:(Fmt.str "cl(%s)" (Pred.name s))
-    ~bad_transition:(fun st st' -> Pred.holds s st && not (Pred.holds s st'))
-    ()
+  mk
+    ~parts:{ bad_states = []; bad_pairs = [ (s, s) ] }
+    (Fmt.str "cl(%s)" (Pred.name s))
+    (fun _ -> false)
+    (fun st st' -> Pred.holds s st && not (Pred.holds s st'))
 
 (* The generalized pair ({S},{R}) (Section 2.2): if S at s_j then R at
    s_{j+1}; bad transitions violate that. *)
 let generalized_pair s r =
-  make
-    ~name:(Fmt.str "({%s},{%s})" (Pred.name s) (Pred.name r))
-    ~bad_transition:(fun st st' -> Pred.holds s st && not (Pred.holds r st'))
-    ()
+  mk
+    ~parts:{ bad_states = []; bad_pairs = [ (s, r) ] }
+    (Fmt.str "({%s},{%s})" (Pred.name s) (Pred.name r))
+    (fun _ -> false)
+    (fun st st' -> Pred.holds s st && not (Pred.holds r st'))
 
 let conj a b =
-  make
-    ~name:(Fmt.str "(%s & %s)" a.name b.name)
-    ~bad_state:(fun st -> a.bad_state st || b.bad_state st)
-    ~bad_transition:(fun st st' ->
-      a.bad_transition st st' || b.bad_transition st st')
-    ()
+  let parts =
+    match (a.parts, b.parts) with
+    | Some pa, Some pb ->
+      Some
+        {
+          bad_states = pa.bad_states @ pb.bad_states;
+          bad_pairs = pa.bad_pairs @ pb.bad_pairs;
+        }
+    | _ -> None
+  in
+  mk ?parts
+    (Fmt.str "(%s & %s)" a.name b.name)
+    (fun st -> a.bad_state st || b.bad_state st)
+    (fun st st' -> a.bad_transition st st' || b.bad_transition st st')
 
 let conj_list specs = List.fold_left conj top specs
 

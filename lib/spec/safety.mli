@@ -20,6 +20,20 @@ val name : t -> string
 val bad_state : t -> State.t -> bool
 val bad_transition : t -> State.t -> State.t -> bool
 
+(** The predicate structure of a specification, when the constructors
+    preserved it: a state is bad iff some [bad_states] predicate holds,
+    and a transition [s -> s'] is bad iff for some pair [(l, r)],
+    [l s ∧ ¬(r s')].  Every constructor below records this; only a raw
+    {!make} with closures is opaque ([None]).  Batch monitors use the
+    decomposition to compile a whole safety specification into packed
+    predicate columns instead of evaluating the closures pointwise. *)
+type decomposition = {
+  bad_states : Pred.t list;
+  bad_pairs : (Pred.t * Pred.t) list;
+}
+
+val decompose : t -> decomposition option
+
 (** All sequences. *)
 val top : t
 

@@ -12,6 +12,8 @@ let () =
       Test_synthesis_diff.suite;
       Test_lang.suite;
       Test_sim.suite;
+      Test_monitor_diff.suite;
+      Test_monitor_cli.suite;
       Test_obs.suite;
       Test_extensions.suite;
       Test_systems2.suite;

@@ -1,0 +1,169 @@
+(* Differential tests: the syndrome-batched monitors against the
+   predicate-at-a-time reference monitors.
+
+   Random guarded-command programs (reusing the generator of
+   {!Test_engine_diff}, including the domain-escaping action that forces
+   the syndrome evaluator's per-state reference fallback) are simulated
+   under random fault injection; detection latencies, correction
+   latencies, first safety violations and whole reports must be
+   identical whether predicates are evaluated one closure at a time or
+   as packed syndrome columns.  A last property checks the syndrome
+   bits themselves decode to [Pred.holds] truth per state. *)
+
+open Detcor_kernel
+open Detcor_spec
+open Detcor_core
+open Detcor_sim
+
+let pred_of_seed = Test_engine_diff.pred_of_seed
+
+(* Safety specifications spanning every constructor [Safety.decompose]
+   understands, plus an opaque one ([make] with a raw closure) that
+   forces the compiled monitor's closure fallback. *)
+let sspec_of_seed seed =
+  let p1 = pred_of_seed seed and p2 = pred_of_seed (seed lxor 0x155) in
+  match seed mod 5 with
+  | 0 -> Safety.never p1
+  | 1 -> Safety.closure_of p1
+  | 2 -> Safety.generalized_pair p1 p2
+  | 3 -> Safety.conj (Safety.never p1) (Safety.generalized_pair p2 p1)
+  | _ -> Safety.make ~name:"opaque" ~bad_state:(Pred.holds p1) ()
+
+type case = {
+  rp : Test_engine_diff.rand_program;
+  init : State.t;
+  seed : int;
+}
+
+let case_gen =
+  QCheck.Gen.(
+    map3
+      (fun rp init seed -> { rp; init; seed })
+      Test_engine_diff.program_gen Test_engine_diff.state_gen
+      (int_range 0 (1 lsl 20)))
+
+let case_arb =
+  QCheck.make
+    ~print:(fun c ->
+      Fmt.str "%s init=%s seed=%d"
+        (Test_engine_diff.print_program c.rp)
+        (State.to_string c.init) c.seed)
+    case_gen
+
+(* One simulated run with real injected faults: corruption of [m] keeps
+   faulty states inside the layout, the generator's escape action steps
+   outside it. *)
+let sample_run program c =
+  let faults = Fault.corrupt_variable "m" (Domain.range 0 3) in
+  Runner.run
+    ~config:{ Runner.default with seed = c.seed; max_steps = 60 }
+    program
+    ~injector:
+      (Injector.make (Injector.Random { probability = 0.15; max_faults = 3 }) faults)
+    ~init:c.init
+
+let components c =
+  let detector =
+    Detector.make
+      ~witness:(pred_of_seed (c.seed lxor 0x3f))
+      ~detection:(pred_of_seed (c.seed lxor 0x1111))
+      ()
+  in
+  let corrector =
+    Corrector.make
+      ~witness:(pred_of_seed (c.seed lxor 0x77))
+      ~correction:(pred_of_seed (c.seed lxor 0x2222))
+      ()
+  in
+  (detector, corrector, sspec_of_seed c.seed)
+
+let prop_per_run_identical =
+  Util.qtest ~count:150 "compiled monitor = reference monitor (per run)"
+    case_arb (fun c ->
+      let program = Test_engine_diff.build_program c.rp in
+      let run = sample_run program c in
+      let detector, corrector, sspec = components c in
+      List.for_all
+        (fun mode ->
+          let comp =
+            Monitor.Compiled.make ~mode ~program ~detector ~corrector ~sspec ()
+          in
+          Monitor.Compiled.detection_latency comp run
+          = Monitor.detection_latency run detector
+          && Monitor.Compiled.correction_latency comp run
+             = Monitor.correction_latency run corrector
+          && Monitor.Compiled.first_safety_violation comp run
+             = Monitor.first_safety_violation run sspec)
+        [ Syndrome.Packed; Syndrome.Reference ])
+
+let prop_report_identical =
+  Util.qtest ~count:80 "packed report = reference report" case_arb (fun c ->
+      let program = Test_engine_diff.build_program c.rp in
+      let runs =
+        List.map
+          (fun k -> sample_run program { c with seed = c.seed + k })
+          [ 0; 1; 2 ]
+      in
+      let detector, corrector, sspec = components c in
+      let render mode =
+        Fmt.str "%a" Monitor.pp_report
+          (Monitor.report ~mode ~program runs ~detector ~corrector ~sspec)
+      in
+      render Syndrome.Reference = render Syndrome.Packed
+      && render Syndrome.Reference = render Syndrome.Auto)
+
+let prop_syndrome_decodes =
+  Util.qtest ~count:150 "syndrome bits decode to Pred.holds" case_arb (fun c ->
+      let program = Test_engine_diff.build_program c.rp in
+      let run = sample_run program c in
+      let states = Detcor_semantics.Trace.states run.Runner.trace in
+      let family =
+        List.map (fun k -> pred_of_seed (c.seed lxor k)) [ 0; 5; 11; 301 ]
+      in
+      List.for_all
+        (fun mode ->
+          let syn = Syndrome.compile ~mode ~program family in
+          let b = Syndrome.of_states syn states in
+          Syndrome.length b = List.length states
+          && List.for_all
+               (fun (i, st) ->
+                 List.for_all
+                   (fun (j, p) ->
+                     Syndrome.get b ~state:i ~pred:j = Pred.holds p st
+                     && Detcor_semantics.Bitset.get (Syndrome.column b j) i
+                        = Pred.holds p st)
+                   (List.mapi (fun j p -> (j, p)) family)
+                 && Syndrome.nonzero b ~state:i
+                    = List.exists (fun p -> Pred.holds p st) family
+                 && Syndrome.fired b ~state:i
+                    = List.filteri
+                        (fun j _ -> Syndrome.get b ~state:i ~pred:j)
+                        (List.mapi (fun j _ -> j) family))
+               (List.mapi (fun i st -> (i, st)) states))
+        [ Syndrome.Packed; Syndrome.Reference ])
+
+(* A second sweep through the same compiled family must hit the memo and
+   still agree — revisited states are the packed path's fast case. *)
+let prop_memo_stable =
+  Util.qtest ~count:80 "memoized re-evaluation is stable" case_arb (fun c ->
+      let program = Test_engine_diff.build_program c.rp in
+      let run = sample_run program c in
+      let states = Detcor_semantics.Trace.states run.Runner.trace in
+      let family = List.map (fun k -> pred_of_seed (c.seed lxor k)) [ 0; 19 ] in
+      let syn = Syndrome.compile ~mode:Syndrome.Packed ~program family in
+      let b1 = Syndrome.of_states syn states in
+      let b2 = Syndrome.of_states syn states in
+      List.for_all
+        (fun j ->
+          Detcor_semantics.Bitset.equal (Syndrome.column b1 j)
+            (Syndrome.column b2 j))
+        [ 0; 1 ])
+
+let suite =
+  ( "monitor differential",
+    [
+      prop_per_run_identical;
+      prop_report_identical;
+      prop_syndrome_decodes;
+      prop_memo_stable;
+    ] )

@@ -165,6 +165,114 @@ let test_monitor_report () =
     report.safety_violations;
   Alcotest.(check bool) "corrections observed" true (report.corrected_runs > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Monitor edge cases, on hand-built runs.                             *)
+(* ------------------------------------------------------------------ *)
+
+module Safety = Detcor_spec.Safety
+
+let mk_run ?(fault_steps = []) states =
+  match states with
+  | [] -> assert false
+  | init :: rest ->
+    {
+      Runner.trace =
+        Detcor_semantics.Trace.make init
+          (List.map
+             (fun st -> { Detcor_semantics.Trace.action = "t"; target = st })
+             rest);
+      fault_steps;
+      faults_injected = List.length fault_steps;
+    }
+
+let bvar name = Pred.make name (fun st -> Value.as_bool (State.get st name))
+let xz x z = State.of_list [ ("x", Value.bool x); ("z", Value.bool z) ]
+
+let edge_detector =
+  Detcor_core.Detector.make ~witness:(bvar "z") ~detection:(bvar "x") ()
+
+let edge_corrector =
+  Detcor_core.Corrector.make ~witness:(bvar "z") ~correction:(bvar "z") ()
+
+(* The compiled monitor must agree on every edge case; without a program
+   its syndrome family evaluates by reference, so this pins the shared
+   scan automata, not the packing. *)
+let compiled_agrees run sspec =
+  let comp =
+    Monitor.Compiled.make ~detector:edge_detector ~corrector:edge_corrector
+      ~sspec ()
+  in
+  Alcotest.(check (list int))
+    "compiled detection agrees"
+    (Monitor.detection_latency run edge_detector)
+    (Monitor.Compiled.detection_latency comp run);
+  Alcotest.(check (option int))
+    "compiled correction agrees"
+    (Monitor.correction_latency run edge_corrector)
+    (Monitor.Compiled.correction_latency comp run);
+  Alcotest.(check (option int))
+    "compiled violation agrees"
+    (Monitor.first_safety_violation run sspec)
+    (Monitor.Compiled.first_safety_violation comp run)
+
+let test_detection_open_interval () =
+  (* X holds to the end of the trace without Z ever firing: Progress
+     permits the open interval, so no latency is recorded. *)
+  let run = mk_run [ xz false false; xz true false; xz true false ] in
+  Alcotest.(check (list int))
+    "open interval skipped" []
+    (Monitor.detection_latency run edge_detector);
+  (* A witnessed interval followed by an open one keeps only the first. *)
+  let run2 = mk_run [ xz true false; xz true true; xz true false; xz true false ] in
+  Alcotest.(check (list int))
+    "witnessed then open" [ 1 ]
+    (Monitor.detection_latency run2 edge_detector);
+  compiled_agrees run (Safety.never (bvar "x"));
+  compiled_agrees run2 (Safety.never (bvar "x"))
+
+let test_detection_zero_latency () =
+  (* X and Z truthified in the same state: latency 0. *)
+  let run = mk_run [ xz false false; xz true true ] in
+  Alcotest.(check (list int))
+    "same-state witness" [ 0 ]
+    (Monitor.detection_latency run edge_detector);
+  compiled_agrees run (Safety.never (bvar "x"))
+
+let test_correction_no_faults () =
+  (* Empty fault schedule: the convergence scan starts at the first
+     state. *)
+  let run = mk_run [ xz false false; xz false true ] in
+  Alcotest.(check (option int))
+    "scan from state 0" (Some 1)
+    (Monitor.correction_latency run edge_corrector);
+  let run0 = mk_run [ xz false true; xz false false ] in
+  Alcotest.(check (option int))
+    "already corrected" (Some 0)
+    (Monitor.correction_latency run0 edge_corrector);
+  (* A fault on the final step puts the scan start past the trace end. *)
+  let run_end = mk_run ~fault_steps:[ 1 ] [ xz false true; xz false true ] in
+  Alcotest.(check (option int))
+    "scan start beyond trace" None
+    (Monitor.correction_latency run_end edge_corrector);
+  compiled_agrees run (Safety.never (bvar "x"));
+  compiled_agrees run_end (Safety.never (bvar "x"))
+
+let test_safety_violation_at_start () =
+  (* The very first state is bad: index 0, before any transition. *)
+  let run = mk_run [ xz true false; xz false false ] in
+  let sspec = Safety.never (bvar "x") in
+  Alcotest.(check (option int))
+    "violation at state 0" (Some 0)
+    (Monitor.first_safety_violation run sspec);
+  (* And a transition violation reports the target index. *)
+  let pair = Safety.generalized_pair (bvar "x") (bvar "z") in
+  let run2 = mk_run [ xz false false; xz true true; xz true false ] in
+  Alcotest.(check (option int))
+    "bad transition into state 2" (Some 2)
+    (Monitor.first_safety_violation run2 pair);
+  compiled_agrees run sspec;
+  compiled_agrees run2 pair
+
 let test_stats () =
   match Stats.summarize [ 5; 1; 3; 2; 4 ] with
   | None -> Alcotest.fail "nonempty summary"
@@ -225,6 +333,14 @@ let suite =
       Alcotest.test_case "safety violation detected" `Quick
         test_monitor_safety_violation_detected;
       Alcotest.test_case "monitor report" `Quick test_monitor_report;
+      Alcotest.test_case "detection interval open at trace end" `Quick
+        test_detection_open_interval;
+      Alcotest.test_case "zero-latency detection" `Quick
+        test_detection_zero_latency;
+      Alcotest.test_case "correction with empty fault schedule" `Quick
+        test_correction_no_faults;
+      Alcotest.test_case "safety violated at first state" `Quick
+        test_safety_violation_at_start;
       Alcotest.test_case "stats" `Quick test_stats;
       Alcotest.test_case "ring stabilizes in simulation" `Quick
         test_ring_simulation_stabilizes;
