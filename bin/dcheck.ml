@@ -39,11 +39,48 @@ module Error = Detcor_robust.Error
 module Budget = Detcor_robust.Budget
 module Checkpoint = Detcor_robust.Checkpoint
 
+(* ------------------------------------------------------------------ *)
+(* Exit bookkeeping and finalizers.                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* [Stdlib.exit] runs [at_exit] callbacks but NOT [Fun.protect]
+   finalizers further up the stack — so any flushing duty that must
+   survive [or_die], an inline [exit] or SIGINT (closing trace sinks,
+   the metrics snapshot, the run ledger) registers here and is driven
+   from one [at_exit].  Finalizers run once: the list is emptied before
+   iterating, so a finalizer calling [exit] cannot recurse. *)
+let finalizers : (unit -> unit) list ref = ref []
+
+let add_finalizer f = finalizers := f :: !finalizers
+
+let run_finalizers () =
+  let fs = !finalizers in
+  finalizers := [];
+  List.iter (fun f -> try f () with _ -> ()) fs
+
+(* The code the process is about to exit with, for the ledger record.
+   Every exit path funnels through [exiting] or sets it explicitly. *)
+let exit_code_seen = ref 0
+
+let exiting code =
+  exit_code_seen := code;
+  exit code
+
+(* The budget dimension that tripped, when this run exits 3. *)
+let budget_trip_seen : string option ref = ref None
+
+let () =
+  at_exit run_finalizers;
+  (* SIGINT flushes through the same [at_exit] path and exits with the
+     conventional fatal-signal code. *)
+  try Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> exiting 130))
+  with Invalid_argument _ | Sys_error _ -> ()
+
 let or_die = function
   | Ok v -> v
   | Error m ->
     Fmt.epr "dcheck: %s@." m;
-    exit 2
+    exiting 2
 
 (* Located one-line rendering: parse errors carry the file name. *)
 let pp_located path ppf (e : Error.t) =
@@ -58,9 +95,14 @@ let pp_located path ppf (e : Error.t) =
 let with_errors ~path k =
   try k () with
   | Error.Detcor_error e ->
+    (match e with
+    | Error.Resource r ->
+      budget_trip_seen := Some (Error.resource_kind_name r.Error.kind)
+    | _ -> ());
     Fmt.epr "dcheck: %a@." (pp_located path) e;
     Error.exit_code e
   | Detcor_semantics.Ts.Too_large n ->
+    budget_trip_seen := Some "states";
     Fmt.epr "dcheck: state budget exhausted (exploration exceeded --limit %d)@."
       n;
     3
@@ -191,6 +233,8 @@ type obs_opts = {
   trace : string option;
   metrics : string option;
   log_level : string option;
+  telemetry : string option;
+  ledger : string option;
 }
 
 let obs_term =
@@ -222,8 +266,39 @@ let obs_term =
             "Echo trace events at least this severe (debug, info, warn or \
              error) to stderr.")
   in
-  let make trace metrics log_level = { trace; metrics; log_level } in
-  Term.(const make $ trace_arg $ metrics_arg $ log_level_arg)
+  let telemetry_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"ADDR"
+          ~doc:
+            "Serve a live Prometheus text exposition of every counter, \
+             gauge and histogram on http://$(docv)/metrics for the \
+             duration of the run ($(i,HOST:PORT), $(i,:PORT) or \
+             $(i,PORT); port 0 picks a free one, printed on stderr).  \
+             Also arms progress heartbeats: per-phase item counts, \
+             items/sec and the budget-derived ETA update live as the \
+             run advances.  Watch with $(b,dcheck top ADDR).")
+  in
+  let ledger_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~env:(Cmd.Env.info "DCHECK_LEDGER")
+          ~doc:
+            "Append one JSON line (session fingerprint, subcommand, \
+             verdict, exit code, duration, peak RSS, budget trips) to \
+             $(docv) when the run ends — on every exit path, including \
+             budget exhaustion and SIGINT.  Summarize with $(b,dcheck \
+             report FILE).")
+  in
+  let make trace metrics log_level telemetry ledger =
+    { trace; metrics; log_level; telemetry; ledger }
+  in
+  Term.(
+    const make $ trace_arg $ metrics_arg $ log_level_arg $ telemetry_arg
+    $ ledger_arg)
 
 (* Sinks requested on the command line (--trace by extension, --log-level
    on stderr). *)
@@ -254,22 +329,99 @@ let write_metrics_snapshot opts =
     output_char oc '\n';
     close_out oc
 
+(* Session identity for the run ledger: the same digest scheme the
+   checkpoint layer uses, over the toolkit version and the exact command
+   line — two invocations match iff they would do the same work. *)
+let session_fingerprint ~sub =
+  Checkpoint.digest ("dcheck/1.0.0" :: sub :: Array.to_list Sys.argv)
+
+let verdict_of_exit = function
+  | 0 -> "holds"
+  | 1 -> "fails"
+  | 2 -> "error"
+  | 3 -> "exhausted"
+  | 130 -> "interrupted"
+  | _ -> "internal-error"
+
 (* Install a recording context for the duration of [k] when any
    observability option was given; write the requested outputs on the way
-   out, even on exceptions.  [extra] prepends sinks (used by [profile] to
-   record into memory alongside whatever the user asked for). *)
-let with_obs ?(extra = []) opts k =
-  if
-    extra = [] && opts.trace = None && opts.metrics = None
-    && opts.log_level = None
-  then k ()
+   out.  [extra] prepends sinks (used by [profile] to record into memory
+   alongside whatever the user asked for).
+
+   All teardown lives in one run-once finalizer registered with the
+   [at_exit] machinery, so the trace, metrics snapshot and ledger record
+   survive every exit path: normal returns, [or_die], inline [exit]s,
+   budget trips and SIGINT.  [k] returns the exit code, which the
+   finalizer folds into the ledger record. *)
+let with_obs ?(extra = []) ~sub ~path opts k =
+  let recording =
+    extra <> [] || opts.trace <> None || opts.metrics <> None
+    || opts.log_level <> None
+  in
+  if (not recording) && opts.telemetry = None && opts.ledger = None then k ()
   else begin
-    Obs.set_current (Obs.make ~sinks:(extra @ sinks_of_opts opts) ());
-    Fun.protect
-      ~finally:(fun () ->
+    let t_start = Obs.now_ns () in
+    if recording then
+      Obs.set_current (Obs.make ~sinks:(extra @ sinks_of_opts opts) ());
+    let server =
+      match opts.telemetry with
+      | None -> None
+      | Some addr ->
+        Expose.register_process_gauges ();
+        Progress.start ();
+        let t = or_die (Telemetry.start addr) in
+        Fmt.epr "dcheck: telemetry on http://%s/metrics@."
+          (Telemetry.address t);
+        Some t
+    in
+    let finalized = ref false in
+    let finalize () =
+      if not !finalized then begin
+        finalized := true;
+        Option.iter Telemetry.stop server;
+        Progress.stop ();
         Obs.close ();
-        write_metrics_snapshot opts)
-      k
+        write_metrics_snapshot opts;
+        match opts.ledger with
+        | None -> ()
+        | Some lpath -> (
+          let code = !exit_code_seen in
+          let states =
+            max
+              (Metrics.counter_value_by_name "engine.states")
+              (Metrics.counter_value_by_name "engine.states_visited")
+          in
+          let entry =
+            {
+              Ledger.timestamp = Unix.gettimeofday ();
+              session = session_fingerprint ~sub;
+              subcommand = sub;
+              file = path;
+              verdict = verdict_of_exit code;
+              exit_code = code;
+              duration_s =
+                Int64.to_float (Int64.sub (Obs.now_ns ()) t_start) /. 1e9;
+              peak_rss_bytes = Expose.peak_rss_bytes ();
+              states;
+              budget_trip = !budget_trip_seen;
+            }
+          in
+          try Ledger.append ~path:lpath entry
+          with Unix.Unix_error (err, _, _) ->
+            Fmt.epr "dcheck: cannot append to ledger %s: %s@." lpath
+              (Unix.error_message err))
+      end
+    in
+    add_finalizer finalize;
+    match k () with
+    | code ->
+      exit_code_seen := code;
+      finalize ();
+      code
+    | exception e ->
+      exit_code_seen := 125;
+      finalize ();
+      raise e
   end
 
 (* ------------------------------------------------------------------ *)
@@ -278,7 +430,7 @@ let with_obs ?(extra = []) opts k =
 
 let info_cmd =
   let run path limit timeout obs =
-    with_obs obs @@ fun () ->
+    with_obs ~sub:"info" ~path obs @@ fun () ->
     guarded ~path timeout @@ fun () ->
     let e = Elaborate.load_file path in
     Fmt.pr "program %s@." (Program.name e.program);
@@ -357,7 +509,7 @@ let explain_arg =
 
 let verify_cmd =
   let run path tol limit explain timeout workers robust obs =
-    with_obs obs @@ fun () ->
+    with_obs ~sub:"verify" ~path obs @@ fun () ->
     guarded ~path timeout @@ fun () ->
     with_checkpoint ~path ~sub:"verify"
       ~params:
@@ -439,7 +591,7 @@ let verify_cmd =
 
 let components_cmd =
   let run path limit timeout obs =
-    with_obs obs @@ fun () ->
+    with_obs ~sub:"components" ~path obs @@ fun () ->
     guarded ~path timeout @@ fun () ->
     let e = Elaborate.load_file path in
     let sspec = Spec.safety (Spec.smallest_safety_containing e.spec) in
@@ -481,7 +633,7 @@ let components_cmd =
 
 let synthesize_cmd =
   let run path tol limit timeout workers robust obs =
-    with_obs obs @@ fun () ->
+    with_obs ~sub:"synthesize" ~path obs @@ fun () ->
     guarded ~path timeout @@ fun () ->
     let tol = match tol with Some t -> t | None -> Spec.Masking in
     with_checkpoint ~path ~sub:"synthesize"
@@ -566,7 +718,7 @@ let simulate_cmd =
              replayable offline with $(b,dcheck monitor --stream).")
   in
   let run path runs steps prob max_faults seed record timeout robust obs =
-    with_obs obs @@ fun () ->
+    with_obs ~sub:"simulate" ~path obs @@ fun () ->
     guarded ~path timeout @@ fun () ->
     with_checkpoint ~path ~sub:"simulate"
       ~params:
@@ -677,11 +829,11 @@ let monitor_cmd =
   let c_faults = Metrics.counter "monitor.faults" in
   let c_violations = Metrics.counter "monitor.safety_violations" in
   let run path stream batch_size timeout obs =
-    with_obs obs @@ fun () ->
+    with_obs ~sub:"monitor" ~path obs @@ fun () ->
     guarded ~path timeout @@ fun () ->
     if batch_size <= 0 then begin
       Fmt.epr "dcheck: --batch must be positive@.";
-      exit 2
+      exiting 2
     end;
     let e = Elaborate.load_file path in
     let sspec = Spec.safety (Spec.smallest_safety_containing e.spec) in
@@ -810,7 +962,13 @@ let monitor_cmd =
       Metrics.incr ~by:(List.length rr.fault_steps) c_faults;
       Metrics.incr c_runs
     in
-    let (), _program = Stream.fold ic ~init:() ~f:monitor_run in
+    let (), _program =
+      (* Heartbeats report sweep throughput: states monitored so far and
+         the derived states/sec. *)
+      Progress.with_phase "monitor.sweep"
+        (fun () -> [ ("states", !total_states); ("runs", !nruns) ])
+        (fun () -> Stream.fold ic ~init:() ~f:monitor_run)
+    in
     if !violations > 0 then Metrics.incr ~by:!violations c_violations;
     Fmt.pr "runs: %d  states: %d  faults: %d@." !nruns !total_states
       !total_faults;
@@ -851,6 +1009,8 @@ let monitor_cmd =
    run doubles as a verify run. *)
 let profile_cmd =
   let run path tol limit timeout obs =
+    let mem, records = Sink.memory () in
+    with_obs ~extra:[ mem ] ~sub:"profile" ~path obs @@ fun () ->
     guarded ~path timeout @@ fun () ->
     let e = Elaborate.load_file path in
     let classes =
@@ -858,17 +1018,15 @@ let profile_cmd =
       | Some t -> [ t ]
       | None -> [ Spec.Failsafe; Spec.Nonmasking; Spec.Masking ]
     in
-    let mem, records = Sink.memory () in
     let reports = ref [] in
-    with_obs ~extra:[ mem ] obs (fun () ->
-        List.iter
-          (fun tol ->
-            let report =
-              Tolerance.check ~limit e.program ~spec:e.spec
-                ~invariant:e.invariant ~faults:e.faults ~tol
-            in
-            reports := (tol, report) :: !reports)
-          classes);
+    List.iter
+      (fun tol ->
+        let report =
+          Tolerance.check ~limit e.program ~spec:e.spec ~invariant:e.invariant
+            ~faults:e.faults ~tol
+        in
+        reports := (tol, report) :: !reports)
+      classes;
     Fmt.pr "profile of %s (%s)@.@." path (Program.name e.program);
     Fmt.pr "%a@.@." Profile.pp_table (records ());
     Fmt.pr "engine counters:@.";
@@ -917,7 +1075,7 @@ let graph_cmd =
       & info [ "with-faults" ] ~doc:"Include fault transitions (dashed).")
   in
   let run path out with_faults limit timeout obs =
-    with_obs obs @@ fun () ->
+    with_obs ~sub:"graph" ~path obs @@ fun () ->
     guarded ~path timeout @@ fun () ->
     let e = Elaborate.load_file path in
     let program =
@@ -950,6 +1108,270 @@ let graph_cmd =
       const run $ file_arg $ out_arg $ faults_arg $ limit_arg $ timeout_arg
       $ obs_term)
 
+(* ------------------------------------------------------------------ *)
+(* report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let pp_bytes ppf n =
+  if n >= 1 lsl 30 then Fmt.pf ppf "%.1fGiB" (float_of_int n /. 1073741824.0)
+  else if n >= 1 lsl 20 then Fmt.pf ppf "%.1fMiB" (float_of_int n /. 1048576.0)
+  else if n >= 1 lsl 10 then Fmt.pf ppf "%.1fKiB" (float_of_int n /. 1024.0)
+  else Fmt.pf ppf "%dB" n
+
+let pp_stamp ppf ts =
+  let tm = Unix.localtime ts in
+  Fmt.pf ppf "%04d-%02d-%02d %02d:%02d:%02d" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let report_cmd =
+  let ledger_pos =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"LEDGER"
+          ~doc:"Run ledger written with $(b,--ledger) / $(b,DCHECK_LEDGER).")
+  in
+  let last_arg =
+    Arg.(
+      value
+      & opt int 10
+      & info [ "last" ] ~docv:"N"
+          ~doc:"List the $(docv) most recent runs (0 hides the listing).")
+  in
+  let run lpath last =
+    with_errors ~path:lpath @@ fun () ->
+    let entries, bad = Ledger.load ~path:lpath in
+    if bad > 0 then
+      Fmt.epr "dcheck: %s: skipped %d malformed line%s@." lpath bad
+        (if bad = 1 then "" else "s");
+    if entries = [] then begin
+      Fmt.pr "ledger %s: no entries@." lpath;
+      0
+    end
+    else begin
+      let n = List.length entries in
+      let total_s =
+        List.fold_left (fun a (e : Ledger.entry) -> a +. e.duration_s) 0.0
+          entries
+      in
+      let peak =
+        List.fold_left
+          (fun a (e : Ledger.entry) -> max a e.peak_rss_bytes)
+          0 entries
+      in
+      let trips =
+        List.length
+          (List.filter (fun (e : Ledger.entry) -> e.budget_trip <> None) entries)
+      in
+      Fmt.pr "ledger %s: %d runs, %.2fs total, peak RSS %a, %d budget trips@.@."
+        lpath n total_s pp_bytes peak trips;
+      (* One row per (subcommand, verdict), counts and time — the shape of
+         the workload at a glance. *)
+      let by_key : (string * string, int * float) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      List.iter
+        (fun (e : Ledger.entry) ->
+          let key = (e.subcommand, e.verdict) in
+          let c, d =
+            Option.value ~default:(0, 0.0) (Hashtbl.find_opt by_key key)
+          in
+          Hashtbl.replace by_key key (c + 1, d +. e.duration_s))
+        entries;
+      Fmt.pr "%-12s %-12s %6s %10s@." "subcommand" "verdict" "runs" "total";
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_key []
+      |> List.sort compare
+      |> List.iter (fun ((sub, verdict), (c, d)) ->
+             Fmt.pr "%-12s %-12s %6d %9.2fs@." sub verdict c d);
+      if last > 0 then begin
+        let recent =
+          let rec take k = function
+            | e :: rest when k > 0 -> e :: take (k - 1) rest
+            | _ -> []
+          in
+          take last (List.rev entries)
+        in
+        Fmt.pr "@.last %d runs (most recent first):@."
+          (List.length recent);
+        List.iter
+          (fun (e : Ledger.entry) ->
+            Fmt.pr "  %a  %-10s %-22s %-11s exit %d  %7.2fs  %a%s@." pp_stamp
+              e.timestamp e.subcommand
+              (Filename.basename e.file)
+              e.verdict e.exit_code e.duration_s pp_bytes e.peak_rss_bytes
+              (match e.budget_trip with
+              | Some k -> "  [" ^ k ^ " budget tripped]"
+              | None -> ""))
+          recent
+      end;
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Summarize a run ledger: per-subcommand verdict counts, total \
+          time, peak RSS and budget trips, plus the most recent runs.")
+    Term.(const run $ ledger_pos $ last_arg)
+
+(* ------------------------------------------------------------------ *)
+(* top                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One blocking scrape of a peer's exposition endpoint.  Returns the
+   response body (headers stripped), or [None] when the endpoint cannot
+   be reached — which during polling means the watched run has ended. *)
+let scrape_once ip port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect sock (Unix.ADDR_INET (ip, port)) with
+      | exception Unix.Unix_error _ -> None
+      | () ->
+        let req = "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n" in
+        ignore (Unix.write_substring sock req 0 (String.length req));
+        let buf = Buffer.create 8192 in
+        let bytes = Bytes.create 8192 in
+        let rec drain () =
+          match Unix.read sock bytes 0 8192 with
+          | 0 -> ()
+          | n ->
+            Buffer.add_subbytes buf bytes 0 n;
+            drain ()
+          | exception Unix.Unix_error _ -> ()
+        in
+        drain ();
+        let resp = Buffer.contents buf in
+        let body =
+          let n = String.length resp in
+          let rec find i =
+            if i + 4 > n then None
+            else if String.sub resp i 4 = "\r\n\r\n" then Some (i + 4)
+            else find (i + 1)
+          in
+          match find 0 with
+          | Some i -> String.sub resp i (n - i)
+          | None -> ""
+        in
+        if body = "" then None else Some body)
+
+let top_cmd =
+  let addr_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ADDR"
+          ~doc:
+            "Telemetry address of a running dcheck, as printed by \
+             $(b,--telemetry).")
+  in
+  let interval_arg =
+    Arg.(
+      value
+      & opt float 1.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Seconds between polls.")
+  in
+  let iterations_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) polls (0: poll until interrupted or the \
+             watched run ends).")
+  in
+  let run addr interval iterations =
+    match Telemetry.parse_addr addr with
+    | Error m ->
+      Fmt.epr "dcheck: %s@." m;
+      2
+    | Ok (_host, ip, port) ->
+      let value samples name =
+        List.find_map
+          (fun (s : Expose.sample) ->
+            if s.metric = name then Some s.value else None)
+          samples
+      in
+      let label samples name key =
+        List.find_map
+          (fun (s : Expose.sample) ->
+            if s.metric = name then List.assoc_opt key s.labels else None)
+          samples
+      in
+      let show samples poll =
+        let num name =
+          match value samples name with
+          | Some v -> Fmt.str "%.0f" v
+          | None -> "-"
+        in
+        let phase =
+          Option.value ~default:"idle" (label samples "obs_phase_info" "phase")
+        in
+        let eta =
+          match value samples "obs_phase_eta_seconds" with
+          | Some v when v >= 0.0 -> Fmt.str "%.1fs" v
+          | _ -> "-"
+        in
+        let mem name =
+          match value samples name with
+          | Some v -> Fmt.str "%a" pp_bytes (int_of_float v)
+          | None -> "-"
+        in
+        Fmt.pr "[%4d] phase=%-14s items=%-9s rate=%s/s eta=%-7s \
+                states=%-9s heap=%-8s rss=%s@."
+          poll phase
+          (num "obs_phase_items")
+          (num "obs_phase_rate")
+          eta
+          (num "engine_states_total")
+          (mem "process_heap_bytes")
+          (mem "process_peak_rss_bytes")
+      in
+      let rec poll i misses =
+        if iterations > 0 && i > iterations then 0
+        else
+          match scrape_once ip port with
+          | None ->
+            if i = 1 then begin
+              Fmt.epr "dcheck: no telemetry endpoint at %s@." addr;
+              2
+            end
+            else if misses >= 1 then begin
+              (* Two consecutive failed scrapes: the watched run ended. *)
+              Fmt.pr "endpoint %s gone; run ended@." addr;
+              0
+            end
+            else begin
+              Unix.sleepf interval;
+              poll (i + 1) (misses + 1)
+            end
+          | Some body ->
+            let samples =
+              String.split_on_char '\n' body
+              |> List.filter_map (fun line ->
+                     match Expose.parse_line line with
+                     | Ok (Some s) -> Some s
+                     | Ok None | Error _ -> None)
+            in
+            show samples i;
+            if iterations > 0 && i >= iterations then 0
+            else begin
+              Unix.sleepf interval;
+              poll (i + 1) 0
+            end
+      in
+      poll 1 0
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Poll a running dcheck's $(b,--telemetry) endpoint and display \
+          live progress: current phase, item counts, rate, ETA and \
+          process gauges.")
+    Term.(const run $ addr_pos $ interval_arg $ iterations_arg)
+
 let main =
   Cmd.group
     (Cmd.info "dcheck" ~version:"1.0.0"
@@ -957,10 +1379,12 @@ let main =
          "Detectors and correctors: verification, extraction, synthesis and \
           simulation of fault-tolerance components.")
     [ info_cmd; verify_cmd; components_cmd; synthesize_cmd; simulate_cmd;
-      monitor_cmd; profile_cmd; graph_cmd ]
+      monitor_cmd; profile_cmd; graph_cmd; report_cmd; top_cmd ]
 
 (* cmdliner reports its own CLI parse problems with [Exit.cli_error]
    (124); the documented contract puts every usage error at 2. *)
 let () =
   let code = Cmd.eval' main in
-  exit (if code = Cmd.Exit.cli_error then 2 else code)
+  let code = if code = Cmd.Exit.cli_error then 2 else code in
+  exit_code_seen := code;
+  exit code

@@ -1,0 +1,278 @@
+(* Prometheus text exposition over the metrics registry.
+
+   The registry's dotted names ("engine.states") become exposition names
+   ("engine_states"); counters get the conventional [_total] suffix and
+   histograms expand to the cumulative [_bucket{le=...}] / [_sum] /
+   [_count] triple.  Callback gauges (GC words, heap size, RSS) are
+   sampled at render time, so every scrape sees live process state.
+
+   [parse_line] is the encoder's own inverse for one line — enough for
+   the test suite to assert that every rendered line is a well-formed
+   `name{labels} value` sample (and for `dcheck top` to read a scrape
+   back), without pulling in a real Prometheus client. *)
+
+type sample = {
+  metric : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Names and values.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let name_char_ok first c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || c = '_' || c = ':'
+  || ((not first) && c >= '0' && c <= '9')
+
+(* Any registry name becomes a valid exposition name: invalid characters
+   (the registry's dots, mostly) map to '_', and a leading digit or an
+   empty name gains a '_' prefix. *)
+let metric_name s =
+  let b = Buffer.create (String.length s + 1) in
+  String.iteri
+    (fun i c ->
+      if i = 0 && not (name_char_ok true c) then begin
+        Buffer.add_char b '_';
+        if name_char_ok false c then Buffer.add_char b c
+      end
+      else Buffer.add_char b (if name_char_ok false c then c else '_'))
+    s;
+  if Buffer.length b = 0 then "_" else Buffer.contents b
+
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* The exposition format spells non-finite values out; everything the
+   registry holds is finite, but callback gauges may divide by zero. *)
+let value_str v =
+  match Float.classify_float v with
+  | Float.FP_nan -> "NaN"
+  | Float.FP_infinite -> if v > 0.0 then "+Inf" else "-Inf"
+  | _ ->
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.17g" v
+
+let add_sample buf { metric; labels; value } =
+  Buffer.add_string buf metric;
+  (match labels with
+  | [] -> ()
+  | labels ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (metric_name k);
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_label_value v);
+        Buffer.add_char buf '"')
+      labels;
+    Buffer.add_char buf '}');
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (value_str value);
+  Buffer.add_char buf '\n'
+
+let add_type buf name kind =
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering the registry.                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Extra samples appended after the registry: Progress contributes its
+   phase-info sample here (a labelled sample the int/float registry
+   cannot carry). *)
+let extra_samples : (unit -> sample list) list ref = ref []
+
+let add_extra f = extra_samples := f :: !extra_samples
+
+let render_reading buf (r : Metrics.reading) =
+  match r with
+  | Metrics.Counter_reading (name, v) ->
+    let n = metric_name name ^ "_total" in
+    add_type buf n "counter";
+    add_sample buf { metric = n; labels = []; value = float_of_int v }
+  | Metrics.Gauge_reading (name, v) ->
+    let n = metric_name name in
+    add_type buf n "gauge";
+    add_sample buf { metric = n; labels = []; value = float_of_int v }
+  | Metrics.Float_reading (name, v) ->
+    let n = metric_name name in
+    add_type buf n "gauge";
+    add_sample buf { metric = n; labels = []; value = v }
+  | Metrics.Histogram_reading { r_name; buckets; r_sum; r_count } ->
+    let n = metric_name r_name in
+    add_type buf n "histogram";
+    let cum = ref 0 in
+    List.iter
+      (fun (le, count) ->
+        cum := !cum + count;
+        let le_str =
+          match le with None -> "+Inf" | Some b -> string_of_int b
+        in
+        add_sample buf
+          {
+            metric = n ^ "_bucket";
+            labels = [ ("le", le_str) ];
+            value = float_of_int !cum;
+          })
+      buckets;
+    add_sample buf
+      { metric = n ^ "_sum"; labels = []; value = float_of_int r_sum };
+    add_sample buf
+      { metric = n ^ "_count"; labels = []; value = float_of_int r_count }
+
+let render () =
+  let buf = Buffer.create 4096 in
+  List.iter (render_reading buf) (Metrics.readings ());
+  List.iter (fun f -> List.iter (add_sample buf) (f ())) !extra_samples;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing one exposition line back.                                   *)
+(* ------------------------------------------------------------------ *)
+
+let valid_name s =
+  String.length s > 0
+  && name_char_ok true s.[0]
+  && String.for_all (name_char_ok false) s
+
+let parse_value s =
+  match s with
+  | "+Inf" -> Some Float.infinity
+  | "-Inf" -> Some Float.neg_infinity
+  | "NaN" -> Some Float.nan
+  | s -> float_of_string_opt s
+
+let parse_labels s =
+  (* Comma-separated key="value" pairs; values may escape backslash,
+     double quote and newline with a backslash. *)
+  let n = String.length s in
+  let buf = Buffer.create 16 in
+  let rec labels acc i =
+    let rec key j =
+      if j < n && s.[j] <> '=' then key (j + 1) else j
+    in
+    let j = key i in
+    let k = String.sub s i (j - i) in
+    if j + 1 >= n || s.[j] <> '=' || s.[j + 1] <> '"' || not (valid_name k)
+    then None
+    else begin
+      Buffer.clear buf;
+      let rec value j =
+        if j >= n then None
+        else
+          match s.[j] with
+          | '"' -> Some j
+          | '\\' when j + 1 < n ->
+            (match s.[j + 1] with
+            | '\\' -> Buffer.add_char buf '\\'
+            | '"' -> Buffer.add_char buf '"'
+            | 'n' -> Buffer.add_char buf '\n'
+            | c -> Buffer.add_char buf c);
+            value (j + 2)
+          | c ->
+            Buffer.add_char buf c;
+            value (j + 1)
+      in
+      match value (j + 2) with
+      | None -> None
+      | Some close ->
+        let acc = (k, Buffer.contents buf) :: acc in
+        if close + 1 = n then Some (List.rev acc)
+        else if s.[close + 1] = ',' then labels acc (close + 2)
+        else None
+    end
+  in
+  if n = 0 then Some [] else labels [] 0
+
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else
+    (* name[{labels}] SP value *)
+    let name_end =
+      let rec go i =
+        if i < String.length line && name_char_ok false line.[i] then
+          go (i + 1)
+        else i
+      in
+      go 0
+    in
+    let name = String.sub line 0 name_end in
+    if not (valid_name name) then Error "invalid metric name"
+    else
+      let rest = String.sub line name_end (String.length line - name_end) in
+      let labels, rest =
+        if String.length rest > 0 && rest.[0] = '{' then
+          match String.index_opt rest '}' with
+          | None -> (None, rest)
+          | Some close ->
+            ( parse_labels (String.sub rest 1 (close - 1)),
+              String.sub rest (close + 1) (String.length rest - close - 1) )
+        else (Some [], rest)
+      in
+      match labels with
+      | None -> Error "malformed labels"
+      | Some labels -> (
+        let rest = String.trim rest in
+        match parse_value rest with
+        | None -> Error "malformed value"
+        | Some value -> Ok (Some { metric = name; labels; value }))
+
+(* ------------------------------------------------------------------ *)
+(* Process gauges: GC, heap, RSS.                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* VmHWM from /proc/self/status: the kernel's high-water mark of
+   resident set size.  0 where procfs is absent (non-Linux). *)
+let peak_rss_bytes () =
+  try
+    In_channel.with_open_text "/proc/self/status" @@ fun ic ->
+    let rec scan () =
+      match In_channel.input_line ic with
+      | None -> 0
+      | Some line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+          let digits =
+            String.to_seq line
+            |> Seq.filter (fun c -> c >= '0' && c <= '9')
+            |> String.of_seq
+          in
+          match int_of_string_opt digits with
+          | Some kb -> kb * 1024
+          | None -> 0
+        else scan ()
+    in
+    scan ()
+  with Sys_error _ -> 0
+
+let registered = ref false
+
+let register_process_gauges () =
+  if not !registered then begin
+    registered := true;
+    let words_to_bytes w = w *. float_of_int (Sys.word_size / 8) in
+    Metrics.set_callback "process.gc_minor_words" (fun () ->
+        Gc.minor_words ());
+    Metrics.set_callback "process.gc_major_words" (fun () ->
+        (Gc.quick_stat ()).Gc.major_words);
+    Metrics.set_callback "process.gc_major_collections" (fun () ->
+        float_of_int (Gc.quick_stat ()).Gc.major_collections);
+    Metrics.set_callback "process.heap_bytes" (fun () ->
+        words_to_bytes (float_of_int (Gc.quick_stat ()).Gc.heap_words));
+    Metrics.set_callback "process.peak_rss_bytes" (fun () ->
+        float_of_int (peak_rss_bytes ()))
+  end

@@ -1,0 +1,39 @@
+(** Prometheus text exposition over the {!Metrics} registry.
+
+    Dotted registry names map to exposition names ([engine.states] →
+    [engine_states]); counters gain the [_total] suffix, histograms
+    expand to cumulative [_bucket{le=...}]/[_sum]/[_count] series, and
+    callback gauges are sampled at render time so every scrape sees
+    live process state. *)
+
+(** One exposition sample: [metric{labels} value]. *)
+type sample = {
+  metric : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+(** Map an arbitrary registry name to a valid exposition metric name
+    ([[a-zA-Z_:][a-zA-Z0-9_:]*]). *)
+val metric_name : string -> string
+
+(** Render the whole registry (plus registered extra sample sources) in
+    the Prometheus text format, one [# TYPE] comment per family. *)
+val render : unit -> string
+
+(** Register an extra sample source appended after the registry on
+    every render — used by {!Progress} for its labelled phase-info
+    sample. *)
+val add_extra : (unit -> sample list) -> unit
+
+(** Parse one exposition line: [Ok None] for comments and blank lines,
+    [Ok (Some sample)] for well-formed samples, [Error _] otherwise.
+    Inverse of the encoder; used by the tests and [dcheck top]. *)
+val parse_line : string -> (sample option, string) result
+
+(** Peak resident set size (VmHWM) in bytes; 0 where /proc is absent. *)
+val peak_rss_bytes : unit -> int
+
+(** Register the process-level callback gauges (GC minor/major words,
+    major collections, heap bytes, peak RSS).  Idempotent. *)
+val register_process_gauges : unit -> unit

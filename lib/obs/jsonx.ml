@@ -39,10 +39,13 @@ let escape_string buf s =
   Buffer.add_char buf '"'
 
 (* Floats must re-parse as JSON numbers: keep a digit after the dot and
-   never print nan/infinity (clamped to null, which JSON can carry). *)
+   never print nan/infinity (clamped to null, which JSON can carry).
+   [is_finite] covers both infinities — [is_integer] is false on them,
+   so they would otherwise leak through as the invalid literal "inf". *)
 let add_float buf f =
-  if Float.is_nan f || Float.is_integer f && Float.abs f > 1e15 then
-    Buffer.add_string buf "null"
+  if Float.is_nan f || not (Float.is_finite f)
+     || (Float.is_integer f && Float.abs f > 1e15)
+  then Buffer.add_string buf "null"
   else if Float.is_integer f then
     Buffer.add_string buf (Printf.sprintf "%.1f" f)
   else Buffer.add_string buf (Printf.sprintf "%.17g" f)
@@ -201,7 +204,14 @@ let parse_number cur =
       | Some f -> Float f
       | None -> fail cur "bad number")
 
-let rec parse_value cur =
+(* Nesting cap: recursive descent uses the OCaml stack, so a few thousand
+   open brackets of hostile input would otherwise escape as
+   [Stack_overflow] instead of a [Parse_error].  256 levels is far beyond
+   anything the printer produces. *)
+let max_depth = 256
+
+let rec parse_value depth cur =
+  if depth > max_depth then fail cur "nesting too deep";
   skip_ws cur;
   match peek cur with
   | None -> fail cur "unexpected end of input"
@@ -218,7 +228,7 @@ let rec parse_value cur =
     end
     else begin
       let rec items acc =
-        let v = parse_value cur in
+        let v = parse_value (depth + 1) cur in
         skip_ws cur;
         match peek cur with
         | Some ',' ->
@@ -244,7 +254,7 @@ let rec parse_value cur =
         let k = parse_string cur in
         skip_ws cur;
         expect cur ':';
-        let v = parse_value cur in
+        let v = parse_value (depth + 1) cur in
         (k, v)
       in
       let rec fields acc =
@@ -266,7 +276,7 @@ let rec parse_value cur =
 
 let of_string s =
   let cur = { src = s; pos = 0 } in
-  match parse_value cur with
+  match parse_value 0 cur with
   | v ->
     skip_ws cur;
     if cur.pos <> String.length s then Error "trailing garbage"

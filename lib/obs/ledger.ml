@@ -1,0 +1,91 @@
+(* The persistent run ledger: one JSONL record per dcheck invocation.
+
+   Appends are crash-safe by construction: the record is rendered to one
+   buffer and written with a single [write] on an O_APPEND descriptor,
+   so concurrent invocations interleave whole lines and a crash mid-run
+   loses at most the crashing run's own record — never a previously
+   written one.  The reader is correspondingly tolerant: malformed lines
+   (a torn tail from a power cut, a hand edit) are counted and skipped,
+   not fatal. *)
+
+type entry = {
+  timestamp : float; (* unix epoch seconds at process exit *)
+  session : string; (* checkpoint-style fingerprint of the command line *)
+  subcommand : string;
+  file : string; (* the .dc argument; "-" when the command has none *)
+  verdict : string;
+  exit_code : int;
+  duration_s : float;
+  peak_rss_bytes : int;
+  states : int; (* engine states interned during the run *)
+  budget_trip : string option; (* exhausted dimension, when exit 3 *)
+}
+
+let to_json e =
+  Jsonx.Obj
+    ([
+       ("ts", Jsonx.Float e.timestamp);
+       ("session", Jsonx.Str e.session);
+       ("sub", Jsonx.Str e.subcommand);
+       ("file", Jsonx.Str e.file);
+       ("verdict", Jsonx.Str e.verdict);
+       ("exit", Jsonx.Int e.exit_code);
+       ("duration_s", Jsonx.Float e.duration_s);
+       ("peak_rss_bytes", Jsonx.Int e.peak_rss_bytes);
+       ("states", Jsonx.Int e.states);
+     ]
+    @ match e.budget_trip with
+      | None -> []
+      | Some k -> [ ("budget_trip", Jsonx.Str k) ])
+
+let of_json j =
+  let str k = Option.bind (Jsonx.member k j) Jsonx.to_str in
+  let int k = Option.bind (Jsonx.member k j) Jsonx.to_int in
+  let flt k = Option.bind (Jsonx.member k j) Jsonx.to_float in
+  match (str "sub", str "verdict", int "exit") with
+  | Some subcommand, Some verdict, Some exit_code ->
+    Some
+      {
+        timestamp = Option.value ~default:0.0 (flt "ts");
+        session = Option.value ~default:"" (str "session");
+        subcommand;
+        file = Option.value ~default:"-" (str "file");
+        verdict;
+        exit_code;
+        duration_s = Option.value ~default:0.0 (flt "duration_s");
+        peak_rss_bytes = Option.value ~default:0 (int "peak_rss_bytes");
+        states = Option.value ~default:0 (int "states");
+        budget_trip = str "budget_trip";
+      }
+  | _ -> None
+
+let append ~path e =
+  let line = Jsonx.to_string (to_json e) ^ "\n" in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () -> ignore (Unix.write_substring fd line 0 (String.length line)))
+
+(* All well-formed entries in file order, plus the count of skipped
+   lines. *)
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let entries = ref [] and bad = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then
+             match Jsonx.of_string line with
+             | Ok j -> (
+               match of_json j with
+               | Some e -> entries := e :: !entries
+               | None -> incr bad)
+             | Error _ -> incr bad
+         done
+       with End_of_file -> ());
+      (List.rev !entries, !bad))

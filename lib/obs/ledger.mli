@@ -1,0 +1,29 @@
+(** Persistent run ledger: one JSONL record per dcheck invocation,
+    appended crash-safely (single [write] on an O_APPEND descriptor, so
+    concurrent writers interleave whole lines). *)
+
+type entry = {
+  timestamp : float;  (** unix epoch seconds at process exit *)
+  session : string;  (** fingerprint of program source + command line *)
+  subcommand : string;
+  file : string;  (** the .dc argument; ["-"] when the command has none *)
+  verdict : string;
+  exit_code : int;
+  duration_s : float;
+  peak_rss_bytes : int;
+  states : int;  (** engine states interned during the run *)
+  budget_trip : string option;  (** exhausted dimension, when exit 3 *)
+}
+
+val to_json : entry -> Jsonx.t
+
+(** [None] when the object lacks the required fields (sub, verdict,
+    exit); optional fields default. *)
+val of_json : Jsonx.t -> entry option
+
+(** Append one record.  @raise Unix.Unix_error on an unwritable path. *)
+val append : path:string -> entry -> unit
+
+(** All well-formed entries in file order, plus the count of malformed
+    lines skipped.  @raise Sys_error on an unreadable path. *)
+val load : path:string -> entry list * int

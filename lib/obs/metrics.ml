@@ -23,6 +23,10 @@ type instrument =
   | Counter of counter
   | Gauge of gauge
   | Histogram of histogram
+  | Callback of (unit -> float)
+      (* sampled at snapshot/exposition time: GC statistics, RSS, ETA —
+         values owned by the process, not accumulated by instrumented
+         code.  Unaffected by [reset]. *)
 
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
 let registry_mutex = Mutex.create ()
@@ -100,6 +104,22 @@ let histogram ?(buckets = default_buckets) name =
       (h, Histogram h))
     (function Histogram h -> Some h | _ -> None)
 
+(* Callback gauges are replace-on-register (re-registering the same name
+   swaps the sampler — module initialization order must not matter), but
+   colliding with an accumulating instrument is still a programming
+   error.  Samplers run under the registry mutex and must not touch the
+   registry themselves; a raising sampler reads as 0. *)
+let set_callback name fn =
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
+      | None | Some (Callback _) -> Hashtbl.replace registry name (Callback fn)
+      | Some _ ->
+        invalid_arg
+          (Printf.sprintf "Metrics: %s already registered with another type"
+             name))
+
+let sample_callback fn = try fn () with _ -> 0.0
+
 let observe h v =
   let n = Array.length h.bounds in
   (* Binary search for the first bound >= v; linear tail is fine for the
@@ -139,6 +159,8 @@ let snapshot () =
           match inst with
           | Counter c -> counters := (name, Jsonx.Int (Atomic.get c.cell)) :: !counters
           | Gauge g -> gauges := (name, Jsonx.Int (Atomic.get g.g_cell)) :: !gauges
+          | Callback fn ->
+            gauges := (name, Jsonx.Float (sample_callback fn)) :: !gauges
           | Histogram h ->
             let buckets =
               List.filter_map
@@ -181,11 +203,57 @@ let reset () =
           match inst with
           | Counter c -> Atomic.set c.cell 0
           | Gauge g -> Atomic.set g.g_cell 0
+          | Callback _ -> ()
           | Histogram h ->
             Array.iter (fun cell -> Atomic.set cell 0) h.counts;
             Atomic.set h.sum 0;
             Atomic.set h.total 0)
         registry)
+
+(* ------------------------------------------------------------------ *)
+(* Readings: one consistent pass over the registry for the exposition   *)
+(* encoder (Expose) and anything else that renders all instruments.     *)
+(* ------------------------------------------------------------------ *)
+
+type reading =
+  | Counter_reading of string * int
+  | Gauge_reading of string * int
+  | Float_reading of string * float
+  | Histogram_reading of {
+      r_name : string;
+      buckets : (int option * int) list;
+      r_sum : int;
+      r_count : int;
+    }
+
+let reading_name = function
+  | Counter_reading (n, _) | Gauge_reading (n, _) | Float_reading (n, _) -> n
+  | Histogram_reading { r_name; _ } -> r_name
+
+let readings () =
+  with_registry (fun () ->
+      let acc = ref [] in
+      Hashtbl.iter
+        (fun name inst ->
+          let r =
+            match inst with
+            | Counter c -> Counter_reading (name, Atomic.get c.cell)
+            | Gauge g -> Gauge_reading (name, Atomic.get g.g_cell)
+            | Callback fn -> Float_reading (name, sample_callback fn)
+            | Histogram h ->
+              Histogram_reading
+                {
+                  r_name = name;
+                  buckets = histogram_buckets h;
+                  r_sum = Atomic.get h.sum;
+                  r_count = Atomic.get h.total;
+                }
+          in
+          acc := r :: !acc)
+        registry;
+      List.sort
+        (fun a b -> String.compare (reading_name a) (reading_name b))
+        !acc)
 
 (* Value of a counter by name; 0 when absent.  For tests and reports. *)
 let counter_value_by_name name =

@@ -16,8 +16,6 @@ type ctx = { recording : bool; sink : Sink.t }
 
 let disabled = { recording = false; sink = Sink.null }
 
-let make ~sinks () = { recording = true; sink = Sink.multiplex sinks }
-
 let current_ctx = ref disabled
 
 let current () = !current_ctx
@@ -40,6 +38,16 @@ let t0 = Monotonic_clock.now ()
 (* Monotonic nanoseconds since process start. *)
 let now_ns () = Int64.sub (Monotonic_clock.now ()) t0
 
+(* A fresh recording context leads its trace with a wall-clock anchor, so
+   the monotonic timeline can be placed on the calendar after the fact
+   (and traces from separate processes correlated). *)
+let make ~sinks () =
+  let sink = Sink.multiplex sinks in
+  sink.Sink.emit
+    (Sink.Anchor
+       { wall_epoch_ms = Unix.gettimeofday () *. 1e3; ts = now_ns () });
+  { recording = true; sink }
+
 (* ------------------------------------------------------------------ *)
 (* Spans                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -61,11 +69,31 @@ let span ?(attrs = []) name f =
     ctx.sink.emit (Sink.Begin { name; ts = start; tid; attrs });
     let fr = { f_name = name; start; extra = [] } in
     stack := fr :: !stack;
+    (* GC attribution: [quick_stat] reads counters without walking the
+       heap, so two reads per span are cheap enough for recording mode.
+       Allocation is everything the mutator allocated inside the span
+       (minor + direct-major, promotions excluded to avoid double
+       counting); both deltas ride the End record as ordinary integer
+       attrs, which [Profile] already sums per span name. *)
+    let gc0 = Gc.quick_stat () in
     Fun.protect
       ~finally:(fun () ->
         (match !stack with
         | top :: rest when top == fr -> stack := rest
         | _ -> () (* unbalanced exit: keep going, the trace stays readable *));
+        let gc1 = Gc.quick_stat () in
+        let alloc_words =
+          gc1.Gc.minor_words -. gc0.Gc.minor_words
+          +. (gc1.Gc.major_words -. gc0.Gc.major_words)
+          -. (gc1.Gc.promoted_words -. gc0.Gc.promoted_words)
+        in
+        let gc_attrs =
+          [
+            Attr.int "alloc_words" (int_of_float alloc_words);
+            Attr.int "major_gcs"
+              (gc1.Gc.major_collections - gc0.Gc.major_collections);
+          ]
+        in
         let stop = now_ns () in
         ctx.sink.emit
           (Sink.End
@@ -74,7 +102,7 @@ let span ?(attrs = []) name f =
                ts = stop;
                dur = Int64.sub stop start;
                tid;
-               attrs = attrs @ List.rev fr.extra;
+               attrs = attrs @ List.rev fr.extra @ gc_attrs;
              }))
       f
   end

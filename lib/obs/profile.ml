@@ -41,7 +41,7 @@ let of_records records =
             max_ns = max prev.max_ns dur;
             attrs = List.fold_left add_attr prev.attrs attrs;
           }
-      | Sink.Begin _ | Sink.Instant _ -> ())
+      | Sink.Begin _ | Sink.Instant _ | Sink.Anchor _ -> ())
     records;
   let entries = Hashtbl.fold (fun _ e acc -> e :: acc) tbl [] in
   List.sort (fun a b -> compare b.total_ns a.total_ns) entries
@@ -51,12 +51,11 @@ let wall_ns records =
   let lo = ref Int64.max_int and hi = ref Int64.min_int in
   List.iter
     (fun r ->
-      let ts =
-        match r with
-        | Sink.Begin { ts; _ } | Sink.End { ts; _ } | Sink.Instant { ts; _ } -> ts
-      in
-      if ts < !lo then lo := ts;
-      if ts > !hi then hi := ts)
+      match r with
+      | Sink.Begin { ts; _ } | Sink.End { ts; _ } | Sink.Instant { ts; _ } ->
+        if ts < !lo then lo := ts;
+        if ts > !hi then hi := ts
+      | Sink.Anchor _ -> () (* pre-span header, not part of the workload *))
     records;
   if !hi < !lo then 0 else Int64.to_int (Int64.sub !hi !lo)
 

@@ -1,0 +1,168 @@
+(* Live progress heartbeats.
+
+   Long-running phases (engine BFS, synthesis fixpoints, the monitor's
+   stream sweep) register a cheap sampler; [pulse] — called from the
+   Budget cooperative checkpoints' slow path, the same mechanism that
+   drives crash-safe snapshots — publishes the sampler's readings as
+   gauges, plus a derived items/sec rate, at most once per
+   [min_interval_ns].  Publication is owner-domain-gated exactly like
+   Checkpoint captures: only the domain that called [start] samples, so
+   worker-domain pulses are a flag read and a compare.
+
+   The armed flag mirrors Checkpoint.armed: a plain ref read from
+   Budget's fast path, racy reads benign because [pulse] re-checks. *)
+
+let armed_flag = ref false
+
+let armed () = !armed_flag
+
+type phase_data = {
+  ph_name : string;
+  sampler : unit -> (string * int) list;
+  mutable last_ns : int64;
+  mutable last_items : int;
+}
+
+type phase = phase_data option
+
+let owner = ref (-1)
+
+(* Innermost first; mutated by the owner domain only, read (as an
+   immutable list snapshot) by the scrape thread for the phase-info
+   sample. *)
+let stack : phase_data list ref = ref []
+
+let min_interval_ns = 100_000_000L (* 10 Hz: invisible next to real work *)
+
+(* ETA pushed by Budget from its ceilings; negative = unknown. *)
+let eta_seconds = ref (-1.0)
+
+let set_eta_seconds v = eta_seconds := v
+
+let g_items = Metrics.gauge "obs.phase_items"
+let g_rate = Metrics.gauge "obs.phase_rate"
+
+(* Sampler keys resolve to gauges through this cache so a pulse does not
+   take the registry lock per key. *)
+let gauge_cache : (string, Metrics.gauge) Hashtbl.t = Hashtbl.create 16
+
+let gauge_for name =
+  match Hashtbl.find_opt gauge_cache name with
+  | Some g -> g
+  | None ->
+    let g = Metrics.gauge name in
+    Hashtbl.add gauge_cache name g;
+    g
+
+let exposed = ref false
+
+(* Heartbeat scheduling.  A 20 Hz ticker systhread raises [due]; the
+   Budget fast path polls it with [due_now], so per-tick work while
+   armed is one ref load and a branch — identical to the disarmed
+   path.  (The earlier countdown-per-tick scheme cost >10% on
+   per-edge-tick workloads.)  The flag is a plain ref: the ticker
+   shares domain 0 with the owner, and a stale read on a worker domain
+   merely shifts one heartbeat. *)
+let due = ref false
+
+(* Stop cell of the current ticker thread; [start] retires any
+   previous ticker by flipping its cell. *)
+let ticker_stop : bool ref ref = ref (ref true)
+
+let due_now () =
+  !due && !armed_flag
+  && (Stdlib.Domain.self () :> int) = !owner
+  &&
+  (due := false;
+   true)
+
+let start () =
+  owner := (Stdlib.Domain.self () :> int);
+  stack := [];
+  eta_seconds := -1.0;
+  due := false;
+  !ticker_stop := true;
+  let stop_cell = ref false in
+  ticker_stop := stop_cell;
+  ignore
+    (Thread.create
+       (fun () ->
+         while not !stop_cell do
+           Thread.delay 0.05;
+           if not !stop_cell then due := true
+         done)
+       ());
+  Metrics.set_callback "obs.phase_eta_seconds" (fun () -> !eta_seconds);
+  if not !exposed then begin
+    exposed := true;
+    Expose.add_extra (fun () ->
+        match !stack with
+        | [] -> []
+        | p :: _ ->
+          [
+            {
+              Expose.metric = "obs_phase_info";
+              labels = [ ("phase", p.ph_name) ];
+              value = 1.0;
+            };
+          ])
+  end;
+  armed_flag := true
+
+let stop () =
+  armed_flag := false;
+  !ticker_stop := true;
+  due := false;
+  stack := [];
+  eta_seconds := -1.0
+
+let on_owner () = (Stdlib.Domain.self () :> int) = !owner
+
+let enter name sampler : phase =
+  if not (!armed_flag && on_owner ()) then None
+  else begin
+    let p =
+      { ph_name = name; sampler; last_ns = Obs.now_ns (); last_items = 0 }
+    in
+    stack := p :: !stack;
+    Some p
+  end
+
+let leave (p : phase) =
+  match p with
+  | None -> ()
+  | Some p ->
+    stack := List.filter (fun q -> q != p) !stack;
+    (* Publish the phase's final readings so short phases are visible
+       and gauges do not freeze at a stale mid-phase value. *)
+    if !armed_flag && on_owner () then
+      List.iter (fun (k, v) -> Metrics.set_gauge (gauge_for k) v) (p.sampler ())
+
+let pulse () =
+  if !armed_flag && on_owner () then
+    match !stack with
+    | [] -> ()
+    | p :: _ ->
+      let now = Obs.now_ns () in
+      let dt = Int64.sub now p.last_ns in
+      if dt >= min_interval_ns then begin
+        let kv = p.sampler () in
+        List.iter (fun (k, v) -> Metrics.set_gauge (gauge_for k) v) kv;
+        let items = match kv with (_, v) :: _ -> v | [] -> 0 in
+        let rate =
+          let d = items - p.last_items in
+          if d <= 0 then 0
+          else
+            int_of_float (float_of_int d /. (Int64.to_float dt /. 1e9))
+        in
+        Metrics.set_gauge g_items items;
+        Metrics.set_gauge g_rate rate;
+        p.last_ns <- now;
+        p.last_items <- items
+      end
+
+(* [with_phase name sampler f]: scoped enter/leave for straight-line
+   callers. *)
+let with_phase name sampler f =
+  let p = enter name sampler in
+  Fun.protect ~finally:(fun () -> leave p) f

@@ -1,0 +1,49 @@
+(** Live progress heartbeats, riding the Budget cooperative checkpoints.
+
+    A long-running phase registers a cheap sampler with {!enter} (or
+    {!with_phase}); {!pulse} — called from the budget checkpoint slow
+    path on the owning domain — publishes the sampler's readings as
+    gauges plus a derived items/sec rate ([obs.phase_items],
+    [obs.phase_rate]), rate-limited to 10 Hz.  Pulses from worker
+    domains and pulses while disarmed are no-ops, mirroring
+    [Checkpoint]. *)
+
+(** Hot-path guard: one ref read.  Armed between {!start}/{!stop}. *)
+val armed : unit -> bool
+
+(** Per-tick heartbeat poll for the Budget fast path: true at most
+    ~20 times a second (a ticker thread raises the flag), and only on
+    the owner domain, which consumes it.  The common case is a single
+    ref load returning false, so arming heartbeats adds no measurable
+    per-tick cost. *)
+val due_now : unit -> bool
+
+(** Arm heartbeats; the calling domain becomes the owner (only its
+    pulses publish).  Registers the [obs.phase_eta_seconds] callback
+    gauge and the [obs_phase_info{phase=...}] exposition sample. *)
+val start : unit -> unit
+
+val stop : unit -> unit
+
+type phase
+
+(** [enter name sampler]: open a phase.  [sampler] must be cheap (it
+    runs at 10 Hz on the compute domain) and returns gauge readings;
+    the first entry is the phase's primary item count, from which the
+    rate is derived.  Returns an inert token when disarmed or
+    off-owner. *)
+val enter : string -> (unit -> (string * int) list) -> phase
+
+(** Close a phase and publish its final readings. *)
+val leave : phase -> unit
+
+(** Scoped {!enter}/{!leave}. *)
+val with_phase : string -> (unit -> (string * int) list) -> (unit -> 'a) -> 'a
+
+(** Publish the innermost phase's readings if armed, on-owner and at
+    least 100 ms since that phase's last publication. *)
+val pulse : unit -> unit
+
+(** ETA pushed by the budget layer from its active ceilings; negative
+    means unknown.  Exposed as the [obs.phase_eta_seconds] gauge. *)
+val set_eta_seconds : float -> unit

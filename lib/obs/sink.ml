@@ -22,6 +22,7 @@ type record =
       level : Attr.level;
       attrs : Attr.t list;
     }
+  | Anchor of { wall_epoch_ms : float; ts : int64 }
 
 type t = {
   emit : record -> unit;
@@ -74,7 +75,8 @@ let stderr_log ?(min_level = Attr.Info) () =
           line ts tid Attr.Debug
             (Fmt.str "} %s (%.2fms)" name (ms_of_ns dur))
             attrs
-        | Instant { name; ts; tid; level; attrs } -> line ts tid level name attrs);
+        | Instant { name; ts; tid; level; attrs } -> line ts tid level name attrs
+        | Anchor _ -> ());
     flush = (fun () -> locked m (fun () -> Format.pp_print_flush Format.err_formatter ()));
     close = ignore;
   }
@@ -111,7 +113,14 @@ let jsonl oc =
         | Instant { name; ts; tid; level; attrs } ->
           write
             (base "event" name ts tid attrs
-            @ [ ("level", Jsonx.Str (Attr.level_to_string level)) ]));
+            @ [ ("level", Jsonx.Str (Attr.level_to_string level)) ])
+        | Anchor { wall_epoch_ms; ts } ->
+          (* Header line correlating the monotonic timeline with the wall
+             clock; keeps the common per-line fields so line-oriented
+             consumers need no special case. *)
+          write
+            (base "anchor" "clock" ts 0 []
+            @ [ ("wall_epoch_ms", Jsonx.Float wall_epoch_ms) ]));
     flush = (fun () -> locked m (fun () -> flush oc));
     close = (fun () -> locked m (fun () -> close_out oc));
   }
@@ -154,7 +163,20 @@ let chrome oc =
           let attrs =
             Attr.str "severity" (Attr.level_to_string level) :: attrs
           in
-          write (common name "i" ts tid attrs @ [ ("s", Jsonx.Str "t") ]));
+          write (common name "i" ts tid attrs @ [ ("s", Jsonx.Str "t") ])
+        | Anchor { wall_epoch_ms; ts } ->
+          (* Metadata record; Perfetto ignores unknown metadata names. *)
+          write
+            [
+              ("name", Jsonx.Str "clock_anchor");
+              ("cat", Jsonx.Str "detcor");
+              ("ph", Jsonx.Str "M");
+              ("ts", Jsonx.Float (us_of_ns ts));
+              ("pid", Jsonx.Int 1);
+              ("tid", Jsonx.Int 0);
+              ( "args",
+                Jsonx.Obj [ ("wall_epoch_ms", Jsonx.Float wall_epoch_ms) ] );
+            ]);
     flush = (fun () -> locked m (fun () -> flush oc));
     close =
       (fun () ->

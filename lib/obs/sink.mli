@@ -18,6 +18,12 @@ type record =
       level : Attr.level;
       attrs : Attr.t list;
     }
+  | Anchor of { wall_epoch_ms : float; ts : int64 }
+      (** Wall-clock anchor: the epoch time observed at monotonic [ts].
+          Emitted once when a recording context is created, so traces
+          from separate processes correlate on the wall clock.  The
+          JSONL sink writes it as a ["type":"anchor"] header line, the
+          Chrome sink as a ["ph":"M"] metadata record. *)
 
 type t = {
   emit : record -> unit;

@@ -1,0 +1,121 @@
+(* A minimal threads-based HTTP listener serving the Prometheus
+   exposition.
+
+   One systhread blocks in [accept]; OCaml 5 releases the runtime lock
+   around blocking syscalls, so an idle listener costs nothing to the
+   compute domain beyond the 50 ms tick-thread preemption all
+   systhreads share.  Each request is answered serially on the listener
+   thread — scrapes are rare and the exposition is a few KiB, so there
+   is no connection pool to manage.  Rendering reads only atomics and
+   callback gauges, never compute-domain state, so a scrape observes
+   whatever the heartbeats last published.
+
+   [stop] closes the listening socket, which fails the blocked [accept]
+   and lets the thread exit; the [stopping] flag keeps that expected
+   failure quiet. *)
+
+let c_scrapes = Metrics.counter "obs.scrapes"
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  host : string;
+  stopping : bool Atomic.t;
+}
+
+let port t = t.port
+
+let address t = Printf.sprintf "%s:%d" t.host t.port
+
+(* ADDR forms: "HOST:PORT", ":PORT", "PORT".  Numeric hosts plus
+   "localhost"; the default host binds loopback only — the exposition
+   is not meant for the open network. *)
+let parse_addr addr =
+  let host, port_str =
+    match String.rindex_opt addr ':' with
+    | None -> ("127.0.0.1", addr)
+    | Some i ->
+      ( (match String.sub addr 0 i with "" -> "127.0.0.1" | h -> h),
+        String.sub addr (i + 1) (String.length addr - i - 1) )
+  in
+  let host = if host = "localhost" then "127.0.0.1" else host in
+  match int_of_string_opt port_str with
+  | Some p when p >= 0 && p < 65536 -> (
+    match Unix.inet_addr_of_string host with
+    | ip -> Ok (host, ip, p)
+    | exception Failure _ -> Error (Printf.sprintf "invalid host %S" host))
+  | _ -> Error (Printf.sprintf "invalid port %S" port_str)
+
+let http_response ~status ~body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: text/plain; version=0.0.4; \
+     charset=utf-8\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status (String.length body) body
+
+let handle_client fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* One read is enough for any scrape request line + headers; the
+         request body, if any, is ignored. *)
+      let buf = Bytes.create 4096 in
+      let n = try Unix.read fd buf 0 4096 with Unix.Unix_error _ -> 0 in
+      if n > 0 then begin
+        let req = Bytes.sub_string buf 0 n in
+        let path =
+          match String.split_on_char ' ' req with
+          | _meth :: path :: _ -> path
+          | _ -> "/"
+        in
+        let resp =
+          match path with
+          | "/" | "/metrics" ->
+            Metrics.incr c_scrapes;
+            http_response ~status:"200 OK" ~body:(Expose.render ())
+          | _ -> http_response ~status:"404 Not Found" ~body:"not found\n"
+        in
+        let rec write_all off =
+          if off < String.length resp then
+            let w =
+              try Unix.write_substring fd resp off (String.length resp - off)
+              with Unix.Unix_error _ -> 0
+            in
+            if w > 0 then write_all (off + w)
+        in
+        write_all 0
+      end)
+
+let rec serve t =
+  match Unix.accept t.sock with
+  | client, _ ->
+    (try handle_client client with _ -> ());
+    serve t
+  | exception Unix.Unix_error _ when Atomic.get t.stopping -> ()
+  | exception Unix.Unix_error _ -> serve t
+
+let start addr =
+  match parse_addr addr with
+  | Error _ as e -> e
+  | Ok (host, ip, port) -> (
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    try
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (ip, port));
+      Unix.listen sock 16;
+      let port =
+        match Unix.getsockname sock with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      let t = { sock; port; host; stopping = Atomic.make false } in
+      ignore (Thread.create serve t);
+      Ok t
+    with Unix.Unix_error (err, _, _) ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot listen on %s: %s" addr
+           (Unix.error_message err)))
+
+let stop t =
+  Atomic.set t.stopping true;
+  try Unix.close t.sock with Unix.Unix_error _ -> ()

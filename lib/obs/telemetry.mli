@@ -1,0 +1,27 @@
+(** Minimal threads-based HTTP listener serving the Prometheus text
+    exposition of the metrics registry ([/metrics], also [/]).
+
+    The listener thread blocks in [accept] — free while idle on
+    OCaml 5 — and answers each scrape serially from atomics and
+    callback gauges, never from compute-domain state. *)
+
+type t
+
+(** Parse an ADDR argument — ["HOST:PORT"], [":PORT"] or ["PORT"] —
+    into (host, resolved IP, port) without binding anything.  Shared
+    with clients (dcheck top) so both ends accept the same spellings. *)
+val parse_addr : string -> (string * Unix.inet_addr * int, string) result
+
+(** [start addr] binds and serves.  [addr] is ["HOST:PORT"],
+    [":PORT"] or ["PORT"]; the default host is loopback, and port 0
+    asks the kernel for a free port (read it back with {!port}). *)
+val start : string -> (t, string) result
+
+(** The bound port (resolved when 0 was requested). *)
+val port : t -> int
+
+(** ["host:port"] actually bound. *)
+val address : t -> string
+
+(** Close the listening socket and let the thread exit. *)
+val stop : t -> unit

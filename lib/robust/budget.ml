@@ -106,9 +106,49 @@ let check_now b =
 
 let interval = 128 (* power of two: the tick test is a mask *)
 
-(* The same masked slow path also drives periodic crash-safe snapshots:
-   an armed [Checkpoint] session pulses here even when no budget is
-   active, so `--checkpoint` works with or without `--timeout`. *)
+(* Progress heartbeat: push an ETA derived from the active ceilings —
+   seconds until the tightest budget dimension runs out, the only
+   completion bound the toolkit can know in general — then let the
+   innermost phase publish its sampler readings.  -1 means no ceiling
+   applies (unlimited budget). *)
+let heartbeat b =
+  let eta =
+    if not b.active then -1.0
+    else begin
+      let now = Detcor_obs.Obs.now_ns () in
+      let elapsed_s = Int64.to_float (Int64.sub now b.start_ns) /. 1e9 in
+      let time_eta =
+        match b.deadline_ns with
+        | Some d -> Some (Int64.to_float (Int64.sub d now) /. 1e9)
+        | None -> None
+      in
+      let states_eta =
+        match b.max_states with
+        | Some limit ->
+          let n = Atomic.get b.states in
+          if n > 0 && elapsed_s > 0.0 then
+            Some (float_of_int (limit - n) *. elapsed_s /. float_of_int n)
+          else None
+        | None -> None
+      in
+      match (time_eta, states_eta) with
+      | Some t, Some s -> Float.min t s
+      | Some t, None | None, Some t -> t
+      | None, None -> -1.0
+    end
+  in
+  Detcor_obs.Progress.set_eta_seconds eta;
+  Detcor_obs.Progress.pulse ()
+
+(* The same masked slow path also drives periodic crash-safe snapshots
+   and live progress heartbeats: an armed [Checkpoint] or [Progress]
+   session pulses here even when no budget is active, so `--checkpoint`
+   and `--telemetry` work with or without `--timeout`.  Heartbeat-only
+   arming (telemetry with no budget and no checkpoint) must stay off
+   the shared atomic tick counter — per-edge loops tick hot enough
+   that even a plain countdown decrement per tick is visible — so it
+   polls [Progress.due_now], a single ref load that a 20 Hz ticker
+   thread flips. *)
 let tick () =
   let b = !current_budget in
   let cp = Checkpoint.armed () in
@@ -116,10 +156,12 @@ let tick () =
     let n = Atomic.fetch_and_add b.ticks 1 in
     if n land (interval - 1) = 0 then begin
       if b.active then check_now b;
-      if cp then Checkpoint.pulse ()
+      if cp then Checkpoint.pulse ();
+      if Detcor_obs.Progress.armed () then heartbeat b
     end
     else if b.active then reraise_if_tripped b
   end
+  else if Detcor_obs.Progress.due_now () then heartbeat b
 
 (* One visited state: counts toward the state ceiling and doubles as a
    cooperative checkpoint. *)
@@ -136,10 +178,12 @@ let count_state () =
     let t = Atomic.fetch_and_add b.ticks 1 in
     if t land (interval - 1) = 0 then begin
       if b.active then check_now b;
-      if cp then Checkpoint.pulse ()
+      if cp then Checkpoint.pulse ();
+      if Detcor_obs.Progress.armed () then heartbeat b
     end
     else if b.active then reraise_if_tripped b
   end
+  else if Detcor_obs.Progress.due_now () then heartbeat b
 
 let states_visited () = Atomic.get !current_budget.states
 

@@ -32,6 +32,30 @@ open Detcor_obs
    and a branch — so construction with observability disabled matches the
    uninstrumented engine (the E11 bench claim). *)
 let m_states = Metrics.counter "engine.states_visited"
+
+(* Live twin of [m_states]: advanced during construction rather than in
+   bulk at [finish], so a telemetry scrape mid-construction sees the
+   build move.  Gated on recording or armed heartbeats, and batched
+   through a plain local counter — an atomic RMW per interned state is
+   measurable on small hot builds.  The pending cell's races across
+   domains are benign: a lost batch only makes the live view lag, and
+   [finish] flushes the remainder. *)
+let m_live_states = Metrics.counter "engine.states"
+let live_batch = 64
+let live_pending = ref 0
+
+let live_state_interned () =
+  incr live_pending;
+  if !live_pending >= live_batch then begin
+    Metrics.incr ~by:!live_pending m_live_states;
+    live_pending := 0
+  end
+
+let live_flush () =
+  if !live_pending > 0 then begin
+    Metrics.incr ~by:!live_pending m_live_states;
+    live_pending := 0
+  end
 let m_edges = Metrics.counter "engine.edges"
 let m_builds = Metrics.counter "engine.builds"
 let m_pred_hits = Metrics.counter "engine.pred_cache.hits"
@@ -112,6 +136,7 @@ let new_builder ~limit =
 let add_state b st =
   let i = b.count in
   if i >= b.limit then raise (Too_large b.limit);
+  if Obs.on () || Progress.armed () then live_state_interned ();
   Detcor_robust.Budget.count_state ();
   let cap = Array.length b.states_buf in
   if i >= cap then begin
@@ -199,6 +224,7 @@ let restore_edges b snap =
 
 let finish b ~program ~actions ~initials ~lookup ~layout ~cached =
   let n = b.count in
+  if Obs.on () || Progress.armed () then live_flush ();
   if Obs.on () then begin
     Metrics.incr m_builds;
     Metrics.incr ~by:n m_states;
@@ -240,17 +266,23 @@ let build_reference ~limit program ~from =
   (* Expansion in id order is exactly the seed's FIFO breadth-first order:
      every new state receives the next id and is appended. *)
   let cursor = ref 0 in
-  while !cursor < b.count do
-    Detcor_robust.Budget.tick ();
-    let i = !cursor in
-    let st = b.states_buf.(i) in
-    Array.iteri
-      (fun aid ac ->
-        List.iter (fun st' -> push_edge b aid (intern st')) (Action.execute ac st))
-      actions;
-    close_row b i;
-    incr cursor
-  done;
+  Progress.with_phase "engine.bfs"
+    (fun () ->
+      [ ("states", b.count); ("frontier", b.count - !cursor); ("workers", 1) ])
+    (fun () ->
+      while !cursor < b.count do
+        Detcor_robust.Budget.tick ();
+        let i = !cursor in
+        let st = b.states_buf.(i) in
+        Array.iteri
+          (fun aid ac ->
+            List.iter
+              (fun st' -> push_edge b aid (intern st'))
+              (Action.execute ac st))
+          actions;
+        close_row b i;
+        incr cursor
+      done);
   finish b ~program ~actions ~initials
     ~lookup:(fun st -> State_table.find_opt index st)
     ~layout:None ~cached:false
@@ -393,35 +425,44 @@ let explore_packed ~workers layout program ~actions ~b ~index ~initials =
   let eff_workers = ref workers in
   let cursor = ref b.expanded in
   let level = ref 0 in
-  while !cursor < b.count do
-    let lo = !cursor in
-    let hi = b.count in
-    if Obs.on () then begin
-      Metrics.observe h_frontier (hi - lo);
-      Obs.event "ts.frontier" ~level:Attr.Debug
-        ~attrs:[ Attr.int "depth" !level; Attr.int "width" (hi - lo) ];
-      incr level
-    end;
-    if !eff_workers > 1 && hi - lo >= max 2 (!eff_workers * 8) then begin
-      let lost =
-        expand_parallel layout actions b index ~lo ~hi ~workers:!eff_workers
-      in
-      if lost > 0 then eff_workers := max 1 (!eff_workers - lost)
-    end
-    else
-      for i = lo to hi - 1 do
-        Detcor_robust.Budget.tick ();
-        let st = b.states_buf.(i) in
-        Array.iteri
-          (fun aid ac ->
-            List.iter
-              (fun st' -> push_edge b aid (intern_code st' (Layout.pack layout st')))
-              (Action.execute ac st))
-          actions;
-        close_row b i
-      done;
-    cursor := hi
-  done;
+  Progress.with_phase "engine.bfs"
+    (fun () ->
+      [
+        ("states", b.count);
+        ("frontier", b.count - b.expanded);
+        ("workers", !eff_workers);
+      ])
+    (fun () ->
+      while !cursor < b.count do
+        let lo = !cursor in
+        let hi = b.count in
+        if Obs.on () then begin
+          Metrics.observe h_frontier (hi - lo);
+          Obs.event "ts.frontier" ~level:Attr.Debug
+            ~attrs:[ Attr.int "depth" !level; Attr.int "width" (hi - lo) ];
+          incr level
+        end;
+        if !eff_workers > 1 && hi - lo >= max 2 (!eff_workers * 8) then begin
+          let lost =
+            expand_parallel layout actions b index ~lo ~hi ~workers:!eff_workers
+          in
+          if lost > 0 then eff_workers := max 1 (!eff_workers - lost)
+        end
+        else
+          for i = lo to hi - 1 do
+            Detcor_robust.Budget.tick ();
+            let st = b.states_buf.(i) in
+            Array.iteri
+              (fun aid ac ->
+                List.iter
+                  (fun st' ->
+                    push_edge b aid (intern_code st' (Layout.pack layout st')))
+                  (Action.execute ac st))
+              actions;
+            close_row b i
+          done;
+        cursor := hi
+      done);
   Detcor_robust.Checkpoint.complete phase (capture ());
   finish b ~program ~actions ~initials
     ~lookup:(fun st ->
@@ -497,6 +538,9 @@ let full_packed ~limit ~workers layout program =
   let capture () = Marshal.to_string (snap_of_builder b) [] in
   Detcor_robust.Checkpoint.set_capture phase capture;
   let base = b.expanded in
+  Progress.with_phase "engine.full"
+    (fun () -> [ ("expanded", b.expanded); ("states", n) ])
+  @@ fun () ->
   if workers > 1 && n - base >= max 2 (workers * 8) then begin
     let chunk = (n - base + workers - 1) / workers in
     let bounds w = (base + (w * chunk), min n (base + ((w + 1) * chunk))) in

@@ -208,15 +208,23 @@ type report = {
 let report ?(mode = Syndrome.Auto) ?program runs ~detector ~corrector ~sspec =
   Obs.span "sim.monitor" ~attrs:[ Attr.int "runs" (List.length runs) ]
   @@ fun () ->
+  let legacy () =
+    ( List.concat_map (fun r -> detection_latency r detector) runs,
+      List.filter_map (fun r -> correction_latency r corrector) runs,
+      List.length
+        (List.filter (fun r -> first_safety_violation r sspec <> None) runs) )
+  in
   let detections, corrections, violations =
     match (mode, program) with
-    | Syndrome.Reference, _ | _, None ->
-      ( List.concat_map (fun r -> detection_latency r detector) runs,
-        List.filter_map (fun r -> correction_latency r corrector) runs,
-        List.length
-          (List.filter (fun r -> first_safety_violation r sspec <> None) runs) )
-    | (Syndrome.Auto | Syndrome.Packed), Some _ ->
+    | Syndrome.Reference, _ | _, None -> legacy ()
+    | (Syndrome.Auto | Syndrome.Packed), Some _ -> (
       let comp = Compiled.make ~mode ?program ~detector ~corrector ~sspec () in
+      match mode with
+      (* Auto dispatch: when the compile's work crossover rejected
+         packing, the batch sweep has no memo to amortize its toll —
+         the per-predicate scans are strictly cheaper, so route there. *)
+      | Syndrome.Auto when not (Compiled.is_packed comp) -> legacy ()
+      | _ ->
       let per_run =
         List.map
           (fun r ->
@@ -229,7 +237,7 @@ let report ?(mode = Syndrome.Auto) ?program runs ~detector ~corrector ~sspec =
       in
       ( List.concat_map (fun (d, _, _) -> d) per_run,
         List.filter_map (fun (_, c, _) -> c) per_run,
-        List.length (List.filter (fun (_, _, v) -> v <> None) per_run) )
+        List.length (List.filter (fun (_, _, v) -> v <> None) per_run) ))
   in
   if Obs.on () then begin
     Metrics.incr ~by:(List.length detections) m_detections;

@@ -24,6 +24,18 @@ type mode = Auto | Packed | Reference
    for the revisit speedup and Auto stays on reference. *)
 let max_memo_space = 1 lsl 22
 
+(* Floor under Auto's packing decision.  The memo pays a fixed toll per
+   step (delta pack, known-bit probe, column reads) that only amortizes
+   when the closures it replaces do enough work: on tiny state spaces
+   with few predicates the toll exceeds the closures and packing runs
+   slower than direct evaluation (0.6x on the 2-variable memory
+   protocol).  [space * preds] is a cheap proxy for both the revisit
+   probability and the per-hit saving, and 4096 cleanly separates the
+   regressing small protocols (memory: 48 * 2 = 96) from the winning
+   ones (ring5: 4375 * 5 = 21875).  Explicit [Packed] mode is not
+   second-guessed. *)
+let auto_min_work = 4096
+
 type packed = {
   layout : Layout.t;
   columns : Bitset.t array; (* per pred, indexed by rank *)
@@ -51,7 +63,11 @@ let compile ?(mode = Auto) ?program preds =
       | None -> None
       | Some p -> (
         match Layout.of_program p with
-        | Some layout when Layout.space layout <= max_memo_space ->
+        | Some layout
+          when Layout.space layout <= max_memo_space
+               && (mode = Packed
+                  || Layout.space layout * max 1 (Array.length preds)
+                     >= auto_min_work) ->
           let space = Layout.space layout in
           Some
             {

@@ -22,10 +22,13 @@ open Detcor_kernel
 open Detcor_semantics
 
 (** Engine selection, mirroring the {!Ts} convention: [Auto] packs when
-    the program's layout fits in the memoized-column budget, [Packed]
-    requests packing (degrading silently to reference when the program is
-    absent or unpackable), [Reference] always evaluates closures
-    directly.  All three produce identical syndromes. *)
+    the program's layout fits in the memoized-column budget {e and} the
+    family is big enough for memoization to amortize its per-step toll
+    (space x predicate-count crossover; tiny protocols run reference),
+    [Packed] requests packing unconditionally (degrading silently to
+    reference when the program is absent or unpackable), [Reference]
+    always evaluates closures directly.  All three produce identical
+    syndromes. *)
 type mode = Auto | Packed | Reference
 
 (** A compiled predicate family. *)

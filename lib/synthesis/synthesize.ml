@@ -122,11 +122,16 @@ let compute_ms ts_pf ~fault_ids ~sspec =
   for i = 0 to n - 1 do
     if Safety.bad_state sspec (Ts.state ts_pf i) then add i
   done;
-  while not (Queue.is_empty queue) do
-    Detcor_robust.Budget.tick ();
-    let j = Queue.pop queue in
-    List.iter add fault_preds.(j)
-  done;
+  let processed = ref 0 in
+  Progress.with_phase "synth.ms"
+    (fun () -> [ ("iterations", !processed); ("queue", Queue.length queue) ])
+    (fun () ->
+      while not (Queue.is_empty queue) do
+        Detcor_robust.Budget.tick ();
+        let j = Queue.pop queue in
+        incr processed;
+        List.iter add fault_preds.(j)
+      done);
   in_ms
 
 (* Packed [ms]: identical fixpoint, but membership lives in a bitset and
@@ -182,11 +187,16 @@ let compute_ms_packed ts_pf ~fault_ids ~sspec ~bad =
         Marshal.to_string
           (Bitset.to_string !ms, Array.of_seq (Queue.to_seq queue))
           []);
-    while not (Queue.is_empty queue) do
-      Detcor_robust.Budget.tick ();
-      let j = Queue.pop queue in
-      Ts.iter_in rev j (fun _ i -> add i)
-    done;
+    let processed = ref 0 in
+    Progress.with_phase "synth.ms"
+      (fun () -> [ ("iterations", !processed); ("queue", Queue.length queue) ])
+      (fun () ->
+        while not (Queue.is_empty queue) do
+          Detcor_robust.Budget.tick ();
+          let j = Queue.pop queue in
+          incr processed;
+          Ts.iter_in rev j (fun _ i -> add i)
+        done);
     Detcor_robust.Checkpoint.complete phase (Bitset.to_string !ms);
     !ms
 
@@ -357,26 +367,34 @@ let recompute_invariant_packed ts_pf ~in_ms_at ~layout p restricted ~invariant
   done;
   let alive = Array.make n true in
   let queue = Queue.create () in
+  let killed = ref 0 in
   let kill k =
     if alive.(k) then begin
       alive.(k) <- false;
+      incr killed;
       Queue.add k queue
     end
   in
   for k = 0 to n - 1 do
     if (not always_keep.(k)) && cnt.(k) = 0 then kill k
   done;
-  while not (Queue.is_empty queue) do
-    Detcor_robust.Budget.tick ();
-    let j = Queue.pop queue in
-    List.iter
-      (fun k ->
-        if alive.(k) && not always_keep.(k) then begin
-          cnt.(k) <- cnt.(k) - 1;
-          if cnt.(k) = 0 then kill k
-        end)
-      preds.(j)
-  done;
+  (* The kill cascade is where closure under computation is enforced:
+     heartbeats report how much of the candidate invariant has been
+     discarded so far. *)
+  Progress.with_phase "synth.prune"
+    (fun () -> [ ("killed", !killed); ("states", n) ])
+    (fun () ->
+      while not (Queue.is_empty queue) do
+        Detcor_robust.Budget.tick ();
+        let j = Queue.pop queue in
+        List.iter
+          (fun k ->
+            if alive.(k) && not always_keep.(k) then begin
+              cnt.(k) <- cnt.(k) - 1;
+              if cnt.(k) = 0 then kill k
+            end)
+          preds.(j)
+      done);
   let out = ref [] in
   for k = n - 1 downto 0 do
     if alive.(k) then out := states.(k) :: !out
@@ -703,6 +721,11 @@ let synthesize_recovery_packed ?(step_vars = 1) ~workers ~allowed ~target p
         (Array.copy rank, Array.copy move, Array.of_list !frontier, !level - 1)
         []);
   let queued = Array.make n (-1) in
+  let ranked = ref 0 in
+  Array.iter (fun r -> if r <> unranked then incr ranked) rank;
+  Progress.with_phase "synth.recovery"
+    (fun () -> [ ("ranked", !ranked); ("levels", !level) ])
+  @@ fun () ->
   while !frontier <> [] do
     incr level;
     let lvl = !level in
@@ -741,6 +764,7 @@ let synthesize_recovery_packed ?(step_vars = 1) ~workers ~allowed ~target p
         if chosen.(k) >= 0 then begin
           rank.(i) <- lvl;
           move.(i) <- chosen.(k);
+          incr ranked;
           newly := i :: !newly
         end)
       cands;

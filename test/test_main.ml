@@ -24,4 +24,5 @@ let () =
       Test_frontend_fuzz.suite;
       Test_checkpoint.suite;
       Test_chaos.suite;
+      Test_telemetry.suite;
     ]

@@ -29,12 +29,15 @@ let test_span_nesting () =
   Alcotest.(check int) "span returns f's value" 42 result;
   match records () with
   | [
+   Sink.Anchor anchor;
    Sink.Begin b_out;
    Sink.Instant mid;
    Sink.Begin b_in;
    Sink.End e_in;
    Sink.End e_out;
   ] ->
+    Alcotest.(check bool) "anchor carries a wall clock" true
+      (anchor.wall_epoch_ms > 0.);
     Alcotest.(check string) "outer begin" "outer" b_out.name;
     Alcotest.(check string) "instant inside outer" "mid" mid.name;
     Alcotest.(check string) "inner begin" "inner" b_in.name;
@@ -121,7 +124,7 @@ let test_jsonl_roundtrip () =
   let lines =
     String.split_on_char '\n' (String.trim (read_file path))
   in
-  Alcotest.(check int) "begin + event + end" 3 (List.length lines);
+  Alcotest.(check int) "anchor + begin + event + end" 4 (List.length lines);
   List.iter
     (fun line ->
       match Jsonx.of_string line with
@@ -132,7 +135,13 @@ let test_jsonl_roundtrip () =
              (fun k -> Jsonx.member k v <> None)
              [ "type"; "name"; "ts_ns"; "tid" ]))
     lines;
-  let last = Result.get_ok (Jsonx.of_string (List.nth lines 2)) in
+  let first = Result.get_ok (Jsonx.of_string (List.nth lines 0)) in
+  Alcotest.(check (option string))
+    "header line is the wall-clock anchor" (Some "anchor")
+    (Option.bind (Jsonx.member "type" first) Jsonx.to_str);
+  Alcotest.(check bool) "anchor carries wall_epoch_ms" true
+    (Jsonx.member "wall_epoch_ms" first <> None);
+  let last = Result.get_ok (Jsonx.of_string (List.nth lines 3)) in
   Alcotest.(check bool) "end record carries a duration" true
     (Jsonx.member "dur_ns" last <> None);
   Sys.remove path
@@ -146,14 +155,14 @@ let test_chrome_roundtrip () =
   (match Jsonx.of_string (read_file path) with
   | Error e -> Alcotest.failf "chrome trace does not parse: %s" e
   | Ok (Jsonx.List events) ->
-    Alcotest.(check int) "B + i + E" 3 (List.length events);
+    Alcotest.(check int) "M + B + i + E" 4 (List.length events);
     List.iter
       (fun ev ->
         let ph =
           Option.bind (Jsonx.member "ph" ev) Jsonx.to_str |> Option.get
         in
-        Alcotest.(check bool) "ph is B/E/i" true
-          (List.mem ph [ "B"; "E"; "i" ]);
+        Alcotest.(check bool) "ph is M/B/E/i" true
+          (List.mem ph [ "M"; "B"; "E"; "i" ]);
         Alcotest.(check bool) "has name/ts/pid/tid/args" true
           (List.for_all
              (fun k -> Jsonx.member k ev <> None)
@@ -164,7 +173,8 @@ let test_chrome_roundtrip () =
         (fun ev -> Option.bind (Jsonx.member "ph" ev) Jsonx.to_str |> Option.get)
         events
     in
-    Alcotest.(check (list string)) "balanced in order" [ "B"; "i"; "E" ] phs
+    Alcotest.(check (list string)) "anchored and balanced in order"
+      [ "M"; "B"; "i"; "E" ] phs
   | Ok _ -> Alcotest.fail "chrome trace is not a JSON array");
   Sys.remove path
 
