@@ -58,11 +58,14 @@ module Bench_table = struct
   let create benchmark = { benchmark; rows = []; best_speedup = 0.0 }
 
   (* Record one reference-vs-packed row; [extra] carries any
-     table-specific fields (phase splits, outcome tags).  Returns the
-     speedup for the table's own rendering. *)
-  let add_row t ~name ~states ~agree ~reference_s ~packed_s ?(extra = []) () =
+     table-specific fields (phase splits, outcome tags).  [ok] marks the
+     row as a successful run — failed rows still record their timings but
+     are excluded from [best_speedup], so a fast failure cannot headline
+     the table.  Returns the speedup for the table's own rendering. *)
+  let add_row t ~name ~states ~agree ~reference_s ~packed_s ?(ok = true)
+      ?(extra = []) () =
     let speedup = reference_s /. packed_s in
-    if speedup > t.best_speedup then t.best_speedup <- speedup;
+    if ok && speedup > t.best_speedup then t.best_speedup <- speedup;
     let open Detcor_obs in
     t.rows <-
       Jsonx.Obj
@@ -581,21 +584,34 @@ let table_synth () =
     | Error (Synthesize.Verification_failed _) -> "verification-failed"
     | Error (Synthesize.Exhausted _) -> "exhausted"
   in
-  let row name run =
+  let row ?(expect_ok = true) name run =
     let r_ref, t_ref = Bench_table.time (fun () -> run Sem.Ts.Reference) in
     let r_pk, t_pk = Bench_table.time (fun () -> run Sem.Ts.Auto) in
     let agree = String.equal (outcome_str r_ref) (outcome_str r_pk) in
     check (name ^ ": outcomes byte-identical") true agree;
+    let ok = match r_pk with Ok _ -> true | Error _ -> false in
+    if expect_ok then check (name ^ ": synthesis succeeded") true ok;
+    let inv_size, repairs =
+      match r_pk with
+      | Ok r -> (r.report.Tolerance.invariant_size, r.repair_iterations)
+      | Error _ -> (0, 0)
+    in
     let speedup =
       Bench_table.add_row tbl ~name ~states:(states r_pk) ~agree
-        ~reference_s:t_ref ~packed_s:t_pk
-        ~extra:[ ("outcome", Detcor_obs.Jsonx.Str (tag r_pk)) ]
+        ~ok:(ok && agree) ~reference_s:t_ref ~packed_s:t_pk
+        ~extra:
+          [
+            ("outcome", Detcor_obs.Jsonx.Str (tag r_pk));
+            ("invariant_states", Detcor_obs.Jsonx.Int inv_size);
+            ("repair_iterations", Detcor_obs.Jsonx.Int repairs);
+          ]
         ()
     in
     Fmt.pr
       "%-24s %6d states  reference %8.0f ms  packed %6.0f ms  speedup \
-       %5.1fx  [%s]@."
+       %5.1fx  [%s, |S|=%d, repairs=%d]@."
       name (states r_pk) (1e3 *. t_ref) (1e3 *. t_pk) speedup (tag r_pk)
+      inv_size repairs
   in
   row "memory-masking" (fun engine ->
       Synthesize.add_masking ~engine Memory.intolerant ~spec:Memory.spec
@@ -618,8 +634,14 @@ let table_synth () =
       Synthesize.add_nonmasking ~engine crippled ~spec:(Token_ring.spec rcfg)
         ~invariant:(Token_ring.legitimate rcfg)
         ~faults:(Token_ring.corruption rcfg));
+  (* Masking needs the ideal-stabilization reading of the ring spec:
+     against [closure_of legitimate] with arbitrary corruption, ms is the
+     whole product and no invariant survives (the classic impossibility);
+     the liveness-only [spec_ideal] is what masking synthesis can and
+     should achieve. *)
   row "ring5-masking" (fun engine ->
-      Synthesize.add_masking ~engine crippled ~spec:(Token_ring.spec rcfg)
+      Synthesize.add_masking ~engine crippled
+        ~spec:(Token_ring.spec_ideal rcfg)
         ~invariant:(Token_ring.legitimate rcfg)
         ~faults:(Token_ring.corruption rcfg));
   let bcfg = { Byzantine.non_generals = 4 } in
@@ -629,9 +651,12 @@ let table_synth () =
         ~invariant:(Byzantine.invariant_weak bcfg)
         ~faults:(Byzantine.byzantine_faults bcfg));
   let dcfg = Distributed_reset.make_config 7 in
+  (* The masking reading of the reset spec: wave integrity always, settled
+     eventually.  [closure_of settled] is unusable here — one corruption
+     escapes it from inside the invariant, so ms swallows the invariant. *)
   row "reset7-masking" (fun engine ->
       Synthesize.add_masking ~engine (Distributed_reset.program dcfg)
-        ~spec:(Distributed_reset.spec dcfg)
+        ~spec:(Distributed_reset.masking_spec dcfg)
         ~invariant:(Distributed_reset.invariant dcfg)
         ~faults:(Distributed_reset.corruption dcfg));
   Fmt.pr "@.best end-to-end synthesis speedup: %.1fx@."

@@ -671,6 +671,10 @@ let synthesize_cmd =
         r.added_detectors;
       if r.recovery_states > 0 then
         Fmt.pr "  corrector added: recovery from %d states@." r.recovery_states;
+      if r.repair_iterations > 0 then
+        Fmt.pr "  counterexample-guided repair: %d iteration%s@."
+          r.repair_iterations
+          (if r.repair_iterations = 1 then "" else "s");
       Fmt.pr "@.%a@." Tolerance.pp_report r.report;
       0
   in

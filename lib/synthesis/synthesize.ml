@@ -24,6 +24,23 @@
    the set of states from which fault actions alone can violate safety;
    [mt] the transitions a safe program must never take.
 
+   Layering alone is not a complete procedure: the ranked recovery action
+   converges level by level, but (a) the fail-safe restriction can
+   deadlock the whole original invariant (the kill cascade reaches the
+   empty set even though a different, specification-equivalent invariant
+   exists), (b) a target state the program cannot leave stalls the
+   composed program inside the target region, and (c) a recovery step the
+   program can immediately undo seeds a fair cycle — the corrector races
+   the program under interleaving fairness.  Three repairs close those
+   gaps: an invariant-weakening search over the ms-complement (the
+   ideal-stabilization view: recovery must re-establish a legitimacy
+   predicate, not the original invariant verbatim), a deadlock-target
+   repair pass plus an anti-undo veto inside the layering, and a bounded
+   counterexample-guided loop that feeds fair-cycle and deadlock
+   witnesses from the verification report back into the layering as edge
+   bans and forced moves.  Final verification remains the soundness gate
+   for all three.
+
    Like {!Ts}, the synthesizer has two interchangeable paths.  When the
    explored [p [] F] system was built by the packed engine, [ms] is a
    bitset-seeded backward fixpoint over the reverse fault-edge CSR,
@@ -72,6 +89,8 @@ type result = {
   added_detectors : (string * Pred.t) list;
       (* per restricted action: the added detection guard *)
   recovery_states : int; (* states given a recovery transition *)
+  repair_iterations : int;
+      (* counterexample-guided relayering rounds before verification *)
 }
 
 (* A budget trip inside a synthesis fixpoint surfaces as an [Exhausted]
@@ -90,6 +109,36 @@ let surface_exhaustion f =
            spent = n;
            budget = n;
          })
+
+(* ------------------------------------------------------------------ *)
+(* Engine dispatch                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Work crossover for [Auto] dispatch, the synthesis analogue of
+   {!Detcor_sim.Syndrome}'s [auto_min_work]: packing pays a fixed cost
+   for layout compilation, bitset allocation and CSR reversal that tiny
+   instances never amortize.  Below this much estimated work (product
+   space of [p [] F] times its action count) an [Auto] request stays on
+   the reference path. *)
+let auto_min_work = 4096
+
+let resolve_engine engine p faults =
+  match engine with
+  | Ts.Reference | Ts.Packed -> engine
+  | Ts.Auto ->
+    let space =
+      List.fold_left
+        (fun acc (_, d) ->
+          if acc >= auto_min_work then acc else acc * Domain.size d)
+        1
+        (Fault.composed_vars p faults)
+    in
+    let actions =
+      List.length (Program.actions p) + List.length (Fault.actions faults)
+    in
+    if space < auto_min_work && space * actions < auto_min_work then
+      Ts.Reference
+    else Ts.Auto
 
 (* ------------------------------------------------------------------ *)
 (* ms / mt                                                             *)
@@ -288,21 +337,14 @@ let restrict_with guards p =
   let added = List.map (fun (name, g, _) -> (name, g)) restricted in
   (program, added)
 
-(* Recompute the invariant: drop ms-states, then iteratively drop states
-   that the restriction newly deadlocked (states that could move in [p]
-   but cannot in the restricted program within the shrinking set). *)
-let recompute_invariant ts_pf ~in_ms_at p restricted ~invariant =
+(* Recompute the invariant: start from a candidate set, then iteratively
+   drop states that the restriction newly deadlocked (states that could
+   move in [p] but cannot in the restricted program within the shrinking
+   set).  The candidate is the original invariant minus [ms] for plain
+   recomputation, or the whole ms-complement for the weakening search. *)
+let recompute_invariant ~candidate p restricted =
   let module SS = Set.Make (State) in
-  let initial =
-    List.filter
-      (fun st ->
-        Pred.holds invariant st
-        &&
-        match Ts.index_of ts_pf st with
-        | Some i -> not (in_ms_at i)
-        | None -> true)
-      (Program.states p)
-  in
+  let initial = List.filter candidate (Program.states p) in
   let rec fix set =
     let keep st =
       let originally_live = not (Program.deadlocked p st) in
@@ -324,16 +366,11 @@ let recompute_invariant ts_pf ~in_ms_at p restricted ~invariant =
    successors inside the candidate set, and dies when the count reaches
    zero.  Per-occurrence reverse lists make each pruning step O(in-degree)
    instead of a whole-set rescan. *)
-let recompute_invariant_packed ts_pf ~in_ms_at ~layout p restricted ~invariant
-    =
+let recompute_invariant_packed ~candidate ~layout p restricted =
   let acc = ref [] in
   Layout.iter_scratch layout (fun sc ->
       let st = State.scratch_view sc in
-      if Pred.holds invariant st
-         && (match Ts.index_of ts_pf st with
-            | Some i -> not (in_ms_at i)
-            | None -> true)
-      then acc := State.scratch_copy sc :: !acc);
+      if candidate st then acc := State.scratch_copy sc :: !acc);
   let states = Array.of_list (List.rev !acc) in
   let n = Array.length states in
   let local_of_rank = Hashtbl.create (max 16 (2 * n)) in
@@ -405,7 +442,18 @@ let recompute_invariant_packed ts_pf ~in_ms_at ~layout p restricted ~invariant
    ms, the restricted program, and the recomputed invariant — packed when
    the composed system was built packed (and the program's own layout
    compiles), reference otherwise.  Returns the index-level ms oracle for
-   the masking path's recovery restriction. *)
+   the masking path's recovery restriction, and whether the invariant had
+   to be weakened.
+
+   When the recomputation kill-cascades to the empty set, the
+   invariant-weakening search reseeds the same greatest fixpoint from the
+   whole ms-complement (every non-bad state outside [ms]) instead of from
+   the original invariant: the largest set the restricted program stays
+   live in while still excluding [ms].  The weakened invariant is not in
+   general a subset of the original one — the ideal-stabilization view,
+   where recovery re-establishes a specification-equivalent legitimacy
+   predicate rather than the original invariant verbatim; the final
+   verification of the synthesized program remains the soundness gate. *)
 let failsafe_core ts_pf ~sspec ~fault_ids p ~invariant =
   let layout =
     if Ts.engine_of ts_pf = Ts.Packed then Layout.of_program p else None
@@ -418,16 +466,36 @@ let failsafe_core ts_pf ~sspec ~fault_ids p ~invariant =
     in
     let ms = compute_ms_packed ts_pf ~fault_ids ~sspec ~bad in
     let in_ms_at = Bitset.get ms in
+    let not_ms st =
+      match Ts.index_of ts_pf st with
+      | Some i -> not (in_ms_at i)
+      | None -> true
+    in
     let guards = detection_guards_packed ts_pf ~sspec ~bad ~ms p in
     let restricted, added = restrict_with guards p in
     let inv_states =
-      recompute_invariant_packed ts_pf ~in_ms_at ~layout p restricted
-        ~invariant
+      recompute_invariant_packed
+        ~candidate:(fun st -> Pred.holds invariant st && not_ms st)
+        ~layout p restricted
     in
-    (restricted, added, inv_states, in_ms_at)
+    let inv_states, weakened =
+      if inv_states <> [] then (inv_states, false)
+      else
+        ( recompute_invariant_packed
+            ~candidate:(fun st ->
+              (not (Safety.bad_state sspec st)) && not_ms st)
+            ~layout p restricted,
+          true )
+    in
+    (restricted, added, inv_states, in_ms_at, weakened)
   | None ->
     let in_ms = compute_ms ts_pf ~fault_ids ~sspec in
     let in_ms_at i = in_ms.(i) in
+    let not_ms st =
+      match Ts.index_of ts_pf st with
+      | Some i -> not (in_ms_at i)
+      | None -> true
+    in
     let guards =
       List.map
         (fun ac -> (ac, detection_guard ts_pf ~in_ms_at ~sspec ac))
@@ -435,25 +503,41 @@ let failsafe_core ts_pf ~sspec ~fault_ids p ~invariant =
     in
     let restricted, added = restrict_with guards p in
     let inv_states =
-      recompute_invariant ts_pf ~in_ms_at p restricted ~invariant
+      recompute_invariant
+        ~candidate:(fun st -> Pred.holds invariant st && not_ms st)
+        p restricted
     in
-    (restricted, added, inv_states, in_ms_at)
+    let inv_states, weakened =
+      if inv_states <> [] then (inv_states, false)
+      else
+        ( recompute_invariant
+            ~candidate:(fun st ->
+              (not (Safety.bad_state sspec st)) && not_ms st)
+            p restricted,
+          true )
+    in
+    (restricted, added, inv_states, in_ms_at, weakened)
 
 let add_failsafe ?limit ?(engine = Ts.Auto) ?(workers = 1) p ~spec ~invariant
     ~faults =
   Obs.span "synth.add_failsafe" ~attrs:[ Attr.str "program" (Program.name p) ]
   @@ fun () ->
   surface_exhaustion @@ fun () ->
+  let engine = resolve_engine engine p faults in
   let sspec = Spec.safety (Spec.smallest_safety_containing spec) in
   let composed = Fault.compose p faults in
   let ts_pf = Ts.full ?limit ~engine ~workers composed in
   let fault_ids = Ts.action_ids_of_names ts_pf (Fault.action_names faults) in
-  let restricted, added, inv_states, _ =
+  let restricted, added, inv_states, _, weakened =
     failsafe_core ts_pf ~sspec ~fault_ids p ~invariant
   in
   if inv_states = [] then Error Empty_invariant
   else begin
-    let invariant' = Pred.of_states ~name:"S_failsafe" inv_states in
+    let invariant' =
+      Pred.of_states
+        ~name:(if weakened then "S_failsafe_weakened" else "S_failsafe")
+        inv_states
+    in
     let report =
       Tolerance.check_with ?limit ~engine restricted ~spec
         ~invariant:invariant' ~init:inv_states ~faults ~tol:Spec.Failsafe
@@ -466,6 +550,7 @@ let add_failsafe ?limit ?(engine = Ts.Auto) ?(workers = 1) p ~spec ~invariant
           report;
           added_detectors = added;
           recovery_states = 0;
+          repair_iterations = 0;
         }
     else Error (Verification_failed report)
   end
@@ -480,6 +565,64 @@ module State_tbl = Hashtbl.Make (struct
   let equal = State.equal
   let hash = State.hash
 end)
+
+(* The corrector's own detection predicate: the span states from which the
+   program alone, under weak fairness, is NOT guaranteed to reach [target]
+   — some maximal fair program-only computation stays in ¬target forever
+   (ending in a deadlock or cycling through a fair SCC).  Ranked recovery
+   is gated to exactly these states: where the program already converges,
+   an added recovery action is not a corrector but a competitor — it races
+   the program's own convergence under interleaving fairness and seeds
+   fair cycles the repair loop then has to ban one by one.  The
+   distributed-reset protocol is the extreme case: it is its own corrector
+   (every span state self-converges), so the synthesized recovery is
+   empty.
+
+   Computed over the {!Ts} API, so one implementation serves both engines;
+   the result is a fixpoint-defined set, hence extensionally identical
+   whichever engine built [ts_p]. *)
+let needs_recovery_tbl ?limit ~engine ~workers p ~target states =
+  Obs.span "synth.needs_recovery" @@ fun () ->
+  let ts_p = Ts.build ?limit ~engine ~workers p ~from:states in
+  let n = Ts.num_states ts_p in
+  let not_q = Array.init n (fun i -> not (Ts.holds_at ts_p target i)) in
+  let seeds = ref [] in
+  for i = 0 to n - 1 do
+    if not_q.(i) && Ts.deadlocked ts_p i then seeds := i :: !seeds
+  done;
+  List.iter
+    (fun (scc : Graph.scc) -> seeds := scc.Graph.members @ !seeds)
+    (Fairness.fair_sccs ~mask:(fun i -> not_q.(i)) ts_p);
+  let tbl = Hashtbl.create 64 in
+  if !seeds <> [] then begin
+    let preds = Array.make n [] in
+    Ts.iter_edges ts_p (fun i _ j ->
+        if not_q.(i) && not_q.(j) then preds.(j) <- i :: preds.(j));
+    let seen = Array.make n false in
+    let queue = Queue.create () in
+    let add i =
+      if not seen.(i) then begin
+        seen.(i) <- true;
+        Queue.add i queue
+      end
+    in
+    List.iter add !seeds;
+    while not (Queue.is_empty queue) do
+      Detcor_robust.Budget.tick ();
+      let j = Queue.pop queue in
+      Hashtbl.replace tbl (State.to_string (Ts.state ts_p j)) ();
+      List.iter add preds.(j)
+    done
+  end;
+  tbl
+
+(* Rank-0 seed for the layering: the target itself plus every
+   self-convergent state. *)
+let gated_rank0 ~target needs =
+  if Hashtbl.length needs = 0 then Pred.true_
+  else
+    Pred.make "target-or-self-convergent" (fun st ->
+        Pred.holds target st || not (Hashtbl.mem needs (State.to_string st)))
 
 (* Candidate recovery steps change at most [step_vars] variables — local
    corrections rather than global resets.  Backward layering from the
@@ -526,21 +669,61 @@ let neighbors ~step_vars p st =
 type recovery = {
   moves : int; (* states given a recovery transition *)
   action : Action.t;
+  move_to : State.t -> State.t option;
+      (* the chosen recovery step from a state, if any — the repair loop
+         reads it to turn cycle witnesses into edge bans *)
 }
 
 (* [synthesize_recovery ~allowed ~target states]: rank the given states by
    backward BFS from the target set over allowed candidate steps, then
    build the recovery action "move one layer closer".  Returns the states
-   that cannot reach the target, minimal first. *)
-let synthesize_recovery ?(step_vars = 1) ~allowed ~target p states =
+   that cannot reach the target (minimal first) and whether the anti-undo
+   veto rejected any otherwise-qualifying candidate.
+
+   [banned] is the repair loop's hard edge veto.  [use_undo] additionally
+   vetoes any step [s -> t] the program can immediately undo (the program
+   has the span transition [t -> s]): such a step is the seed of a fair
+   cycle in which the corrector races the program forever.  After
+   ranking, the deadlock-target repair pass gives every target state the
+   program cannot leave (and every state in [forced], fed back from
+   deadlock witnesses) a move to another target state — preferring
+   targets the program can leave; a move between two stalled targets is a
+   last resort kept acyclic by the repair loop's bans.  Those moves start
+   inside the target region, i.e. in fault-free behavior, so they must
+   satisfy [repair_allowed] (defaults to [allowed]) even where ranked
+   recovery is unrestricted. *)
+let synthesize_recovery ?(step_vars = 1) ?(banned = fun _ _ -> false)
+    ?(use_undo = false) ?(forced = fun _ -> false) ?repair_allowed ?rank0
+    ~allowed ~target p states =
   Obs.span "synth.recovery" ~attrs:[ Attr.int "states" (List.length states) ]
   @@ fun () ->
+  let rank0 = match rank0 with Some r -> r | None -> target in
   let rank = Hashtbl.create 256 in
   let key st = State.to_string st in
-  let target_states = List.filter (Pred.holds target) states in
-  List.iter (fun st -> Hashtbl.replace rank (key st) 0) target_states;
+  let rank0_states = List.filter (Pred.holds rank0) states in
+  List.iter (fun st -> Hashtbl.replace rank (key st) 0) rank0_states;
   let state_set = Hashtbl.create 256 in
   List.iter (fun st -> Hashtbl.replace state_set (key st) st) states;
+  (* The program's own in-span steps, for the anti-undo veto: [s -> t] is
+     undone when [t -> s] is a program transition.  Every layering source
+     and target is a span state, so the semantic successor set coincides
+     with the span's program edges. *)
+  let undo_fired = ref false in
+  let succ_keys = Hashtbl.create (if use_undo then 256 else 1) in
+  if use_undo then
+    List.iter
+      (fun st ->
+        Detcor_robust.Budget.tick ();
+        Hashtbl.replace succ_keys (key st)
+          (List.map (fun (_, st') -> key st') (Program.successors p st)))
+      states;
+  let undone k k' =
+    use_undo
+    &&
+    match Hashtbl.find_opt succ_keys k' with
+    | Some ks -> List.mem k ks
+    | None -> false
+  in
   (* Candidate steps do not depend on the level: generate each state's
      in-set neighbor list (with its keys) once, not once per level. *)
   let neighbor_lists = Hashtbl.create 256 in
@@ -573,7 +756,14 @@ let synthesize_recovery ?(step_vars = 1) ~allowed ~target p states =
                 (match Hashtbl.find_opt rank k' with
                 | Some r -> r < !level
                 | None -> false)
-                && allowed st st')
+                && allowed st st'
+                && (not (banned st st'))
+                &&
+                if undone k k' then begin
+                  undo_fired := true;
+                  false
+                end
+                else true)
               (Hashtbl.find neighbor_lists k)
           in
           match candidate with
@@ -588,6 +778,54 @@ let synthesize_recovery ?(step_vars = 1) ~allowed ~target p states =
         changed := true)
       !additions
   done;
+  (* Deadlock-target repair (see the function comment).  Both passes make
+     per-state decisions that depend only on the precomputed [stalled]
+     set, so the iteration order is immaterial and the packed layering
+     reaches the same moves. *)
+  let repair_allowed =
+    match repair_allowed with Some f -> f | None -> allowed
+  in
+  let stalled = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun k st ->
+      if
+        Hashtbl.find_opt rank k = Some 0
+        && (not (Hashtbl.mem table k))
+        && (forced st || Program.deadlocked p st)
+      then Hashtbl.replace stalled k st)
+    state_set;
+  let repair_pass ~relax =
+    Hashtbl.iter
+      (fun k st ->
+        if not (Hashtbl.mem table k) then begin
+          Detcor_robust.Budget.tick ();
+          let pick =
+            List.find_opt
+              (fun (k', st') ->
+                (* Destinations must satisfy the real target (not merely
+                   rank 0): a repaired move starts inside the target
+                   region, and a step to a self-convergent state outside
+                   it would break the invariant's closure. *)
+                Pred.holds target st'
+                && (relax || not (Hashtbl.mem stalled k'))
+                && repair_allowed st st'
+                && (not (banned st st'))
+                &&
+                if undone k k' then begin
+                  undo_fired := true;
+                  false
+                end
+                else true)
+              (Hashtbl.find neighbor_lists k)
+          in
+          match pick with
+          | Some (_, st') -> Hashtbl.replace table k st'
+          | None -> ()
+        end)
+      stalled
+  in
+  repair_pass ~relax:false;
+  repair_pass ~relax:true;
   let unrecoverable =
     Hashtbl.fold
       (fun k st acc -> if Hashtbl.mem rank k then acc else st :: acc)
@@ -603,7 +841,8 @@ let synthesize_recovery ?(step_vars = 1) ~allowed ~target p states =
         | Some st' -> st'
         | None -> st)
   in
-  ({ moves = Hashtbl.length table; action }, unrecoverable)
+  let move_to st = Hashtbl.find_opt table (key st) in
+  ({ moves = Hashtbl.length table; action; move_to }, unrecoverable, !undo_fired)
 
 (* Packed layering over the explored span system: ranks and chosen moves
    live in [int] arrays indexed by span state, neighbor lists are resolved
@@ -614,19 +853,41 @@ let synthesize_recovery ?(step_vars = 1) ~allowed ~target p states =
    one forwards), so a state's scan outcome can only change when one of
    its neighbors acquires a rank, which is exactly when the frontier
    re-queues it; the ranks and chosen moves therefore coincide with the
-   reference layering.  [workers] > 1 fans the per-candidate scans out
-   over OCaml domains; ranks are only written between phases, so the
-   result is identical to the sequential scan. *)
-let synthesize_recovery_packed ?(step_vars = 1) ~workers ~allowed ~target p
-    ts_span =
+   reference layering.  The veto structure ([banned], anti-undo, the
+   repair passes) mirrors the reference layering exactly — including
+   which candidates each veto is consulted for, so the undo-fired signal
+   agrees too.  [workers] > 1 fans the per-candidate scans out over OCaml
+   domains; ranks are only written between phases, so the result is
+   identical to the sequential scan. *)
+let synthesize_recovery_packed ?(step_vars = 1) ?(banned = fun _ _ -> false)
+    ?(use_undo = false) ?(forced = fun _ -> false) ?repair_allowed ?rank0
+    ~workers ~fault_ids ~allowed ~target p ts_span =
   Obs.span "synth.recovery"
     ~attrs:[ Attr.int "states" (Ts.num_states ts_span) ]
   @@ fun () ->
+  let rank0 = match rank0 with Some r -> r | None -> target in
   let n = Ts.num_states ts_span in
   let unranked = max_int in
   let rank = Array.make n unranked in
   let move = Array.make n (-1) in
   let neigh = Array.make n None in
+  let undo_fired = Atomic.make false in
+  (* Program (non-fault) span edges, keyed [src * n + dst]: the span is
+     closed under the composed program, so these are exactly the
+     program's successor pairs the reference layering computes. *)
+  let undo_tbl =
+    if not use_undo then Hashtbl.create 1
+    else begin
+      let is_fault = Array.make (Ts.num_actions ts_span) false in
+      List.iter (fun a -> is_fault.(a) <- true) fault_ids;
+      let t = Hashtbl.create (max 64 (4 * n)) in
+      Ts.iter_edges ts_span (fun i aid j ->
+          if not is_fault.(aid) then Hashtbl.replace t ((i * n) + j) ());
+      t
+    end
+  in
+  let undone i j = use_undo && Hashtbl.mem undo_tbl ((j * n) + i) in
+  let banned_ix i j = banned (Ts.state ts_span i) (Ts.state ts_span j) in
   let fill_neighbors i =
     if neigh.(i) = None then begin
       Detcor_robust.Budget.tick ();
@@ -705,9 +966,9 @@ let synthesize_recovery_packed ?(step_vars = 1) ~workers ~allowed ~target p
     frontier := Array.to_list front;
     level := ld
   | None ->
-    let target_bits = Ts.pred_bitset ts_span target in
+    let rank0_bits = Ts.pred_bitset ts_span rank0 in
     for i = n - 1 downto 0 do
-      if Bitset.get target_bits i then begin
+      if Bitset.get rank0_bits i then begin
         rank.(i) <- 0;
         frontier := i :: !frontier
       end
@@ -723,54 +984,108 @@ let synthesize_recovery_packed ?(step_vars = 1) ~workers ~allowed ~target p
   let queued = Array.make n (-1) in
   let ranked = ref 0 in
   Array.iter (fun r -> if r <> unranked then incr ranked) rank;
-  Progress.with_phase "synth.recovery"
-    (fun () -> [ ("ranked", !ranked); ("levels", !level) ])
-  @@ fun () ->
-  while !frontier <> [] do
-    incr level;
-    let lvl = !level in
-    let front = Array.of_list !frontier in
-    parallel_iter front fill_neighbors;
-    let candidates = ref [] in
-    Array.iter
-      (fun j ->
-        Array.iter
-          (fun i ->
-            if rank.(i) = unranked && queued.(i) <> lvl then begin
-              queued.(i) <- lvl;
-              candidates := i :: !candidates
-            end)
-          (neighbors_of j))
-      front;
-    let cands = Array.of_list !candidates in
-    let chosen = Array.make (Array.length cands) (-1) in
-    let scan_slot k =
-      let i = cands.(k) in
-      fill_neighbors i;
-      let nb = neighbors_of i in
-      let len = Array.length nb in
-      let rec first t =
-        if t >= len then -1
-        else
-          let j = nb.(t) in
-          if rank.(j) < lvl && allowed i j then j else first (t + 1)
-      in
-      chosen.(k) <- first 0
-    in
-    parallel_iter (Array.init (Array.length cands) (fun k -> k)) scan_slot;
-    let newly = ref [] in
-    Array.iteri
-      (fun k i ->
-        if chosen.(k) >= 0 then begin
-          rank.(i) <- lvl;
-          move.(i) <- chosen.(k);
-          incr ranked;
-          newly := i :: !newly
-        end)
-      cands;
-    frontier := !newly
-  done;
+  (Progress.with_phase "synth.recovery"
+     (fun () -> [ ("ranked", !ranked); ("levels", !level) ])
+   @@ fun () ->
+   while !frontier <> [] do
+     incr level;
+     let lvl = !level in
+     let front = Array.of_list !frontier in
+     parallel_iter front fill_neighbors;
+     let candidates = ref [] in
+     Array.iter
+       (fun j ->
+         Array.iter
+           (fun i ->
+             if rank.(i) = unranked && queued.(i) <> lvl then begin
+               queued.(i) <- lvl;
+               candidates := i :: !candidates
+             end)
+           (neighbors_of j))
+       front;
+     let cands = Array.of_list !candidates in
+     let chosen = Array.make (Array.length cands) (-1) in
+     let scan_slot k =
+       let i = cands.(k) in
+       fill_neighbors i;
+       let nb = neighbors_of i in
+       let len = Array.length nb in
+       let rec first t =
+         if t >= len then -1
+         else
+           let j = nb.(t) in
+           if rank.(j) < lvl && allowed i j && not (banned_ix i j) then
+             if undone i j then begin
+               Atomic.set undo_fired true;
+               first (t + 1)
+             end
+             else j
+           else first (t + 1)
+       in
+       chosen.(k) <- first 0
+     in
+     parallel_iter (Array.init (Array.length cands) (fun k -> k)) scan_slot;
+     let newly = ref [] in
+     Array.iteri
+       (fun k i ->
+         if chosen.(k) >= 0 then begin
+           rank.(i) <- lvl;
+           move.(i) <- chosen.(k);
+           incr ranked;
+           newly := i :: !newly
+         end)
+       cands;
+     frontier := !newly
+   done);
   Detcor_robust.Checkpoint.complete phase (Marshal.to_string (rank, move) []);
+  (* Deadlock-target repair, mirroring the reference layering: the
+     completed checkpoint holds the pure ranking, and the repair reruns
+     deterministically on resume. *)
+  let repair_allowed_ix =
+    match repair_allowed with Some f -> f | None -> allowed
+  in
+  let stalled = Array.make n false in
+  for i = 0 to n - 1 do
+    if rank.(i) = 0 && move.(i) < 0 then begin
+      Detcor_robust.Budget.tick ();
+      let st = Ts.state ts_span i in
+      if forced st || Program.deadlocked p st then stalled.(i) <- true
+    end
+  done;
+  let target_bits = Ts.pred_bitset ts_span target in
+  let repair_pass ~relax =
+    for i = 0 to n - 1 do
+      if stalled.(i) && move.(i) < 0 then begin
+        fill_neighbors i;
+        let nb = neighbors_of i in
+        let len = Array.length nb in
+        let rec first t =
+          if t >= len then -1
+          else
+            let j = nb.(t) in
+            (* Destinations must satisfy the real target, mirroring the
+               reference repair pass: rank 0 also holds self-convergent
+               states outside the invariant's closure. *)
+            if
+              Bitset.get target_bits j
+              && (relax || not stalled.(j))
+              && repair_allowed_ix i j
+              && not (banned_ix i j)
+            then
+              if undone i j then begin
+                Atomic.set undo_fired true;
+                first (t + 1)
+              end
+              else j
+            else first (t + 1)
+        in
+        let j = first 0 in
+        if j >= 0 then move.(i) <- j
+      end
+    done
+  in
+  repair_pass ~relax:false;
+  repair_pass ~relax:true;
   let unrecoverable = ref [] in
   for i = n - 1 downto 0 do
     if rank.(i) = unranked then
@@ -792,7 +1107,130 @@ let synthesize_recovery_packed ?(step_vars = 1) ~workers ~allowed ~target p
         | Some i when move.(i) >= 0 -> Ts.state ts_span move.(i)
         | _ -> st)
   in
-  ({ moves; action }, unrecoverable)
+  let move_to st =
+    match Ts.index_of ts_span st with
+    | Some i when move.(i) >= 0 -> Some (Ts.state ts_span move.(i))
+    | _ -> None
+  in
+  ( { moves; action; move_to },
+    unrecoverable,
+    Atomic.get undo_fired )
+
+(* ------------------------------------------------------------------ *)
+(* Counterexample-guided repair                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Bound on the relayering rounds driven by verification witnesses.
+   Every round adds at least one new edge ban or forced move, so the
+   loop terminates on its own on any finite span; the cap bounds
+   pathological instances, and every round still runs under the ambient
+   {!Detcor_robust.Budget}. *)
+let max_repair_rounds = 16
+
+let skey = State.to_string
+
+(* One synthesis attempt: layer with the anti-undo veto first; if that
+   leaves unrecoverable states and the veto actually rejected a
+   candidate, relax it (convergence through an undoable step beats no
+   convergence — the repair loop can still ban the step if it does race);
+   if the span is still not fully ranked with one-variable moves,
+   escalate to two-variable moves.  [synth] is the engine-specific
+   layering closure; the ladder is engine-independent, so both engines
+   walk the same attempt sequence. *)
+let attempt_ladder ~step_vars ~synth =
+  let attempts =
+    [ (true, step_vars); (false, step_vars) ]
+    @ (if step_vars <= 1 then [ (true, 2); (false, 2) ] else [])
+  in
+  let rec go last = function
+    | [] -> (
+      match last with Some (st :: _) -> Error st | _ -> assert false)
+    | (use_undo, sv) :: rest -> (
+      let recovery, unrecoverable, undo_fired =
+        synth ~use_undo ~step_vars:sv
+      in
+      match unrecoverable with
+      | [] -> Ok recovery
+      | _ :: _ ->
+        (* Dropping the veto can only change the outcome if the veto
+           rejected something. *)
+        let rest =
+          if use_undo && not undo_fired then
+            List.filter (fun (u, v) -> u || v <> sv) rest
+          else rest
+        in
+        go (Some unrecoverable) rest)
+  in
+  go None attempts
+
+(* Turn a failed verification into a layering repair.  A fair-cycle
+   witness (the corrector races the program) bans the recovery edges
+   inside the cycle, so the next layering routes around it; a deadlock
+   witness at a state without a recovery move forces the repair pass to
+   give it one.  Returns false when the report holds no witness the
+   layering can act on — the failure is then terminal. *)
+let apply_witness (report : Tolerance.report) ~move_to ~bans ~forces =
+  let progress = ref false in
+  List.iter
+    (fun (it : Tolerance.item) ->
+      if not !progress then
+        match it.Tolerance.outcome with
+        | Check.Fails (Check.Fair_cycle states) ->
+          let in_cycle = Hashtbl.create 16 in
+          List.iter (fun s -> Hashtbl.replace in_cycle (skey s) ()) states;
+          List.iter
+            (fun s ->
+              match move_to s with
+              | Some t when Hashtbl.mem in_cycle (skey t) ->
+                let k = (skey s, skey t) in
+                if not (Hashtbl.mem bans k) then begin
+                  Hashtbl.replace bans k ();
+                  progress := true
+                end
+              | _ -> ())
+            states
+        | Check.Fails (Check.Deadlock st) -> (
+          match move_to st with
+          | Some _ -> ()
+          | None ->
+            let k = skey st in
+            if not (Hashtbl.mem forces k) then begin
+              Hashtbl.replace forces k ();
+              progress := true
+            end)
+        | _ -> ())
+    report.Tolerance.items;
+  !progress
+
+(* The repair loop shared by nonmasking and masking addition: layer,
+   verify, and while the verdict is negative feed the witness back into
+   the layering as bans and forced moves. *)
+let repair_loop ~step_vars ~synth ~build ~verify ~bans ~forces =
+  let rec go round =
+    Detcor_robust.Budget.tick ();
+    match attempt_ladder ~step_vars ~synth with
+    | Error st -> Error (Unrecoverable_state st)
+    | Ok recovery -> (
+      let program = build recovery in
+      let report = verify program in
+      if Tolerance.verdict report then Ok (recovery, program, report, round)
+      else if
+        round >= max_repair_rounds
+        || not (apply_witness report ~move_to:recovery.move_to ~bans ~forces)
+      then Error (Verification_failed report)
+      else begin
+        if Obs.on () then
+          Obs.event "synth.repair_round"
+            ~attrs:
+              [
+                Attr.int "round" (round + 1);
+                Attr.int "bans" (Hashtbl.length bans);
+                Attr.int "forces" (Hashtbl.length forces);
+              ];
+        go (round + 1)
+      end)
+  in
+  go 0
 
 (* ------------------------------------------------------------------ *)
 (* Nonmasking                                                          *)
@@ -804,75 +1242,127 @@ let add_nonmasking ?limit ?(engine = Ts.Auto) ?(workers = 1) ?(step_vars = 1)
     ~attrs:[ Attr.str "program" (Program.name p) ]
   @@ fun () ->
   surface_exhaustion @@ fun () ->
+  let engine = resolve_engine engine p faults in
   let init = Tolerance.init_states ?limit ~engine p ~invariant in
   if init = [] then Error Empty_invariant
   else begin
+    let sspec = Spec.safety (Spec.smallest_safety_containing spec) in
     let ts_span =
       Ts.build ?limit ~engine ~workers (Fault.compose p faults) ~from:init
     in
-    let recovery, unrecoverable =
-      if Ts.engine_of ts_span = Ts.Packed then
-        synthesize_recovery_packed ~step_vars ~workers
-          ~allowed:(fun _ _ -> true)
-          ~target:invariant p ts_span
-      else
-        synthesize_recovery ~step_vars
-          ~allowed:(fun _ _ -> true)
-          ~target:invariant p (Ts.states ts_span)
+    let bans = Hashtbl.create 8 in
+    let forces = Hashtbl.create 8 in
+    let banned s t =
+      Hashtbl.length bans > 0 && Hashtbl.mem bans (skey s, skey t)
     in
-    match unrecoverable with
-    | st :: _ -> Error (Unrecoverable_state st)
-    | [] ->
-      let program =
-        Program.add_actions p [ recovery.action ]
-        |> Program.with_name (Fmt.str "nonmasking(%s)" (Program.name p))
-      in
-      let report =
-        Tolerance.check_with ?limit ~engine program ~spec ~invariant ~init
-          ~faults ~tol:Spec.Nonmasking
-      in
-      if Tolerance.verdict report then
-        Ok
-          {
-            program;
-            invariant;
-            report;
-            added_detectors = [];
-            recovery_states = recovery.moves;
-          }
-      else Error (Verification_failed report)
+    let forced st =
+      Hashtbl.length forces > 0 && Hashtbl.mem forces (skey st)
+    in
+    (* Ranked nonmasking recovery is unrestricted (the paper's corrector
+       may violate safety on the way back), but repaired moves start from
+       target states — fault-free behavior — so they must respect the
+       safety specification. *)
+    let repair_ok s t =
+      (not (Safety.bad_state sspec t))
+      && not (Safety.bad_transition sspec s t)
+    in
+    let needs =
+      needs_recovery_tbl ?limit ~engine ~workers p ~target:invariant
+        (Ts.states ts_span)
+    in
+    let rank0 = gated_rank0 ~target:invariant needs in
+    let synth =
+      if Ts.engine_of ts_span = Ts.Packed then begin
+        let fault_ids =
+          Ts.action_ids_of_names ts_span (Fault.action_names faults)
+        in
+        let repair_ok_ix i j =
+          repair_ok (Ts.state ts_span i) (Ts.state ts_span j)
+        in
+        fun ~use_undo ~step_vars ->
+          synthesize_recovery_packed ~step_vars ~banned ~use_undo ~forced
+            ~repair_allowed:repair_ok_ix ~rank0 ~workers ~fault_ids
+            ~allowed:(fun _ _ -> true)
+            ~target:invariant p ts_span
+      end
+      else
+        fun ~use_undo ~step_vars ->
+          synthesize_recovery ~step_vars ~banned ~use_undo ~forced
+            ~repair_allowed:repair_ok ~rank0
+            ~allowed:(fun _ _ -> true)
+            ~target:invariant p (Ts.states ts_span)
+    in
+    let build recovery =
+      Program.add_actions p [ recovery.action ]
+      |> Program.with_name (Fmt.str "nonmasking(%s)" (Program.name p))
+    in
+    let verify program =
+      Tolerance.check_with ?limit ~engine program ~spec ~invariant ~init
+        ~faults ~tol:Spec.Nonmasking
+    in
+    match repair_loop ~step_vars ~synth ~build ~verify ~bans ~forces with
+    | Error f -> Error f
+    | Ok (recovery, program, report, rounds) ->
+      Ok
+        {
+          program;
+          invariant;
+          report;
+          added_detectors = [];
+          recovery_states = recovery.moves;
+          repair_iterations = rounds;
+        }
   end
 
 (* ------------------------------------------------------------------ *)
 (* Masking                                                             *)
 (* ------------------------------------------------------------------ *)
 
-(* Fail-safe restriction first; then recovery from the restricted span
-   back to a target predicate (default: the recomputed invariant), where
-   every recovery step must itself avoid [mt] — the corrector must not
-   break the detector's guarantee (Section 5). *)
+(* Fail-safe restriction first (with the invariant-weakening fallback);
+   then recovery from the restricted span back to a target predicate
+   (default: the recomputed invariant), where every recovery step must
+   itself avoid [mt] — the corrector must not break the detector's
+   guarantee (Section 5). *)
 let add_masking ?limit ?(engine = Ts.Auto) ?(workers = 1) ?(step_vars = 1)
     ?target p ~spec ~invariant ~faults =
   Obs.span "synth.add_masking" ~attrs:[ Attr.str "program" (Program.name p) ]
   @@ fun () ->
   surface_exhaustion @@ fun () ->
+  let engine = resolve_engine engine p faults in
   let sspec = Spec.safety (Spec.smallest_safety_containing spec) in
   let composed = Fault.compose p faults in
   let ts_pf = Ts.full ?limit ~engine ~workers composed in
   let fault_ids = Ts.action_ids_of_names ts_pf (Fault.action_names faults) in
-  let restricted, added, inv_states, in_ms_at =
+  let restricted, added, inv_states, in_ms_at, weakened =
     failsafe_core ts_pf ~sspec ~fault_ids p ~invariant
   in
   if inv_states = [] then Error Empty_invariant
   else begin
-    let invariant' = Pred.of_states ~name:"S_masking" inv_states in
+    let invariant' =
+      Pred.of_states
+        ~name:(if weakened then "S_masking_weakened" else "S_masking")
+        inv_states
+    in
     let target = match target with Some t -> t | None -> invariant' in
     let ts_span =
       Ts.build ?limit ~engine ~workers
         (Fault.compose restricted faults)
         ~from:inv_states
     in
-    let recovery, unrecoverable =
+    let bans = Hashtbl.create 8 in
+    let forces = Hashtbl.create 8 in
+    let banned s t =
+      Hashtbl.length bans > 0 && Hashtbl.mem bans (skey s, skey t)
+    in
+    let forced st =
+      Hashtbl.length forces > 0 && Hashtbl.mem forces (skey st)
+    in
+    let needs =
+      needs_recovery_tbl ?limit ~engine ~workers restricted ~target
+        (Ts.states ts_span)
+    in
+    let rank0 = gated_rank0 ~target needs in
+    let synth =
       if Ts.engine_of ts_span = Ts.Packed then begin
         (* Resolve ms/bad for every span state up front; an allowed step
            then costs two bitset probes and one bad-transition check. *)
@@ -894,33 +1384,39 @@ let add_masking ?limit ?(engine = Ts.Auto) ?(workers = 1) ?(step_vars = 1)
                (Safety.bad_transition sspec (Ts.state ts_span i)
                   (Ts.state ts_span j))
         in
-        synthesize_recovery_packed ~step_vars ~workers ~allowed ~target
-          restricted ts_span
+        let span_fault_ids =
+          Ts.action_ids_of_names ts_span (Fault.action_names faults)
+        in
+        fun ~use_undo ~step_vars ->
+          synthesize_recovery_packed ~step_vars ~banned ~use_undo ~forced
+            ~rank0 ~workers ~fault_ids:span_fault_ids ~allowed ~target
+            restricted ts_span
       end
-      else
+      else begin
         let allowed s s' = not (make_mt ts_pf ~in_ms_at ~sspec s s') in
-        synthesize_recovery ~step_vars ~allowed ~target restricted
-          (Ts.states ts_span)
+        fun ~use_undo ~step_vars ->
+          synthesize_recovery ~step_vars ~banned ~use_undo ~forced ~allowed
+            ~rank0 ~target restricted (Ts.states ts_span)
+      end
     in
-    match unrecoverable with
-    | st :: _ -> Error (Unrecoverable_state st)
-    | [] ->
-      let program =
-        Program.add_actions restricted [ recovery.action ]
-        |> Program.with_name (Fmt.str "masking(%s)" (Program.name p))
-      in
-      let report =
-        Tolerance.check_with ?limit ~engine program ~spec
-          ~invariant:invariant' ~init:inv_states ~faults ~tol:Spec.Masking
-      in
-      if Tolerance.verdict report then
-        Ok
-          {
-            program;
-            invariant = invariant';
-            report;
-            added_detectors = added;
-            recovery_states = recovery.moves;
-          }
-      else Error (Verification_failed report)
+    let build recovery =
+      Program.add_actions restricted [ recovery.action ]
+      |> Program.with_name (Fmt.str "masking(%s)" (Program.name p))
+    in
+    let verify program =
+      Tolerance.check_with ?limit ~engine program ~spec
+        ~invariant:invariant' ~init:inv_states ~faults ~tol:Spec.Masking
+    in
+    match repair_loop ~step_vars ~synth ~build ~verify ~bans ~forces with
+    | Error f -> Error f
+    | Ok (recovery, program, report, rounds) ->
+      Ok
+        {
+          program;
+          invariant = invariant';
+          report;
+          added_detectors = added;
+          recovery_states = recovery.moves;
+          repair_iterations = rounds;
+        }
   end

@@ -5,13 +5,31 @@
     Every synthesized program is re-verified with {!Detcor_core.Tolerance}
     before being returned.
 
+    Layering alone is not a complete procedure, so three repairs back it
+    up: when the fail-safe restriction kill-cascades the invariant to the
+    empty set, an {e invariant-weakening search} reseeds the same greatest
+    fixpoint from the whole ms-complement (the largest set the restricted
+    program stays live in while excluding [ms] — the ideal-stabilization
+    view, where recovery re-establishes a specification-equivalent
+    legitimacy predicate rather than the original invariant verbatim); an
+    {e anti-undo veto} plus a deadlock-target repair pass keep ranked
+    recovery from seeding fair cycles or stalling inside the target
+    region, escalating to two-variable moves when one-variable layering
+    cannot rank the span; and a bounded {e counterexample-guided loop}
+    turns fair-cycle and deadlock witnesses from the verification report
+    into layering edge bans and forced moves.  Final verification remains
+    the soundness gate.
+
     The synthesizer mirrors {!Detcor_semantics.Ts}'s engine split: when
     the explored system was built by the packed engine, the [ms]/[mt]
     fixpoints, detection guards, invariant recomputation and recovery
     layering all run on integer state indices (bitsets, reverse-CSR
     adjacency, frontier queues, optional domain-parallel scans); the seed
     closure-based path remains as the [Reference] oracle.  Both paths
-    synthesize extensionally identical programs and reports. *)
+    synthesize extensionally identical programs and reports.  [Auto]
+    dispatch additionally applies a work crossover ({!auto_min_work}):
+    instances too small to amortize layout compilation stay on the
+    reference path. *)
 
 open Detcor_kernel
 open Detcor_spec
@@ -31,12 +49,22 @@ val pp_failure : failure Fmt.t
 
 type result = {
   program : Program.t;
-  invariant : Pred.t;  (** the recomputed invariant *)
+  invariant : Pred.t;
+      (** the recomputed invariant — named [S_*_weakened] when the
+          weakening search replaced the original one *)
   report : Tolerance.report;  (** verification of the synthesized program *)
   added_detectors : (string * Pred.t) list;
       (** per action: the detection guard that was conjoined *)
   recovery_states : int;  (** states given a recovery transition *)
+  repair_iterations : int;
+      (** counterexample-guided relayering rounds before the verified
+          program was reached (0: first layering verified) *)
 }
+
+(** Minimum estimated work (product space of [p [] F] times action count)
+    below which [Auto] dispatch stays on the reference path, the synthesis
+    analogue of {!Detcor_sim.Syndrome}'s work crossover. *)
+val auto_min_work : int
 
 (** Candidate recovery steps from a state: the states differing from it
     in at most [step_vars] (1 or 2) of [p]'s declared variables, within
@@ -61,8 +89,9 @@ val add_failsafe :
   result outcome
 
 (** Add a ranked recovery corrector converging from the fault span back to
-    the invariant.  [step_vars] bounds how many variables one recovery
-    step may write (default 1 — local corrections). *)
+    the invariant.  [step_vars] bounds how many variables one ranked
+    recovery step may write (default 1 — local corrections; the attempt
+    ladder escalates to 2 on its own when 1 cannot rank the span). *)
 val add_nonmasking :
   ?limit:int ->
   ?engine:Detcor_semantics.Ts.engine ->
@@ -74,8 +103,9 @@ val add_nonmasking :
   faults:Fault.t ->
   result outcome
 
-(** Fail-safe restriction followed by safety-respecting recovery to
-    [target] (default: the recomputed invariant). *)
+(** Fail-safe restriction (with the invariant-weakening fallback) followed
+    by safety-respecting recovery to [target] (default: the recomputed
+    invariant). *)
 val add_masking :
   ?limit:int ->
   ?engine:Detcor_semantics.Ts.engine ->

@@ -182,5 +182,43 @@ let spec cfg =
 
 let invariant = settled
 
+(* Wave integrity: the wave marks along the line always form one of the
+   protocol's three legal two-band shapes — [prop^a idle^b] (propagation
+   flowing down), [prop^a comp^b] (completion folding up), or
+   [idle^a comp^b] (release draining down); [a] or [b] may be zero, so
+   all-idle and all-comp are included.  This is the safety half of the
+   masking reading: it is closed under every protocol action, and the
+   fault class corrupts only the application cells [x.i], never the wave
+   marks, so faults alone cannot leave it — unlike [closure_of settled],
+   whose ms swallows the settled states themselves (one corruption
+   escapes it). *)
+let wave_ok cfg =
+  let n = cfg.processes in
+  let two_band st a b =
+    let rec head i =
+      if i >= n then i else if Value.equal (w st i) a then head (i + 1) else i
+    in
+    let k = head 0 in
+    let rec tail i =
+      i >= n || (Value.equal (w st i) b && tail (i + 1))
+    in
+    tail k
+  in
+  Pred.make "wave integrity" (fun st ->
+      two_band st prop idle || two_band st prop comp || two_band st idle comp)
+
+(* SPEC_reset under the masking reading: the machinery's wave discipline
+   is never violated (not even transiently), and the system always
+   re-settles.  [closure_of settled] is the wrong safety half for masking
+   against [corruption] — any single corruption of an [x.i] exits
+   [settled], so ms includes the invariant itself and the fail-safe
+   restriction collapses it; wave integrity is the fault-immune safety
+   property the protocol actually maintains. *)
+let masking_spec cfg =
+  Spec.make ~name:"SPEC_reset-masking"
+    ~safety:(Safety.always (wave_ok cfg))
+    ~liveness:(Liveness.eventually ~name:"eventually settled" (settled cfg))
+    ()
+
 (* The whole protocol as a corrector of the settled predicate. *)
 let corrector cfg = Corrector.of_invariant (settled cfg)

@@ -35,5 +35,18 @@ val corruption : config -> Fault.t
 (** [settled] stable and eventually re-established. *)
 val spec : config -> Spec.t
 
+(** Wave integrity: the wave marks always form one of the protocol's
+    three legal two-band shapes ([prop*idle*], [prop*comp*],
+    [idle*comp*]).  Closed under every protocol action and immune to
+    {!corruption} (which touches only application cells). *)
+val wave_ok : config -> Pred.t
+
+(** The masking reading of the reset spec: {!wave_ok} always holds and
+    the system eventually re-settles.  {!spec}'s [closure_of settled]
+    safety is unsuitable for masking synthesis against {!corruption} —
+    one corruption escapes it from inside the invariant, so [ms] swallows
+    the invariant itself. *)
+val masking_spec : config -> Spec.t
+
 val invariant : config -> Pred.t
 val corrector : config -> Corrector.t

@@ -94,6 +94,24 @@ let spec cfg =
                 Pred.true_ (has_privilege cfg i))))
     ()
 
+(* SPEC under the ideal-stabilization reading (Nesterenko & Tixeuil):
+   only the liveness half — circulation from wherever the system is.
+   Masking the ring against [corruption] with SPEC_ring's safety half is
+   formally unsolvable: faults can corrupt every counter, so ms (the
+   states from which faults alone escape cl(legitimate)) is the whole
+   product space and the fail-safe restriction has nothing left to keep.
+   The ideal spec has no computation to exclude, so every state can be
+   legitimate and the synthesized corrector carries the whole burden. *)
+let spec_ideal cfg =
+  Spec.make ~name:"SPEC_token-ring-ideal"
+    ~liveness:
+      (Liveness.conj_list
+         (List.init cfg.processes (fun i ->
+              Liveness.leads_to
+                ~name:(Fmt.str "process %d eventually privileged" i)
+                Pred.true_ (has_privilege cfg i))))
+    ()
+
 (* The ring as a corrector: legitimate corrects legitimate (witness =
    correction predicate, the Arora-Gouda form). *)
 let corrector cfg = Corrector.of_invariant (legitimate cfg)

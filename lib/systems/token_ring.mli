@@ -37,5 +37,12 @@ val corruption : config -> Fault.t
 (** Legitimacy closed; every process privileged infinitely often. *)
 val spec : config -> Spec.t
 
+(** The ideal-stabilization reading (Nesterenko & Tixeuil): circulation
+    only, no safety half.  Masking the ring against {!corruption} under
+    {!spec}'s safety is formally unsolvable — faults reach every state,
+    so [ms] is the whole product space; under the ideal spec the
+    synthesized corrector carries the whole burden instead. *)
+val spec_ideal : config -> Spec.t
+
 (** The ring as corrector of its legitimacy predicate. *)
 val corrector : config -> Corrector.t

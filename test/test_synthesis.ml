@@ -194,17 +194,16 @@ let test_failure_empty_invariant () =
   | Error Synthesize.Empty_invariant -> ()
   | r -> Alcotest.failf "expected Empty_invariant, got %s" (outcome_tag r)
 
-(* A fault jumps the program two variables away from the invariant; the
-   only one-variable paths back lead through bad states outside the
-   restricted span, so the corrector has no safe layering. *)
-let test_failure_unrecoverable () =
+(* A fault jumps the program two variables away from the invariant; no
+   one-variable step back stays inside the restricted span, but the
+   attempt ladder escalates to two-variable moves on its own and heals
+   the layering. *)
+let test_step_vars_escalation_heals () =
   let getx st = Value.as_int (State.get st "x") in
   let gety st = Value.as_int (State.get st "y") in
-  let inv =
-    Pred.make "origin" (fun st -> getx st = 0 && gety st = 0)
-  in
+  let inv = Pred.make "origin" (fun st -> getx st = 0 && gety st = 0) in
   let p =
-    Program.make ~name:"unrec"
+    Program.make ~name:"diag-jump"
       ~vars:[ ("x", bit); ("y", bit) ]
       ~actions:[ Action.deterministic "skip" Pred.false_ (fun st -> st) ]
   in
@@ -220,11 +219,124 @@ let test_failure_unrecoverable () =
             State.set (State.set st "x" (Value.int 1)) "y" (Value.int 1));
       ]
   in
+  let r = get (Synthesize.add_masking p ~spec ~invariant:inv ~faults:jump) in
+  Alcotest.(check bool) "verified masking" true (Tolerance.verdict r.report);
+  Alcotest.(check int) "one recovery move (the diagonal)" 1 r.recovery_states
+
+(* Truly unrecoverable: the fault jumps THREE variables at once, so even
+   the two-variable escalation cannot re-enter the span — every ladder
+   attempt leaves the jumped-to state unranked. *)
+let test_failure_unrecoverable () =
+  let v st n = Value.as_int (State.get st n) in
+  let inv =
+    Pred.make "origin" (fun st -> v st "x" = 0 && v st "y" = 0 && v st "z" = 0)
+  in
+  let p =
+    Program.make ~name:"unrec"
+      ~vars:[ ("x", bit); ("y", bit); ("z", bit) ]
+      ~actions:[ Action.deterministic "skip" Pred.false_ (fun st -> st) ]
+  in
+  let spec =
+    Spec.make ~name:"no-partial"
+      ~safety:
+        (Safety.make
+           ~bad_state:(fun st ->
+             let set = v st "x" + v st "y" + v st "z" in
+             set = 1 || set = 2)
+           ())
+      ()
+  in
+  let jump =
+    Fault.make "jump3"
+      [
+        Action.deterministic "F:jump3" inv (fun st ->
+            State.update_many st
+              [ ("x", Value.int 1); ("y", Value.int 1); ("z", Value.int 1) ]);
+      ]
+  in
   match Synthesize.add_masking p ~spec ~invariant:inv ~faults:jump with
   | Error (Synthesize.Unrecoverable_state st) ->
-    Alcotest.(check int) "stuck at x=1" 1 (getx st);
-    Alcotest.(check int) "stuck at y=1" 1 (gety st)
+    Alcotest.(check int) "stuck at x=1" 1 (v st "x");
+    Alcotest.(check int) "stuck at y=1" 1 (v st "y");
+    Alcotest.(check int) "stuck at z=1" 1 (v st "z")
   | r -> Alcotest.failf "expected Unrecoverable_state, got %s" (outcome_tag r)
+
+(* Invariant weakening: a fault poisons the original invariant (ms
+   swallows it), but the restricted program is live in a different part
+   of the ms-complement; the weakening search finds it instead of
+   reporting Empty_invariant. *)
+let test_invariant_weakening () =
+  let getx st = Value.as_int (State.get st "x") in
+  let x_is n = Pred.make (Fmt.str "x=%d" n) (fun st -> getx st = n) in
+  let p =
+    Program.make ~name:"weaken"
+      ~vars:[ ("x", Domain.range 0 3) ]
+      ~actions:
+        [
+          Action.deterministic "move" (x_is 1) (fun st ->
+              State.set st "x" (Value.int 3));
+        ]
+  in
+  let spec = Spec.make ~name:"never2" ~safety:(Safety.never (x_is 2)) () in
+  let poison =
+    Fault.make "poison"
+      [
+        Action.deterministic "F:poison" (x_is 0) (fun st ->
+            State.set st "x" (Value.int 2));
+      ]
+  in
+  let r =
+    get (Synthesize.add_masking p ~spec ~invariant:(x_is 0) ~faults:poison)
+  in
+  Alcotest.(check bool) "verified masking" true (Tolerance.verdict r.report);
+  Alcotest.(check string)
+    "invariant marked as weakened" "S_masking_weakened"
+    (Pred.name r.invariant);
+  Alcotest.(check bool) "x=1 in weakened invariant" true
+    (Pred.holds r.invariant (State.of_list [ ("x", Value.int 1) ]));
+  Alcotest.(check bool) "x=3 in weakened invariant" true
+    (Pred.holds r.invariant (State.of_list [ ("x", Value.int 3) ]));
+  Alcotest.(check bool) "poisoned x=0 excluded" false
+    (Pred.holds r.invariant (State.of_list [ ("x", Value.int 0) ]))
+
+(* The corrector races the program: the first layering picks a recovery
+   step the program immediately undoes (the anti-undo veto is relaxed
+   because keeping it leaves the state unrecoverable), verification finds
+   the fair cycle, and the repair loop bans the raced edge — forcing the
+   two-variable escalation that jumps past the race. *)
+let test_repair_breaks_cycle () =
+  let getx st = Value.as_int (State.get st "x") in
+  let gety st = Value.as_int (State.get st "y") in
+  let inv = Pred.make "origin" (fun st -> getx st = 0 && gety st = 0) in
+  let p =
+    Program.make ~name:"racer"
+      ~vars:[ ("x", bit); ("y", bit) ]
+      ~actions:
+        [
+          Action.deterministic "push"
+            (Pred.make "x=1,y=0" (fun st -> getx st = 1 && gety st = 0))
+            (fun st -> State.set st "y" (Value.int 1));
+        ]
+  in
+  let spec =
+    Spec.make ~name:"come-home"
+      ~liveness:(Liveness.eventually ~name:"eventually home" inv)
+      ()
+  in
+  let jump =
+    Fault.make "kick"
+      [
+        Action.deterministic "F:kick-corner" inv (fun st ->
+            State.update_many st [ ("x", Value.int 1); ("y", Value.int 1) ]);
+        Action.deterministic "F:kick-side" inv (fun st ->
+            State.set st "x" (Value.int 1));
+      ]
+  in
+  let r = get (Synthesize.add_nonmasking p ~spec ~invariant:inv ~faults:jump) in
+  Alcotest.(check bool) "verified nonmasking" true (Tolerance.verdict r.report);
+  Alcotest.(check bool)
+    "counterexample-guided repair actually iterated" true
+    (r.repair_iterations >= 1)
 
 (* Recovery synthesis succeeds, but the synthesized program cannot meet
    the liveness obligation of the specification: the self-looping program
@@ -281,8 +393,13 @@ let suite =
       Alcotest.test_case "unsynthesizable" `Quick test_unsynthesizable;
       Alcotest.test_case "neighbors deduplicated" `Quick test_neighbors_dedup;
       Alcotest.test_case "empty invariant" `Quick test_failure_empty_invariant;
+      Alcotest.test_case "step-vars escalation heals diagonal jump" `Quick
+        test_step_vars_escalation_heals;
       Alcotest.test_case "unrecoverable state" `Quick
         test_failure_unrecoverable;
+      Alcotest.test_case "invariant weakening" `Quick test_invariant_weakening;
+      Alcotest.test_case "repair breaks recovery race" `Quick
+        test_repair_breaks_cycle;
       Alcotest.test_case "verification failed" `Quick
         test_failure_verification;
       Alcotest.test_case "budget trip undecided" `Quick test_budget_trip;

@@ -7,10 +7,11 @@
    transformations of {!Synthesize} on both engines.  The two paths must
    agree exactly: same outcome constructor, extensionally identical
    synthesized programs (compared as fully built reference systems),
-   identical recomputed invariants, recovery-state counts and verification
-   reports, and — on failures — the same minimal unrecoverable state or
-   report.  Together the properties run 300 random programs per test
-   execution. *)
+   identical recomputed (possibly weakened, under the same name)
+   invariants, recovery-state counts, repair-iteration counts and
+   verification reports, and — on failures — the same minimal
+   unrecoverable state or report.  Together the properties run 300 random
+   programs per test execution. *)
 
 open Detcor_kernel
 open Detcor_semantics
@@ -167,9 +168,11 @@ let same_outcome p r_ref r_pk =
     Util.ts_equal ts_a ts_b
     && Program.name a.program = Program.name b.program
     && Pred.equal_on ~universe:(Program.states p) a.invariant b.invariant
+    && Pred.name a.invariant = Pred.name b.invariant
     && report_str a.report = report_str b.report
     && List.map fst a.added_detectors = List.map fst b.added_detectors
     && a.recovery_states = b.recovery_states
+    && a.repair_iterations = b.repair_iterations
   | Error Synthesize.Empty_invariant, Error Synthesize.Empty_invariant -> true
   | ( Error (Synthesize.Unrecoverable_state s1),
       Error (Synthesize.Unrecoverable_state s2) ) ->
