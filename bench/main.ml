@@ -61,11 +61,19 @@ module Bench_table = struct
      table-specific fields (phase splits, outcome tags).  [ok] marks the
      row as a successful run — failed rows still record their timings but
      are excluded from [best_speedup], so a fast failure cannot headline
-     the table.  Returns the speedup for the table's own rendering. *)
+     the table.  Every row also records the process peak RSS at record
+     time (VmHWM — monotone over the process lifetime, so within a table
+     it reflects the largest run so far) and the packed-side exploration
+     rate, so memory cliffs and throughput regressions are visible in
+     the JSON artifacts without rerunning.  Returns the speedup for the
+     table's own rendering. *)
   let add_row t ~name ~states ~agree ~reference_s ~packed_s ?(ok = true)
       ?(extra = []) () =
     let speedup = reference_s /. packed_s in
     if ok && speedup > t.best_speedup then t.best_speedup <- speedup;
+    let states_per_s =
+      if packed_s > 0.0 then float_of_int states /. packed_s else 0.0
+    in
     let open Detcor_obs in
     t.rows <-
       Jsonx.Obj
@@ -76,6 +84,8 @@ module Bench_table = struct
            ("reference_s", Jsonx.Float reference_s);
            ("packed_s", Jsonx.Float packed_s);
            ("speedup", Jsonx.Float speedup);
+           ("peak_rss_bytes", Jsonx.Int (Expose.peak_rss_bytes ()));
+           ("states_per_s", Jsonx.Float states_per_s);
          ]
         @ extra)
       :: t.rows;
@@ -1093,6 +1103,147 @@ let table_telemetry () =
   Bench_table.write tbl ~file:"BENCH_obs.json"
 
 (* ------------------------------------------------------------------ *)
+(* E16 / Table 9h: the out-of-core sharded engine at scale.            *)
+(* ------------------------------------------------------------------ *)
+
+(* Two kinds of rows.  Identity rows check verdict agreement between the
+   packed and sharded engines on substrates too big for the per-property
+   differential suite (Byzantine n=7, distributed reset n=10).  The
+   scale row (ring12: 4^12 states, [--scale] only — it is a long
+   single-core run) is the engine's reason to exist: the sharded
+   exploration finishes a 16.7M-state fail-safe check under a bounded
+   resident footprint, then the packed engine is given the same memory
+   budget and trips it.  The sharded run goes FIRST: peak RSS (VmHWM) is
+   monotone over the process lifetime, so its bound must be measured
+   before the packed attempt inflates the high-water mark. *)
+let table_scale ~scale () =
+  section "Table 9h (E16): out-of-core sharded engine";
+  let module Ts = Detcor_semantics.Ts in
+  let tbl = Bench_table.create "E16 sharded engine vs packed engine" in
+  let spill_dir =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ()) "detcor-bench-spill"
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  let spill_files () =
+    Array.length
+      (Array.of_list
+         (List.filter
+            (fun f -> Filename.check_suffix f ".seg")
+            (Array.to_list (Sys.readdir spill_dir))))
+  in
+  let with_shards ?(shards = 4) ?(arena_mb = 512) f =
+    let saved_k, saved_dir, saved_mb = Ts.shard_defaults () in
+    Ts.set_shard_defaults ~shards ~spill_dir:(Some spill_dir)
+      ~arena_budget_mb:arena_mb;
+    Fun.protect
+      ~finally:(fun () ->
+        Ts.set_shard_defaults ~shards:saved_k ~spill_dir:saved_dir
+          ~arena_budget_mb:saved_mb)
+      f
+  in
+  let identity name ?limit ~tol p ~spec ~invariant ~faults () =
+    let run engine =
+      Tolerance.check ?limit ~engine p ~spec ~invariant ~faults ~tol
+    in
+    let r_pk, t_pk = Bench_table.time (fun () -> run Ts.Auto) in
+    let r_sh, t_sh =
+      Bench_table.time (fun () -> with_shards (fun () -> run Ts.Sharded))
+    in
+    let agree =
+      Tolerance.verdict r_pk = Tolerance.verdict r_sh
+      && r_pk.Tolerance.span_size = r_sh.Tolerance.span_size
+    in
+    check (name ^ ": sharded verdict and span agree with packed") true agree;
+    Fmt.pr "  %-28s span %8d states  packed %6.2fs  sharded %6.2fs@." name
+      r_sh.Tolerance.span_size t_pk t_sh;
+    ignore
+      (Bench_table.add_row tbl ~name ~states:r_sh.Tolerance.span_size ~agree
+         ~reference_s:t_pk ~packed_s:t_sh
+         ~extra:
+           [
+             ("reference_engine", Detcor_obs.Jsonx.Str "packed");
+             ("packed_engine", Detcor_obs.Jsonx.Str "sharded");
+           ]
+         ())
+  in
+  let byz = Byzantine.{ non_generals = 6 } in
+  identity "byzantine n=7 failsafe" ~tol:Spec.Failsafe (Byzantine.masking byz)
+    ~spec:(Byzantine.spec byz) ~invariant:(Byzantine.invariant byz)
+    ~faults:(Byzantine.byzantine_faults byz) ();
+  let reset = Distributed_reset.make_config 10 in
+  identity "distributed reset n=10" ~tol:Spec.Masking
+    (Distributed_reset.program reset)
+    ~spec:(Distributed_reset.masking_spec reset)
+    ~invariant:(Distributed_reset.settled reset)
+    ~faults:(Distributed_reset.corruption reset) ();
+  if not scale then
+    Fmt.pr "@.(ring12 out-of-core row skipped — rerun with --scale)@."
+  else begin
+    let cfg = Token_ring.make_config ~k:4 12 in
+    let p = Token_ring.program cfg in
+    let somepriv =
+      Pred.make "someprivilege" (fun st -> Token_ring.privilege_count cfg st >= 1)
+    in
+    let spec =
+      Spec.make ~name:"SPEC_ring12" ~safety:(Safety.always somepriv) ()
+    in
+    let invariant = Token_ring.legitimate cfg in
+    let faults = Fault.corrupt_variable (Token_ring.xvar 0) (Domain.range 0 3) in
+    let limit = 17_000_000 in
+    let run engine =
+      Tolerance.check ~limit ~engine p ~spec ~invariant ~faults
+        ~tol:Spec.Failsafe
+    in
+    let r_sh, t_sh =
+      Bench_table.time (fun () ->
+          with_shards ~shards:4 ~arena_mb:512 (fun () -> run Ts.Sharded))
+    in
+    let rss_sh = Detcor_obs.Expose.peak_rss_bytes () in
+    let spills = spill_files () in
+    Fmt.pr "ring12 sharded: span %d states in %.1fs, peak RSS %d MB, %d spill files@."
+      r_sh.Tolerance.span_size t_sh
+      (rss_sh / (1024 * 1024))
+      spills;
+    check "ring12 sharded verdict holds" true (Tolerance.verdict r_sh);
+    check "ring12 sharded explored >= 10^7 states" true
+      (r_sh.Tolerance.span_size >= 10_000_000);
+    (* The packed attempt runs under a memory budget no tighter than what
+       the sharded run actually consumed — exclusion is honest. *)
+    let budget_mb = max 2048 (rss_sh / (1024 * 1024)) in
+    let budget = Detcor_robust.Budget.make ~max_memory_mb:budget_mb () in
+    let r_pk, t_pk =
+      Bench_table.time (fun () ->
+          Detcor_robust.Budget.with_budget budget (fun () -> run Ts.Auto))
+    in
+    let packed_excluded = Tolerance.unknowns r_pk <> [] in
+    Fmt.pr "ring12 packed under %d MB budget: %s in %.1fs@." budget_mb
+      (if packed_excluded then "EXCLUDED (memory budget exhausted)"
+       else "completed")
+      t_pk;
+    check "ring12 packed trips the sharded run's memory budget" true
+      packed_excluded;
+    ignore
+      (Bench_table.add_row tbl ~name:"token ring n=12 failsafe (out-of-core)"
+         ~states:r_sh.Tolerance.span_size
+         ~agree:(Tolerance.verdict r_sh) ~reference_s:t_pk ~packed_s:t_sh
+         ~ok:(Tolerance.verdict r_sh && packed_excluded)
+         ~extra:
+           [
+             ("reference_engine", Detcor_obs.Jsonx.Str "packed");
+             ("packed_engine", Detcor_obs.Jsonx.Str "sharded");
+             ("sharded_peak_rss_bytes", Detcor_obs.Jsonx.Int rss_sh);
+             ("packed_budget_mb", Detcor_obs.Jsonx.Int budget_mb);
+             ("packed_excluded", Detcor_obs.Jsonx.Bool packed_excluded);
+             ("spill_files", Detcor_obs.Jsonx.Int spills);
+           ]
+         ())
+  end;
+  Bench_table.write tbl ~file:"BENCH_scale.json"
+
+(* ------------------------------------------------------------------ *)
 (* E10: Bechamel timings.                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1193,6 +1344,7 @@ let () =
      tables and the engine differential still run, so CI can smoke-test
      for [MISMATCH] lines without paying for the statistics. *)
   let timings = not (Array.mem "--no-timings" Sys.argv) in
+  let scale = Array.mem "--scale" Sys.argv in
   Fmt.pr
     "detcor reproduction harness — Arora & Kulkarni, 'Detectors and \
      Correctors' (ICDCS 1998)@.";
@@ -1211,6 +1363,7 @@ let () =
   table_robust ();
   table_monitor ();
   table_telemetry ();
+  table_scale ~scale ();
   if timings then run_timings ();
   Fmt.pr "@.=== Summary ===@.";
   if !mismatches = 0 then Fmt.pr "All claims match the paper.@."

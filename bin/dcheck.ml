@@ -119,14 +119,16 @@ let with_errors ~path k =
     Fmt.epr "dcheck: stack overflow@.";
     125
 
-let with_budget timeout k =
-  match timeout with
-  | None -> k ()
-  | Some t -> Budget.with_budget (Budget.make ~timeout:t ()) k
+let with_budget ?memory_mb timeout k =
+  match (timeout, memory_mb) with
+  | None, None -> k ()
+  | timeout, max_memory_mb ->
+    Budget.with_budget (Budget.make ?timeout ?max_memory_mb ()) k
 
 (* [guarded ~path timeout k]: the budget goes inside the error handler so
    exhaustion anywhere — including parsing and elaboration — exits 3. *)
-let guarded ~path timeout k = with_errors ~path (fun () -> with_budget timeout k)
+let guarded ?memory_mb ~path timeout k =
+  with_errors ~path (fun () -> with_budget ?memory_mb timeout k)
 
 let timeout_arg =
   Arg.(
@@ -159,6 +161,106 @@ let workers_arg =
            Results are identical for any worker count; a worker that \
            crashes is retried sequentially and the run continues with a \
            smaller pool.")
+
+(* ------------------------------------------------------------------ *)
+(* Engine selection and memory budgets.                                *)
+(* ------------------------------------------------------------------ *)
+
+type engine_opts = {
+  engine : Detcor_semantics.Ts.engine;
+  shards : int;
+  spill_dir : string option;
+  arena_mb : int;
+  memory_mb : int option;
+}
+
+let engine_conv =
+  let parse = function
+    | "auto" -> Ok Detcor_semantics.Ts.Auto
+    | "packed" -> Ok Detcor_semantics.Ts.Packed
+    | "reference" -> Ok Detcor_semantics.Ts.Reference
+    | "sharded" -> Ok Detcor_semantics.Ts.Sharded
+    | s -> Error (`Msg (Fmt.str "unknown engine %S" s))
+  in
+  let print ppf e = Fmt.string ppf (Detcor_semantics.Ts.engine_name e) in
+  Arg.conv (parse, print)
+
+let engine_term =
+  let engine_arg =
+    Arg.(
+      value
+      & opt engine_conv Detcor_semantics.Ts.Auto
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Exploration engine: $(b,auto) (packed with reference \
+             fallback), $(b,packed), $(b,reference), or $(b,sharded) — \
+             the out-of-core engine whose state and edge arenas are \
+             hash-partitioned into shards that spill to disk under \
+             $(b,--spill-dir), for explorations past RAM.  All engines \
+             produce identical verdicts and state numbering.")
+  in
+  let shards_arg =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Shard count for $(b,--engine sharded) (clamped to 1..64).  \
+             Shards are the spill and checkpoint unit; more shards mean \
+             finer-grained eviction.")
+  in
+  let spill_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spill-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for the sharded engine's spill files (checksummed \
+             segment arenas, reloaded on demand).  Without it the sharded \
+             engine keeps all arenas resident.")
+  in
+  let arena_mb_arg =
+    Arg.(
+      value
+      & opt int 512
+      & info [ "shard-arena-mb" ] ~docv:"MB"
+          ~doc:
+            "Resident arena budget of the sharded engine, in MiB; sealed \
+             segments past it are spilled (least recently used first).  \
+             Only enforced when $(b,--spill-dir) is set.")
+  in
+  let memory_mb_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "memory-budget" ] ~docv:"MB"
+          ~doc:
+            "Heap budget for the whole run, in MiB; exhaustion exits 3 \
+             (a final checkpoint is still written when armed).")
+  in
+  let make engine shards spill_dir arena_mb memory_mb =
+    { engine; shards; spill_dir; arena_mb; memory_mb }
+  in
+  Term.(
+    const make $ engine_arg $ shards_arg $ spill_dir_arg $ arena_mb_arg
+    $ memory_mb_arg)
+
+(* Install the process-wide sharded-engine parameters and return the
+   engine choice for the ?engine arguments downstream. *)
+let apply_engine eo =
+  Detcor_semantics.Ts.set_shard_defaults ~shards:eo.shards
+    ~spill_dir:eo.spill_dir ~arena_budget_mb:eo.arena_mb;
+  eo.engine
+
+(* Fingerprint fragment: everything in the engine options that affects
+   the computation's checkpoint/spill state. *)
+let engine_params eo =
+  [
+    Detcor_semantics.Ts.engine_name eo.engine;
+    string_of_int eo.shards;
+    (match eo.spill_dir with None -> "-" | Some d -> d);
+    string_of_int eo.arena_mb;
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Crash-safe checkpointing (verify / synthesize / simulate).           *)
@@ -429,9 +531,10 @@ let with_obs ?(extra = []) ~sub ~path opts k =
 (* ------------------------------------------------------------------ *)
 
 let info_cmd =
-  let run path limit timeout obs =
+  let run path limit timeout eopts obs =
     with_obs ~sub:"info" ~path obs @@ fun () ->
-    guarded ~path timeout @@ fun () ->
+    guarded ?memory_mb:eopts.memory_mb ~path timeout @@ fun () ->
+    let engine = apply_engine eopts in
     let e = Elaborate.load_file path in
     Fmt.pr "program %s@." (Program.name e.program);
     Fmt.pr "  variables:     %d@." (List.length (Program.variables e.program));
@@ -460,13 +563,16 @@ let info_cmd =
        handler and exits 3 like every other exhausted budget. *)
     let module Ts = Detcor_semantics.Ts in
     let ts =
-      Ts.of_pred ~limit (Fault.compose e.program e.faults) ~from:e.invariant
+      Ts.of_pred ~limit ~engine
+        (Fault.compose e.program e.faults)
+        ~from:e.invariant
     in
-    Fmt.pr "  engine:        %s@."
-      (match Ts.engine_of ts with
-      | Ts.Packed -> "packed"
-      | Ts.Reference -> "reference"
-      | Ts.Auto -> "auto");
+    Fmt.pr "  engine:        %s@." (Ts.engine_name (Ts.engine_of ts));
+    (match Ts.shard_stats ts with
+    | None -> ()
+    | Some (k, spills, bytes, reloads) ->
+      Fmt.pr "  shards:        %d (%d spills, %d bytes spilled, %d reloads)@."
+        k spills bytes reloads);
     (match Ts.fallback_reason ts with
     | None -> ()
     | Some reason ->
@@ -475,7 +581,8 @@ let info_cmd =
   in
   Cmd.v
     (Cmd.info "info" ~doc:"Summarize a guarded-command program.")
-    Term.(const run $ file_arg $ limit_arg $ timeout_arg $ obs_term)
+    Term.(
+      const run $ file_arg $ limit_arg $ timeout_arg $ engine_term $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                              *)
@@ -508,17 +615,16 @@ let explain_arg =
         ~doc:"On failure, print a witness trace for each failing obligation.")
 
 let verify_cmd =
-  let run path tol limit explain timeout workers robust obs =
+  let run path tol limit explain timeout workers eopts robust obs =
     with_obs ~sub:"verify" ~path obs @@ fun () ->
-    guarded ~path timeout @@ fun () ->
+    guarded ?memory_mb:eopts.memory_mb ~path timeout @@ fun () ->
+    let engine = apply_engine eopts in
     with_checkpoint ~path ~sub:"verify"
       ~params:
-        [
-          (match tol with
-          | Some t -> Fmt.str "%a" Spec.pp_tolerance t
-          | None -> "all");
-          string_of_int limit;
-        ]
+        ((match tol with
+         | Some t -> Fmt.str "%a" Spec.pp_tolerance t
+         | None -> "all")
+        :: string_of_int limit :: engine_params eopts)
       robust
     @@ fun () ->
     let e = Elaborate.load_file path in
@@ -532,8 +638,8 @@ let verify_cmd =
         (* Witnesses are found on the composed p [] F system over the
            fault span: it contains every state either checker explored. *)
         let span =
-          Tolerance.fault_span ~limit ~workers e.program ~faults:e.faults
-            ~from:e.invariant
+          Tolerance.fault_span ~limit ~workers ~engine e.program
+            ~faults:e.faults ~from:e.invariant
         in
         List.iter
           (fun (item : Tolerance.item) ->
@@ -558,7 +664,7 @@ let verify_cmd =
     List.iter
       (fun tol ->
         let report =
-          Tolerance.check ~limit ~workers e.program ~spec:e.spec
+          Tolerance.check ~limit ~workers ~engine e.program ~spec:e.spec
             ~invariant:e.invariant ~faults:e.faults ~tol
         in
         Fmt.pr "%a@.@." Tolerance.pp_report report;
@@ -583,7 +689,7 @@ let verify_cmd =
        ~doc:"Check F-tolerance of the program against its specification.")
     Term.(
       const run $ file_arg $ tolerance_arg $ limit_arg $ explain_arg
-      $ timeout_arg $ workers_arg $ robust_term $ obs_term)
+      $ timeout_arg $ workers_arg $ engine_term $ robust_term $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* components                                                          *)
@@ -632,27 +738,29 @@ let components_cmd =
 (* ------------------------------------------------------------------ *)
 
 let synthesize_cmd =
-  let run path tol limit timeout workers robust obs =
+  let run path tol limit timeout workers eopts robust obs =
     with_obs ~sub:"synthesize" ~path obs @@ fun () ->
-    guarded ~path timeout @@ fun () ->
+    guarded ?memory_mb:eopts.memory_mb ~path timeout @@ fun () ->
+    let engine = apply_engine eopts in
     let tol = match tol with Some t -> t | None -> Spec.Masking in
     with_checkpoint ~path ~sub:"synthesize"
       ~params:
-        [ Fmt.str "%a" Spec.pp_tolerance tol; string_of_int limit ]
+        (Fmt.str "%a" Spec.pp_tolerance tol
+        :: string_of_int limit :: engine_params eopts)
       robust
     @@ fun () ->
     let e = Elaborate.load_file path in
     let result =
       match tol with
       | Spec.Failsafe ->
-        Detcor_synthesis.Synthesize.add_failsafe ~limit ~workers e.program
-          ~spec:e.spec ~invariant:e.invariant ~faults:e.faults
+        Detcor_synthesis.Synthesize.add_failsafe ~limit ~workers ~engine
+          e.program ~spec:e.spec ~invariant:e.invariant ~faults:e.faults
       | Spec.Nonmasking ->
-        Detcor_synthesis.Synthesize.add_nonmasking ~limit ~workers e.program
-          ~spec:e.spec ~invariant:e.invariant ~faults:e.faults
+        Detcor_synthesis.Synthesize.add_nonmasking ~limit ~workers ~engine
+          e.program ~spec:e.spec ~invariant:e.invariant ~faults:e.faults
       | Spec.Masking ->
-        Detcor_synthesis.Synthesize.add_masking ~limit ~workers e.program
-          ~spec:e.spec ~invariant:e.invariant ~faults:e.faults
+        Detcor_synthesis.Synthesize.add_masking ~limit ~workers ~engine
+          e.program ~spec:e.spec ~invariant:e.invariant ~faults:e.faults
     in
     match result with
     | Error (Detcor_synthesis.Synthesize.Exhausted r) ->
@@ -684,7 +792,7 @@ let synthesize_cmd =
          "Add fail-safe, nonmasking or masking tolerance to the program \
           (default: masking).")
     Term.(const run $ file_arg $ tolerance_arg $ limit_arg $ timeout_arg
-          $ workers_arg $ robust_term $ obs_term)
+          $ workers_arg $ engine_term $ robust_term $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -721,9 +829,11 @@ let simulate_cmd =
             "Write the sampled runs as a detcor stream to $(docv), \
              replayable offline with $(b,dcheck monitor --stream).")
   in
-  let run path runs steps prob max_faults seed record timeout robust obs =
+  let run path runs steps prob max_faults seed record timeout eopts robust obs
+      =
     with_obs ~sub:"simulate" ~path obs @@ fun () ->
-    guarded ~path timeout @@ fun () ->
+    guarded ?memory_mb:eopts.memory_mb ~path timeout @@ fun () ->
+    let (_ : Detcor_semantics.Ts.engine) = apply_engine eopts in
     with_checkpoint ~path ~sub:"simulate"
       ~params:
         [
@@ -796,7 +906,8 @@ let simulate_cmd =
        ~doc:"Fault-injection simulation with online safety monitoring.")
     Term.(
       const run $ file_arg $ runs_arg $ steps_arg $ prob_arg $ max_faults_arg
-      $ seed_arg $ record_arg $ timeout_arg $ robust_term $ obs_term)
+      $ seed_arg $ record_arg $ timeout_arg $ engine_term $ robust_term
+      $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* monitor                                                             *)

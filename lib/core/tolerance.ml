@@ -268,33 +268,65 @@ let check_with ?limit ?engine ?workers ?recover p ~spec ~invariant ~init ~faults
             base_ts := Some ts;
             o))
   in
-  let span =
+  (* The span (forward closure of S under p [] F).  Only the explored
+     system is built eagerly; the span *state list* — linear in span
+     size, and needed only by the nonmasking obligations — is
+     materialized on first demand, so a failsafe or masking check of a
+     billion-state span never holds the states as a list. *)
+  let span_ts =
     structure (fun () ->
-        fault_span_from_states ?limit ?engine ?workers p ~faults ~init)
+        Obs.span "tolerance.fault_span" @@ fun () ->
+        let ts =
+          Ts.build ?limit ?engine ?workers (Fault.compose p faults) ~from:init
+        in
+        if Obs.on () then
+          Obs.annotate [ Attr.int "span_states" (Ts.num_states ts) ];
+        ts)
   in
-  (* p alone, over the whole span: used for liveness after faults stop. *)
-  let ts_p_span =
-    match span with
-    | None -> None
-    | Some span ->
-      structure (fun () -> Ts.build ?limit ?engine ?workers p ~from:span.states)
+  let span_states_memo = ref None in
+  let span_states () =
+    match !span_states_memo with
+    | Some states -> states
+    | None ->
+      let states =
+        match span_ts with None -> [] | Some ts -> Ts.states ts
+      in
+      span_states_memo := Some states;
+      states
+  in
+  (* p alone, over the whole span: used for liveness after the faults
+     stop.  Built on demand — the failsafe obligations never need it. *)
+  let ts_p_span_memo = ref None in
+  let ts_p_span () =
+    match !ts_p_span_memo with
+    | Some r -> r
+    | None ->
+      let r =
+        match span_ts with
+        | None -> None
+        | Some _ ->
+          structure (fun () ->
+              Ts.build ?limit ?engine ?workers p ~from:(span_states ()))
+      in
+      ts_p_span_memo := Some r;
+      r
   in
   let sspec = Spec.smallest_safety_containing spec in
-  let safety_item =
+  let safety_item () =
     timed "p[]F refines SSPEC from span" (fun () ->
-        match span with
+        match span_ts with
         | None -> unknown ()
-        | Some span -> guard (fun () -> Spec.refines span.ts_pf sspec))
+        | Some ts_pf -> guard (fun () -> Spec.refines ts_pf sspec))
   in
   (* Nonmasking: a suffix of every computation is in SPEC.  The paper's
      route (Theorem 4.3): converge to a recovery predicate R (default: the
      invariant S) from which SPEC is refined. *)
   let recover = match recover with Some r -> r | None -> invariant in
-  let convergence_item =
+  let convergence_item () =
     timed
       (Fmt.str "p converges from span to %s" (Pred.name recover))
       (fun () ->
-        match ts_p_span with
+        match ts_p_span () with
         | None -> unknown ()
         | Some ts -> guard (fun () -> Check.eventually ts recover))
   in
@@ -302,13 +334,13 @@ let check_with ?limit ?engine ?workers ?recover p ~spec ~invariant ~init ~faults
     timed
       (Fmt.str "p refines SPEC from %s" (Pred.name recover))
       (fun () ->
-        match span with
+        match span_ts with
         | None -> unknown ()
-        | Some span ->
+        | Some _ ->
           guard (fun () ->
               let ts_rec =
                 Ts.build ?limit ?engine ?workers p
-                  ~from:(List.filter (Pred.holds recover) span.states)
+                  ~from:(List.filter (Pred.holds recover) (span_states ()))
               in
               Check.all
                 [ Check.closed ts_rec recover; Spec.refines ts_rec spec ]))
@@ -316,27 +348,29 @@ let check_with ?limit ?engine ?workers ?recover p ~spec ~invariant ~init ~faults
   (* Masking: computations of p [] F from the span are in SPEC — safety on
      the full p [] F graph, liveness under the finitely-many-faults
      semantics (Assumption 2). *)
-  let liveness_item =
+  let liveness_item () =
     timed "liveness of SPEC on p[]F from span" (fun () ->
-        match (span, ts_p_span) with
-        | Some span, Some ts_p_span ->
+        match (span_ts, ts_p_span ()) with
+        | Some ts_pf, Some ts_p ->
           guard (fun () ->
-              liveness_under_faults ~ts_pf:span.ts_pf ~ts_p:ts_p_span
-                (Spec.liveness spec))
+              liveness_under_faults ~ts_pf ~ts_p (Spec.liveness spec))
         | _ -> unknown ())
   in
+  (* Each class computes exactly its own obligations, in report order —
+     an unused obligation is never evaluated, so e.g. a failsafe check
+     never runs the convergence analysis it would not report. *)
   let items =
     match tol with
-    | Spec.Failsafe -> [ base_item; safety_item ]
-    | Spec.Nonmasking -> [ base_item; convergence_item; recover_item () ]
-    | Spec.Masking -> [ base_item; safety_item; liveness_item ]
+    | Spec.Failsafe -> [ base_item; safety_item () ]
+    | Spec.Nonmasking -> [ base_item; convergence_item (); recover_item () ]
+    | Spec.Masking -> [ base_item; safety_item (); liveness_item () ]
   in
   {
     subject = Program.name p;
     tol;
-    span_size = (match span with Some s -> List.length s.states | None -> 0);
+    span_size = (match span_ts with Some ts -> Ts.num_states ts | None -> 0);
     invariant_size =
-      (match !base_ts with Some ts -> List.length (Ts.states ts) | None -> 0);
+      (match !base_ts with Some ts -> Ts.num_states ts | None -> 0);
     items;
   }
 
@@ -348,7 +382,7 @@ let init_states ?limit ?(engine = Ts.Auto) p ~invariant =
   let reference () = List.filter (Pred.holds invariant) (Program.states p) in
   match engine with
   | Ts.Reference -> reference ()
-  | Ts.Packed | Ts.Auto -> (
+  | Ts.Packed | Ts.Auto | Ts.Sharded -> (
     match Layout.of_program p with
     | Some layout ->
       let acc = ref [] in
@@ -357,8 +391,8 @@ let init_states ?limit ?(engine = Ts.Auto) p ~invariant =
             acc := State.scratch_copy sc :: !acc);
       List.rev !acc
     | None ->
-      if engine = Ts.Packed then raise Layout.Unrepresentable
-      else reference ())
+      if engine = Ts.Auto then reference ()
+      else raise Layout.Unrepresentable)
 
 let check ?limit ?engine ?workers ?recover p ~spec ~invariant ~faults ~tol =
   match init_states ?limit ?engine p ~invariant with

@@ -63,8 +63,17 @@ let cardinal t =
   !total
 
 let iter_set t f =
-  for i = 0 to t.length - 1 do
-    if get t i then f i
+  (* Skip zero bytes: sparse sets (frontiers, violation sets) are the
+     common case in the backward fixpoints, and most bytes are empty. *)
+  let n = Bytes.length t.bits in
+  for byte = 0 to n - 1 do
+    let b = Char.code (Bytes.unsafe_get t.bits byte) in
+    if b <> 0 then begin
+      let base = byte lsl 3 in
+      for bit = 0 to 7 do
+        if b land (1 lsl bit) <> 0 then f (base + bit)
+      done
+    end
   done
 
 let equal a b = a.length = b.length && Bytes.equal a.bits b.bits
@@ -83,12 +92,41 @@ let union_into ~into t =
   if into.length <> t.length then
     Detcor_robust.Error.internal "Bitset.union_into: length %d vs %d" into.length
       t.length;
-  for byte = 0 to Bytes.length t.bits - 1 do
+  let n = Bytes.length t.bits in
+  let words = n lsr 3 in
+  for w = 0 to words - 1 do
+    let off = w lsl 3 in
+    Bytes.set_int64_le into.bits off
+      (Int64.logor
+         (Bytes.get_int64_le into.bits off)
+         (Bytes.get_int64_le t.bits off))
+  done;
+  for byte = words lsl 3 to n - 1 do
     Bytes.unsafe_set into.bits byte
       (Char.unsafe_chr
          (Char.code (Bytes.unsafe_get into.bits byte)
          lor Char.code (Bytes.unsafe_get t.bits byte)))
   done
+
+(* 64-bit windows of the set, for word-parallel merges: [f w bits] with
+   [bits] covering indices [64w .. 64w+63] (the tail word is
+   zero-padded, consistent with the trailing-zero-bits invariant). *)
+let iter_words t f =
+  let n = Bytes.length t.bits in
+  let words = n lsr 3 in
+  for w = 0 to words - 1 do
+    f w (Bytes.get_int64_le t.bits (w lsl 3))
+  done;
+  if n land 7 <> 0 then begin
+    let bits = ref 0L in
+    for byte = n - 1 downto words lsl 3 do
+      bits :=
+        Int64.logor
+          (Int64.shift_left !bits 8)
+          (Int64.of_int (Char.code (Bytes.unsafe_get t.bits byte)))
+    done;
+    f words !bits
+  end
 
 (* Raw bit bytes, for snapshot payloads.  [of_string] pairs the bytes
    back with their logical length, which the string alone cannot carry. *)

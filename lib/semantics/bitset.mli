@@ -20,9 +20,15 @@ val copy : t -> t
 (** [any t] holds iff at least one bit is set. *)
 val any : t -> bool
 
-(** [union_into ~into t] ORs [t] into [into] in place; the lengths must
-    match. *)
+(** [union_into ~into t] ORs [t] into [into] in place, 64 bits at a
+    time; the lengths must match. *)
 val union_into : into:t -> t -> unit
+
+(** [iter_words t f] calls [f w bits] for each 64-bit window of the
+    set, in index order; window [w] covers indices [64w .. 64w+63] and
+    the final window is zero-padded.  The word-parallel view used by
+    the shard outbox merges. *)
+val iter_words : t -> (int -> int64 -> unit) -> unit
 
 (** The raw bit bytes, for snapshot payloads. *)
 val to_string : t -> string

@@ -45,6 +45,17 @@ val safety :
   bad_transition:(State.t -> State.t -> bool) ->
   outcome
 
+(** Decomposed safety: bad-state predicates plus bad (source, target)
+    predicate pairs, evaluated through the engine's {!Ts.pred_bitset}
+    cache — one pass over the states, and the edge sweep is skipped
+    when [bad_pairs] is empty.  Verdict (and first violation) identical
+    to {!safety} on the corresponding closures. *)
+val safety_parts :
+  Ts.t ->
+  bad_states:Pred.t list ->
+  bad_pairs:(Pred.t * Pred.t) list ->
+  outcome
+
 (** [leads_to ts p q] under weak fairness: every [p]-state along every fair
     maximal computation is eventually followed by a [q]-state. *)
 val leads_to : Ts.t -> Pred.t -> Pred.t -> outcome

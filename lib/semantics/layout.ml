@@ -165,7 +165,16 @@ exception Slow
    states share the untouched binding tuples of their source, so the
    common case costs one physical-equality scan plus a couple of coder
    lookups.  Falls back to the full [pack] (and its escape diagnosis)
-   whenever the shapes differ or a value is out of domain. *)
+   whenever the shapes differ or a value is out of domain.
+
+   Precondition: [src_rank = pack t src].  The delta is computed
+   against the *claimed* rank, not the source state, so a stale rank
+   silently yields a wrong answer.  This matters for the sharded
+   engine, where ranks travel through frontier buffers and spill files
+   between the pack site and the expansion site: callers there must
+   carry the rank next to the state it ranks (the frontier stores
+   (gid, rank) pairs for exactly this reason) rather than re-deriving
+   it from a different arena's numbering. *)
 let pack_from t ~src_rank src st' =
   let rank = ref src_rank in
   match
@@ -192,6 +201,24 @@ let unpack t rank =
     st := State.set !st t.vars.(k) t.domains.(k).(code)
   done;
   !st
+
+(* [unpack_into t sc rank] decodes [rank] into the scratch buffer [sc]
+   (created over this layout's variables) instead of allocating a fresh
+   state: the gid-order sweeps of the sharded engine decode millions of
+   ranks per predicate evaluation and must not build a state per
+   visit.  The buffer is invalidated by the next call. *)
+let unpack_into t sc rank =
+  if rank < 0 || rank >= t.space then
+    Detcor_robust.Error.internal "Layout.unpack_into: rank %d outside [0,%d)"
+      rank t.space;
+  let n = Array.length t.vars in
+  for k = 0 to n - 1 do
+    let code = rank / t.strides.(k) mod Array.length t.domains.(k) in
+    State.scratch_set sc k t.domains.(k).(code)
+  done
+
+(* A scratch buffer shaped for {!unpack_into}. *)
+let scratch t = State.scratch_create t.vars
 
 (* Enumerate the whole product space in rank order through one reusable
    scratch buffer: visiting a state costs one slot write instead of a

@@ -51,12 +51,25 @@ val pack_opt : t -> State.t -> int option
     states share the untouched binding tuples of their source, so the
     common case is a physical-equality scan plus one coder lookup per
     changed variable; shape mismatches fall back to the full {!pack}.
+
+    [src_rank] {e must} equal [pack t src]: the delta trusts the claimed
+    rank, so passing a rank from a different numbering (a stale frontier
+    entry, another arena's local index) silently yields a wrong rank.
+    Carry the rank alongside the state it ranks.
     @raise Unrepresentable if [st'] does not fit the layout. *)
 val pack_from : t -> src_rank:int -> State.t -> State.t -> int
 
 (** [unpack t rank] rebuilds the state of the given rank; inverse of
     {!pack} on representable states. *)
 val unpack : t -> int -> State.t
+
+(** [unpack_into t sc rank] decodes [rank] into the scratch buffer [sc]
+    (from {!scratch}) without allocating a state; the buffer is
+    invalidated by the next call. *)
+val unpack_into : t -> State.scratch -> int -> unit
+
+(** A scratch buffer over this layout's variables, for {!unpack_into}. *)
+val scratch : t -> State.scratch
 
 (** Enumerate the full product space in ascending rank order.  Each state
     passed to the callback is fresh and may be retained. *)

@@ -1,0 +1,948 @@
+(* Hash-partitioned, disk-spillable state storage for the sharded engine.
+
+   The packed engine interns every state and edge into one pair of RAM
+   arenas, which caps explorations at what the heap holds.  This store
+   splits the same data by shard — [owner rank = rank mod k] — into
+   per-shard arenas made of level-aligned *segments*:
+
+   - a segment is created when a BFS level's merge interns its states
+     (the rank column fills), receives its CSR edges while the *next*
+     level expands those states, and is then sealed — one level in
+     arrears, so a sealed segment is immutable forever after;
+   - sealed segments are the spill unit: when the resident arena bytes
+     exceed the budget, least-recently-used segments are written once to
+     checksummed files under the spill directory (the [Checkpoint] file
+     format, so truncation and corruption are detected on reload) and
+     their arrays dropped; any later access reloads on demand;
+   - per-shard dedup is a direct rank-indexed map plus a visited bitset
+     when the product space is small enough, and a hash table otherwise;
+   - cross-shard successor batches travel through per-(producer, owner)
+     outboxes, delta/varint-encoded, written lock-free (single writer
+     per pair) and merged at level barriers in (source gid, successor
+     position) order — exactly the interning order of the packed
+     engine, which is what keeps the numbering byte-identical.
+
+   Global state ids (gids) are dense and assigned at merge time; the
+   [loc] array maps gid -> (shard, local id).  Shards are also the
+   checkpoint unit: {!snapshot} captures the segment manifest (file
+   references once spilled, inline payloads otherwise), the open
+   per-shard rank columns, and the gid->shard map, from which
+   {!restore} rebuilds the dedup tables deterministically. *)
+
+open Detcor_obs
+
+let m_spills = Metrics.counter "engine.shard.spills"
+let m_spill_bytes = Metrics.counter "engine.shard.spill_bytes"
+let m_reloads = Metrics.counter "engine.shard.reloads"
+let m_spill_errors = Metrics.counter "engine.shard.spill_errors"
+
+let max_shards = 64
+
+(* Raised by {!intern} when the state count would exceed the limit; [Ts]
+   converts it to its public [Too_large]. *)
+exception Limit of int
+
+(* ------------------------------------------------------------------ *)
+(* Growable int buffers and varint coding.                             *)
+(* ------------------------------------------------------------------ *)
+
+module Ibuf = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let create n = { a = Array.make (max n 8) 0; len = 0 }
+
+  let add b v =
+    if b.len = Array.length b.a then begin
+      let a' = Array.make (2 * Array.length b.a) 0 in
+      Array.blit b.a 0 a' 0 b.len;
+      b.a <- a'
+    end;
+    b.a.(b.len) <- v;
+    b.len <- b.len + 1
+
+  let to_array b = Array.sub b.a 0 b.len
+  let reset b = b.len <- 0
+end
+
+(* LEB128-style varints over the full 63-bit int range (logical shifts,
+   so negative ints terminate in at most 10 bytes); signed values go
+   through zigzag so small deltas of either sign stay short. *)
+module Vbuf = struct
+  type t = { mutable buf : Bytes.t; mutable len : int }
+
+  let create n = { buf = Bytes.create (max n 32); len = 0 }
+
+  let ensure b extra =
+    if b.len + extra > Bytes.length b.buf then begin
+      let cap = ref (2 * Bytes.length b.buf) in
+      while b.len + extra > !cap do
+        cap := 2 * !cap
+      done;
+      let buf' = Bytes.create !cap in
+      Bytes.blit b.buf 0 buf' 0 b.len;
+      b.buf <- buf'
+    end
+
+  let put_u b v =
+    ensure b 10;
+    let v = ref v in
+    let continue = ref true in
+    while !continue do
+      let byte = !v land 0x7f in
+      v := !v lsr 7;
+      if !v = 0 then begin
+        Bytes.unsafe_set b.buf b.len (Char.unsafe_chr byte);
+        continue := false
+      end
+      else Bytes.unsafe_set b.buf b.len (Char.unsafe_chr (byte lor 0x80));
+      b.len <- b.len + 1
+    done
+
+  let zigzag v = (v lsl 1) lxor (v asr 62)
+  let put_i b v = put_u b (zigzag v)
+
+  let put_raw b s =
+    let n = String.length s in
+    put_u b n;
+    ensure b n;
+    Bytes.blit_string s 0 b.buf b.len n;
+    b.len <- b.len + n
+
+  let contents b = Bytes.sub_string b.buf 0 b.len
+  let reset b = b.len <- 0
+end
+
+module Vcur = struct
+  type t = { data : string; mutable pos : int }
+
+  let of_string data = { data; pos = 0 }
+  let at_end c = c.pos >= String.length c.data
+  let _ = at_end
+
+  let get_u c =
+    let v = ref 0 and shift = ref 0 and continue = ref true in
+    while !continue do
+      if c.pos >= String.length c.data then
+        Detcor_robust.Error.snapshot ~path:"shard payload" "truncated varint column";
+      let byte = Char.code (String.unsafe_get c.data c.pos) in
+      c.pos <- c.pos + 1;
+      v := !v lor ((byte land 0x7f) lsl !shift);
+      shift := !shift + 7;
+      if byte land 0x80 = 0 then continue := false
+    done;
+    !v
+
+  let unzigzag u = (u lsr 1) lxor (- (u land 1))
+  let get_i c = unzigzag (get_u c)
+
+  let get_raw c =
+    let n = get_u c in
+    if c.pos + n > String.length c.data then
+      Detcor_robust.Error.snapshot ~path:"shard payload" "truncated varint column";
+    let s = String.sub c.data c.pos n in
+    c.pos <- c.pos + n;
+    s
+end
+
+(* ------------------------------------------------------------------ *)
+(* Segments.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type seg = {
+  seg_level : int;
+  base_lid : int; (* first local id covered *)
+  count : int; (* states in the segment *)
+  mutable edge_count : int;
+  (* The arenas; all [||] while spilled. *)
+  mutable ranks : int array;
+  mutable row : int array; (* length count+1 once sealed *)
+  mutable ea : int array;
+  mutable et : int array; (* targets as gids *)
+  mutable sealed : bool;
+  mutable resident : bool;
+  mutable file : string option;
+  mutable stamp : int; (* LRU clock *)
+}
+
+let seg_bytes s =
+  8 * (s.count + 1 + s.count + (2 * s.edge_count))
+
+(* Segment payload: self-describing varint columns.  Ranks and targets
+   are delta-coded (interning order makes neighbouring values close);
+   row offsets are nondecreasing so their deltas are plain varints. *)
+let ser_seg s =
+  let vb = Vbuf.create (16 + (4 * s.count) + (4 * s.edge_count)) in
+  Vbuf.put_u vb s.seg_level;
+  Vbuf.put_u vb s.base_lid;
+  Vbuf.put_u vb s.count;
+  Vbuf.put_u vb s.edge_count;
+  let prev = ref 0 in
+  for i = 0 to s.count - 1 do
+    Vbuf.put_i vb (s.ranks.(i) - !prev);
+    prev := s.ranks.(i)
+  done;
+  for i = 1 to s.count do
+    Vbuf.put_u vb (s.row.(i) - s.row.(i - 1))
+  done;
+  for i = 0 to s.edge_count - 1 do
+    Vbuf.put_u vb s.ea.(i)
+  done;
+  prev := 0;
+  for i = 0 to s.edge_count - 1 do
+    Vbuf.put_i vb (s.et.(i) - !prev);
+    prev := s.et.(i)
+  done;
+  Vbuf.contents vb
+
+(* Decode a segment payload into the (already sized) metadata record. *)
+let deser_seg s data =
+  let c = Vcur.of_string data in
+  let level = Vcur.get_u c in
+  let base = Vcur.get_u c in
+  let count = Vcur.get_u c in
+  let ecount = Vcur.get_u c in
+  if level <> s.seg_level || base <> s.base_lid || count <> s.count
+     || ecount <> s.edge_count
+  then Detcor_robust.Error.snapshot ~path:"shard segment" "payload does not match its manifest";
+  let ranks = Array.make count 0 in
+  let prev = ref 0 in
+  for i = 0 to count - 1 do
+    prev := !prev + Vcur.get_i c;
+    ranks.(i) <- !prev
+  done;
+  let row = Array.make (count + 1) 0 in
+  for i = 1 to count do
+    row.(i) <- row.(i - 1) + Vcur.get_u c
+  done;
+  let ea = Array.make ecount 0 in
+  for i = 0 to ecount - 1 do
+    ea.(i) <- Vcur.get_u c
+  done;
+  let et = Array.make ecount 0 in
+  prev := 0;
+  for i = 0 to ecount - 1 do
+    prev := !prev + Vcur.get_i c;
+    et.(i) <- !prev
+  done;
+  s.ranks <- ranks;
+  s.row <- row;
+  s.ea <- ea;
+  s.et <- et;
+  s.resident <- true
+
+(* ------------------------------------------------------------------ *)
+(* Shards.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type dedup =
+  | Direct of { gids : int array; visited : Bitset.t }
+      (* indexed by local rank [rank / k]; [visited] gates [gids] *)
+  | Table of (int, int) Hashtbl.t
+
+type shard = {
+  sid : int;
+  mutable segs : seg array; (* ascending base_lid *)
+  mutable hint : int; (* last segment index touched *)
+  mutable plids : int; (* local ids promoted into segments *)
+  mutable nlids : int; (* local ids interned in total *)
+  dedup : dedup;
+  open_ranks : Ibuf.t; (* next level's ranks, not yet a segment *)
+  (* CSR accumulators of the segment currently receiving edges. *)
+  mutable cur : seg option;
+  cur_row : Ibuf.t;
+  cur_ea : Ibuf.t;
+  cur_et : Ibuf.t;
+  mutable cur_lid : int; (* segment-relative id whose edges are open *)
+}
+
+type t = {
+  k : int;
+  layout : Layout.t;
+  limit : int;
+  spill_dir : string option;
+  arena_budget : int;
+  fingerprint : string;
+  on_intern : unit -> unit;
+  shards : shard array;
+  mutable loc : int array; (* gid -> lid * k + sid *)
+  mutable n : int;
+  mutable edges : int;
+  mutable sealed_n : int; (* gids promoted into segments *)
+  mutable level : int;
+  mutable resident_bytes : int;
+  mutable clock : int;
+  mutable spill_count : int;
+  mutable spill_bytes : int;
+  mutable reload_count : int;
+}
+
+(* Direct dedup maps cost one word per product state; past this they
+   would dominate the arena budget, so bigger spaces hash instead. *)
+let direct_threshold = 1 lsl 25
+
+let make_shard ~k ~space sid =
+  let dedup =
+    if space <= direct_threshold then begin
+      let size = ((space - 1) / k) + 1 in
+      Direct { gids = Array.make size 0; visited = Bitset.create size }
+    end
+    else Table (Hashtbl.create 4096)
+  in
+  {
+    sid;
+    segs = [||];
+    hint = 0;
+    plids = 0;
+    nlids = 0;
+    dedup;
+    open_ranks = Ibuf.create 64;
+    cur = None;
+    cur_row = Ibuf.create 64;
+    cur_ea = Ibuf.create 64;
+    cur_et = Ibuf.create 64;
+    cur_lid = 0;
+  }
+
+let create ?(on_intern = fun () -> ()) ~k ~layout ~limit ~spill_dir
+    ~arena_budget ~fingerprint () =
+  let k = max 1 (min k max_shards) in
+  {
+    k;
+    layout;
+    limit;
+    spill_dir;
+    arena_budget;
+    fingerprint;
+    on_intern;
+    shards = Array.init k (make_shard ~k ~space:(Layout.space layout));
+    loc = Array.make 1024 0;
+    n = 0;
+    edges = 0;
+    sealed_n = 0;
+    level = 0;
+    resident_bytes = 0;
+    clock = 0;
+    spill_count = 0;
+    spill_bytes = 0;
+    reload_count = 0;
+  }
+
+let k t = t.k
+let num_states t = t.n
+let num_edges t = t.edges
+let spill_stats t = (t.spill_count, t.spill_bytes, t.reload_count)
+
+(* ------------------------------------------------------------------ *)
+(* Spill and reload.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let seg_path t sid level =
+  match t.spill_dir with
+  | None -> Detcor_robust.Error.internal "Shard_store: spill without a directory"
+  | Some dir ->
+    Filename.concat dir
+      (Fmt.str "dcshard-%s-s%d-l%d.seg"
+         (String.sub t.fingerprint 0 (min 8 (String.length t.fingerprint)))
+         sid level)
+
+(* Drop a sealed segment's arrays, writing the spill file first if this
+   is its first eviction.  A failed write keeps the segment resident —
+   losing memory headroom must not fail the run (mirrors the snapshot
+   write policy). *)
+let spill_seg t sid seg =
+  (match seg.file with
+  | Some _ -> ()
+  | None ->
+    let path = seg_path t sid seg.seg_level in
+    let data = ser_seg seg in
+    ignore
+      (Detcor_robust.Checkpoint.write_file ~path ~fingerprint:t.fingerprint
+         [| { Detcor_robust.Checkpoint.step = 0; kind = "shard.seg";
+              complete = true; data } |]);
+    seg.file <- Some path;
+    t.spill_count <- t.spill_count + 1;
+    t.spill_bytes <- t.spill_bytes + String.length data;
+    if Obs.on () then begin
+      Metrics.incr m_spills;
+      Metrics.incr ~by:(String.length data) m_spill_bytes
+    end);
+  seg.ranks <- [||];
+  seg.row <- [||];
+  seg.ea <- [||];
+  seg.et <- [||];
+  seg.resident <- false;
+  t.resident_bytes <- t.resident_bytes - seg_bytes seg
+
+let try_spill_seg t sid seg =
+  match spill_seg t sid seg with
+  | () -> ()
+  | exception (Sys_error _ | Detcor_robust.Failpoint.Injected _) ->
+    if Obs.on () then Metrics.incr m_spill_errors
+
+(* Evict least-recently-used sealed segments until the resident arenas
+   fit the budget again.  [keep] protects the segment the caller is
+   about to read. *)
+let maybe_evict ?keep t =
+  if t.spill_dir <> None then begin
+    let continue = ref (t.resident_bytes > t.arena_budget) in
+    while !continue do
+      let victim = ref None in
+      Array.iter
+        (fun sh ->
+          Array.iter
+            (fun seg ->
+              if
+                seg.sealed && seg.resident
+                && (match keep with Some s -> s != seg | None -> true)
+                && (match !victim with
+                   | None -> true
+                   | Some (_, v) -> seg.stamp < v.stamp)
+              then victim := Some (sh.sid, seg))
+            sh.segs)
+        t.shards;
+      match !victim with
+      | Some (sid, seg) ->
+        let before = t.resident_bytes in
+        try_spill_seg t sid seg;
+        continue :=
+          t.resident_bytes > t.arena_budget && t.resident_bytes < before
+      | None -> continue := false
+    done
+  end
+
+let touch t seg =
+  t.clock <- t.clock + 1;
+  seg.stamp <- t.clock
+
+let ensure_resident t seg =
+  touch t seg;
+  if not seg.resident then begin
+    (match seg.file with
+    | None ->
+      Detcor_robust.Error.internal "Shard_store: spilled segment has no file"
+    | Some path ->
+      let fp, entries = Detcor_robust.Checkpoint.read_file ~path in
+      if fp <> t.fingerprint then
+        Detcor_robust.Error.snapshot ~path "spill file belongs to a different run";
+      if Array.length entries <> 1 then
+        Detcor_robust.Error.snapshot ~path "not a shard segment";
+      deser_seg seg entries.(0).Detcor_robust.Checkpoint.data);
+    t.resident_bytes <- t.resident_bytes + seg_bytes seg;
+    t.reload_count <- t.reload_count + 1;
+    if Obs.on () then Metrics.incr m_reloads;
+    maybe_evict ~keep:seg t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Location and dedup.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let shard_of t gid = t.loc.(gid) mod t.k
+let lid_of t gid = t.loc.(gid) / t.k
+
+(* The segment of a local id, by binary search with a per-shard hint:
+   both the merge sweep and the gid-order scans touch each shard's
+   local ids in ascending order, so the hint almost always hits. *)
+let seg_of_lid t sh lid =
+  let inside s = lid >= s.base_lid && lid < s.base_lid + s.count in
+  let found =
+    if sh.hint < Array.length sh.segs && inside sh.segs.(sh.hint) then
+      sh.segs.(sh.hint)
+    else begin
+      let lo = ref 0 and hi = ref (Array.length sh.segs - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if sh.segs.(mid).base_lid <= lid then lo := mid else hi := mid - 1
+      done;
+      sh.hint <- !lo;
+      sh.segs.(!lo)
+    end
+  in
+  ensure_resident t found;
+  found
+
+let rank_of t gid =
+  let sh = t.shards.(shard_of t gid) in
+  let lid = lid_of t gid in
+  if lid >= sh.plids then sh.open_ranks.Ibuf.a.(lid - sh.plids)
+  else begin
+    let seg = seg_of_lid t sh lid in
+    seg.ranks.(lid - seg.base_lid)
+  end
+
+let find t rank =
+  let sh = t.shards.(rank mod t.k) in
+  match sh.dedup with
+  | Direct { gids; visited } ->
+    let lr = rank / t.k in
+    if Bitset.get visited lr then Some gids.(lr) else None
+  | Table tbl -> Hashtbl.find_opt tbl rank
+
+let intern t rank =
+  let sid = rank mod t.k in
+  let sh = t.shards.(sid) in
+  let known =
+    match sh.dedup with
+    | Direct { gids; visited } ->
+      let lr = rank / t.k in
+      if Bitset.get visited lr then Some gids.(lr) else None
+    | Table tbl -> Hashtbl.find_opt tbl rank
+  in
+  match known with
+  | Some gid -> gid
+  | None ->
+    if t.n >= t.limit then raise (Limit t.limit);
+    let gid = t.n in
+    t.n <- t.n + 1;
+    if gid >= Array.length t.loc then begin
+      let loc' = Array.make (2 * Array.length t.loc) 0 in
+      Array.blit t.loc 0 loc' 0 gid;
+      t.loc <- loc'
+    end;
+    let lid = sh.nlids in
+    sh.nlids <- sh.nlids + 1;
+    t.loc.(gid) <- (lid * t.k) + sid;
+    Ibuf.add sh.open_ranks rank;
+    (match sh.dedup with
+    | Direct { gids; visited } ->
+      let lr = rank / t.k in
+      gids.(lr) <- gid;
+      Bitset.set visited lr
+    | Table tbl -> Hashtbl.add tbl rank gid);
+    Detcor_robust.Budget.count_state ();
+    t.on_intern ();
+    gid
+
+(* ------------------------------------------------------------------ *)
+(* Level lifecycle.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Promote the open rank columns into fresh segments — the new frontier
+   — and return its gid range.  The segments stay resident while their
+   CSR fills during the level about to run. *)
+let begin_level t =
+  let lo = t.sealed_n in
+  Array.iter
+    (fun sh ->
+      let count = sh.open_ranks.Ibuf.len in
+      if count > 0 then begin
+        let seg =
+          {
+            seg_level = t.level;
+            base_lid = sh.plids;
+            count;
+            edge_count = 0;
+            ranks = Ibuf.to_array sh.open_ranks;
+            row = [||];
+            ea = [||];
+            et = [||];
+            sealed = false;
+            resident = true;
+            file = None;
+            stamp = 0;
+          }
+        in
+        touch t seg;
+        sh.segs <- Array.append sh.segs [| seg |];
+        sh.plids <- sh.plids + count;
+        sh.cur <- Some seg;
+        Ibuf.reset sh.open_ranks;
+        Ibuf.reset sh.cur_row;
+        Ibuf.add sh.cur_row 0;
+        Ibuf.reset sh.cur_ea;
+        Ibuf.reset sh.cur_et;
+        sh.cur_lid <- 0
+      end
+      else sh.cur <- None)
+    t.shards;
+  t.sealed_n <- t.n;
+  t.level <- t.level + 1;
+  (lo, t.n)
+
+let add_edge t ~src ~aid ~tgt =
+  let sh = t.shards.(shard_of t src) in
+  match sh.cur with
+  | None -> Detcor_robust.Error.internal "Shard_store.add_edge: no open segment"
+  | Some seg ->
+    let rel = lid_of t src - seg.base_lid in
+    while sh.cur_lid < rel do
+      Ibuf.add sh.cur_row sh.cur_ea.Ibuf.len;
+      sh.cur_lid <- sh.cur_lid + 1
+    done;
+    Ibuf.add sh.cur_ea aid;
+    Ibuf.add sh.cur_et tgt;
+    t.edges <- t.edges + 1
+
+(* Seal the frontier segments: close the remaining CSR rows, freeze the
+   arrays, and let the eviction policy spill what no longer fits. *)
+let end_level t =
+  Array.iter
+    (fun sh ->
+      match sh.cur with
+      | None -> ()
+      | Some seg ->
+        while sh.cur_lid < seg.count do
+          Ibuf.add sh.cur_row sh.cur_ea.Ibuf.len;
+          sh.cur_lid <- sh.cur_lid + 1
+        done;
+        seg.row <- Ibuf.to_array sh.cur_row;
+        seg.ea <- Ibuf.to_array sh.cur_ea;
+        seg.et <- Ibuf.to_array sh.cur_et;
+        seg.edge_count <- sh.cur_ea.Ibuf.len;
+        seg.sealed <- true;
+        t.resident_bytes <- t.resident_bytes + seg_bytes seg;
+        sh.cur <- None)
+    t.shards;
+  maybe_evict t
+
+(* ------------------------------------------------------------------ *)
+(* Outboxes.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Outbox = struct
+  type lane = {
+    vb : Vbuf.t;
+    mutable prev_gid : int;
+    mutable prev_rank : int;
+  }
+
+  (* lanes.(producer * k + owner); each lane has exactly one writer —
+     the worker expanding the producer shard — so no locks. *)
+  type ob = { ok : int; lanes : lane array }
+
+  let create t =
+    {
+      ok = t.k;
+      lanes =
+        Array.init (t.k * t.k) (fun _ ->
+            { vb = Vbuf.create 256; prev_gid = 0; prev_rank = 0 });
+    }
+
+  let put ob ~producer ~gid ~pos ~aid ~rank =
+    let lane = ob.lanes.((producer * ob.ok) + (rank mod ob.ok)) in
+    Vbuf.put_u lane.vb (gid - lane.prev_gid);
+    Vbuf.put_u lane.vb pos;
+    Vbuf.put_u lane.vb aid;
+    Vbuf.put_i lane.vb (rank - lane.prev_rank);
+    lane.prev_gid <- gid;
+    lane.prev_rank <- rank
+
+  let reset ob =
+    Array.iter
+      (fun lane ->
+        Vbuf.reset lane.vb;
+        lane.prev_gid <- 0;
+        lane.prev_rank <- 0)
+      ob.lanes
+end
+
+(* Merge one window of outboxes, in global (source gid, successor
+   position) order — a k-way head comparison per edge across the source
+   shard's lanes.  Interning in this order is what reproduces the
+   packed engine's state numbering exactly. *)
+let merge t ob ~lo ~hi =
+  let k = t.k in
+  let module C = struct
+    type cur = {
+      data : string;
+      mutable pos : int;
+      mutable gid : int;
+      mutable spos : int;
+      mutable aid : int;
+      mutable rank : int;
+      mutable valid : bool;
+    }
+  end in
+  let open C in
+  let get_u c =
+    let v = ref 0 and shift = ref 0 and continue = ref true in
+    while !continue do
+      let byte = Char.code (String.unsafe_get c.data c.pos) in
+      c.pos <- c.pos + 1;
+      v := !v lor ((byte land 0x7f) lsl !shift);
+      shift := !shift + 7;
+      if byte land 0x80 = 0 then continue := false
+    done;
+    !v
+  in
+  let advance c =
+    if c.pos >= String.length c.data then c.valid <- false
+    else begin
+      c.gid <- c.gid + get_u c;
+      c.spos <- get_u c;
+      c.aid <- get_u c;
+      c.rank <- c.rank + Vcur.unzigzag (get_u c)
+    end
+  in
+  let cursors =
+    Array.map
+      (fun (lane : Outbox.lane) ->
+        let c =
+          {
+            data = Vbuf.contents lane.Outbox.vb;
+            pos = 0;
+            gid = 0;
+            spos = 0;
+            aid = 0;
+            rank = 0;
+            valid = true;
+          }
+        in
+        advance c;
+        c)
+      ob.Outbox.lanes
+  in
+  for gid = lo to hi - 1 do
+    let p = shard_of t gid in
+    let base = p * k in
+    let continue = ref true in
+    while !continue do
+      let best = ref (-1) in
+      for o = 0 to k - 1 do
+        let c = cursors.(base + o) in
+        if c.valid && c.gid = gid then
+          match !best with
+          | -1 -> best := o
+          | b -> if c.spos < cursors.(base + b).spos then best := o
+      done;
+      match !best with
+      | -1 -> continue := false
+      | o ->
+        let c = cursors.(base + o) in
+        let tgid = intern t c.rank in
+        add_edge t ~src:gid ~aid:c.aid ~tgt:tgid;
+        advance c
+    done
+  done;
+  Outbox.reset ob
+
+(* ------------------------------------------------------------------ *)
+(* Read access.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let iter_ranks t f =
+  for gid = 0 to t.n - 1 do
+    Detcor_robust.Budget.tick ();
+    f gid (rank_of t gid)
+  done
+
+let iter_out t gid f =
+  let sh = t.shards.(shard_of t gid) in
+  let lid = lid_of t gid in
+  if lid < sh.plids then begin
+    let seg = seg_of_lid t sh lid in
+    if seg.sealed then begin
+      let rel = lid - seg.base_lid in
+      (* Capture the arenas before calling [f]: the callback may fault in
+         another segment and evict this one, which swaps the fields to
+         [||] — the captured arrays stay valid (spilling never mutates
+         their contents, it only drops the references). *)
+      let row = seg.row and ea = seg.ea and et = seg.et in
+      for e = row.(rel) to row.(rel + 1) - 1 do
+        f ea.(e) et.(e)
+      done
+    end
+  end
+
+let out_degree t gid =
+  let sh = t.shards.(shard_of t gid) in
+  let lid = lid_of t gid in
+  if lid >= sh.plids then 0
+  else begin
+    let seg = seg_of_lid t sh lid in
+    if not seg.sealed then 0
+    else begin
+      let rel = lid - seg.base_lid in
+      seg.row.(rel + 1) - seg.row.(rel)
+    end
+  end
+
+let iter_edges t f =
+  for gid = 0 to t.n - 1 do
+    Detcor_robust.Budget.tick ();
+    iter_out t gid (fun aid tgid -> f gid aid tgid)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot and restore: shards as the checkpoint unit.                *)
+(* ------------------------------------------------------------------ *)
+
+(* With a spill directory, force-spill every sealed segment (first
+   spills write their file; re-spills just drop arrays) so the snapshot
+   is a small manifest of file references plus the open, still-dirty
+   per-shard state; without one, segment payloads ride inline.  The
+   dedup maps are never serialized: the restore scan rebinds every rank
+   from the segment rank columns and the open columns, which rebuilds
+   them exactly.  (Spilling the visited bitsets to a side file would be
+   unsound: the file would be overwritten at barriers newer than the
+   manifest the resume loads, and a stale "visited" bit aliases an
+   unknown state to gid 0 instead of interning it.) *)
+let snapshot t =
+  if t.spill_dir <> None then
+    Array.iter
+      (fun sh ->
+        Array.iter
+          (fun seg -> if seg.sealed && seg.resident then try_spill_seg t sh.sid seg)
+          sh.segs)
+      t.shards;
+  let vb = Vbuf.create 4096 in
+  Vbuf.put_u vb t.k;
+  Vbuf.put_u vb t.level;
+  Vbuf.put_u vb t.n;
+  Vbuf.put_u vb t.edges;
+  Vbuf.put_u vb t.sealed_n;
+  Vbuf.put_u vb t.spill_count;
+  Vbuf.put_u vb t.spill_bytes;
+  Array.iter
+    (fun sh ->
+      Vbuf.put_u vb sh.plids;
+      Vbuf.put_u vb (Array.length sh.segs);
+      Array.iter
+        (fun seg ->
+          Vbuf.put_u vb seg.seg_level;
+          Vbuf.put_u vb seg.base_lid;
+          Vbuf.put_u vb seg.count;
+          Vbuf.put_u vb seg.edge_count;
+          match seg.file with
+          | Some path ->
+            Vbuf.put_u vb 1;
+            Vbuf.put_raw vb path
+          | None ->
+            Vbuf.put_u vb 0;
+            Vbuf.put_raw vb (ser_seg seg))
+        sh.segs;
+      let prev = ref 0 in
+      Vbuf.put_u vb sh.open_ranks.Ibuf.len;
+      for i = 0 to sh.open_ranks.Ibuf.len - 1 do
+        let r = sh.open_ranks.Ibuf.a.(i) in
+        Vbuf.put_i vb (r - !prev);
+        prev := r
+      done)
+    t.shards;
+  (* gid -> owning shard, one byte each: with the per-shard rank
+     columns this is enough to replay the interning order. *)
+  let owners = Bytes.create t.n in
+  for gid = 0 to t.n - 1 do
+    Bytes.unsafe_set owners gid (Char.unsafe_chr (shard_of t gid))
+  done;
+  Vbuf.put_raw vb (Bytes.unsafe_to_string owners);
+  Vbuf.contents vb
+
+let restore ?(on_intern = fun () -> ()) ~layout ~limit ~spill_dir
+    ~arena_budget ~fingerprint data =
+  let c = Vcur.of_string data in
+  let k = Vcur.get_u c in
+  if k < 1 || k > max_shards then
+    Detcor_robust.Error.snapshot ~path:"shard snapshot" "invalid shard count %d" k;
+  let t =
+    create ~on_intern ~k ~layout ~limit ~spill_dir ~arena_budget ~fingerprint ()
+  in
+  t.level <- Vcur.get_u c;
+  t.n <- Vcur.get_u c;
+  t.edges <- Vcur.get_u c;
+  t.sealed_n <- Vcur.get_u c;
+  t.spill_count <- Vcur.get_u c;
+  t.spill_bytes <- Vcur.get_u c;
+  let open_ranks = Array.make k [||] in
+  Array.iter
+    (fun sh ->
+      let plids = Vcur.get_u c in
+      let nsegs = Vcur.get_u c in
+      sh.segs <-
+        Array.init nsegs (fun _ ->
+            let seg_level = Vcur.get_u c in
+            let base_lid = Vcur.get_u c in
+            let count = Vcur.get_u c in
+            let edge_count = Vcur.get_u c in
+            let tag = Vcur.get_u c in
+            let payload = Vcur.get_raw c in
+            let seg =
+              {
+                seg_level;
+                base_lid;
+                count;
+                edge_count;
+                ranks = [||];
+                row = [||];
+                ea = [||];
+                et = [||];
+                sealed = true;
+                resident = false;
+                file = (if tag = 1 then Some payload else None);
+                stamp = 0;
+              }
+            in
+            if tag = 0 then begin
+              deser_seg seg payload;
+              t.resident_bytes <- t.resident_bytes + seg_bytes seg
+            end;
+            seg);
+      sh.plids <- plids;
+      sh.nlids <- plids;
+      let olen = Vcur.get_u c in
+      let ranks = Array.make olen 0 in
+      let prev = ref 0 in
+      for i = 0 to olen - 1 do
+        prev := !prev + Vcur.get_i c;
+        ranks.(i) <- !prev
+      done;
+      open_ranks.(sh.sid) <- ranks)
+    t.shards;
+  let owners = Vcur.get_raw c in
+  if String.length owners <> t.n then
+    Detcor_robust.Error.snapshot ~path:"shard snapshot" "owner map does not match";
+  (* Replay the interning order: assign local ids gid by gid, then walk
+     each shard's rank columns (sealed segments, then the open column)
+     to rebind rank -> gid in the dedup maps. *)
+  if t.n > Array.length t.loc then
+    t.loc <- Array.make (max t.n (2 * Array.length t.loc)) 0;
+  let counters = Array.make k 0 in
+  for gid = 0 to t.n - 1 do
+    let sid = Char.code (String.unsafe_get owners gid) in
+    if sid >= k then
+      Detcor_robust.Error.snapshot ~path:"shard snapshot" "owner map is corrupt";
+    counters.(sid) <- counters.(sid) + 1
+  done;
+  let shard_gids = Array.map (fun c -> Array.make (max c 1) 0) counters in
+  Array.fill counters 0 k 0;
+  for gid = 0 to t.n - 1 do
+    let sid = Char.code (String.unsafe_get owners gid) in
+    let lid = counters.(sid) in
+    counters.(sid) <- lid + 1;
+    t.loc.(gid) <- (lid * k) + sid;
+    shard_gids.(sid).(lid) <- gid
+  done;
+  Array.iter
+    (fun sh ->
+      let expect = counters.(sh.sid) in
+      let gids_of = shard_gids.(sh.sid) in
+      let lid = ref 0 in
+      let bind rank gid =
+        match sh.dedup with
+        | Direct { gids; visited } ->
+          let lr = rank / k in
+          gids.(lr) <- gid;
+          Bitset.set visited lr
+        | Table tbl -> Hashtbl.replace tbl rank gid
+      in
+      Array.iter
+        (fun seg ->
+          ensure_resident t seg;
+          for i = 0 to seg.count - 1 do
+            Detcor_robust.Budget.tick ();
+            bind seg.ranks.(i) gids_of.(!lid);
+            incr lid
+          done)
+        sh.segs;
+      Array.iter
+        (fun rank ->
+          Ibuf.add sh.open_ranks rank;
+          bind rank gids_of.(!lid);
+          incr lid;
+          sh.nlids <- sh.nlids + 1)
+        open_ranks.(sh.sid);
+      if !lid <> expect then
+        Detcor_robust.Error.snapshot ~path:"shard snapshot" "rank columns do not match")
+    t.shards;
+  maybe_evict t;
+  t

@@ -78,7 +78,7 @@ module State_table = Hashtbl.Make (struct
   let hash = State.hash
 end)
 
-type engine = Auto | Packed | Reference
+type engine = Auto | Packed | Reference | Sharded
 
 type t = {
   program : Program.t;
@@ -96,6 +96,9 @@ type t = {
   cached : bool;
   pred_cache : (int, Bitset.t) Hashtbl.t; (* keyed by Pred.id *)
   enabled_cache : Bitset.t option array; (* per action id *)
+  (* The out-of-core store, present iff built by the sharded engine; the
+     flat arrays above are then empty and every accessor dispatches. *)
+  shard : Shard_store.t option;
   (* Set when [Auto] dispatch fell back to the reference engine: the
      diagnosed reason (domain escape, product overflow).  Surfaced by
      `dcheck info` and the Obs metrics. *)
@@ -241,6 +244,7 @@ let finish b ~program ~actions ~initials ~lookup ~layout ~cached =
     lookup;
     layout;
     cached;
+    shard = None;
     pred_cache = Hashtbl.create 16;
     enabled_cache = Array.make (Array.length actions) None;
     fallback_reason = None;
@@ -623,6 +627,232 @@ let of_pred_packed ~limit ~workers layout program ~from =
   explore_packed ~workers layout program ~actions ~b ~index ~initials
 
 (* ------------------------------------------------------------------ *)
+(* Sharded engine: hash-partitioned, disk-spillable arenas.            *)
+(* ------------------------------------------------------------------ *)
+
+(* Process-wide parameters for the sharded engine — threaded here rather
+   than through every [?engine] signature in [Tolerance]/[Synthesize];
+   [dcheck] sets them once from its flags before dispatching. *)
+let shard_params = ref (4, (None : string option), 512)
+
+let set_shard_defaults ~shards ~spill_dir ~arena_budget_mb =
+  shard_params := (max 1 shards, spill_dir, max 0 arena_budget_mb)
+
+let shard_defaults () = !shard_params
+
+(* Frontier window: sources expanded between outbox merges.  Bounds the
+   outbox bytes in flight without adding a barrier per source. *)
+let shard_window = 32_768
+
+(* BFS over the shard store.  The exploration order is identical to the
+   packed engine's — seeds interned in ascending rank order, frontier
+   sources expanded in gid order, successors merged in (source,
+   position) order — so the numbering, edge arrays and initials are
+   byte-identical where both engines can run.  What changes is
+   residency: state and CSR arenas live in per-shard segments that
+   spill to checksummed files under the configured directory once the
+   resident bytes exceed the arena budget.
+
+   Checkpointing: the store itself is the capture.  Snapshots are only
+   consistent at level barriers (mid-level, the open CSR accumulators
+   and outboxes are not serializable), so the capture closure returns
+   the snapshot taken at the last completed barrier; resume restores
+   the store there and replays the lost level deterministically.  Spill
+   files written by the interrupted run are content-identical and are
+   reused, never rewritten. *)
+let build_sharded ~limit ~workers layout program ~seed_ranks =
+  let actions = Array.of_list (Program.actions program) in
+  let shards, spill_dir, budget_mb = !shard_params in
+  let k = min shards Shard_store.max_shards in
+  let arena_budget = budget_mb * 1024 * 1024 in
+  let fingerprint =
+    Detcor_robust.Checkpoint.digest
+      [
+        "ts.shard";
+        Program.name program;
+        string_of_int (Layout.space layout);
+        string_of_int k;
+      ]
+  in
+  let on_intern () =
+    if Obs.on () || Progress.armed () then live_state_interned ()
+  in
+  let phase = Detcor_robust.Checkpoint.enter ~kind:"ts.shard" in
+  let store =
+    match Detcor_robust.Checkpoint.resume_data phase with
+    | Some (Detcor_robust.Checkpoint.Midway data)
+    | Some (Detcor_robust.Checkpoint.Done data) ->
+      Shard_store.restore ~on_intern ~layout ~limit ~spill_dir ~arena_budget
+        ~fingerprint data
+    | None ->
+      let store =
+        Shard_store.create ~on_intern ~k ~layout ~limit ~spill_dir
+          ~arena_budget ~fingerprint ()
+      in
+      Array.iter (fun r -> ignore (Shard_store.intern store r)) seed_ranks;
+      store
+  in
+  let initials = List.init (Array.length seed_ranks) Fun.id in
+  (* Barrier snapshots cost a full manifest walk; only maintain them
+     when a checkpoint session wants captures. *)
+  let track = Detcor_robust.Checkpoint.active () in
+  let latest = ref (if track then Shard_store.snapshot store else "") in
+  Detcor_robust.Checkpoint.set_capture phase (fun () -> !latest);
+  let frontier_width = ref 0 in
+  let level = ref 0 in
+  (* Expand sources [lo, wend) into the outbox.  Pure appends: each
+     (producer, owner) lane is written by exactly one caller. *)
+  let expand_range ob lo wend =
+    let sc = Layout.scratch layout in
+    for gid = lo to wend - 1 do
+      Detcor_robust.Budget.tick ();
+      let rank = Shard_store.rank_of store gid in
+      Layout.unpack_into layout sc rank;
+      let st = State.scratch_copy sc in
+      let producer = Shard_store.shard_of store gid in
+      let pos = ref 0 in
+      Array.iteri
+        (fun aid ac ->
+          List.iter
+            (fun st' ->
+              let rank' = Layout.pack_from layout ~src_rank:rank st st' in
+              Shard_store.Outbox.put ob ~producer ~gid ~pos:!pos ~aid
+                ~rank:rank';
+              incr pos)
+            (Action.execute ac st))
+        actions
+    done
+  in
+  (* Parallel variant: one domain per producer-shard group.  Frontier
+     segments are resident until sealed, so worker reads never fault a
+     reload; lanes stay single-writer because each producer shard is
+     expanded by exactly one domain.  Worker failures propagate (a
+     half-written lane is not recoverable the way a packed chunk is). *)
+  let expand_parallel_sharded ob lo wend ~workers =
+    let w = min workers k in
+    let domains =
+      List.init w (fun d ->
+          Stdlib.Domain.spawn (fun () ->
+              try
+                let sc = Layout.scratch layout in
+                for gid = lo to wend - 1 do
+                  let producer = Shard_store.shard_of store gid in
+                  if producer mod w = d then begin
+                    Detcor_robust.Budget.tick ();
+                    let rank = Shard_store.rank_of store gid in
+                    Layout.unpack_into layout sc rank;
+                    let st = State.scratch_copy sc in
+                    let pos = ref 0 in
+                    Array.iteri
+                      (fun aid ac ->
+                        List.iter
+                          (fun st' ->
+                            let rank' =
+                              Layout.pack_from layout ~src_rank:rank st st'
+                            in
+                            Shard_store.Outbox.put ob ~producer ~gid ~pos:!pos
+                              ~aid ~rank:rank';
+                            incr pos)
+                          (Action.execute ac st))
+                      actions
+                  end
+                done;
+                if Obs.on () then
+                  Metrics.incr ~by:(wend - lo) m_par_expanded;
+                Ok ()
+              with e -> Error e))
+    in
+    let results = List.map Stdlib.Domain.join domains in
+    List.iter (function Ok () -> () | Error e -> raise e) results
+  in
+  let ob = Shard_store.Outbox.create store in
+  (try
+     Progress.with_phase "engine.bfs"
+       (fun () ->
+         let spills, _, _ = Shard_store.spill_stats store in
+         [
+           ("states", Shard_store.num_states store);
+           ("frontier", !frontier_width);
+           ("shards", k);
+           ("spills", spills);
+           ("workers", max 1 workers);
+         ])
+       (fun () ->
+         let continue = ref true in
+         while !continue do
+           let lo, hi = Shard_store.begin_level store in
+           if lo >= hi then continue := false
+           else begin
+             frontier_width := hi - lo;
+             if Obs.on () then begin
+               Metrics.observe h_frontier (hi - lo);
+               Obs.event "ts.frontier" ~level:Attr.Debug
+                 ~attrs:
+                   [ Attr.int "depth" !level; Attr.int "width" (hi - lo) ];
+               incr level
+             end;
+             let w = ref lo in
+             while !w < hi do
+               let wend = min hi (!w + shard_window) in
+               if workers > 1 && wend - !w >= max 2 (workers * 8) then
+                 expand_parallel_sharded ob !w wend ~workers
+               else expand_range ob !w wend;
+               Shard_store.merge store ob ~lo:!w ~hi:wend;
+               w := wend
+             done;
+             Shard_store.end_level store;
+             if track then latest := Shard_store.snapshot store
+           end
+         done)
+   with Shard_store.Limit n -> raise (Too_large n));
+  Detcor_robust.Checkpoint.complete phase
+    (if track then !latest else "");
+  if Obs.on () || Progress.armed () then live_flush ();
+  if Obs.on () then begin
+    Metrics.incr m_builds;
+    Metrics.incr ~by:(Shard_store.num_states store) m_states;
+    Metrics.incr ~by:(Shard_store.num_edges store) m_edges
+  end;
+  {
+    program;
+    states = [||];
+    actions;
+    row_ptr = [| 0 |];
+    edge_action = [||];
+    edge_target = [||];
+    initials;
+    lookup =
+      (fun st ->
+        match Layout.pack_opt layout st with
+        | None -> None
+        | Some rank -> Shard_store.find store rank);
+    layout = Some layout;
+    cached = true;
+    shard = Some store;
+    pred_cache = Hashtbl.create 16;
+    enabled_cache = Array.make (Array.length actions) None;
+    fallback_reason = None;
+  }
+
+(* Seed rank sets for the three construction surfaces.  Sorting by rank
+   is sorting by [State.compare] (the [Layout] invariant), so initials
+   match the other engines. *)
+let sharded_of_states layout from =
+  let ranks = List.map (Layout.pack layout) from in
+  Array.of_list (List.sort_uniq Int.compare ranks)
+
+let sharded_of_pred layout from =
+  let buf = ref [] in
+  let rank = ref 0 in
+  Layout.iter_scratch layout (fun sc ->
+      if Pred.holds from (State.scratch_view sc) then buf := !rank :: !buf;
+      incr rank);
+  Array.of_list (List.rev !buf)
+
+let sharded_all_ranks layout =
+  Array.init (Layout.space layout) Fun.id
+
+(* ------------------------------------------------------------------ *)
 (* Engine dispatch.                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -632,6 +862,7 @@ let engine_name = function
   | Auto -> "auto"
   | Packed -> "packed"
   | Reference -> "reference"
+  | Sharded -> "sharded"
 
 let overflow_reason = "product space size overflows the packed rank range"
 
@@ -662,13 +893,20 @@ let build_span op program engine f =
       ]
     (fun () ->
       let ts = f () in
-      if Obs.on () then
+      if Obs.on () then begin
+        let states, edges =
+          match ts.shard with
+          | Some store ->
+            (Shard_store.num_states store, Shard_store.num_edges store)
+          | None -> (Array.length ts.states, ts.row_ptr.(Array.length ts.states))
+        in
         Obs.annotate
           [
-            Attr.int "states" (Array.length ts.states);
-            Attr.int "edges" ts.row_ptr.(Array.length ts.states);
+            Attr.int "states" states;
+            Attr.int "edges" edges;
             Attr.bool "packed" (ts.layout <> None);
-          ];
+          ]
+      end;
       ts)
 
 let build ?(limit = default_limit) ?(engine = default_engine) ?(workers = 1)
@@ -676,6 +914,12 @@ let build ?(limit = default_limit) ?(engine = default_engine) ?(workers = 1)
   build_span "build" program engine (fun () ->
       match engine with
       | Reference -> build_reference ~limit program ~from
+      | Sharded -> (
+        match Layout.of_program program with
+        | None -> raise Layout.Unrepresentable
+        | Some layout ->
+          build_sharded ~limit ~workers layout program
+            ~seed_ranks:(sharded_of_states layout from))
       | Packed | Auto -> (
         match Layout.of_program program with
         | None ->
@@ -696,6 +940,12 @@ let full ?(limit = default_limit) ?(engine = default_engine) ?(workers = 1)
       match engine with
       | Reference ->
         build_reference ~limit program ~from:(Program.states program)
+      | Sharded -> (
+        match Layout.of_program program with
+        | None -> raise Layout.Unrepresentable
+        | Some layout ->
+          build_sharded ~limit ~workers layout program
+            ~seed_ranks:(sharded_all_ranks layout))
       | Packed | Auto -> (
         match Layout.of_program program with
         | None ->
@@ -718,6 +968,12 @@ let of_pred ?(limit = default_limit) ?(engine = default_engine) ?(workers = 1)
       in
       match engine with
       | Reference -> reference ()
+      | Sharded -> (
+        match Layout.of_program program with
+        | None -> raise Layout.Unrepresentable
+        | Some layout ->
+          build_sharded ~limit ~workers layout program
+            ~seed_ranks:(sharded_of_pred layout from))
       | Packed | Auto -> (
         match Layout.of_program program with
         | None ->
@@ -733,33 +989,83 @@ let of_pred ?(limit = default_limit) ?(engine = default_engine) ?(workers = 1)
 (* ------------------------------------------------------------------ *)
 
 let program ts = ts.program
-let num_states ts = Array.length ts.states
-let state ts i = ts.states.(i)
-let states ts = Array.to_list ts.states
+
+let num_states ts =
+  match ts.shard with
+  | Some store -> Shard_store.num_states store
+  | None -> Array.length ts.states
+
+(* Sharded access decodes on the fly: the rank comes from the store (a
+   spilled segment reloads transparently), the state from the layout. *)
+let state ts i =
+  match ts.shard with
+  | Some store ->
+    Layout.unpack (Option.get ts.layout) (Shard_store.rank_of store i)
+  | None -> ts.states.(i)
+
+let states ts =
+  match ts.shard with
+  | Some store ->
+    let layout = Option.get ts.layout in
+    let acc = ref [] in
+    Shard_store.iter_ranks store (fun _ rank ->
+        acc := Layout.unpack layout rank :: !acc);
+    List.rev !acc
+  | None -> Array.to_list ts.states
+
 let initials ts = ts.initials
 let actions ts = ts.actions
 let num_actions ts = Array.length ts.actions
 let action ts i = ts.actions.(i)
 let layout ts = ts.layout
-let engine_of ts = match ts.layout with Some _ -> Packed | None -> Reference
+
+let engine_of ts =
+  match (ts.shard, ts.layout) with
+  | Some _, _ -> Sharded
+  | None, Some _ -> Packed
+  | None, None -> Reference
+
 let fallback_reason ts = ts.fallback_reason
-let num_edges ts = ts.row_ptr.(Array.length ts.states)
+
+let shard_stats ts =
+  match ts.shard with
+  | None -> None
+  | Some store ->
+    let spills, bytes, reloads = Shard_store.spill_stats store in
+    Some (Shard_store.k store, spills, bytes, reloads)
+
+let num_edges ts =
+  match ts.shard with
+  | Some store -> Shard_store.num_edges store
+  | None -> ts.row_ptr.(Array.length ts.states)
 
 let edges_of ts i =
-  let lo = ts.row_ptr.(i) and hi = ts.row_ptr.(i + 1) in
-  let rec go k acc =
-    if k < lo then acc
-    else go (k - 1) ((ts.edge_action.(k), ts.edge_target.(k)) :: acc)
-  in
-  go (hi - 1) []
+  match ts.shard with
+  | Some store ->
+    let acc = ref [] in
+    Shard_store.iter_out store i (fun aid j -> acc := (aid, j) :: !acc);
+    List.rev !acc
+  | None ->
+    let lo = ts.row_ptr.(i) and hi = ts.row_ptr.(i + 1) in
+    let rec go k acc =
+      if k < lo then acc
+      else go (k - 1) ((ts.edge_action.(k), ts.edge_target.(k)) :: acc)
+    in
+    go (hi - 1) []
 
 let iter_out ts i f =
-  let hi = ts.row_ptr.(i + 1) in
-  for k = ts.row_ptr.(i) to hi - 1 do
-    f ts.edge_action.(k) ts.edge_target.(k)
-  done
+  match ts.shard with
+  | Some store -> Shard_store.iter_out store i f
+  | None ->
+    let hi = ts.row_ptr.(i + 1) in
+    for k = ts.row_ptr.(i) to hi - 1 do
+      f ts.edge_action.(k) ts.edge_target.(k)
+    done
 
-let out_degree ts i = ts.row_ptr.(i + 1) - ts.row_ptr.(i)
+let out_degree ts i =
+  match ts.shard with
+  | Some store -> Shard_store.out_degree store i
+  | None -> ts.row_ptr.(i + 1) - ts.row_ptr.(i)
 
 let fold_out ts i f init =
   let acc = ref init in
@@ -787,11 +1093,14 @@ let action_ids_of_names ts names =
   List.rev !ids
 
 let iter_edges ts f =
-  let n = num_states ts in
-  for i = 0 to n - 1 do
-    Detcor_robust.Budget.tick ();
-    iter_out ts i (fun aid j -> f i aid j)
-  done
+  match ts.shard with
+  | Some store -> Shard_store.iter_edges store f
+  | None ->
+    let n = num_states ts in
+    for i = 0 to n - 1 do
+      Detcor_robust.Budget.tick ();
+      iter_out ts i (fun aid j -> f i aid j)
+    done
 
 let fold_edges ts f init =
   let acc = ref init in
@@ -854,12 +1163,24 @@ let iter_in rev j f =
    for [holds_at]). *)
 let pred_bitset ts pred =
   let compute () =
-    let n = num_states ts in
-    let bits = Bitset.create n in
-    for i = 0 to n - 1 do
-      if Pred.holds pred ts.states.(i) then Bitset.set bits i
-    done;
-    bits
+    match ts.shard with
+    | Some store ->
+      (* One gid-order sweep decoding ranks into a scratch buffer: no
+         state allocation per visit, spilled segments stream through. *)
+      let layout = Option.get ts.layout in
+      let sc = Layout.scratch layout in
+      let bits = Bitset.create (Shard_store.num_states store) in
+      Shard_store.iter_ranks store (fun gid rank ->
+          Layout.unpack_into layout sc rank;
+          if Pred.holds pred (State.scratch_view sc) then Bitset.set bits gid);
+      bits
+    | None ->
+      let n = num_states ts in
+      let bits = Bitset.create n in
+      for i = 0 to n - 1 do
+        if Pred.holds pred ts.states.(i) then Bitset.set bits i
+      done;
+      bits
   in
   if not ts.cached then compute ()
   else
@@ -880,13 +1201,23 @@ let holds_at ts pred i =
 
 let enabled_bitset ts aid =
   let compute () =
-    let n = num_states ts in
     let guard = Action.guard ts.actions.(aid) in
-    let bits = Bitset.create n in
-    for i = 0 to n - 1 do
-      if Pred.holds guard ts.states.(i) then Bitset.set bits i
-    done;
-    bits
+    match ts.shard with
+    | Some store ->
+      let layout = Option.get ts.layout in
+      let sc = Layout.scratch layout in
+      let bits = Bitset.create (Shard_store.num_states store) in
+      Shard_store.iter_ranks store (fun gid rank ->
+          Layout.unpack_into layout sc rank;
+          if Pred.holds guard (State.scratch_view sc) then Bitset.set bits gid);
+      bits
+    | None ->
+      let n = num_states ts in
+      let bits = Bitset.create n in
+      for i = 0 to n - 1 do
+        if Pred.holds guard ts.states.(i) then Bitset.set bits i
+      done;
+      bits
   in
   if not ts.cached then compute ()
   else

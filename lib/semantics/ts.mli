@@ -5,7 +5,7 @@
     (compressed sparse row) arrays.  All decision procedures (closure,
     convergence, leads-to, fairness, safety) run on this structure.
 
-    Two engines build the same structure and produce identical state
+    Three engines build the same structure and produce identical state
     numbering, edges and initials:
 
     - {!Packed} (chosen by {!Auto} whenever the program's declared domains
@@ -17,7 +17,12 @@
     - {!Reference}: the seed list-based path (map-keyed interning, direct
       predicate evaluation on every query), kept as the fallback for
       programs whose actions step outside their declared domains and as the
-      oracle for differential testing. *)
+      oracle for differential testing.
+    - {!Sharded}: the out-of-core engine for explorations past RAM — state
+      and CSR arenas are hash-partitioned into shards whose level-aligned
+      segments spill to checksummed files under a spill directory (see
+      {!set_shard_defaults}), reloading on demand.  Exploration order is
+      identical to {!Packed}; only residency differs. *)
 
 open Detcor_kernel
 
@@ -26,12 +31,26 @@ type t
 (** Engine selection: [Auto] uses the packed engine and falls back to the
     reference engine when the program's states do not fit a {!Layout};
     [Packed] insists (raising {!Layout.Unrepresentable} otherwise);
-    [Reference] forces the seed path. *)
-type engine = Auto | Packed | Reference
+    [Reference] forces the seed path; [Sharded] (never chosen by [Auto])
+    forces the out-of-core engine and, like [Packed], requires a layout. *)
+type engine = Auto | Packed | Reference | Sharded
 
 exception Too_large of int
 
 val default_limit : int
+
+(** Process-wide parameters of the {!Sharded} engine, set once by the
+    CLI before dispatching: shard count (clamped to
+    {!Shard_store.max_shards}), spill directory ([None] keeps all arenas
+    resident — no out-of-core behavior, just the sharded layout), and
+    the resident arena budget in MiB (enforced only when spilling is
+    possible). *)
+val set_shard_defaults :
+  shards:int -> spill_dir:string option -> arena_budget_mb:int -> unit
+
+(** The current sharded-engine parameters:
+    [(shards, spill_dir, arena_budget_mb)]. *)
+val shard_defaults : unit -> int * string option * int
 
 (** [build program ~from] explores forward from the given initial states.
     Every recorded state is reachable from [from].  [workers] > 1 expands
@@ -62,13 +81,20 @@ val action : t -> int -> Action.t
 (** The layout compiled for this system, when the packed engine built it. *)
 val layout : t -> Layout.t option
 
-(** Which engine actually built this system ({!Packed} or {!Reference}). *)
+(** Which engine actually built this system ({!Packed}, {!Reference} or
+    {!Sharded}). *)
 val engine_of : t -> engine
+
+val engine_name : engine -> string
 
 (** Why an [Auto] build fell back to the reference engine, when it did:
     a human-readable diagnosis (layout overflow, or which variable / value
     escaped its declared domain).  [None] when no fallback happened. *)
 val fallback_reason : t -> string option
+
+(** For a sharded system, [(shard count, spills, spilled bytes,
+    reloads)]; [None] for the other engines. *)
+val shard_stats : t -> (int * int * int * int) option
 
 val num_edges : t -> int
 

@@ -109,9 +109,17 @@ let conj_list specs = List.fold_left conj top specs
 (* Checking.                                                           *)
 (* ------------------------------------------------------------------ *)
 
-(* [check ts s]: no reachable bad state, no reachable bad transition. *)
+(* [check ts s]: no reachable bad state, no reachable bad transition.
+   Specifications whose structure survived construction go through the
+   decomposed checker: predicates are swept once per state through the
+   engine's bitset cache, and a pair-free specification never touches
+   the edge set at all. *)
 let check ts s =
-  Check.safety ts ~bad_state:s.bad_state ~bad_transition:s.bad_transition
+  match s.parts with
+  | Some { bad_states; bad_pairs } ->
+    Check.safety_parts ts ~bad_states ~bad_pairs
+  | None ->
+    Check.safety ts ~bad_state:s.bad_state ~bad_transition:s.bad_transition
 
 (* [first_violation_in_trace tr s]: index (into [Trace.states]) of the first
    state at which the trace stops maintaining the specification: either a

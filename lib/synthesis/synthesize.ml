@@ -124,7 +124,7 @@ let auto_min_work = 4096
 
 let resolve_engine engine p faults =
   match engine with
-  | Ts.Reference | Ts.Packed -> engine
+  | Ts.Reference | Ts.Packed | Ts.Sharded -> engine
   | Ts.Auto ->
     let space =
       List.fold_left

@@ -13,7 +13,11 @@ type config = {
 }
 
 (** [make_config ?k n]: [n] processes with counters in [{0..k-1}]
-    (default [k = n]).  @raise Invalid_argument if [n < 2] or [k < n]. *)
+    (default [k = n]).  An explicit [k < n] is accepted for scale
+    experiments over the safety half of the spec — Dijkstra's
+    convergence needs [k >= n], so such configs are only sound for
+    fail-safe obligations.  @raise Invalid_argument if [n < 2] or
+    [k < 2]. *)
 val make_config : ?k:int -> int -> config
 
 val default : config
