@@ -1,0 +1,372 @@
+(* The Table 9i load harness: drive a live [dcheck serve] daemon with a
+   mixed job stream — interactive verifies, batch syntheses and
+   simulations — under injected worker crashes ([dcheck.job]) and hangs
+   ([dcheck.hang]) from the Failpoint environment, and measure the
+   client-observed submit-to-terminal latency.  Then kill -9 the daemon
+   with batch work in flight, restart it on the same spool, and demand
+   the adopted jobs run to completion before a SIGTERM drain (exit 143).
+
+   Reports p50/p99 latency, retry/preemption/watchdog/cache counters
+   scraped from the daemon's own registry, and the recovery outcome to
+   BENCH_serve.json (EXPERIMENTS.md Table 9i).
+
+   Run with:  dune exec bench/serve_load.exe  (from the repo root) *)
+
+module Proto = Detcor_serve.Proto
+module Client = Detcor_serve.Client
+module Jsonx = Detcor_obs.Jsonx
+
+let dcheck = ref "_build/default/bin/dcheck.exe"
+let corpus = ref "examples/dc"
+let out_file = ref "BENCH_serve.json"
+let n_jobs = ref 24
+let n_clients = ref 6
+
+let usage () =
+  prerr_endline
+    "usage: serve_load [--dcheck PATH] [--corpus DIR] [--out FILE] [--jobs \
+     N] [--clients N]";
+  exit 2
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--dcheck" :: v :: rest ->
+      dcheck := v;
+      parse rest
+    | "--corpus" :: v :: rest ->
+      corpus := v;
+      parse rest
+    | "--out" :: v :: rest ->
+      out_file := v;
+      parse rest
+    | "--jobs" :: v :: rest ->
+      n_jobs := int_of_string v;
+      parse rest
+    | "--clients" :: v :: rest ->
+      n_clients := int_of_string v;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let read_file path =
+  try In_channel.with_open_bin path In_channel.input_all
+  with Sys_error _ -> ""
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix ".d" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec rm_rf p =
+  if Sys.is_directory p then begin
+    Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+    Unix.rmdir p
+  end
+  else Sys.remove p
+
+(* ------------------------------------------------------------------ *)
+(* Daemon management.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let start_daemon ?(env = [||]) ~spool ~log args =
+  let fd = Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let pid =
+    Unix.create_process_env !dcheck
+      (Array.of_list ((!dcheck :: [ "serve"; "--spool"; spool ]) @ args))
+      (Array.append (Unix.environment ()) env)
+      Unix.stdin fd fd
+  in
+  Unix.close fd;
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let prefix = "dcheck: serving on " in
+  let rec wait_addr () =
+    if Unix.gettimeofday () > deadline then
+      failwith ("daemon never listened; log: " ^ read_file log);
+    let listen_line =
+      read_file log |> String.split_on_char '\n'
+      |> List.find_opt (String.starts_with ~prefix)
+    in
+    match listen_line with
+    | Some line ->
+      String.sub line (String.length prefix)
+        (String.length line - String.length prefix)
+    | None ->
+      Unix.sleepf 0.05;
+      wait_addr ()
+  in
+  (pid, wait_addr ())
+
+let rpc addr req =
+  match Client.oneshot ~addr req with
+  | Ok reply -> reply
+  | Error m -> failwith ("rpc failed: " ^ m)
+
+(* ------------------------------------------------------------------ *)
+(* The mixed workload.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type done_job = { job : Proto.job; latency_s : float }
+
+(* Round-robin mix: half interactive verifies (three distinct cache
+   keys, so repeats hit the result cache), a third batch simulations
+   with per-job seeds (all distinct keys), the rest batch syntheses on
+   one shared key. *)
+let submission i =
+  let memory = Filename.concat !corpus "memory.dc" in
+  let ring5 = Filename.concat !corpus "ring5.dc" in
+  match i mod 6 with
+  | 0 | 1 | 2 ->
+    let tol = [| "failsafe"; "nonmasking"; "masking" |].(i mod 3) in
+    (Proto.Verify, memory, [ "--tolerance"; tol ])
+  | 3 | 4 ->
+    ( Proto.Simulate,
+      ring5,
+      [ "--runs"; "100"; "--steps"; "50"; "--seed"; string_of_int i ] )
+  | _ -> (Proto.Synthesize, ring5, [ "--tolerance"; "nonmasking" ])
+
+(* Each client thread drains the shared ticket counter: submit, block on
+   the result, record the job as the daemon last saw it. *)
+let run_load addr =
+  let m = Mutex.create () in
+  let next = ref 0 in
+  let results = ref [] in
+  let worker tenant =
+    let rec go () =
+      let i =
+        Mutex.protect m (fun () ->
+            let i = !next in
+            if i < !n_jobs then incr next;
+            i)
+      in
+      if i < !n_jobs then begin
+        let kind, file, argv = submission i in
+        let t0 = Unix.gettimeofday () in
+        let rec admit () =
+          match rpc addr (Proto.Submit { tenant; kind; file; argv }) with
+          | Proto.Accepted j -> j
+          | Proto.Overloaded { retry_after_s } ->
+            (* Admission pushed back; honor the hint and retry the
+               same ticket. *)
+            Unix.sleepf retry_after_s;
+            admit ()
+          | _ -> failwith "unexpected submit reply"
+        in
+        let j = admit () in
+        (match rpc addr (Proto.Result { id = j.Proto.id; wait = true }) with
+        | Proto.Outcome { job; _ } ->
+          let latency_s = Unix.gettimeofday () -. t0 in
+          Mutex.protect m (fun () -> results := { job; latency_s } :: !results)
+        | _ -> failwith "result --wait did not return an outcome");
+        go ()
+      end
+    in
+    go ()
+  in
+  let threads =
+    List.init !n_clients (fun c ->
+        Thread.create worker (Printf.sprintf "client-%d" c))
+  in
+  List.iter Thread.join threads;
+  !results
+
+(* ------------------------------------------------------------------ *)
+(* Stats and metric scraping.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let percentile sorted q =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n -> sorted.(int_of_float (Float.round (q *. float_of_int (n - 1))))
+
+let counter_of_exposition text name =
+  let prefix = name ^ " " in
+  String.split_on_char '\n' text
+  |> List.find_map (fun line ->
+         if String.starts_with ~prefix line then
+           float_of_string_opt
+             (String.sub line (String.length prefix)
+                (String.length line - String.length prefix))
+         else None)
+  |> Option.value ~default:0.0
+
+let scrape addr =
+  match rpc addr Proto.Metrics with
+  | Proto.Text t -> t
+  | _ -> failwith "metrics verb did not return text"
+
+(* ------------------------------------------------------------------ *)
+(* Main.                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let spool = temp_dir "detcor_serve_bench" in
+  let logs = temp_dir "detcor_serve_bench_logs" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun d -> try rm_rf d with Sys_error _ | Unix.Unix_error _ -> ())
+        [ spool; logs ])
+  @@ fun () ->
+  (* Phase 1: mixed load with injected crashing and hanging workers.
+     The daemon reseeds DETCOR_FAILPOINTS per attempt, so each spawn
+     draws independently. *)
+  Fmt.pr "=== Table 9i: serve daemon under mixed load ===@.@.";
+  let pid, addr =
+    start_daemon
+      ~env:[| "DETCOR_FAILPOINTS=dcheck.job=0.15;dcheck.hang=0.08;seed=424242" |]
+      ~spool
+      ~log:(Filename.concat logs "serve-load.log")
+      [ "--slots"; "2"; "--watchdog"; "3"; "--retries"; "2" ]
+  in
+  let t0 = Unix.gettimeofday () in
+  let results = run_load addr in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let exposition = scrape addr in
+  let c name = int_of_float (counter_of_exposition exposition name) in
+  let retried = c "serve_jobs_retried_total" in
+  let preempted = c "serve_jobs_preempted_total" in
+  let watchdog_kills = c "serve_watchdog_kills_total" in
+  let cache_hits = c "serve_cache_hits_total" in
+  let cache_misses = c "serve_cache_misses_total" in
+  (* Phase 2: kill -9 with batch work in flight, restart, recover. *)
+  let in_flight =
+    List.map
+      (fun (kind, argv) ->
+        match
+          rpc addr
+            (Proto.Submit
+               {
+                 tenant = "recovery";
+                 kind;
+                 file = Filename.concat !corpus "ring5.dc";
+                 argv;
+               })
+        with
+        | Proto.Accepted j -> j.Proto.id
+        | _ -> failwith "recovery submit refused")
+      [
+        ( Proto.Simulate,
+          [ "--runs"; "2000"; "--steps"; "200"; "--seed"; "1001" ] );
+        ( Proto.Simulate,
+          [ "--runs"; "2000"; "--steps"; "200"; "--seed"; "1002" ] );
+      ]
+  in
+  Unix.sleepf 0.4;
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] pid);
+  let pid2, addr2 =
+    start_daemon ~spool
+      ~log:(Filename.concat logs "serve-recover.log")
+      [ "--slots"; "2" ]
+  in
+  let recovered =
+    List.fold_left
+      (fun n id ->
+        match rpc addr2 (Proto.Result { id; wait = true }) with
+        | Proto.Outcome { job; _ } when job.Proto.state = Proto.Done -> n + 1
+        | _ -> n)
+      0 in_flight
+  in
+  let adopted =
+    int_of_float
+      (counter_of_exposition (scrape addr2) "serve_spool_adopted_total")
+  in
+  (try Unix.kill pid2 Sys.sigterm with Unix.Unix_error _ -> ());
+  let _, drain_status = Unix.waitpid [] pid2 in
+  let drain_exit =
+    match drain_status with Unix.WEXITED c -> c | _ -> -1
+  in
+  (* Render. *)
+  let completed =
+    List.filter (fun r -> r.job.Proto.state = Proto.Done) results
+  in
+  let failed =
+    List.filter (fun r -> r.job.Proto.state = Proto.Failed) results
+  in
+  let lat_ms =
+    completed
+    |> List.map (fun r -> 1e3 *. r.latency_s)
+    |> Array.of_list
+  in
+  Array.sort compare lat_ms;
+  let p50 = percentile lat_ms 0.5
+  and p99 = percentile lat_ms 0.99
+  and pmax = percentile lat_ms 1.0 in
+  Fmt.pr
+    "jobs %d (clients %d): %d completed, %d failed in %.1fs wall@."
+    !n_jobs !n_clients (List.length completed) (List.length failed) wall_s;
+  Fmt.pr "latency p50 %.0f ms  p99 %.0f ms  max %.0f ms@." p50 p99 pmax;
+  Fmt.pr
+    "recovery arms: retried %d  watchdog kills %d  preempted %d  cache \
+     %d/%d hits@."
+    retried watchdog_kills preempted cache_hits (cache_hits + cache_misses);
+  Fmt.pr
+    "kill -9 recovery: %d/%d in-flight jobs recovered (%d spool records \
+     adopted), drain exit %d@."
+    recovered (List.length in_flight) adopted drain_exit;
+  let per_kind kind =
+    let ls =
+      completed
+      |> List.filter (fun r -> r.job.Proto.kind = kind)
+      |> List.map (fun r -> 1e3 *. r.latency_s)
+      |> Array.of_list
+    in
+    Array.sort compare ls;
+    Jsonx.Obj
+      [
+        ("kind", Jsonx.Str (Proto.kind_to_string kind));
+        ("completed", Jsonx.Int (Array.length ls));
+        ("p50_ms", Jsonx.Float (percentile ls 0.5));
+        ("p99_ms", Jsonx.Float (percentile ls 0.99));
+      ]
+  in
+  let json =
+    Jsonx.Obj
+      [
+        ("benchmark", Jsonx.Str "Table 9i serve load and recovery");
+        ("jobs", Jsonx.Int !n_jobs);
+        ("clients", Jsonx.Int !n_clients);
+        ("wall_s", Jsonx.Float wall_s);
+        ("completed", Jsonx.Int (List.length completed));
+        ("failed", Jsonx.Int (List.length failed));
+        ("p50_ms", Jsonx.Float p50);
+        ("p99_ms", Jsonx.Float p99);
+        ("max_ms", Jsonx.Float pmax);
+        ("retried_total", Jsonx.Int retried);
+        ("watchdog_kills", Jsonx.Int watchdog_kills);
+        ("preempted_total", Jsonx.Int preempted);
+        ("cache_hits", Jsonx.Int cache_hits);
+        ("cache_misses", Jsonx.Int cache_misses);
+        ( "recovery",
+          Jsonx.Obj
+            [
+              ("in_flight", Jsonx.Int (List.length in_flight));
+              ("recovered", Jsonx.Int recovered);
+              ("adopted", Jsonx.Int adopted);
+              ("drain_exit", Jsonx.Int drain_exit);
+            ] );
+        ( "rows",
+          Jsonx.List
+            (List.map per_kind [ Proto.Verify; Proto.Synthesize; Proto.Simulate ])
+        );
+      ]
+  in
+  let oc = open_out !out_file in
+  output_string oc (Jsonx.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "wrote %s@." !out_file;
+  (* The harness's own gate: every accepted job must reach a terminal
+     state, the killed daemon's in-flight work must be adopted from the
+     spool and recovered, and the drain must exit 143. *)
+  if
+    List.length completed + List.length failed < !n_jobs
+    || recovered < List.length in_flight
+    || adopted < List.length in_flight
+    || drain_exit <> 143
+  then begin
+    Fmt.pr "serve load harness FAILED@.";
+    exit 1
+  end

@@ -38,6 +38,7 @@ open Detcor_obs
 module Error = Detcor_robust.Error
 module Budget = Detcor_robust.Budget
 module Checkpoint = Detcor_robust.Checkpoint
+module Failpoint = Detcor_robust.Failpoint
 
 (* ------------------------------------------------------------------ *)
 (* Exit bookkeeping and finalizers.                                    *)
@@ -69,12 +70,35 @@ let exiting code =
 (* The budget dimension that tripped, when this run exits 3. *)
 let budget_trip_seen : string option ref = ref None
 
+(* SIGTERM asks for an orderly stop: when a checkpoint session is armed
+   the handler only raises this flag, and the exit happens at the next
+   cooperative budget tick — flushing from inside the asynchronous
+   handler could capture a mid-mutation fixpoint and leave a snapshot
+   worse than the last periodic one.  With no checkpoint armed there is
+   no loop state to keep consistent, so the handler exits directly; a
+   repeated SIGTERM also exits directly (the escape hatch for a loop
+   that never ticks). *)
+let term_pending = Atomic.make false
+let main_domain = (Stdlib.Domain.self () :> int)
+
 let () =
   at_exit run_finalizers;
-  (* SIGINT flushes through the same [at_exit] path and exits with the
-     conventional fatal-signal code. *)
-  try Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> exiting 130))
-  with Invalid_argument _ | Sys_error _ -> ()
+  (* SIGINT and SIGTERM flush through the same [at_exit] path and exit
+     with the conventional fatal-signal codes (130 / 143). *)
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> exiting 130))
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try
+     Sys.set_signal Sys.sigterm
+       (Sys.Signal_handle
+          (fun _ ->
+            if Atomic.exchange term_pending true || not (Checkpoint.armed ())
+            then exiting 143))
+   with Invalid_argument _ | Sys_error _ -> ());
+  Budget.set_tick_hook (fun () ->
+      (* Worker domains tick too, but only the main domain owns the
+         finalizer stack and the checkpoint session. *)
+      if Atomic.get term_pending && (Stdlib.Domain.self () :> int) = main_domain then
+        exiting 143)
 
 let or_die = function
   | Ok v -> v
@@ -118,6 +142,9 @@ let with_errors ~path k =
   | Stack_overflow ->
     Fmt.epr "dcheck: stack overflow@.";
     125
+  | Detcor_robust.Failpoint.Injected name ->
+    Fmt.epr "dcheck: injected fault at %s@." name;
+    125
 
 let with_budget ?memory_mb timeout k =
   match (timeout, memory_mb) with
@@ -129,6 +156,17 @@ let with_budget ?memory_mb timeout k =
    exhaustion anywhere — including parsing and elaboration — exits 3. *)
 let guarded ?memory_mb ~path timeout k =
   with_errors ~path (fun () -> with_budget ?memory_mb timeout k)
+
+(* Chaos sites for the serve load harness: [dcheck.job] crashes the job
+   (exit 125 — the injected Internal-class death the serve supervisor
+   retries with backoff) and [dcheck.hang] wedges it (the per-job
+   watchdog must kill it).  Only the job subcommands call this, so a
+   serve daemon inheriting DETCOR_FAILPOINTS never trips its own
+   sites. *)
+let chaos_site () =
+  Failpoint.hit "dcheck.job";
+  try Failpoint.hit "dcheck.hang"
+  with Failpoint.Injected _ -> Unix.sleep 3600
 
 let timeout_arg =
   Arg.(
@@ -325,6 +363,12 @@ let with_checkpoint ~path ~sub ~params robust k =
     in
     let fingerprint = Checkpoint.digest ("dcheck/1.0.0" :: sub :: source :: params) in
     Checkpoint.start ~interval:robust.interval ?write ?resume ~fingerprint ();
+    (* [Fun.protect] covers ordinary unwinding; the finalizer covers
+       [Stdlib.exit] paths (SIGTERM's deferred exit in particular), and
+       runs before the observability finalizer so the final snapshot is
+       on disk before the ledger records the run.  [Checkpoint.stop] is
+       idempotent, so reaching both is fine. *)
+    add_finalizer Checkpoint.stop;
     Fun.protect ~finally:Checkpoint.stop k
 
 (* ------------------------------------------------------------------ *)
@@ -443,6 +487,7 @@ let verdict_of_exit = function
   | 2 -> "error"
   | 3 -> "exhausted"
   | 130 -> "interrupted"
+  | 143 -> "terminated"
   | _ -> "internal-error"
 
 (* Install a recording context for the duration of [k] when any
@@ -471,7 +516,21 @@ let with_obs ?(extra = []) ~sub ~path opts k =
       | Some addr ->
         Expose.register_process_gauges ();
         Progress.start ();
-        let t = or_die (Telemetry.start addr) in
+        let t =
+          match Telemetry.start_err addr with
+          | Ok t -> t
+          | Error (`Invalid m) | Error (`Failed m) -> or_die (Error m)
+          | Error (`Addr_in_use port) ->
+            (* Still contended after the listener's one retry: a typed
+               resource failure (exit 3), not a usage error — the flag
+               was fine, the environment was not. *)
+            let e =
+              Error.Resource { Error.kind = Error.Addr; spent = port; budget = 1 }
+            in
+            budget_trip_seen := Some (Error.resource_kind_name Error.Addr);
+            Fmt.epr "dcheck: %a@." (pp_located path) e;
+            exiting (Error.exit_code e)
+        in
         Fmt.epr "dcheck: telemetry on http://%s/metrics@."
           (Telemetry.address t);
         Some t
@@ -506,6 +565,7 @@ let with_obs ?(extra = []) ~sub ~path opts k =
               peak_rss_bytes = Expose.peak_rss_bytes ();
               states;
               budget_trip = !budget_trip_seen;
+              telemetry_port = Option.map Telemetry.port server;
             }
           in
           try Ledger.append ~path:lpath entry
@@ -618,6 +678,7 @@ let verify_cmd =
   let run path tol limit explain timeout workers eopts robust obs =
     with_obs ~sub:"verify" ~path obs @@ fun () ->
     guarded ?memory_mb:eopts.memory_mb ~path timeout @@ fun () ->
+    chaos_site ();
     let engine = apply_engine eopts in
     with_checkpoint ~path ~sub:"verify"
       ~params:
@@ -741,6 +802,7 @@ let synthesize_cmd =
   let run path tol limit timeout workers eopts robust obs =
     with_obs ~sub:"synthesize" ~path obs @@ fun () ->
     guarded ?memory_mb:eopts.memory_mb ~path timeout @@ fun () ->
+    chaos_site ();
     let engine = apply_engine eopts in
     let tol = match tol with Some t -> t | None -> Spec.Masking in
     with_checkpoint ~path ~sub:"synthesize"
@@ -833,6 +895,7 @@ let simulate_cmd =
       =
     with_obs ~sub:"simulate" ~path obs @@ fun () ->
     guarded ?memory_mb:eopts.memory_mb ~path timeout @@ fun () ->
+    chaos_site ();
     let (_ : Detcor_semantics.Ts.engine) = apply_engine eopts in
     with_checkpoint ~path ~sub:"simulate"
       ~params:
@@ -1082,7 +1145,13 @@ let monitor_cmd =
          the derived states/sec. *)
       Progress.with_phase "monitor.sweep"
         (fun () -> [ ("states", !total_states); ("runs", !nruns) ])
-        (fun () -> Stream.fold ic ~init:() ~f:monitor_run)
+        (fun () ->
+          Stream.fold ic ~init:() ~f:monitor_run
+            ~on_torn:(fun line ->
+              Fmt.epr
+                "dcheck: warning: torn record at end of stream (line %d) — \
+                 salvaged the complete prefix@."
+                line))
     in
     if !violations > 0 then Metrics.incr ~by:!violations c_violations;
     Fmt.pr "runs: %d  states: %d  faults: %d@." !nruns !total_states
@@ -1487,6 +1556,158 @@ let top_cmd =
           process gauges.")
     Term.(const run $ addr_pos $ interval_arg $ iterations_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / client                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let listen_arg =
+    Arg.(
+      value
+      & opt string "127.0.0.1:0"
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Address to serve the job protocol on ($(b,HOST:PORT), \
+             $(b,:PORT) or $(b,PORT); port 0 picks a free port).  The \
+             bound address is printed on stdout once listening.")
+  in
+  let spool_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "spool" ] ~docv:"DIR"
+          ~doc:
+            "Crash-safe job spool: accepted jobs, their outputs and \
+             their checkpoints live here, so a killed daemon restarted \
+             on the same spool re-adopts and finishes every accepted \
+             job.")
+  in
+  let slots_arg =
+    Arg.(
+      value
+      & opt int Detcor_serve.Server.default_config.Detcor_serve.Server.slots
+      & info [ "slots" ] ~docv:"N"
+          ~doc:"Concurrently running worker subprocesses.")
+  in
+  let queue_max_arg =
+    Arg.(
+      value
+      & opt int
+          Detcor_serve.Server.default_config.Detcor_serve.Server.queue_max
+      & info [ "queue-max" ] ~docv:"N"
+          ~doc:
+            "Queued-job ceiling: submissions beyond it are refused with \
+             a typed $(b,overloaded) reply, never queued unboundedly.")
+  in
+  let tenant_max_arg =
+    Arg.(
+      value
+      & opt int
+          Detcor_serve.Server.default_config.Detcor_serve.Server.tenant_max
+      & info [ "tenant-max" ] ~docv:"N"
+          ~doc:"Live (queued or running) jobs allowed per tenant.")
+  in
+  let watchdog_arg =
+    Arg.(
+      value
+      & opt (some float) (Some 30.0)
+      & info [ "watchdog" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-job wall-clock ceiling; a worker that outlives it is \
+             killed (SIGTERM, then SIGKILL) and retried under the \
+             backoff policy.")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int
+          Detcor_serve.Server.default_config.Detcor_serve.Server.policy
+            .Detcor_robust.Watchdog.max_retries
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retries (with exponential backoff) for a worker that dies \
+             without a verdict before the job is marked failed.")
+  in
+  let run listen spool slots queue_max tenant_max watchdog retries obs =
+    with_obs ~sub:"serve" ~path:spool obs @@ fun () ->
+    with_errors ~path:spool @@ fun () ->
+    let cfg =
+      {
+        Detcor_serve.Server.default_config with
+        Detcor_serve.Server.listen;
+        spool;
+        slots = max 1 slots;
+        queue_max;
+        tenant_max;
+        policy =
+          {
+            Detcor_robust.Watchdog.default_policy with
+            Detcor_robust.Watchdog.max_retries = max 0 retries;
+            watchdog_s = watchdog;
+          };
+      }
+    in
+    Detcor_serve.Server.run cfg
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent verification daemon: a crash-safe job queue \
+          over loopback TCP (JSON lines) running verify/synthesize/simulate \
+          jobs on supervised worker subprocesses, with admission control, \
+          watchdogs, retry-with-backoff, checkpoint preemption of batch \
+          work and a result cache.  SIGTERM drains gracefully (exit 143); \
+          a $(b,kill -9) loses no accepted job — restart on the same \
+          $(b,--spool) to resume.")
+    Term.(
+      const run $ listen_arg $ spool_arg $ slots_arg $ queue_max_arg
+      $ tenant_max_arg $ watchdog_arg $ retries_arg $ obs_term)
+
+let client_cmd =
+  let addr_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ADDR" ~doc:"Daemon address (HOST:PORT).")
+  in
+  let json_pos =
+    Arg.(
+      non_empty
+      & pos_right 0 string []
+      & info [] ~docv:"JSON"
+          ~doc:
+            "Requests, one JSON object each, e.g. \
+             '{\"op\":\"submit\",\"kind\":\"verify\",\"file\":\"p.dc\"}'.")
+  in
+  let run addr jsons =
+    match Detcor_serve.Client.connect addr with
+    | Error m -> or_die (Error m)
+    | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Detcor_serve.Client.close c)
+        (fun () ->
+          List.fold_left
+            (fun code line ->
+              match Detcor_serve.Client.rpc_raw c line with
+              | Error m -> or_die (Error m)
+              | Ok reply ->
+                print_endline reply;
+                let refused =
+                  match Jsonx.of_string reply with
+                  | Ok j -> Jsonx.member "ok" j = Some (Jsonx.Bool false)
+                  | Error _ -> true
+                in
+                if refused then 1 else code)
+            0 jsons)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send raw protocol requests to a running $(b,dcheck serve) daemon \
+          and print each reply line.  Exits 1 if any reply was refused \
+          ($(i,ok:false)).")
+    Term.(const run $ addr_pos $ json_pos)
+
 let main =
   Cmd.group
     (Cmd.info "dcheck" ~version:"1.0.0"
@@ -1494,7 +1715,8 @@ let main =
          "Detectors and correctors: verification, extraction, synthesis and \
           simulation of fault-tolerance components.")
     [ info_cmd; verify_cmd; components_cmd; synthesize_cmd; simulate_cmd;
-      monitor_cmd; profile_cmd; graph_cmd; report_cmd; top_cmd ]
+      monitor_cmd; profile_cmd; graph_cmd; report_cmd; top_cmd; serve_cmd;
+      client_cmd ]
 
 (* cmdliner reports its own CLI parse problems with [Exit.cli_error]
    (124); the documented contract puts every usage error at 2. *)

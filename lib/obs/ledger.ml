@@ -19,6 +19,7 @@ type entry = {
   peak_rss_bytes : int;
   states : int; (* engine states interned during the run *)
   budget_trip : string option; (* exhausted dimension, when exit 3 *)
+  telemetry_port : int option; (* bound --telemetry port, when armed *)
 }
 
 let to_json e =
@@ -34,9 +35,12 @@ let to_json e =
        ("peak_rss_bytes", Jsonx.Int e.peak_rss_bytes);
        ("states", Jsonx.Int e.states);
      ]
-    @ match e.budget_trip with
+    @ (match e.budget_trip with
       | None -> []
       | Some k -> [ ("budget_trip", Jsonx.Str k) ])
+    @ match e.telemetry_port with
+      | None -> []
+      | Some p -> [ ("port", Jsonx.Int p) ])
 
 let of_json j =
   let str k = Option.bind (Jsonx.member k j) Jsonx.to_str in
@@ -56,6 +60,7 @@ let of_json j =
         peak_rss_bytes = Option.value ~default:0 (int "peak_rss_bytes");
         states = Option.value ~default:0 (int "states");
         budget_trip = str "budget_trip";
+        telemetry_port = int "port";
       }
   | _ -> None
 

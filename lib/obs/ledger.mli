@@ -13,6 +13,9 @@ type entry = {
   peak_rss_bytes : int;
   states : int;  (** engine states interned during the run *)
   budget_trip : string option;  (** exhausted dimension, when exit 3 *)
+  telemetry_port : int option;
+      (** the port the [--telemetry] listener actually bound (resolved
+          when 0 was requested), when telemetry was armed *)
 }
 
 val to_json : entry -> Jsonx.t

@@ -93,28 +93,63 @@ let rec serve t =
   | exception Unix.Unix_error _ when Atomic.get t.stopping -> ()
   | exception Unix.Unix_error _ -> serve t
 
-let start addr =
+(* Delay before the one bind retry on a contended port: long enough for
+   a just-exited previous owner's socket to clear, short enough not to
+   stall startup noticeably. *)
+let bind_retry_delay = 0.25
+
+(* A failed start, classified: [`Addr_in_use port] is the retried-and-
+   still-contended case the front end maps to its typed resource error;
+   everything else stays a plain message. *)
+let start_err addr =
   match parse_addr addr with
-  | Error _ as e -> e
-  | Ok (host, ip, port) -> (
-    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    try
-      Unix.setsockopt sock Unix.SO_REUSEADDR true;
-      Unix.bind sock (Unix.ADDR_INET (ip, port));
-      Unix.listen sock 16;
-      let port =
-        match Unix.getsockname sock with
-        | Unix.ADDR_INET (_, p) -> p
-        | _ -> port
-      in
-      let t = { sock; port; host; stopping = Atomic.make false } in
-      ignore (Thread.create serve t);
-      Ok t
-    with Unix.Unix_error (err, _, _) ->
-      (try Unix.close sock with Unix.Unix_error _ -> ());
+  | Error m -> Error (`Invalid m)
+  | Ok (host, ip, port) ->
+    let attempt () =
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      try
+        Unix.setsockopt sock Unix.SO_REUSEADDR true;
+        Unix.bind sock (Unix.ADDR_INET (ip, port));
+        Unix.listen sock 16;
+        let port =
+          match Unix.getsockname sock with
+          | Unix.ADDR_INET (_, p) -> p
+          | _ -> port
+        in
+        let t = { sock; port; host; stopping = Atomic.make false } in
+        ignore (Thread.create serve t);
+        Ok t
+      with Unix.Unix_error (err, _, _) ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        Error err
+    in
+    (match attempt () with
+    | Ok t -> Ok t
+    | Error Unix.EADDRINUSE ->
+      (* The port may belong to a run that is just exiting: wait once
+         and retry before reporting the conflict. *)
+      Unix.sleepf bind_retry_delay;
+      (match attempt () with
+      | Ok t -> Ok t
+      | Error Unix.EADDRINUSE -> Error (`Addr_in_use port)
+      | Error err ->
+        Error
+          (`Failed
+            (Printf.sprintf "cannot listen on %s: %s" addr
+               (Unix.error_message err))))
+    | Error err ->
       Error
-        (Printf.sprintf "cannot listen on %s: %s" addr
-           (Unix.error_message err)))
+        (`Failed
+          (Printf.sprintf "cannot listen on %s: %s" addr
+             (Unix.error_message err))))
+
+let start addr =
+  match start_err addr with
+  | Ok t -> Ok t
+  | Error (`Invalid m) | Error (`Failed m) -> Error m
+  | Error (`Addr_in_use port) ->
+    Error
+      (Printf.sprintf "cannot listen on %s: port %d already in use" addr port)
 
 let stop t =
   Atomic.set t.stopping true;

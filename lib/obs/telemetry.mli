@@ -14,8 +14,17 @@ val parse_addr : string -> (string * Unix.inet_addr * int, string) result
 
 (** [start addr] binds and serves.  [addr] is ["HOST:PORT"],
     [":PORT"] or ["PORT"]; the default host is loopback, and port 0
-    asks the kernel for a free port (read it back with {!port}). *)
+    asks the kernel for a free port (read it back with {!port}).  A
+    contended port is retried once after a short delay before it
+    reports failure. *)
 val start : string -> (t, string) result
+
+(** Like {!start} but with the failure classified, so front ends can
+    map a still-contended port ([`Addr_in_use port], reported only
+    after the one retry) to a typed resource error. *)
+val start_err :
+  string ->
+  (t, [ `Invalid of string | `Failed of string | `Addr_in_use of int ]) result
 
 (** The bound port (resolved when 0 was requested). *)
 val port : t -> int

@@ -106,6 +106,16 @@ let check_now b =
 
 let interval = 128 (* power of two: the tick test is a mask *)
 
+(* An external cancellation hook run on the masked slow path — the same
+   cadence as [Checkpoint.pulse], i.e. at points where every phase's
+   loop state is consistent.  dcheck installs one to turn an
+   asynchronous SIGTERM/SIGINT into a synchronous exit at the next
+   cooperative checkpoint, so the finalizer stack (including the final
+   snapshot) always captures consistent state. *)
+let tick_hook : (unit -> unit) ref = ref (fun () -> ())
+
+let set_tick_hook f = tick_hook := f
+
 (* Progress heartbeat: push an ETA derived from the active ceilings —
    seconds until the tightest budget dimension runs out, the only
    completion bound the toolkit can know in general — then let the
@@ -155,6 +165,7 @@ let tick () =
   if b.active || cp then begin
     let n = Atomic.fetch_and_add b.ticks 1 in
     if n land (interval - 1) = 0 then begin
+      !tick_hook ();
       if b.active then check_now b;
       if cp then Checkpoint.pulse ();
       if Detcor_obs.Progress.armed () then heartbeat b
@@ -177,6 +188,7 @@ let count_state () =
        | _ -> ());
     let t = Atomic.fetch_and_add b.ticks 1 in
     if t land (interval - 1) = 0 then begin
+      !tick_hook ();
       if b.active then check_now b;
       if cp then Checkpoint.pulse ();
       if Detcor_obs.Progress.armed () then heartbeat b

@@ -31,6 +31,14 @@ val current : unit -> t
     subsequent call once tripped, so cancellation propagates). *)
 val tick : unit -> unit
 
+(** Install a hook run on {!tick}'s masked slow path — the same cadence
+    as the checkpoint pulse, i.e. at points where loop state is
+    consistent.  dcheck uses it to turn asynchronous termination
+    signals into a synchronous exit whose final snapshot captures
+    consistent state.  The hook runs on whichever domain ticks; gate on
+    the owner domain inside the hook if needed. *)
+val set_tick_hook : (unit -> unit) -> unit
+
 (** Count one visited state toward the state ceiling; also a {!tick}. *)
 val count_state : unit -> unit
 

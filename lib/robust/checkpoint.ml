@@ -180,6 +180,7 @@ type session = {
   mutable completed : entry list; (* newest first *)
   mutable stack : phase_data list; (* active phases, innermost first *)
   mutable last_save_ns : int64;
+  mutable last_save_dur_ns : int64;
 }
 
 let current : session option ref = ref None
@@ -221,6 +222,7 @@ let start ?(interval = default_interval) ?write ?resume ~fingerprint () =
         completed = [];
         stack = [];
         last_save_ns = Obs.now_ns ();
+        last_save_dur_ns = 0L;
       };
   armed_flag := write <> None
 
@@ -250,6 +252,7 @@ let save s =
     s.last_save_ns <- Obs.now_ns ();
     match write_file ~path ~fingerprint:s.fingerprint (entries_of s) with
     | bytes ->
+      s.last_save_dur_ns <- Int64.sub (Obs.now_ns ()) s.last_save_ns;
       Metrics.incr m_written;
       Metrics.observe h_bytes bytes;
       if Obs.on () then
@@ -263,10 +266,21 @@ let save s =
 
 let on_owner s = (Stdlib.Domain.self () :> int) = s.owner
 
+(* Amortized pacing: when snapshots grow large enough that a single
+   write outlasts the configured interval, pure wall-clock pacing would
+   put the run back into [save] the moment it returns, spending nearly
+   all of its time serializing.  Requiring the gap to also exceed a
+   multiple of the previous save's own duration bounds snapshot cost to
+   a fixed fraction of the run, however big the payload gets. *)
+let min_gap s =
+  let amortized = Int64.mul 4L s.last_save_dur_ns in
+  if Int64.compare amortized s.interval_ns > 0 then amortized
+  else s.interval_ns
+
 let pulse () =
   match !current with
   | Some s when s.write_path <> None && on_owner s ->
-    if Int64.sub (Obs.now_ns ()) s.last_save_ns >= s.interval_ns then save s
+    if Int64.sub (Obs.now_ns ()) s.last_save_ns >= min_gap s then save s
   | _ -> ()
 
 let save_now () =

@@ -10,11 +10,11 @@
    by a well-formed `.dc` source reaching the toolkit through the
    language front end. *)
 
-type resource_kind = Time | Memory | States
+type resource_kind = Time | Memory | States | Addr
 
 type resource = {
   kind : resource_kind;
-  spent : int; (* ns for Time, bytes for Memory, count for States *)
+  spent : int; (* ns for Time, bytes for Memory, count for States/Addr *)
   budget : int;
 }
 
@@ -46,6 +46,7 @@ let resource_kind_name = function
   | Time -> "time"
   | Memory -> "memory"
   | States -> "state"
+  | Addr -> "address"
 
 let pp_resource ppf { kind; spent; budget } =
   match kind with
@@ -59,6 +60,8 @@ let pp_resource ppf { kind; spent; budget } =
       (budget / (1024 * 1024))
   | States ->
     Fmt.pf ppf "state budget exhausted (visited %d of %d states)" spent budget
+  | Addr ->
+    Fmt.pf ppf "address already in use (port %d, retried once)" spent
 
 let pp ppf = function
   | Parse { line; col; msg } ->

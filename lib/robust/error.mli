@@ -5,11 +5,13 @@
     located one-line diagnostic and a documented exit code instead of
     dying on a bare [Failure] or [Invalid_argument]. *)
 
-type resource_kind = Time | Memory | States
+type resource_kind = Time | Memory | States | Addr
 
 type resource = {
   kind : resource_kind;
-  spent : int;  (** ns for [Time], bytes for [Memory], count for [States] *)
+  spent : int;
+      (** ns for [Time], bytes for [Memory], count for [States], the
+          contended port for [Addr] *)
   budget : int;
 }
 

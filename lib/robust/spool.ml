@@ -1,0 +1,117 @@
+(* A crash-safe spool of named records.
+
+   The serve daemon's accepted-job store: one file per record, written
+   atomically (temp file in the same directory, then [Sys.rename]), so a
+   reader — including the daemon's own restart after a [kill -9] — only
+   ever observes a complete record or the previous version, never a torn
+   write.  The loader is correspondingly tolerant, in the [Ledger.load]
+   idiom: files that fail the caller's decoder are counted and skipped,
+   not fatal, and stray [.tmp] files from a crashed writer are ignored
+   (and swept by [clean_tmp]).
+
+   Records are opaque strings; callers bring their own codec.  Names are
+   restricted to a filename-safe alphabet so a record name can never
+   escape the spool directory. *)
+
+open Detcor_obs
+
+let m_saves = Metrics.counter "robust.spool.saves"
+let m_torn = Metrics.counter "robust.spool.torn"
+
+let valid_name n =
+  n <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '-' || c = '_' || c = '.')
+       n
+  && (not (String.equal n "."))
+  && not (String.equal n "..")
+
+let check_name n =
+  if not (valid_name n) then Error.internal "Spool: invalid record name %S" n
+
+let suffix = ".rec"
+
+let path_of dir name = Filename.concat dir (name ^ suffix)
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    Error.internal "Spool: %s exists and is not a directory" dir
+
+(* Atomic save: the visible file is either the previous record or the
+   complete new one.  The temp name includes the pid so two daemons
+   pointed at the same spool cannot tear each other's writes. *)
+let save ~dir ~name data =
+  check_name name;
+  let final = path_of dir name in
+  let tmp = Printf.sprintf "%s.%d.tmp" final (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc data;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp final;
+  Metrics.incr m_saves
+
+let remove ~dir ~name =
+  check_name name;
+  try Sys.remove (path_of dir name) with Sys_error _ -> ()
+
+let mem ~dir ~name =
+  check_name name;
+  Sys.file_exists (path_of dir name)
+
+let load_one ~dir ~name =
+  check_name name;
+  try Some (In_channel.with_open_bin (path_of dir name) In_channel.input_all)
+  with Sys_error _ -> None
+
+(* Every record [decode] accepts, in name order (deterministic across
+   restarts), plus the count of unreadable or undecodable files skipped.
+   [decode] returning [None] — or raising — marks the record torn. *)
+let load ~dir ~decode =
+  if not (Sys.file_exists dir) then ([], 0)
+  else begin
+    let names =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter_map (fun f ->
+             if Filename.check_suffix f suffix then
+               Some (Filename.chop_suffix f suffix)
+             else None)
+      |> List.filter valid_name
+      |> List.sort String.compare
+    in
+    let torn = ref 0 in
+    let records =
+      List.filter_map
+        (fun name ->
+          let mark_torn () =
+            incr torn;
+            Metrics.incr m_torn;
+            None
+          in
+          match load_one ~dir ~name with
+          | None -> mark_torn ()
+          | Some data -> (
+            match decode data with
+            | Some v -> Some (name, v)
+            | None | (exception _) -> mark_torn ()))
+        names
+    in
+    (records, !torn)
+  end
+
+(* Sweep temp files abandoned by a crashed writer. *)
+let clean_tmp ~dir =
+  if Sys.file_exists dir then
+    Sys.readdir dir
+    |> Array.iter (fun f ->
+           if Filename.check_suffix f ".tmp" then
+             try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())

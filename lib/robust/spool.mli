@@ -1,0 +1,35 @@
+(** Crash-safe spool of named records: one file per record, written
+    atomically (temp + rename), loaded back with [Ledger]-style
+    tolerance — torn or undecodable records are counted and skipped,
+    never fatal.  The serve daemon's accepted-job store: a [kill -9]
+    between a record's acceptance and the daemon's death loses nothing
+    already renamed into place.
+
+    Records are opaque strings (callers bring their own codec); names
+    must be non-empty and use only [[a-zA-Z0-9._-]].
+    @raise Error.Detcor_error ([Internal]) on an invalid name. *)
+
+(** Create [dir] if missing.  @raise Unix.Unix_error when the parent is
+    unwritable; [Error.Detcor_error] when [dir] exists as a file. *)
+val ensure_dir : string -> unit
+
+(** Atomically write (or replace) one record.
+    @raise Sys_error on an unwritable spool. *)
+val save : dir:string -> name:string -> string -> unit
+
+(** Delete a record; missing records are fine. *)
+val remove : dir:string -> name:string -> unit
+
+val mem : dir:string -> name:string -> bool
+
+(** The record's current contents, [None] when absent. *)
+val load_one : dir:string -> name:string -> string option
+
+(** All records [decode] accepts, in name order, plus the count of
+    unreadable/undecodable records skipped ([robust.spool.torn] counts
+    them too).  A [decode] that raises marks the record torn. *)
+val load :
+  dir:string -> decode:(string -> 'a option) -> (string * 'a) list * int
+
+(** Remove temp files left by a crashed writer. *)
+val clean_tmp : dir:string -> unit

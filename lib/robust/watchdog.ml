@@ -1,0 +1,45 @@
+(* Supervision arithmetic for the serve daemon: wall-clock watchdog
+   deadlines and bounded retry-with-backoff.
+
+   Pure policy — no threads, no clocks of its own.  The daemon's
+   scheduler owns the monotonic clock and asks two questions at each
+   tick: has this running job outlived its watchdog deadline (kill it),
+   and when may this crashed job run again (retry after a growing
+   backoff, up to a bounded attempt count, then give up).  Keeping the
+   arithmetic here makes the policy unit-testable without a daemon. *)
+
+type policy = {
+  max_retries : int; (* retries after the first attempt; 0 = never retry *)
+  backoff_base_s : float; (* delay before retry 1 *)
+  backoff_factor : float; (* growth per further retry *)
+  backoff_max_s : float; (* delay ceiling *)
+  watchdog_s : float option; (* running-job wall-clock ceiling *)
+}
+
+let default_policy =
+  {
+    max_retries = 2;
+    backoff_base_s = 0.2;
+    backoff_factor = 2.0;
+    backoff_max_s = 5.0;
+    watchdog_s = None;
+  }
+
+(* Delay before retry [attempt] (1-based: the first retry is attempt 1),
+   or [None] when the policy is out of retries.  The growth is clamped
+   so a large attempt count cannot overflow to infinity. *)
+let retry_delay policy ~attempt =
+  if attempt < 1 || attempt > policy.max_retries then None
+  else begin
+    let d =
+      policy.backoff_base_s
+      *. (policy.backoff_factor ** float_of_int (attempt - 1))
+    in
+    Some (Float.min d policy.backoff_max_s)
+  end
+
+(* A job started at [started_s] has outlived its watchdog at [now_s]. *)
+let expired policy ~started_s ~now_s =
+  match policy.watchdog_s with
+  | None -> false
+  | Some limit -> now_s -. started_s > limit

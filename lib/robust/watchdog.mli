@@ -1,0 +1,22 @@
+(** Supervision policy for the serve daemon: per-job wall-clock
+    watchdogs and bounded retry-with-backoff.  Pure arithmetic — the
+    daemon's scheduler owns the clock and applies the answers. *)
+
+type policy = {
+  max_retries : int;  (** retries after the first attempt; 0 = never *)
+  backoff_base_s : float;  (** delay before retry 1 *)
+  backoff_factor : float;  (** growth per further retry *)
+  backoff_max_s : float;  (** delay ceiling *)
+  watchdog_s : float option;  (** running-job wall-clock ceiling *)
+}
+
+(** 2 retries, 0.2s base doubling to a 5s cap, no watchdog. *)
+val default_policy : policy
+
+(** Delay before retry [attempt] (1-based), [None] when the policy is
+    out of retries. *)
+val retry_delay : policy -> attempt:int -> float option
+
+(** A job started at [started_s] has outlived its watchdog at [now_s]
+    (both from the same clock). *)
+val expired : policy -> started_s:float -> now_s:float -> bool

@@ -1,0 +1,51 @@
+(* Blocking JSON-line RPC client for the serve protocol. *)
+
+open Detcor_obs
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect addr =
+  match Telemetry.parse_addr addr with
+  | Error m -> Error m
+  | Ok (_host, ip, port) -> (
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_INET (ip, port)) with
+    | () ->
+      Ok
+        {
+          fd;
+          ic = Unix.in_channel_of_descr fd;
+          oc = Unix.out_channel_of_descr fd;
+        }
+    | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" addr
+           (Unix.error_message err)))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let rpc_raw t line =
+  match
+    output_string t.oc line;
+    output_char t.oc '\n';
+    flush t.oc;
+    input_line t.ic
+  with
+  | reply -> Ok reply
+  | exception End_of_file -> Error "connection closed by daemon"
+  | exception (Sys_error m) -> Error m
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+
+let rpc t req =
+  match rpc_raw t (Jsonx.to_string (Proto.request_to_json req)) with
+  | Error _ as e -> e
+  | Ok line -> (
+    match Jsonx.of_string line with
+    | Error m -> Error (Printf.sprintf "bad reply JSON: %s" m)
+    | Ok json -> Proto.reply_of_json json)
+
+let oneshot ~addr req =
+  match connect addr with
+  | Error _ as e -> e
+  | Ok t -> Fun.protect ~finally:(fun () -> close t) (fun () -> rpc t req)

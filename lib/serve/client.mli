@@ -1,0 +1,21 @@
+(** Client side of the serve protocol: blocking JSON-line RPCs over a
+    loopback TCP connection.  Used by [dcheck client], the serve tests
+    and the load-bench harness. *)
+
+type t
+
+(** Connect to ["HOST:PORT"] (as {!Detcor_obs.Telemetry.parse_addr}). *)
+val connect : string -> (t, string) result
+
+val close : t -> unit
+
+(** One request, one reply.  [Error] is a transport or framing failure;
+    protocol-level refusals come back as [Ok (Overloaded _ | Bad _)]. *)
+val rpc : t -> Proto.request -> (Proto.reply, string) result
+
+(** Send one raw JSON line and return the raw reply line — the
+    [dcheck client] passthrough. *)
+val rpc_raw : t -> string -> (string, string) result
+
+(** Connect, run one request, close. *)
+val oneshot : addr:string -> Proto.request -> (Proto.reply, string) result

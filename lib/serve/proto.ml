@@ -1,0 +1,273 @@
+(* The serve wire protocol: JSON lines over loopback TCP.
+
+   Encoding favours the hand-rolled [Jsonx] tree the rest of the
+   toolkit already uses; every reply object carries "ok" so a client
+   can branch on success without pattern-sniffing the shape.  The same
+   [job] encoding doubles as the daemon's spool record — what the wire
+   says about a job and what the crash-safe store remembers about it
+   can never drift apart. *)
+
+open Detcor_obs
+
+type kind = Verify | Synthesize | Simulate
+
+let kind_to_string = function
+  | Verify -> "verify"
+  | Synthesize -> "synthesize"
+  | Simulate -> "simulate"
+
+let kind_of_string = function
+  | "verify" -> Some Verify
+  | "synthesize" -> Some Synthesize
+  | "simulate" -> Some Simulate
+  | _ -> None
+
+(* Interactive jobs answer a person at a prompt; batch jobs answer a
+   pipeline.  Only the former may preempt the latter. *)
+let interactive = function Verify -> true | Synthesize | Simulate -> false
+
+type state = Queued | Running | Preempting | Done | Failed | Cancelled
+
+let state_to_string = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Preempting -> "preempting"
+  | Done -> "done"
+  | Failed -> "failed"
+  | Cancelled -> "cancelled"
+
+let state_of_string = function
+  | "queued" -> Some Queued
+  | "running" -> Some Running
+  | "preempting" -> Some Preempting
+  | "done" -> Some Done
+  | "failed" -> Some Failed
+  | "cancelled" -> Some Cancelled
+  | _ -> None
+
+let terminal = function
+  | Done | Failed | Cancelled -> true
+  | Queued | Running | Preempting -> false
+
+type job = {
+  id : int;
+  tenant : string;
+  kind : kind;
+  file : string;
+  argv : string list;
+  state : state;
+  attempts : int;
+  preemptions : int;
+  exit_code : int option;
+  cache : string option;
+}
+
+let job_to_json j =
+  Jsonx.Obj
+    ([
+       ("id", Jsonx.Int j.id);
+       ("tenant", Jsonx.Str j.tenant);
+       ("kind", Jsonx.Str (kind_to_string j.kind));
+       ("file", Jsonx.Str j.file);
+       ("argv", Jsonx.List (List.map (fun a -> Jsonx.Str a) j.argv));
+       ("state", Jsonx.Str (state_to_string j.state));
+       ("attempts", Jsonx.Int j.attempts);
+       ("preemptions", Jsonx.Int j.preemptions);
+     ]
+    @ (match j.exit_code with
+      | None -> []
+      | Some c -> [ ("exit", Jsonx.Int c) ])
+    @ match j.cache with None -> [] | Some c -> [ ("cache", Jsonx.Str c) ])
+
+let job_of_json json =
+  let str k = Option.bind (Jsonx.member k json) Jsonx.to_str in
+  let int k = Option.bind (Jsonx.member k json) Jsonx.to_int in
+  let strs k =
+    match Option.bind (Jsonx.member k json) Jsonx.to_list with
+    | None -> Some []
+    | Some l ->
+      List.fold_right
+        (fun v acc ->
+          match (Jsonx.to_str v, acc) with
+          | Some s, Some acc -> Some (s :: acc)
+          | _ -> None)
+        l (Some [])
+  in
+  match
+    ( int "id",
+      Option.bind (str "kind") kind_of_string,
+      Option.bind (str "state") state_of_string,
+      strs "argv" )
+  with
+  | Some id, Some kind, Some state, Some argv ->
+    Some
+      {
+        id;
+        tenant = Option.value ~default:"-" (str "tenant");
+        kind;
+        file = Option.value ~default:"-" (str "file");
+        argv;
+        state;
+        attempts = Option.value ~default:0 (int "attempts");
+        preemptions = Option.value ~default:0 (int "preemptions");
+        exit_code = int "exit";
+        cache = str "cache";
+      }
+  | _ -> None
+
+(* The cache key digests everything that could change the answer bytes:
+   unlike the checkpoint fingerprint, worker/engine/shard choices are
+   all included — a resume may legally cross them, a cached result may
+   not claim to. *)
+let cache_key ~kind ~source ~argv =
+  Detcor_robust.Checkpoint.digest
+    ("dcheck-serve/1" :: kind_to_string kind :: source :: argv)
+
+type request =
+  | Submit of {
+      tenant : string;
+      kind : kind;
+      file : string;
+      argv : string list;
+    }
+  | Status of int
+  | Result of { id : int; wait : bool }
+  | Cancel of int
+  | List_jobs
+  | Metrics
+  | Shutdown
+
+let request_to_json = function
+  | Submit { tenant; kind; file; argv } ->
+    Jsonx.Obj
+      [
+        ("op", Jsonx.Str "submit");
+        ("tenant", Jsonx.Str tenant);
+        ("kind", Jsonx.Str (kind_to_string kind));
+        ("file", Jsonx.Str file);
+        ("argv", Jsonx.List (List.map (fun a -> Jsonx.Str a) argv));
+      ]
+  | Status id -> Jsonx.Obj [ ("op", Jsonx.Str "status"); ("id", Jsonx.Int id) ]
+  | Result { id; wait } ->
+    Jsonx.Obj
+      [ ("op", Jsonx.Str "result"); ("id", Jsonx.Int id);
+        ("wait", Jsonx.Bool wait) ]
+  | Cancel id -> Jsonx.Obj [ ("op", Jsonx.Str "cancel"); ("id", Jsonx.Int id) ]
+  | List_jobs -> Jsonx.Obj [ ("op", Jsonx.Str "list") ]
+  | Metrics -> Jsonx.Obj [ ("op", Jsonx.Str "metrics") ]
+  | Shutdown -> Jsonx.Obj [ ("op", Jsonx.Str "shutdown") ]
+
+let request_of_json json =
+  let str k = Option.bind (Jsonx.member k json) Jsonx.to_str in
+  let int k = Option.bind (Jsonx.member k json) Jsonx.to_int in
+  let id_op make =
+    match int "id" with
+    | Some id -> Ok (make id)
+    | None -> Error "missing integer field \"id\""
+  in
+  match str "op" with
+  | None -> Error "missing field \"op\""
+  | Some "submit" -> (
+    let argv =
+      match Option.bind (Jsonx.member "argv" json) Jsonx.to_list with
+      | None -> Some []
+      | Some l ->
+        List.fold_right
+          (fun v acc ->
+            match (Jsonx.to_str v, acc) with
+            | Some s, Some acc -> Some (s :: acc)
+            | _ -> None)
+          l (Some [])
+    in
+    match (Option.bind (str "kind") kind_of_string, str "file", argv) with
+    | None, _, _ -> Error "submit: bad or missing \"kind\""
+    | _, None, _ -> Error "submit: missing \"file\""
+    | _, _, None -> Error "submit: \"argv\" must be a list of strings"
+    | Some kind, Some file, Some argv ->
+      Ok
+        (Submit
+           { tenant = Option.value ~default:"-" (str "tenant"); kind; file;
+             argv }))
+  | Some "status" -> id_op (fun id -> Status id)
+  | Some "result" ->
+    let wait =
+      match Option.bind (Jsonx.member "wait" json) (function
+        | Jsonx.Bool b -> Some b
+        | _ -> None) with
+      | Some b -> b
+      | None -> false
+    in
+    id_op (fun id -> Result { id; wait })
+  | Some "cancel" -> id_op (fun id -> Cancel id)
+  | Some "list" -> Ok List_jobs
+  | Some "metrics" -> Ok Metrics
+  | Some "shutdown" -> Ok Shutdown
+  | Some op -> Error (Printf.sprintf "unknown op %S" op)
+
+type reply =
+  | Accepted of job
+  | Job of job
+  | Jobs of job list
+  | Outcome of { job : job; output : string }
+  | Text of string
+  | Overloaded of { retry_after_s : float }
+  | Bad of string
+
+let ok fields = Jsonx.Obj (("ok", Jsonx.Bool true) :: fields)
+
+let reply_to_json = function
+  | Accepted j -> ok [ ("accepted", job_to_json j) ]
+  | Job j -> ok [ ("job", job_to_json j) ]
+  | Jobs js -> ok [ ("jobs", Jsonx.List (List.map job_to_json js)) ]
+  | Outcome { job; output } ->
+    ok [ ("job", job_to_json job); ("output", Jsonx.Str output) ]
+  | Text s -> ok [ ("text", Jsonx.Str s) ]
+  | Overloaded { retry_after_s } ->
+    Jsonx.Obj
+      [
+        ("ok", Jsonx.Bool false);
+        ("error", Jsonx.Str "overloaded");
+        ("retry_after_s", Jsonx.Float retry_after_s);
+      ]
+  | Bad msg ->
+    Jsonx.Obj [ ("ok", Jsonx.Bool false); ("error", Jsonx.Str msg) ]
+
+let reply_of_json json =
+  let mem k = Jsonx.member k json in
+  let job_field k =
+    match Option.bind (mem k) job_of_json with
+    | Some j -> Ok j
+    | None -> Error (Printf.sprintf "reply: bad %S field" k)
+  in
+  match mem "ok" with
+  | Some (Jsonx.Bool true) -> (
+    match (mem "accepted", mem "job", mem "jobs", mem "text", mem "output")
+    with
+    | Some _, _, _, _, _ ->
+      Result.map (fun j -> Accepted j) (job_field "accepted")
+    | _, Some _, _, _, Some (Jsonx.Str output) ->
+      Result.map (fun job -> Outcome { job; output }) (job_field "job")
+    | _, Some _, _, _, _ -> Result.map (fun j -> Job j) (job_field "job")
+    | _, _, Some (Jsonx.List l), _, _ ->
+      List.fold_right
+        (fun v acc ->
+          match (job_of_json v, acc) with
+          | Some j, Ok acc -> Ok (j :: acc)
+          | _, (Error _ as e) -> e
+          | None, _ -> Error "reply: bad job in \"jobs\"")
+        l (Ok [])
+      |> Result.map (fun js -> Jobs js)
+    | _, _, _, Some (Jsonx.Str s), _ -> Ok (Text s)
+    | _ -> Error "reply: unrecognized success shape")
+  | Some (Jsonx.Bool false) -> (
+    match Option.bind (mem "error") Jsonx.to_str with
+    | Some "overloaded" ->
+      let retry_after_s =
+        match Option.bind (mem "retry_after_s") Jsonx.to_float with
+        | Some s -> s
+        | None -> 1.0
+      in
+      Ok (Overloaded { retry_after_s })
+    | Some msg -> Ok (Bad msg)
+    | None -> Error "reply: failure without \"error\"")
+  | _ -> Error "reply: missing boolean \"ok\""

@@ -1,0 +1,89 @@
+(** The serve wire protocol: JSON lines over loopback TCP.
+
+    Each connection carries a sequence of requests, one JSON object per
+    line, each answered by one JSON object on its own line.  The
+    protocol is deliberately small — submit work, poll or wait for it,
+    cancel it, list it, scrape the metrics registry — and every reply
+    carries ["ok"] so clients can branch without sniffing shapes. *)
+
+open Detcor_obs
+
+(** The three job kinds the daemon runs, each a dcheck subcommand. *)
+type kind = Verify | Synthesize | Simulate
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+(** [Verify] jobs are interactive — they may preempt a running batch
+    ([Synthesize]/[Simulate]) job to get a slot. *)
+val interactive : kind -> bool
+
+type state =
+  | Queued
+  | Running
+  | Preempting  (** asked to checkpoint and yield its slot *)
+  | Done  (** ran to completion; [exit_code] is the verdict *)
+  | Failed  (** retries exhausted, watchdog-killed, or unspawnable *)
+  | Cancelled
+
+val state_to_string : state -> string
+val state_of_string : string -> state option
+
+(** [true] once a job can never run again. *)
+val terminal : state -> bool
+
+(** One job as both sides see it; also the daemon's spool record. *)
+type job = {
+  id : int;
+  tenant : string;
+  kind : kind;
+  file : string;  (** the .dc program the job runs on *)
+  argv : string list;  (** extra dcheck arguments *)
+  state : state;
+  attempts : int;  (** spawns so far, retries included *)
+  preemptions : int;
+  exit_code : int option;  (** set when [Done] or [Failed] *)
+  cache : string option;  (** ["hit"]/["miss"], set when [Done] *)
+}
+
+val job_to_json : job -> Jsonx.t
+val job_of_json : Jsonx.t -> job option
+
+(** The result cache key — and the checkpoint-session-style fingerprint
+    binding a job to exactly the work it does: two submissions share a
+    key iff kind, program source and argument vector all agree.  Unlike
+    the checkpoint fingerprint this includes every argument (engine,
+    shard and worker choices select genuinely different runs to a cache,
+    even when a resume could legally cross them). *)
+val cache_key : kind:kind -> source:string -> argv:string list -> string
+
+type request =
+  | Submit of {
+      tenant : string;
+      kind : kind;
+      file : string;
+      argv : string list;
+    }
+  | Status of int
+  | Result of { id : int; wait : bool }
+      (** with [wait], the reply is delayed until the job is terminal *)
+  | Cancel of int
+  | List_jobs
+  | Metrics  (** the Prometheus exposition of the daemon's registry *)
+  | Shutdown  (** graceful drain, then the daemon exits 0 *)
+
+val request_to_json : request -> Jsonx.t
+val request_of_json : Jsonx.t -> (request, string) result
+
+type reply =
+  | Accepted of job  (** submit: queued (or an immediate cache hit) *)
+  | Job of job  (** status *)
+  | Jobs of job list  (** list *)
+  | Outcome of { job : job; output : string }  (** result *)
+  | Text of string  (** metrics *)
+  | Overloaded of { retry_after_s : float }
+      (** admission control refused the submit; try again later *)
+  | Bad of string  (** malformed request, unknown id, … *)
+
+val reply_to_json : reply -> Jsonx.t
+val reply_of_json : Jsonx.t -> (reply, string) result

@@ -1,0 +1,677 @@
+(* The serve daemon.
+
+   One mutex guards all scheduling state; the main thread runs the
+   scheduler poll loop (reap, watchdog, retry, promote, preempt) every
+   20 ms, an accept thread hands each connection to its own handler
+   thread, and [done_cond] wakes blocked [result --wait] readers on
+   every terminal transition.
+
+   Supervision is deliberately a detector/corrector instance.  The
+   detector is the poll loop: it observes the predicate "every accepted
+   job is making progress toward a terminal state" through waitpid,
+   wall clocks and the queue.  The correctors are the recovery arms:
+   bounded retry-with-backoff for workers that die abnormally,
+   SIGTERM-then-SIGKILL for workers that outlive their watchdog,
+   checkpoint preemption (SIGTERM, requeue with --resume) when
+   interactive work needs a slot, and the crash-safe spool + restart
+   adoption when the failing component is the daemon itself. *)
+
+open Detcor_obs
+module Spool = Detcor_robust.Spool
+module Watchdog = Detcor_robust.Watchdog
+
+let c_submitted = Metrics.counter "serve.jobs.submitted"
+let c_completed = Metrics.counter "serve.jobs.completed"
+let c_failed = Metrics.counter "serve.jobs.failed"
+let c_cancelled = Metrics.counter "serve.jobs.cancelled"
+let c_retried = Metrics.counter "serve.jobs.retried"
+let c_preempted = Metrics.counter "serve.jobs.preempted"
+let c_overloaded = Metrics.counter "serve.jobs.overloaded"
+let c_watchdog = Metrics.counter "serve.watchdog_kills"
+let c_cache_hits = Metrics.counter "serve.cache.hits"
+let c_cache_misses = Metrics.counter "serve.cache.misses"
+let c_adopted = Metrics.counter "serve.spool.adopted"
+let g_queue = Metrics.gauge "serve.queue.depth"
+let g_running = Metrics.gauge "serve.running"
+let h_latency_ms = Metrics.histogram "serve.latency_ms"
+
+type config = {
+  listen : string;
+  spool : string;
+  slots : int;
+  queue_max : int;
+  tenant_max : int;
+  policy : Watchdog.policy;
+  dcheck : string;
+  kill_grace_s : float;
+  checkpoint_interval : float;
+}
+
+let default_config =
+  {
+    listen = "127.0.0.1:0";
+    spool = "dcheck-spool";
+    slots = 2;
+    queue_max = 64;
+    tenant_max = 16;
+    policy = { Watchdog.default_policy with Watchdog.watchdog_s = Some 30.0 };
+    dcheck = Sys.executable_name;
+    kill_grace_s = 1.0;
+    checkpoint_interval = 0.05;
+  }
+
+(* Why a job was signalled, so the reaper knows which corrector owns
+   the exit. *)
+type kill_reason = Preempt | Watchdog_kill | Cancel_kill | Drain
+
+type rjob = {
+  mutable job : Proto.job;
+  mutable key : string;  (* result-cache key; "" when source unreadable *)
+  mutable pid : int option;
+  mutable submitted_s : float;
+  mutable started_s : float;  (* of the current attempt *)
+  mutable retry_at : float;  (* earliest next spawn; 0.0 = now *)
+  mutable resume : bool;  (* next attempt passes --resume *)
+  mutable kill_at : float;  (* when SIGTERM was sent; 0.0 = not sent *)
+  mutable kill_reason : kill_reason option;
+}
+
+type t = {
+  cfg : config;
+  m : Mutex.t;
+  done_cond : Condition.t;
+  jobs : (int, rjob) Hashtbl.t;
+  cache : (string, int) Hashtbl.t;  (* cache key -> Done job id *)
+  mutable next_id : int;
+  mutable iqueue : int list;  (* interactive, FIFO *)
+  mutable bqueue : int list;  (* batch, FIFO; preempted jobs re-enter at the front *)
+  mutable draining : bool;
+  mutable drain_to_zero : bool;  (* protocol shutdown: exit 0, not 143 *)
+  mutable listener : Unix.file_descr option;
+}
+
+let now () = Unix.gettimeofday ()
+let locked t f = Mutex.protect t.m f
+
+(* ------------------------------------------------------------------ *)
+(* Spool layout.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec_name id = Printf.sprintf "job-%06d" id
+let out_path t id = Filename.concat t.cfg.spool (rec_name id ^ ".out")
+let snap_path t id = Filename.concat t.cfg.spool (rec_name id ^ ".snap")
+
+(* The spool record is the wire encoding of the job plus the worker
+   pid, so a restarted daemon can put down an orphaned worker before
+   spawning a successor that would share its output file. *)
+let persist t rj =
+  let json =
+    match Proto.job_to_json rj.job with
+    | Jsonx.Obj fields ->
+      Jsonx.Obj
+        (fields
+        @ match rj.pid with
+          | None -> []
+          | Some p -> [ ("pid", Jsonx.Int p) ])
+    | j -> j
+  in
+  Spool.save ~dir:t.cfg.spool ~name:(rec_name rj.job.id)
+    (Jsonx.to_string json)
+
+let decode_record s =
+  match Jsonx.of_string s with
+  | Error _ -> None
+  | Ok json ->
+    Option.map
+      (fun job -> (job, Option.bind (Jsonx.member "pid" json) Jsonx.to_int))
+      (Proto.job_of_json json)
+
+(* ------------------------------------------------------------------ *)
+(* Worker processes.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Give each spawn its own failpoint seed (later directives win in
+   Failpoint.configure), so chaos children draw independently instead
+   of all replaying the daemon's stream. *)
+let child_env rj =
+  match Sys.getenv_opt "DETCOR_FAILPOINTS" with
+  | None -> Unix.environment ()
+  | Some fp ->
+    let key = "DETCOR_FAILPOINTS=" in
+    let keep s = not (String.starts_with ~prefix:key s) in
+    let fp' =
+      Printf.sprintf "%s%s;seed=%d" key fp
+        ((1009 * rj.job.id) + rj.job.attempts)
+    in
+    Unix.environment () |> Array.to_list |> List.filter keep
+    |> fun rest -> Array.of_list (fp' :: rest)
+
+(* Spawn the next attempt.  Output goes to the job's .out file,
+   truncated per attempt: a retried or resumed attempt replays the full
+   report, so the surviving bytes are exactly what an undisturbed run
+   would have produced. *)
+let spawn t rj =
+  let id = rj.job.id in
+  let argv =
+    [ t.cfg.dcheck; Proto.kind_to_string rj.job.kind; rj.job.file ]
+    @ rj.job.argv
+    @ [
+        "--checkpoint"; snap_path t id; "--checkpoint-interval";
+        Printf.sprintf "%g" t.cfg.checkpoint_interval;
+      ]
+    @
+    if rj.resume && Sys.file_exists (snap_path t id) then
+      [ "--resume"; snap_path t id ]
+    else []
+  in
+  match
+    let out =
+      Unix.openfile (out_path t id)
+        [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+        0o644
+    in
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close out with Unix.Unix_error _ -> ());
+        try Unix.close devnull with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.create_process_env t.cfg.dcheck (Array.of_list argv)
+          (child_env rj) devnull out out)
+  with
+  | pid ->
+    rj.pid <- Some pid;
+    rj.started_s <- now ();
+    rj.kill_at <- 0.0;
+    rj.kill_reason <- None;
+    rj.job <-
+      { rj.job with Proto.state = Proto.Running;
+        attempts = rj.job.attempts + 1 };
+    persist t rj
+  | exception Unix.Unix_error (err, _, _) ->
+    rj.job <-
+      { rj.job with Proto.state = Proto.Failed; exit_code = Some 125 };
+    Metrics.incr c_failed;
+    persist t rj;
+    Fmt.epr "dcheck serve: cannot spawn job %d: %s@." id
+      (Unix.error_message err)
+
+let term_job rj reason =
+  match rj.pid with
+  | None -> ()
+  | Some pid ->
+    rj.kill_reason <- Some reason;
+    rj.kill_at <- now ();
+    if reason = Preempt then
+      rj.job <- { rj.job with Proto.state = Proto.Preempting };
+    (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+
+let read_output t id =
+  match In_channel.with_open_bin (out_path t id) In_channel.input_all with
+  | s -> s
+  | exception Sys_error _ -> ""
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling (all under the mutex).                                   *)
+(* ------------------------------------------------------------------ *)
+
+let running t =
+  Hashtbl.fold
+    (fun _ rj acc -> if rj.pid <> None then rj :: acc else acc)
+    t.jobs []
+
+let queued_count t = List.length t.iqueue + List.length t.bqueue
+
+let live_for_tenant t tenant =
+  Hashtbl.fold
+    (fun _ rj n ->
+      if rj.job.Proto.tenant = tenant && not (Proto.terminal rj.job.Proto.state)
+      then n + 1
+      else n)
+    t.jobs 0
+
+let update_gauges t =
+  Metrics.set_gauge g_queue (queued_count t);
+  Metrics.set_gauge g_running (List.length (running t))
+
+let enqueue ?(front = false) t rj =
+  rj.job <- { rj.job with Proto.state = Proto.Queued };
+  rj.pid <- None;
+  let id = rj.job.Proto.id in
+  if Proto.interactive rj.job.Proto.kind then
+    t.iqueue <- (if front then id :: t.iqueue else t.iqueue @ [ id ])
+  else t.bqueue <- (if front then id :: t.bqueue else t.bqueue @ [ id ]);
+  persist t rj
+
+let finish t rj state exit_code =
+  rj.pid <- None;
+  rj.job <- { rj.job with Proto.state; exit_code };
+  (match state with
+  | Proto.Done ->
+    Metrics.incr c_completed;
+    Metrics.observe h_latency_ms
+      (int_of_float ((now () -. rj.submitted_s) *. 1000.0));
+    if rj.key <> "" then Hashtbl.replace t.cache rj.key rj.job.Proto.id
+  | Proto.Failed -> Metrics.incr c_failed
+  | Proto.Cancelled -> Metrics.incr c_cancelled
+  | _ -> ());
+  persist t rj;
+  Condition.broadcast t.done_cond
+
+(* A worker died without a verdict: retry with backoff while the policy
+   allows, resuming from its last snapshot when one exists. *)
+let retry_or_fail t rj exit_code =
+  match Watchdog.retry_delay t.cfg.policy ~attempt:rj.job.Proto.attempts with
+  | Some delay ->
+    Metrics.incr c_retried;
+    rj.retry_at <- now () +. delay;
+    rj.resume <- Sys.file_exists (snap_path t rj.job.Proto.id);
+    enqueue t rj
+  | None -> finish t rj Proto.Failed exit_code
+
+let reap t rj pid status =
+  let reason = rj.kill_reason in
+  rj.kill_reason <- None;
+  rj.kill_at <- 0.0;
+  rj.pid <- None;
+  ignore pid;
+  match (status, reason) with
+  (* A verdict is a verdict, whatever we were doing to the worker. *)
+  | Unix.WEXITED ((0 | 1) as code), _ -> finish t rj Proto.Done (Some code)
+  | _, Some Cancel_kill -> finish t rj Proto.Cancelled None
+  | _, Some Drain ->
+    (* Spooled as queued-with-resume for the next daemon instance. *)
+    rj.resume <- Sys.file_exists (snap_path t rj.job.Proto.id);
+    enqueue t rj
+  | _, Some Preempt ->
+    Metrics.incr c_preempted;
+    rj.resume <- Sys.file_exists (snap_path t rj.job.Proto.id);
+    rj.job <- { rj.job with Proto.preemptions = rj.job.Proto.preemptions + 1 };
+    enqueue ~front:true t rj
+  | _, Some Watchdog_kill -> retry_or_fail t rj None
+  | Unix.WEXITED ((2 | 3) as code), None ->
+    (* Usage/type and resource verdicts are deterministic: a retry
+       would fail the same way. *)
+    finish t rj Proto.Failed (Some code)
+  | (Unix.WEXITED _ | Unix.WSIGNALED _ | Unix.WSTOPPED _), None ->
+    retry_or_fail t rj
+      (match status with Unix.WEXITED c -> Some c | _ -> None)
+
+let take_due t queue =
+  let tnow = now () in
+  let rec go seen = function
+    | [] -> (None, List.rev seen)
+    | id :: rest -> (
+      match Hashtbl.find_opt t.jobs id with
+      | None -> go seen rest
+      | Some rj when rj.retry_at <= tnow -> (Some rj, List.rev_append seen rest)
+      | Some _ -> go (id :: seen) rest)
+  in
+  go [] queue
+
+let has_due t queue =
+  let tnow = now () in
+  List.exists
+    (fun id ->
+      match Hashtbl.find_opt t.jobs id with
+      | Some rj -> rj.retry_at <= tnow
+      | None -> false)
+    queue
+
+(* One scheduler pass: reap exits, police watchdogs and kill-grace
+   escalation, start due jobs in free slots, and preempt a batch worker
+   when interactive work is starved. *)
+let step t =
+  let tnow = now () in
+  (* Reap and police running workers. *)
+  List.iter
+    (fun rj ->
+      match rj.pid with
+      | None -> ()
+      | Some pid -> (
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ ->
+          if rj.kill_at > 0.0 then begin
+            (* The SIGTERM grace ran out: a wedged worker never reaches
+               a cooperative tick, so escalate. *)
+            if tnow -. rj.kill_at > t.cfg.kill_grace_s then
+              try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+          end
+          else if
+            rj.kill_reason = None
+            && Watchdog.expired t.cfg.policy ~started_s:rj.started_s
+                 ~now_s:tnow
+          then begin
+            Metrics.incr c_watchdog;
+            term_job rj Watchdog_kill
+          end
+        | _, status -> reap t rj pid status
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+          (* Not our child (adopted record raced a reaper); count the
+             attempt as lost and let the retry policy decide. *)
+          reap t rj pid (Unix.WSIGNALED Sys.sigkill)))
+    (running t);
+  if t.draining then
+    List.iter
+      (fun rj -> if rj.kill_reason = None then term_job rj Drain)
+      (running t)
+  else begin
+    (* Promote queued work into free slots, interactive first. *)
+    let rec promote () =
+      if List.length (running t) < t.cfg.slots then begin
+        match take_due t t.iqueue with
+        | Some rj, rest ->
+          t.iqueue <- rest;
+          spawn t rj;
+          promote ()
+        | None, _ -> (
+          match take_due t t.bqueue with
+          | Some rj, rest ->
+            t.bqueue <- rest;
+            spawn t rj;
+            promote ()
+          | None, _ -> ())
+      end
+    in
+    promote ();
+    (* Interactive work still waiting with every slot busy: preempt the
+       most recently started batch worker (its checkpoint loses the
+       least, and older workers are closer to done). *)
+    if has_due t t.iqueue then begin
+      let victim =
+        running t
+        |> List.filter (fun rj ->
+               (not (Proto.interactive rj.job.Proto.kind))
+               && rj.kill_reason = None)
+        |> List.fold_left
+             (fun best rj ->
+               match best with
+               | Some b when b.started_s >= rj.started_s -> best
+               | _ -> Some rj)
+             None
+      in
+      Option.iter (fun rj -> term_job rj Preempt) victim
+    end
+  end;
+  update_gauges t
+
+(* ------------------------------------------------------------------ *)
+(* Protocol dispatch.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let submit t ~tenant ~kind ~file ~argv =
+  if t.draining then Proto.Overloaded { retry_after_s = 5.0 }
+  else if live_for_tenant t tenant >= t.cfg.tenant_max then begin
+    Metrics.incr c_overloaded;
+    Proto.Overloaded { retry_after_s = 1.0 }
+  end
+  else if queued_count t >= t.cfg.queue_max then begin
+    Metrics.incr c_overloaded;
+    Proto.Overloaded { retry_after_s = 0.5 }
+  end
+  else begin
+    match In_channel.with_open_bin file In_channel.input_all with
+    | exception Sys_error m -> Proto.Bad m
+    | source ->
+      let key = Proto.cache_key ~kind ~source ~argv in
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      Metrics.incr c_submitted;
+      let job =
+        {
+          Proto.id; tenant; kind; file; argv; state = Proto.Queued;
+          attempts = 0; preemptions = 0; exit_code = None; cache = None;
+        }
+      in
+      let rj =
+        {
+          job; key; pid = None; submitted_s = now (); started_s = 0.0;
+          retry_at = 0.0; resume = false; kill_at = 0.0; kill_reason = None;
+        }
+      in
+      Hashtbl.replace t.jobs id rj;
+      (match Hashtbl.find_opt t.cache key with
+      | Some src_id
+        when (match Hashtbl.find_opt t.jobs src_id with
+             | Some src -> src.job.Proto.state = Proto.Done
+             | None -> false) ->
+        (* Cache hit: the job is born terminal, with the cached bytes
+           copied into its own output slot. *)
+        Metrics.incr c_cache_hits;
+        let src = Hashtbl.find t.jobs src_id in
+        Out_channel.with_open_bin (out_path t id) (fun oc ->
+            Out_channel.output_string oc (read_output t src_id));
+        rj.job <-
+          {
+            rj.job with
+            Proto.state = Proto.Done;
+            exit_code = src.job.Proto.exit_code;
+            cache = Some "hit";
+          };
+        Metrics.incr c_completed;
+        persist t rj;
+        Condition.broadcast t.done_cond
+      | _ ->
+        Metrics.incr c_cache_misses;
+        rj.job <- { rj.job with Proto.cache = Some "miss" };
+        enqueue t rj;
+        update_gauges t);
+      Proto.Accepted rj.job
+  end
+
+let dispatch t req =
+  locked t @@ fun () ->
+  match req with
+  | Proto.Submit { tenant; kind; file; argv } -> submit t ~tenant ~kind ~file ~argv
+  | Proto.Status id -> (
+    match Hashtbl.find_opt t.jobs id with
+    | Some rj -> Proto.Job rj.job
+    | None -> Proto.Bad (Printf.sprintf "unknown job %d" id))
+  | Proto.Result { id; wait } -> (
+    match Hashtbl.find_opt t.jobs id with
+    | None -> Proto.Bad (Printf.sprintf "unknown job %d" id)
+    | Some rj ->
+      if wait then
+        while
+          (not (Proto.terminal rj.job.Proto.state)) && not t.draining
+        do
+          Condition.wait t.done_cond t.m
+        done;
+      if Proto.terminal rj.job.Proto.state then
+        Proto.Outcome { job = rj.job; output = read_output t id }
+      else Proto.Job rj.job)
+  | Proto.Cancel id -> (
+    match Hashtbl.find_opt t.jobs id with
+    | None -> Proto.Bad (Printf.sprintf "unknown job %d" id)
+    | Some rj ->
+      (match rj.job.Proto.state with
+      | Proto.Queued ->
+        let drop = List.filter (fun i -> i <> id) in
+        t.iqueue <- drop t.iqueue;
+        t.bqueue <- drop t.bqueue;
+        finish t rj Proto.Cancelled None
+      | Proto.Running | Proto.Preempting -> term_job rj Cancel_kill
+      | _ -> ());
+      Proto.Job rj.job)
+  | Proto.List_jobs ->
+    let js =
+      Hashtbl.fold (fun _ rj acc -> rj.job :: acc) t.jobs []
+      |> List.sort (fun (a : Proto.job) b -> compare a.Proto.id b.Proto.id)
+    in
+    Proto.Jobs js
+  | Proto.Metrics -> Proto.Text (Expose.render ())
+  | Proto.Shutdown ->
+    t.drain_to_zero <- true;
+    t.draining <- true;
+    Condition.broadcast t.done_cond;
+    Proto.Text "draining"
+
+(* ------------------------------------------------------------------ *)
+(* Connections.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let handle_conn t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      try
+        let rec serve_lines () =
+          let line = input_line ic in
+          if String.trim line <> "" then begin
+            let reply =
+              match Jsonx.of_string line with
+              | Error m -> Proto.Bad (Printf.sprintf "bad JSON: %s" m)
+              | Ok json -> (
+                match Proto.request_of_json json with
+                | Error m -> Proto.Bad m
+                | Ok req -> dispatch t req)
+            in
+            output_string oc (Jsonx.to_string (Proto.reply_to_json reply));
+            output_char oc '\n';
+            flush oc
+          end;
+          serve_lines ()
+        in
+        serve_lines ()
+      with End_of_file | Sys_error _ | Unix.Unix_error _ -> ())
+
+let rec accept_loop t sock =
+  match Unix.accept sock with
+  | fd, _ ->
+    ignore (Thread.create (fun () -> handle_conn t fd) ());
+    accept_loop t sock
+  | exception Unix.Unix_error _ -> ()  (* listener closed: drain *)
+
+(* ------------------------------------------------------------------ *)
+(* Restart adoption.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A pid recorded in the spool may have outlived a kill -9 of the
+   daemon.  Put it down before spawning a successor that would share
+   its output file — but only when the live process is really a dcheck
+   (pids recycle). *)
+let kill_orphan pid =
+  let cmdline =
+    try
+      In_channel.with_open_bin
+        (Printf.sprintf "/proc/%d/cmdline" pid)
+        In_channel.input_all
+    with Sys_error _ -> ""
+  in
+  let looks_like_dcheck =
+    let rec find i =
+      i + 6 <= String.length cmdline
+      && (String.sub cmdline i 6 = "dcheck" || find (i + 1))
+    in
+    find 0
+  in
+  if looks_like_dcheck then (
+    try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+
+let adopt t =
+  Spool.ensure_dir t.cfg.spool;
+  Spool.clean_tmp ~dir:t.cfg.spool;
+  let records, torn = Spool.load ~dir:t.cfg.spool ~decode:decode_record in
+  if torn > 0 then
+    Fmt.epr "dcheck serve: skipped %d torn spool record(s)@." torn;
+  List.iter
+    (fun (_, (job, pid)) ->
+      let id = job.Proto.id in
+      if id >= t.next_id then t.next_id <- id + 1;
+      let rj =
+        {
+          job; key = ""; pid = None; submitted_s = now (); started_s = 0.0;
+          retry_at = 0.0; resume = false; kill_at = 0.0; kill_reason = None;
+        }
+      in
+      (rj.key <-
+         (match
+            In_channel.with_open_bin job.Proto.file In_channel.input_all
+          with
+         | source ->
+           Proto.cache_key ~kind:job.Proto.kind ~source ~argv:job.Proto.argv
+         | exception Sys_error _ -> ""));
+      Hashtbl.replace t.jobs id rj;
+      if Proto.terminal job.Proto.state then begin
+        if
+          job.Proto.state = Proto.Done
+          && rj.key <> ""
+          && job.Proto.cache <> Some "hit"
+          && Sys.file_exists (out_path t id)
+        then Hashtbl.replace t.cache rj.key id
+      end
+      else begin
+        (* Queued, or mid-run when the old daemon died: requeue, and
+           resume from the snapshot when the dead attempt left one. *)
+        Option.iter kill_orphan pid;
+        Metrics.incr c_adopted;
+        rj.resume <- Sys.file_exists (snap_path t id);
+        enqueue t rj
+      end)
+    records;
+  update_gauges t
+
+(* ------------------------------------------------------------------ *)
+(* Main loop.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run cfg =
+  let t =
+    {
+      cfg;
+      m = Mutex.create ();
+      done_cond = Condition.create ();
+      jobs = Hashtbl.create 64;
+      cache = Hashtbl.create 64;
+      next_id = 1;
+      iqueue = [];
+      bqueue = [];
+      draining = false;
+      drain_to_zero = false;
+      listener = None;
+    }
+  in
+  locked t (fun () -> adopt t);
+  let host, ip, port =
+    match Telemetry.parse_addr cfg.listen with
+    | Ok v -> v
+    | Error m -> failwith m
+  in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (ip, port));
+  Unix.listen sock 64;
+  let port =
+    match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  t.listener <- Some sock;
+  Printf.printf "dcheck: serving on %s:%d\n%!" host port;
+  (* Replace dcheck's exit-now SIGTERM handler with a drain request for
+     the daemon's lifetime: stop admitting, checkpoint the workers,
+     spool everything, then exit 143 ourselves. *)
+  (try
+     Sys.set_signal Sys.sigterm
+       (Sys.Signal_handle (fun _ -> t.draining <- true))
+   with Invalid_argument _ | Sys_error _ -> ());
+  ignore (Thread.create (fun () -> accept_loop t sock) ());
+  let rec loop () =
+    let finished =
+      locked t (fun () ->
+          step t;
+          t.draining && running t = [])
+    in
+    if finished then ()
+    else begin
+      Thread.delay 0.02;
+      loop ()
+    end
+  in
+  loop ();
+  (* Drained: close the listener, wake blocked waiters, and leave every
+     non-terminal job spooled as queued for the next instance. *)
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  locked t (fun () -> Condition.broadcast t.done_cond);
+  Thread.delay 0.05;
+  if t.drain_to_zero then 0 else 143

@@ -1,0 +1,41 @@
+(** The dcheck serve daemon: a supervised job queue over loopback TCP.
+
+    The daemon is itself an instance of the paper's detector/corrector
+    pair: the scheduler's poll loop {e detects} deviations from the
+    "every accepted job reaches a terminal state" specification — a
+    worker that died (exit 125, a signal), outlived its watchdog, or
+    must yield its slot to interactive work — and {e corrects} by
+    bounded retry-with-backoff, kill-and-requeue, or checkpoint
+    preemption.  The crash-safe spool makes the correction span daemon
+    deaths: a [kill -9] between accept and completion loses no job.
+
+    {!run} blocks until a drain completes: a protocol [shutdown]
+    request exits 0, SIGTERM exits 143.  Either way running jobs are
+    asked to checkpoint (SIGTERM, then SIGKILL after a grace period)
+    and every non-terminal job is spooled as queued-with-resume, so a
+    restarted daemon re-adopts and finishes them. *)
+
+open Detcor_robust
+
+type config = {
+  listen : string;  (** ADDR as {!Detcor_obs.Telemetry.parse_addr} *)
+  spool : string;  (** spool directory (jobs, outputs, snapshots) *)
+  slots : int;  (** concurrently running worker subprocesses *)
+  queue_max : int;  (** queued-job ceiling before [overloaded] *)
+  tenant_max : int;  (** live (non-terminal) jobs per tenant *)
+  policy : Watchdog.policy;  (** retry/backoff/watchdog for workers *)
+  dcheck : string;  (** binary to spawn jobs with *)
+  kill_grace_s : float;  (** SIGTERM → SIGKILL escalation delay *)
+  checkpoint_interval : float;  (** worker snapshot cadence, seconds *)
+}
+
+(** Loopback on an ephemeral port, 2 slots, 64-deep queue, 16 live jobs
+    per tenant, the default retry policy with a 30 s watchdog, jobs run
+    with [Sys.executable_name]. *)
+val default_config : config
+
+(** Serve until drained; returns the process exit code (0 after a
+    protocol [shutdown], 143 after SIGTERM).  Prints
+    ["dcheck: serving on HOST:PORT"] on stdout once listening.
+    Installs its own SIGTERM handler (drain) for the duration. *)
+val run : config -> int

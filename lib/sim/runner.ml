@@ -117,17 +117,35 @@ let sample ?(config = default) n program ~faults ~policy ~init =
   | Some (Detcor_robust.Checkpoint.Done data) ->
     (Marshal.from_string data 0 : run list)
   | resumed ->
+    (* Midway payload: the completed count's own marshal chunk followed
+       by one chunk per finished run, appended as each run completes.
+       Re-marshalling the whole accumulator on every periodic save would
+       cost a full graph traversal per snapshot — quadratic across the
+       sample, and slow enough on large [n] to starve the run — so each
+       run is serialized exactly once and a capture only concatenates
+       the chunks already in [buf]. *)
+    let buf = Buffer.create 4096 in
     let start, saved =
       match resumed with
       | Some (Detcor_robust.Checkpoint.Midway data) ->
-        (Marshal.from_string data 0 : int * run list)
+        let completed = (Marshal.from_string data 0 : int) in
+        let bytes = Bytes.unsafe_of_string data in
+        let head = Marshal.total_size bytes 0 in
+        let off = ref head in
+        let runs = ref [] in
+        while !off < String.length data do
+          runs := (Marshal.from_string data !off : run) :: !runs;
+          off := !off + Marshal.total_size bytes !off
+        done;
+        Buffer.add_substring buf data head (String.length data - head);
+        (completed, !runs)
       | _ -> (0, [])
     in
     let completed = ref start in
     let acc = ref saved in
     (* completed runs, newest first *)
     Detcor_robust.Checkpoint.set_capture phase (fun () ->
-        Marshal.to_string (!completed, !acc) []);
+        Marshal.to_string !completed [] ^ Buffer.contents buf);
     while !completed < n do
       let i = !completed in
       let injector = Injector.make policy faults in
@@ -137,6 +155,7 @@ let sample ?(config = default) n program ~faults ~policy ~init =
           program ~injector ~init
       in
       acc := r :: !acc;
+      Buffer.add_string buf (Marshal.to_string r []);
       completed := i + 1
     done;
     let runs = List.rev !acc in

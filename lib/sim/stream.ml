@@ -107,15 +107,20 @@ let parse_binding ~line tok =
 let split_words s =
   String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
 
-let fold ic ~init ~f =
+let fold ?(on_torn = fun (_ : int) -> ()) ic ~init ~f =
   let lineno = ref 0 in
+  (* One line of lookahead: a defect counts as a torn tail only when
+     nothing follows it, so mid-stream corruption still raises. *)
+  let ahead = ref (try Some (input_line ic) with End_of_file -> None) in
   let next () =
-    match input_line ic with
-    | s ->
+    match !ahead with
+    | None -> None
+    | Some l ->
+      ahead := (try Some (input_line ic) with End_of_file -> None);
       incr lineno;
-      Some s
-    | exception End_of_file -> None
+      Some l
   in
+  let at_tail () = !ahead = None in
   (match next () with
   | Some l when String.trim l = header -> ()
   | Some l -> perr ~line:1 "expected %S, got %S" header l
@@ -137,14 +142,29 @@ let fold ic ~init ~f =
       in_run := None;
       acc := f !acc { index; init = init_st; records = List.rev records; ending }
   in
+  (* A recorder killed mid-write leaves a torn tail: a partial final
+     line, or a run missing its 'end'.  Salvage the complete prefix the
+     way [Ledger.load] skips torn lines — the in-progress run (if its
+     [init] parsed) is delivered ending [Truncated] — and report through
+     [on_torn].  The same defect mid-stream still raises. *)
+  let salvage () =
+    on_torn !lineno;
+    match !in_run with
+    | None | Some (_, None, _) -> in_run := None
+    | Some (index, Some st, records) ->
+      in_run := None;
+      acc :=
+        f !acc
+          { index; init = st; records = List.rev records;
+            ending = Trace.Truncated }
+  in
   let rec loop () =
     match next () with
-    | None ->
-      if !in_run <> None then
-        perr ~line:!lineno "stream ends inside a run (missing 'end' line)"
+    | None -> if !in_run <> None then salvage ()
     | Some raw ->
       let line = !lineno in
-      (match split_words (String.trim raw) with
+      (try
+         match split_words (String.trim raw) with
       | [] -> ()
       | "#" :: _ -> ()
       | word :: rest when String.length word > 0 && word.[0] = '#' ->
@@ -177,10 +197,14 @@ let fold ic ~init ~f =
           in
           let record = { action; fault = kind = "fault"; target } in
           in_run := Some (index, init', record :: records))
-      | [ "end"; "maximal" ] -> finish Trace.Maximal
-      | [ "end"; "truncated" ] -> finish Trace.Truncated
-      | [ "end"; e ] -> perr ~line "bad ending %S" e
-      | w :: _ -> perr ~line "unrecognized record %S" w);
+         | [ "end"; "maximal" ] -> finish Trace.Maximal
+         | [ "end"; "truncated" ] -> finish Trace.Truncated
+         | [ "end"; e ] -> perr ~line "bad ending %S" e
+         | w :: _ -> perr ~line "unrecognized record %S" w
+       with
+      | Detcor_robust.Error.Detcor_error (Detcor_robust.Error.Parse _)
+        when at_tail () ->
+        salvage ());
       loop ()
   in
   loop ();

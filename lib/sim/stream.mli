@@ -18,7 +18,10 @@
     as {!Detcor_kernel.Value.to_string} ([true]/[false] parse back as
     booleans, digit strings as integers, anything else as a symbol);
     blank lines and [#] comments are skipped.  Malformed input raises
-    {!Detcor_robust.Error.Parse} with the offending line. *)
+    {!Detcor_robust.Error.Parse} with the offending line — except at the
+    very end of the stream, where a recorder killed mid-write leaves a
+    torn tail ({!fold} tolerates it the way [Ledger.load] skips torn
+    lines). *)
 
 open Detcor_kernel
 open Detcor_semantics
@@ -45,8 +48,20 @@ val write_run : out_channel -> index:int -> Runner.run -> unit
 
 (** Fold over the runs of a stream, parsing incrementally — only one run
     is in memory at a time.  Returns the accumulator and the declared
-    program name, if any. *)
-val fold : in_channel -> init:'a -> f:('a -> run -> 'a) -> 'a * string option
+    program name, if any.
+
+    A torn tail — a malformed final line, or end-of-file inside a run —
+    is tolerated, not fatal: the torn line is dropped, an in-progress
+    run whose [init] parsed is delivered with ending [Truncated], and
+    [on_torn] is called with the line number (default: ignore).  The
+    same defects anywhere before the tail still raise
+    {!Detcor_robust.Error.Parse}. *)
+val fold :
+  ?on_torn:(int -> unit) ->
+  in_channel ->
+  init:'a ->
+  f:('a -> run -> 'a) ->
+  'a * string option
 
 (** Rebuild the simulator's view of a streamed run ([fault_steps] are the
     indices of the [fault] records). *)

@@ -157,6 +157,68 @@ let test_snapshot_write_faults () =
   Alcotest.(check bool) "write faults: no snapshot materializes" false
     (Sys.file_exists snap)
 
+(* SIGTERM parity with SIGINT: the orderly-stop signal must run the
+   finalizer stack (exit 143, checkpoint flushed) on every subcommand,
+   and a snapshot it flushed must resume to the undisturbed bytes. *)
+let run_dcheck_term ?kill_grace args ~out =
+  let fd = Unix.openfile out [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  let pid =
+    Unix.create_process dcheck
+      (Array.of_list (dcheck :: args))
+      Unix.stdin fd fd
+  in
+  Unix.close fd;
+  (match kill_grace with
+  | Some s -> (
+    Unix.sleepf s;
+    try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+  | None -> ());
+  let _, status = Unix.waitpid [] pid in
+  status
+
+let test_sigterm_parity () =
+  (* Without a checkpoint: the handler exits directly, code 143. *)
+  with_temp ".out" @@ fun out ->
+  (match
+     run_dcheck_term ~kill_grace:0.05
+       [ "verify"; ring5; "--tolerance"; "nonmasking" ]
+       ~out
+   with
+  | Unix.WEXITED c ->
+    Alcotest.(check int) "plain SIGTERM exits 143" 143 c
+  | Unix.WSIGNALED _ | Unix.WSTOPPED _ ->
+    Alcotest.fail "SIGTERM default disposition not overridden");
+  (* With a checkpoint armed: the exit is deferred to a cooperative
+     tick, the final snapshot is flushed, and a resume reproduces the
+     undisturbed run byte for byte. *)
+  let args = [ "synthesize"; ring5; "--tolerance"; "nonmasking" ] in
+  let expected_code, expected_out = baseline "synthesize" args in
+  with_temp ".snap" @@ fun snap ->
+  Sys.remove snap;
+  with_temp ".out" @@ fun out ->
+  (match
+     run_dcheck_term ~kill_grace:0.25
+       (args @ [ "--checkpoint"; snap; "--checkpoint-interval"; "0.05" ])
+       ~out
+   with
+  | Unix.WEXITED 143 ->
+    Alcotest.(check bool) "SIGTERM flushed a snapshot" true
+      (Sys.file_exists snap);
+    with_temp ".out" @@ fun rout ->
+    let code =
+      exit_code "resumed synthesize"
+        (run_dcheck (args @ [ "--resume"; snap ]) ~out:rout)
+    in
+    Alcotest.(check int) "resume after SIGTERM: exit code" expected_code code;
+    Alcotest.(check string) "resume after SIGTERM: output bytes" expected_out
+      (read_file rout)
+  | Unix.WEXITED c when c = expected_code ->
+    (* The run beat the signal; nothing to resume. *)
+    ()
+  | Unix.WEXITED c -> Alcotest.fail (Fmt.str "SIGTERM run exited %d" c)
+  | Unix.WSIGNALED _ | Unix.WSTOPPED _ ->
+    Alcotest.fail "SIGTERM default disposition not overridden")
+
 let suite =
   ( "chaos (kill-and-resume, injected faults)",
     [
@@ -174,4 +236,6 @@ let suite =
         test_worker_faults;
       Alcotest.test_case "snapshot write faults cost only insurance" `Slow
         test_snapshot_write_faults;
+      Alcotest.test_case "SIGTERM parity: finalizers run, exit 143" `Slow
+        test_sigterm_parity;
     ] )

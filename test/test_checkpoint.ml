@@ -245,6 +245,74 @@ let test_worker_degradation () =
   Alcotest.(check bool) "retries recorded" true
     (Metrics.counter_value_by_name "robust.worker_retries" > before)
 
+(* ------------------------------------------------------------------ *)
+(* Serve result-cache keying.                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The daemon's result cache is keyed on the session-fingerprint digest
+   of (kind, program source, argument vector).  Two laws: identical
+   submissions share a key, and any difference in kind, source or any
+   argument — including options the checkpoint fingerprint deliberately
+   ignores, like --workers — separates them. *)
+
+module Proto = Detcor_serve.Proto
+
+let submission_gen =
+  QCheck.Gen.(
+    let kind = oneofl [ Proto.Verify; Proto.Synthesize; Proto.Simulate ] in
+    let source = oneofl [ "program a\n"; "program b\n"; "program a\n\n" ] in
+    let argv =
+      let opt name values =
+        oneofl (None :: List.map (fun v -> Some [ name; v ]) values)
+      in
+      map
+        (fun opts -> List.concat (List.filter_map Fun.id opts))
+        (flatten_l
+           [
+             opt "--engine" [ "auto"; "packed"; "sharded" ];
+             opt "--workers" [ "1"; "2"; "4" ];
+             opt "--shards" [ "1"; "16" ];
+             opt "--limit" [ "1000"; "200000" ];
+           ])
+    in
+    triple kind source argv)
+
+let submission_pair_arb =
+  QCheck.make
+    ~print:(fun ((k1, s1, a1), (k2, s2, a2)) ->
+      let one k s a =
+        Fmt.str "%s %S [%s]" (Proto.kind_to_string k) s (String.concat " " a)
+      in
+      Fmt.str "%s vs %s" (one k1 s1 a1) (one k2 s2 a2))
+    QCheck.Gen.(pair submission_gen submission_gen)
+
+let cache_key_law ((k1, s1, a1), (k2, s2, a2)) =
+  let key1 = Proto.cache_key ~kind:k1 ~source:s1 ~argv:a1 in
+  let key2 = Proto.cache_key ~kind:k2 ~source:s2 ~argv:a2 in
+  if (k1, s1, a1) = (k2, s2, a2) then
+    key1 = key2
+    || QCheck.Test.fail_reportf "identical submissions keyed apart"
+  else
+    key1 <> key2
+    || QCheck.Test.fail_reportf "distinct submissions share key %s" key1
+
+let test_cache_key_options () =
+  let base argv = Proto.cache_key ~kind:Proto.Verify ~source:"program x\n" ~argv in
+  Alcotest.(check bool)
+    "identical submissions share a key" true
+    (base [ "--engine"; "packed" ] = base [ "--engine"; "packed" ]);
+  let keys =
+    List.map base
+      [
+        []; [ "--engine"; "packed" ]; [ "--engine"; "sharded" ];
+        [ "--workers"; "2" ]; [ "--workers"; "4" ]; [ "--shards"; "16" ];
+      ]
+  in
+  let distinct = List.sort_uniq compare keys in
+  Alcotest.(check int)
+    "engine/workers/shards choices all key apart" (List.length keys)
+    (List.length distinct)
+
 let suite =
   ( "checkpoint (snapshot format, resume, degradation)",
     [
@@ -260,6 +328,10 @@ let suite =
         test_phase_kind_mismatch;
       Alcotest.test_case "digest separates part boundaries" `Quick
         test_digest_separation;
+      Util.qtest ~count:300 "serve cache keys: identity and separation"
+        submission_pair_arb cache_key_law;
+      Alcotest.test_case "serve cache keys split on engine options" `Quick
+        test_cache_key_options;
       Alcotest.test_case "interrupted build resumes to identical system"
         `Slow test_interrupted_resume;
       Alcotest.test_case "worker failures degrade without changing results"

@@ -101,10 +101,14 @@ let test_deterministic () =
   Alcotest.(check int) "same exit" c1 c2;
   Alcotest.(check string) "byte-identical monitor output" o1 o2
 
+(* A defect with records after it is corruption, not a torn tail, and
+   stays fatal. *)
 let test_corrupt_stream () =
   with_temp ".stream" @@ fun stream ->
   Out_channel.with_open_text stream (fun oc ->
-      output_string oc "# detcor stream v1\nrun 0\ninit p=1\nwobble\n");
+      output_string oc
+        "# detcor stream v1\nrun 0\ninit data=good present=true z1=false\n\
+         wobble\nend maximal\n");
   with_temp ".out" @@ fun out ->
   let code =
     run_dcheck
@@ -114,6 +118,9 @@ let test_corrupt_stream () =
   Alcotest.(check int) "malformed stream exits 2" 2 code;
   check_contains (read_file out) "unrecognized record"
 
+(* A recorder killed mid-write leaves a run without its 'end' line at
+   EOF: the reader salvages the complete prefix (the run monitors as
+   truncated) instead of failing, like Ledger.load on a torn tail. *)
 let test_truncated_stream () =
   with_temp ".stream" @@ fun stream ->
   Out_channel.with_open_text stream (fun oc ->
@@ -126,8 +133,29 @@ let test_truncated_stream () =
       [ "monitor"; Filename.concat corpus "memory.dc"; "--stream"; stream ]
       ~out
   in
-  Alcotest.(check int) "run without 'end' exits 2" 2 code;
-  check_contains (read_file out) "missing 'end'"
+  Alcotest.(check int) "torn tail tolerated" 0 code;
+  let out = read_file out in
+  check_contains out "torn record at end of stream";
+  check_contains out "runs: 1"
+
+(* The other torn-tail shape: the final line itself is a partial write.
+   The line is dropped, the in-progress run is still salvaged. *)
+let test_torn_final_line () =
+  with_temp ".stream" @@ fun stream ->
+  Out_channel.with_open_text stream (fun oc ->
+      output_string oc
+        "# detcor stream v1\nrun 0\ninit data=good present=true z1=false\n\
+         step pm3\nste");
+  with_temp ".out" @@ fun out ->
+  let code =
+    run_dcheck
+      [ "monitor"; Filename.concat corpus "memory.dc"; "--stream"; stream ]
+      ~out
+  in
+  Alcotest.(check int) "torn final line tolerated" 0 code;
+  let out = read_file out in
+  check_contains out "torn record at end of stream";
+  check_contains out "runs: 1"
 
 let test_missing_stream () =
   with_temp ".out" @@ fun out ->
@@ -211,8 +239,10 @@ let suite =
         test_intolerant_violates;
       Alcotest.test_case "monitoring is deterministic" `Quick test_deterministic;
       Alcotest.test_case "malformed stream (exit 2)" `Quick test_corrupt_stream;
-      Alcotest.test_case "truncated stream (exit 2)" `Quick
+      Alcotest.test_case "torn tail: missing 'end' tolerated" `Quick
         test_truncated_stream;
+      Alcotest.test_case "torn tail: partial final line tolerated" `Quick
+        test_torn_final_line;
       Alcotest.test_case "unreadable stream (exit 2)" `Quick test_missing_stream;
       Alcotest.test_case "zero budget (exit 3)" `Quick test_timeout;
       Alcotest.test_case "--metrics snapshot parses" `Quick

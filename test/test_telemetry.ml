@@ -240,6 +240,7 @@ let sample_entry =
     peak_rss_bytes = 1 lsl 20;
     states = 4375;
     budget_trip = None;
+    telemetry_port = None;
   }
 
 let test_ledger_roundtrip () =
